@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build test test-short race cover bench figures ablations fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/pager/ ./internal/core/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Figure benchmarks at reduced scale; UCAT_BENCH_SCALE=1.0 for paper scale.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate the paper's figures (full scale, ~5 minutes).
+figures:
+	$(GO) run ./cmd/ucatbench -scale 1 -queries 20 | tee results_figures.txt
+
+ablations:
+	$(GO) run ./cmd/ucatbench -ablations -scale 1 -queries 20 | tee results_ablations.txt
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/uda/
+	$(GO) test -fuzz FuzzDecodeBoundary -fuzztime 30s ./internal/pdrtree/
+
+clean:
+	$(GO) clean ./...

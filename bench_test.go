@@ -1,0 +1,235 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per figure
+// (Figures 4–10 of "Indexing Uncertain Categorical Data", ICDE 2007) plus
+// ablation benches for this repository's design knobs and microbenchmarks
+// for the core operations.
+//
+// Figure benchmarks report each data series' mean disk I/Os per query as a
+// custom metric. They default to 5% of the paper's dataset sizes so a
+// full `go test -bench=.` stays tractable; set UCAT_BENCH_SCALE=1.0 (and
+// preferably -benchtime=1x) to run at paper scale, or use cmd/ucatbench,
+// which prints the full tables.
+package ucat_test
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ucat/internal/core"
+	"ucat/internal/dataset"
+	"ucat/internal/exp"
+	"ucat/internal/invidx"
+	"ucat/internal/pdrtree"
+	"ucat/internal/uda"
+)
+
+// benchParams reads the benchmark scale from the environment.
+func benchParams() exp.Params {
+	scale := 0.05
+	if s := os.Getenv("UCAT_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return exp.Params{Scale: scale, Queries: 10, Seed: 1}
+}
+
+// benchFigure runs a figure generator and reports every series' mean I/Os
+// per query.
+func benchFigure(b *testing.B, run func(exp.Params) (*exp.Figure, error)) {
+	b.Helper()
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		fig, err := run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range fig.Series {
+				var sum float64
+				for _, pt := range s.Points {
+					sum += pt.IOs
+				}
+				metric := strings.ReplaceAll(s.Label, " ", "_") + "-io/q"
+				b.ReportMetric(sum/float64(len(s.Points)), metric)
+			}
+		}
+	}
+}
+
+// Figure benchmarks — one per table/figure in the paper's evaluation.
+
+func BenchmarkFig4DivergenceMeasures(b *testing.B) { benchFigure(b, exp.Fig4) }
+func BenchmarkFig5Synthetic(b *testing.B)          { benchFigure(b, exp.Fig5) }
+func BenchmarkFig6CRM1(b *testing.B)               { benchFigure(b, exp.Fig6) }
+func BenchmarkFig7CRM2(b *testing.B)               { benchFigure(b, exp.Fig7) }
+func BenchmarkFig8DatasetSize(b *testing.B)        { benchFigure(b, exp.Fig8) }
+func BenchmarkFig9DomainSize(b *testing.B)         { benchFigure(b, exp.Fig9) }
+func BenchmarkFig10SplitAlgorithm(b *testing.B)    { benchFigure(b, exp.Fig10) }
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationInvStrategies(b *testing.B)   { benchFigure(b, exp.AblationInvStrategies) }
+func BenchmarkAblationInsertCriterion(b *testing.B) { benchFigure(b, exp.AblationInsertCriterion) }
+func BenchmarkAblationCompression(b *testing.B)     { benchFigure(b, exp.AblationCompression) }
+func BenchmarkAblationBufferPool(b *testing.B)      { benchFigure(b, exp.AblationBufferPool) }
+
+// Microbenchmarks for the core operations.
+
+func benchInsert(b *testing.B, kind core.Kind) {
+	b.Helper()
+	rel, err := core.NewRelation(core.Options{Kind: kind, PoolFrames: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	tuples := make([]uda.UDA, 10000)
+	for i := range tuples {
+		tuples[i] = uda.Random(r, 50, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rel.Insert(tuples[i%len(tuples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertInverted(b *testing.B) { benchInsert(b, core.InvertedIndex) }
+func BenchmarkInsertPDRTree(b *testing.B)  { benchInsert(b, core.PDRTree) }
+func BenchmarkInsertHeapOnly(b *testing.B) { benchInsert(b, core.ScanOnly) }
+
+// builtRelation prepares a 10k-tuple relation for query benchmarks.
+func builtRelation(b *testing.B, opts core.Options) (*core.Relation, *dataset.Dataset) {
+	b.Helper()
+	opts.PoolFrames = 4096
+	rel, err := core.NewRelation(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := dataset.Gen3(1, 10000, 50)
+	for _, u := range d.Tuples {
+		if _, err := rel.Insert(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := rel.Pool().Resize(100); err != nil {
+		b.Fatal(err)
+	}
+	return rel, d
+}
+
+func benchPETQ(b *testing.B, opts core.Options) {
+	b.Helper()
+	rel, d := builtRelation(b, opts)
+	r := rand.New(rand.NewSource(2))
+	queries := make([]uda.UDA, 64)
+	for i := range queries {
+		queries[i] = d.Query(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rel.PETQ(queries[i%len(queries)], 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPETQScan(b *testing.B) { benchPETQ(b, core.Options{Kind: core.ScanOnly}) }
+func BenchmarkPETQInverted(b *testing.B) {
+	benchPETQ(b, core.Options{Kind: core.InvertedIndex, InvStrategy: invidx.HighestProbFirst})
+}
+func BenchmarkPETQInvertedBruteForce(b *testing.B) {
+	benchPETQ(b, core.Options{Kind: core.InvertedIndex, InvStrategy: invidx.BruteForce})
+}
+func BenchmarkPETQPDRTree(b *testing.B) { benchPETQ(b, core.Options{Kind: core.PDRTree}) }
+
+func benchTopK(b *testing.B, opts core.Options) {
+	b.Helper()
+	rel, d := builtRelation(b, opts)
+	r := rand.New(rand.NewSource(3))
+	queries := make([]uda.UDA, 64)
+	for i := range queries {
+		queries[i] = d.Query(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rel.TopK(queries[i%len(queries)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKInverted(b *testing.B) {
+	benchTopK(b, core.Options{Kind: core.InvertedIndex, InvStrategy: invidx.HighestProbFirst})
+}
+func BenchmarkTopKPDRTree(b *testing.B) { benchTopK(b, core.Options{Kind: core.PDRTree}) }
+
+func BenchmarkDSTQPDRTree(b *testing.B) {
+	rel, d := builtRelation(b, core.Options{Kind: core.PDRTree})
+	r := rand.New(rand.NewSource(4))
+	queries := make([]uda.UDA, 64)
+	for i := range queries {
+		queries[i] = d.Query(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rel.DSTQ(queries[i%len(queries)], 0.3, uda.L1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPDRCompressedInsert(b *testing.B) {
+	rel, err := core.NewRelation(core.Options{
+		Kind:       core.PDRTree,
+		PoolFrames: 4096,
+		PDR:        pdrtree.Config{Compression: pdrtree.SignatureCompression, Buckets: 64},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	tuples := make([]uda.UDA, 10000)
+	for i := range tuples {
+		tuples[i] = uda.Random(r, 500, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rel.Insert(tuples[i%len(tuples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBulkLoad(b *testing.B, kind core.Kind) {
+	b.Helper()
+	r := rand.New(rand.NewSource(7))
+	values := make([]uda.UDA, 10000)
+	for i := range values {
+		values[i] = uda.Random(r, 50, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BulkLoad(core.Options{Kind: kind, PoolFrames: 4096}, values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoadInverted(b *testing.B) { benchBulkLoad(b, core.InvertedIndex) }
+func BenchmarkBulkLoadPDRTree(b *testing.B)  { benchBulkLoad(b, core.PDRTree) }
+
+func BenchmarkEqualityProb(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	us := make([]uda.UDA, 256)
+	for i := range us {
+		us[i] = uda.Random(r, 50, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uda.EqualityProb(us[i%256], us[(i+1)%256])
+	}
+}

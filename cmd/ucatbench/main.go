@@ -1,0 +1,118 @@
+// Command ucatbench regenerates the paper's evaluation figures (and this
+// repository's extra ablations) as text tables of disk I/Os per query.
+//
+// Usage:
+//
+//	ucatbench                      # all figures at full paper scale
+//	ucatbench -fig fig5,fig10      # selected figures
+//	ucatbench -ablations           # the ablation suite
+//	ucatbench -scale 0.1 -queries 10 -seed 42
+//
+// Full scale builds 100k-tuple CRM datasets; use -scale to iterate quickly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ucat/internal/exp"
+	"ucat/internal/invidx"
+)
+
+func main() {
+	var (
+		figs      = flag.String("fig", "all", "comma-separated figure ids (fig4..fig10) or 'all'")
+		ablations = flag.Bool("ablations", false, "run the ablation suite instead of the paper figures")
+		scale     = flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper scale)")
+		queries   = flag.Int("queries", 20, "queries averaged per data point")
+		seed      = flag.Int64("seed", 1, "PRNG seed")
+		strategy  = flag.String("strategy", "", "inverted-index strategy override (e.g. nra, inv-index-search)")
+		format    = flag.String("format", "table", "output format: table | csv")
+		parallel  = flag.Bool("parallel", false, "run the selected figures concurrently (order preserved in output)")
+	)
+	flag.Parse()
+
+	params := exp.Params{Scale: *scale, Queries: *queries, Seed: *seed}
+	if *strategy != "" {
+		found := false
+		for _, s := range invidx.Strategies {
+			if s.String() == *strategy {
+				s := s
+				params.InvStrategy = &s
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "ucatbench: unknown strategy %q\n", *strategy)
+			os.Exit(1)
+		}
+	}
+	runners := exp.Figures
+	if *ablations {
+		runners = exp.Ablations
+	}
+
+	want := map[string]bool{}
+	if *figs != "all" {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	var selected []exp.Runner
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		selected = append(selected, r)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "ucatbench: no figure matched %q\n", *figs)
+		os.Exit(1)
+	}
+
+	results := make([]*exp.Figure, len(selected))
+	errs := make([]error, len(selected))
+	run := func(i int) {
+		start := time.Now()
+		results[i], errs[i] = selected[i].Run(params)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", selected[i].ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *parallel {
+		var wg sync.WaitGroup
+		for i := range selected {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range selected {
+			run(i)
+		}
+	}
+	for i, fig := range results {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "ucatbench: %s: %v\n", selected[i].ID, errs[i])
+			os.Exit(1)
+		}
+		var werr error
+		switch *format {
+		case "csv":
+			werr = fig.WriteCSV(os.Stdout)
+		default:
+			werr = fig.WriteTable(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ucatbench: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+}

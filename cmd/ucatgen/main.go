@@ -1,0 +1,125 @@
+// Command ucatgen generates the paper's datasets and prints summary
+// statistics (and optionally sample tuples), for inspecting the workloads
+// the benchmarks run on.
+//
+// Usage:
+//
+//	ucatgen -dataset crm1 -n 1000
+//	ucatgen -dataset gen3 -domain 200 -n 5000 -sample 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ucat/internal/dataset"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "uniform", "uniform | pairwise | gen3 | crm1 | crm2")
+		n      = flag.Int("n", 0, "tuple count (0 = the paper's size for the dataset)")
+		domain = flag.Int("domain", 50, "domain size (gen3 only)")
+		seed   = flag.Int64("seed", 1, "PRNG seed")
+		sample = flag.Int("sample", 0, "print this many sample tuples")
+	)
+	flag.Parse()
+
+	d, err := generate(*name, *n, *domain, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucatgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	var totalPairs int
+	var minPairs, maxPairs = 1 << 30, 0
+	var mass, entropy float64
+	for _, u := range d.Tuples {
+		l := u.Len()
+		totalPairs += l
+		if l < minPairs {
+			minPairs = l
+		}
+		if l > maxPairs {
+			maxPairs = l
+		}
+		mass += u.Mass()
+		entropy += u.Entropy()
+	}
+	nT := len(d.Tuples)
+	fmt.Printf("dataset:        %s\n", d.Name)
+	fmt.Printf("tuples:         %d\n", nT)
+	fmt.Printf("domain size:    %d\n", d.Domain)
+	fmt.Printf("non-zero items: min %d  mean %.2f  max %d\n", minPairs, float64(totalPairs)/float64(nT), maxPairs)
+	fmt.Printf("mean mass:      %.6f\n", mass/float64(nT))
+	fmt.Printf("mean entropy:   %.3f bits\n", entropy/float64(nT))
+
+	// Item usage histogram (top 10 items by frequency).
+	freq := map[uint32]int{}
+	for _, u := range d.Tuples {
+		for _, p := range u.Pairs() {
+			freq[p.Item]++
+		}
+	}
+	type itemCount struct {
+		item  uint32
+		count int
+	}
+	var ics []itemCount
+	for it, c := range freq {
+		ics = append(ics, itemCount{it, c})
+	}
+	sort.Slice(ics, func(i, j int) bool {
+		if ics[i].count != ics[j].count {
+			return ics[i].count > ics[j].count
+		}
+		return ics[i].item < ics[j].item
+	})
+	fmt.Printf("distinct items: %d\n", len(ics))
+	fmt.Printf("top items:     ")
+	for i, ic := range ics {
+		if i == 10 {
+			break
+		}
+		fmt.Printf(" %d(%d)", ic.item, ic.count)
+	}
+	fmt.Println()
+
+	for i := 0; i < *sample && i < nT; i++ {
+		fmt.Printf("tuple %d: %v\n", i, d.Tuples[i])
+	}
+}
+
+func generate(name string, n, domain int, seed int64) (*dataset.Dataset, error) {
+	switch name {
+	case "uniform":
+		if n == 0 {
+			n = dataset.SyntheticSize
+		}
+		return dataset.Uniform(seed, n), nil
+	case "pairwise":
+		if n == 0 {
+			n = dataset.SyntheticSize
+		}
+		return dataset.Pairwise(seed, n), nil
+	case "gen3":
+		if n == 0 {
+			n = dataset.SyntheticSize
+		}
+		return dataset.Gen3(seed, n, domain), nil
+	case "crm1":
+		if n == 0 {
+			n = dataset.CRMSize
+		}
+		return dataset.CRM1Like(seed, n), nil
+	case "crm2":
+		if n == 0 {
+			n = dataset.CRMSize
+		}
+		return dataset.CRM2Like(seed, n), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}

@@ -1,0 +1,227 @@
+// Command ucatquery loads one of the paper's datasets (or a previously
+// saved relation) into a chosen index and runs a probabilistic query against
+// it, reporting the answers and the disk I/Os the query cost.
+//
+// Usage:
+//
+//	ucatquery -dataset crm1 -n 10000 -index pdr -query "3:0.7,8:0.3" -tau 0.2
+//	ucatquery -dataset uniform -index inverted -strategy column-pruning -query "0:0.5,1:0.5" -k 10
+//	ucatquery -dataset crm2 -n 5000 -index pdr -query "1:1.0" -dstq 0.5 -div KL
+//	ucatquery -dataset gen3 -index pdr -query "10:1.0" -tau 0.3 -window 2
+//	ucatquery -dataset crm1 -index pdr -save rel.ucat          # build once
+//	ucatquery -load rel.ucat -query "3:1.0" -tau 0.5           # query later
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ucat/internal/cliutil"
+	"ucat/internal/core"
+	"ucat/internal/dataset"
+)
+
+func main() {
+	var (
+		dsName   = flag.String("dataset", "uniform", "uniform | pairwise | gen3 | crm1 | crm2")
+		n        = flag.Int("n", 10000, "tuple count")
+		domain   = flag.Int("domain", 50, "domain size (gen3 only)")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		index    = flag.String("index", "pdr", "scan | inverted | pdr")
+		strategy = flag.String("strategy", "highest-prob-first", "inverted-index strategy")
+		queryStr = flag.String("query", "", "query UDA as item:prob,item:prob,...")
+		tau      = flag.Float64("tau", -1, "PETQ threshold (probability)")
+		k        = flag.Int("k", 0, "top-k query size")
+		window   = flag.Uint("window", 0, "window width c for relaxed equality (ordered domains)")
+		dstq     = flag.Float64("dstq", -1, "distributional similarity threshold")
+		div      = flag.String("div", "L1", "divergence for -dstq: L1 | L2 | KL")
+		limit    = flag.Int("limit", 20, "max answers to print")
+		save     = flag.String("save", "", "save the built relation to this file")
+		load     = flag.String("load", "", "load a relation from this file instead of building one")
+		stats    = flag.Bool("stats", false, "print index statistics")
+	)
+	flag.Parse()
+
+	if err := run(params{
+		dsName: *dsName, n: *n, domain: *domain, seed: *seed,
+		index: *index, strategy: *strategy, queryStr: *queryStr,
+		tau: *tau, k: *k, window: uint32(*window), dstq: *dstq, div: *div,
+		limit: *limit, save: *save, load: *load, stats: *stats,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type params struct {
+	dsName          string
+	n, domain       int
+	seed            int64
+	index, strategy string
+	queryStr        string
+	tau, dstq       float64
+	k               int
+	window          uint32
+	div             string
+	limit           int
+	save, load      string
+	stats           bool
+}
+
+func run(p params) error {
+	rel, err := obtainRelation(p)
+	if err != nil {
+		return err
+	}
+
+	if p.save != "" {
+		if err := rel.SaveFile(p.save); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved relation (%d tuples) to %s\n", rel.Len(), p.save)
+	}
+	if p.stats {
+		st, err := rel.IndexStats()
+		if err != nil {
+			return err
+		}
+		fmt.Println(st)
+	}
+
+	hasQuery := p.tau >= 0 || p.k > 0 || p.dstq >= 0
+	if !hasQuery {
+		if p.save == "" && !p.stats {
+			return fmt.Errorf("specify a query type (-tau, -k, or -dstq), -save, or -stats")
+		}
+		return nil
+	}
+
+	q, err := cliutil.ParseUDA(p.queryStr)
+	if err != nil {
+		return err
+	}
+	// Query under the paper's buffer discipline.
+	if err := rel.Pool().Resize(100); err != nil {
+		return err
+	}
+	rel.Pool().ResetStats()
+
+	switch {
+	case p.dstq >= 0:
+		dv, err := cliutil.ParseDivergence(p.div)
+		if err != nil {
+			return err
+		}
+		ns, err := rel.DSTQ(q, p.dstq, dv)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("DSTQ(%v, %g, %s): %d answers\n", q, p.dstq, dv, len(ns))
+		for i, m := range ns {
+			if i == p.limit {
+				fmt.Printf("... %d more\n", len(ns)-p.limit)
+				break
+			}
+			fmt.Printf("  tid=%-8d dist=%.6f\n", m.TID, m.Dist)
+		}
+	case p.k > 0 && p.window > 0:
+		ms, err := rel.WindowTopK(q, p.window, p.k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Window-top-%d(%v, c=%d): %d answers\n", p.k, q, p.window, len(ms))
+		printMatches(ms, p.limit)
+	case p.k > 0:
+		ms, err := rel.TopK(q, p.k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("PETQ-top-%d(%v): %d answers\n", p.k, q, len(ms))
+		printMatches(ms, p.limit)
+	case p.window > 0:
+		ms, err := rel.WindowPETQ(q, p.window, p.tau)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("WindowPETQ(%v, c=%d, %g): %d answers\n", q, p.window, p.tau, len(ms))
+		printMatches(ms, p.limit)
+	default:
+		ms, err := rel.PETQ(q, p.tau)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("PETQ(%v, %g): %d answers\n", q, p.tau, len(ms))
+		printMatches(ms, p.limit)
+	}
+
+	st := rel.Pool().Stats()
+	fmt.Printf("I/O: %d (reads %d, writes %d, pool hits %d)\n", st.IOs(), st.Reads, st.Writes, st.Hits)
+	return nil
+}
+
+func obtainRelation(p params) (*core.Relation, error) {
+	if p.load != "" {
+		rel, err := core.LoadRelationFile(p.load)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s relation (%d tuples) from %s\n", rel.Kind(), rel.Len(), p.load)
+		return rel, nil
+	}
+
+	var d *dataset.Dataset
+	switch p.dsName {
+	case "uniform":
+		d = dataset.Uniform(p.seed, p.n)
+	case "pairwise":
+		d = dataset.Pairwise(p.seed, p.n)
+	case "gen3":
+		d = dataset.Gen3(p.seed, p.n, p.domain)
+	case "crm1":
+		d = dataset.CRM1Like(p.seed, p.n)
+	case "crm2":
+		d = dataset.CRM2Like(p.seed, p.n)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", p.dsName)
+	}
+
+	opts := core.Options{PoolFrames: 4096}
+	switch p.index {
+	case "scan":
+		opts.Kind = core.ScanOnly
+	case "inverted":
+		opts.Kind = core.InvertedIndex
+		s, err := cliutil.ParseStrategy(p.strategy)
+		if err != nil {
+			return nil, err
+		}
+		opts.InvStrategy = s
+	case "pdr":
+		opts.Kind = core.PDRTree
+	default:
+		return nil, fmt.Errorf("unknown index %q", p.index)
+	}
+
+	rel, err := core.NewRelation(opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "building %s index over %d %s tuples...\n", p.index, len(d.Tuples), d.Name)
+	for _, u := range d.Tuples {
+		if _, err := rel.Insert(u); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func printMatches(ms []core.Match, limit int) {
+	for i, m := range ms {
+		if i == limit {
+			fmt.Printf("... %d more\n", len(ms)-limit)
+			break
+		}
+		fmt.Printf("  tid=%-8d prob=%.6f\n", m.TID, m.Prob)
+	}
+}

@@ -1,0 +1,54 @@
+// Command ucatshell is an interactive shell over an uncertain relation:
+// create or load a relation, insert uncertain tuples, and run the paper's
+// probabilistic queries against it, watching the I/O each one costs.
+//
+//	$ ucatshell
+//	> new pdr
+//	> insert 0:0.5,1:0.5
+//	tid 0
+//	> petq 0:1.0 0.4
+//	1 answers
+//	  tid=0        prob=0.500000
+//	> quit
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	sh := &shell{out: os.Stdout}
+	in := bufio.NewScanner(os.Stdin)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("ucat shell — 'help' lists commands")
+	}
+	for {
+		if interactive {
+			fmt.Print("> ")
+		}
+		if !in.Scan() {
+			break
+		}
+		err := sh.execute(in.Text())
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatshell: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,386 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ucat/internal/cliutil"
+	"ucat/internal/core"
+)
+
+// shell holds the interactive session state: one current relation.
+type shell struct {
+	rel *core.Relation
+	out io.Writer
+}
+
+// execute runs one command line; it returns io.EOF for "quit".
+func (sh *shell) execute(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil
+	}
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	switch cmd {
+	case "help":
+		sh.help()
+		return nil
+	case "quit", "exit":
+		return io.EOF
+	case "new":
+		return sh.cmdNew(args)
+	case "insert":
+		return sh.cmdInsert(args)
+	case "delete":
+		return sh.cmdDelete(args)
+	case "get":
+		return sh.cmdGet(args)
+	case "petq":
+		return sh.cmdPETQ(args)
+	case "topk":
+		return sh.cmdTopK(args)
+	case "window":
+		return sh.cmdWindow(args)
+	case "dstq":
+		return sh.cmdDSTQ(args)
+	case "estimate":
+		return sh.cmdEstimate(args)
+	case "stats":
+		return sh.cmdStats()
+	case "io":
+		return sh.cmdIO()
+	case "rebuild":
+		return sh.cmdRebuild()
+	case "check":
+		return sh.cmdCheck()
+	case "save":
+		return sh.cmdSave(args)
+	case "load":
+		return sh.cmdLoad(args)
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func (sh *shell) help() {
+	fmt.Fprint(sh.out, `commands:
+  new <scan|inverted|pdr>          start an empty relation
+  insert <item:prob,...>           add a tuple; prints its id
+  delete <tid>                     remove a tuple
+  get <tid>                        show a tuple
+  petq <item:prob,...> <tau>       equality threshold query
+  topk <item:prob,...> <k>         top-k equality query
+  window <item:prob,...> <c> <tau> relaxed window equality (ordered domain)
+  dstq <item:prob,...> <td> <div>  similarity query (div: L1|L2|KL)
+  estimate <item:prob,...> <tau>   predicted selectivity (no I/O)
+  stats                            index statistics
+  io                               buffer pool counters since last 'io'
+  rebuild                          compact + rebuild the index
+  check                            verify heap/index integrity (sampled)
+  save <file> / load <file>        persist / restore the relation
+  quit
+`)
+}
+
+func (sh *shell) need() error {
+	if sh.rel == nil {
+		return fmt.Errorf("no relation; run 'new <scan|inverted|pdr>' or 'load <file>'")
+	}
+	return nil
+}
+
+func (sh *shell) cmdNew(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: new <scan|inverted|pdr>")
+	}
+	var kind core.Kind
+	switch args[0] {
+	case "scan":
+		kind = core.ScanOnly
+	case "inverted":
+		kind = core.InvertedIndex
+	case "pdr":
+		kind = core.PDRTree
+	default:
+		return fmt.Errorf("unknown index kind %q", args[0])
+	}
+	rel, err := core.NewRelation(core.Options{Kind: kind, PoolFrames: 1024})
+	if err != nil {
+		return err
+	}
+	sh.rel = rel
+	fmt.Fprintf(sh.out, "new %s relation\n", kind)
+	return nil
+}
+
+func (sh *shell) cmdInsert(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: insert <item:prob,...>")
+	}
+	u, err := cliutil.ParseUDA(args[0])
+	if err != nil {
+		return err
+	}
+	tid, err := sh.rel.Insert(u)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "tid %d\n", tid)
+	return nil
+}
+
+func (sh *shell) cmdDelete(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: delete <tid>")
+	}
+	tid, err := strconv.ParseUint(args[0], 10, 32)
+	if err != nil {
+		return err
+	}
+	if err := sh.rel.Delete(uint32(tid)); err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "deleted %d\n", tid)
+	return nil
+}
+
+func (sh *shell) cmdGet(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: get <tid>")
+	}
+	tid, err := strconv.ParseUint(args[0], 10, 32)
+	if err != nil {
+		return err
+	}
+	u, err := sh.rel.Get(uint32(tid))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "%v (entropy %.3f bits)\n", u, u.Entropy())
+	return nil
+}
+
+func (sh *shell) cmdPETQ(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: petq <item:prob,...> <tau>")
+	}
+	q, err := cliutil.ParseUDA(args[0])
+	if err != nil {
+		return err
+	}
+	tau, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		return err
+	}
+	ms, err := sh.rel.PETQ(q, tau)
+	if err != nil {
+		return err
+	}
+	sh.printMatches(ms)
+	return nil
+}
+
+func (sh *shell) cmdTopK(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: topk <item:prob,...> <k>")
+	}
+	q, err := cliutil.ParseUDA(args[0])
+	if err != nil {
+		return err
+	}
+	k, err := strconv.Atoi(args[1])
+	if err != nil {
+		return err
+	}
+	ms, err := sh.rel.TopK(q, k)
+	if err != nil {
+		return err
+	}
+	sh.printMatches(ms)
+	return nil
+}
+
+func (sh *shell) cmdWindow(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 3 {
+		return fmt.Errorf("usage: window <item:prob,...> <c> <tau>")
+	}
+	q, err := cliutil.ParseUDA(args[0])
+	if err != nil {
+		return err
+	}
+	c, err := strconv.ParseUint(args[1], 10, 32)
+	if err != nil {
+		return err
+	}
+	tau, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return err
+	}
+	ms, err := sh.rel.WindowPETQ(q, uint32(c), tau)
+	if err != nil {
+		return err
+	}
+	sh.printMatches(ms)
+	return nil
+}
+
+func (sh *shell) cmdDSTQ(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 3 {
+		return fmt.Errorf("usage: dstq <item:prob,...> <td> <L1|L2|KL>")
+	}
+	q, err := cliutil.ParseUDA(args[0])
+	if err != nil {
+		return err
+	}
+	td, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		return err
+	}
+	div, err := cliutil.ParseDivergence(args[2])
+	if err != nil {
+		return err
+	}
+	ns, err := sh.rel.DSTQ(q, td, div)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "%d answers\n", len(ns))
+	for i, n := range ns {
+		if i == 20 {
+			fmt.Fprintf(sh.out, "... %d more\n", len(ns)-20)
+			break
+		}
+		fmt.Fprintf(sh.out, "  tid=%-8d dist=%.6f\n", n.TID, n.Dist)
+	}
+	return nil
+}
+
+func (sh *shell) cmdEstimate(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: estimate <item:prob,...> <tau>")
+	}
+	q, err := cliutil.ParseUDA(args[0])
+	if err != nil {
+		return err
+	}
+	tau, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		return err
+	}
+	sel, err := sh.rel.EstimateSelectivity(q, tau)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "estimated selectivity %.2f%% (~%d tuples)\n",
+		100*sel, int(sel*float64(sh.rel.Len())))
+	return nil
+}
+
+func (sh *shell) cmdStats() error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	st, err := sh.rel.IndexStats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(sh.out, st)
+	return nil
+}
+
+func (sh *shell) cmdIO() error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	fmt.Fprintln(sh.out, sh.rel.Pool().Stats())
+	sh.rel.Pool().ResetStats()
+	return nil
+}
+
+func (sh *shell) cmdRebuild() error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	reclaimed, err := sh.rel.Rebuild()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "rebuilt; reclaimed %d pages\n", reclaimed)
+	return nil
+}
+
+func (sh *shell) cmdCheck() error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	probed, err := sh.rel.CheckIntegrity(128)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "integrity ok (%d tuples probed)\n", probed)
+	return nil
+}
+
+func (sh *shell) cmdSave(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: save <file>")
+	}
+	if err := sh.rel.SaveFile(args[0]); err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "saved %d tuples to %s\n", sh.rel.Len(), args[0])
+	return nil
+}
+
+func (sh *shell) cmdLoad(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: load <file>")
+	}
+	rel, err := core.LoadRelationFile(args[0])
+	if err != nil {
+		return err
+	}
+	sh.rel = rel
+	fmt.Fprintf(sh.out, "loaded %s relation with %d tuples\n", rel.Kind(), rel.Len())
+	return nil
+}
+
+func (sh *shell) printMatches(ms []core.Match) {
+	fmt.Fprintf(sh.out, "%d answers\n", len(ms))
+	for i, m := range ms {
+		if i == 20 {
+			fmt.Fprintf(sh.out, "... %d more\n", len(ms)-20)
+			break
+		}
+		fmt.Fprintf(sh.out, "  tid=%-8d prob=%.6f\n", m.TID, m.Prob)
+	}
+}

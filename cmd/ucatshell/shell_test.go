@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run feeds a script to a fresh shell and returns the combined output.
+// Command errors fail the test unless wantErr marks the line index.
+func run(t *testing.T, lines []string, wantErr map[int]bool) string {
+	t.Helper()
+	var out bytes.Buffer
+	sh := &shell{out: &out}
+	for i, line := range lines {
+		err := sh.execute(line)
+		if err == io.EOF {
+			break
+		}
+		if wantErr[i] {
+			if err == nil {
+				t.Fatalf("line %d (%q): expected error", i, line)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("line %d (%q): %v", i, line, err)
+		}
+	}
+	return out.String()
+}
+
+func TestShellBasicSession(t *testing.T) {
+	out := run(t, []string{
+		"# a comment",
+		"",
+		"new pdr",
+		"insert 0:0.5,1:0.5",
+		"insert 0:0.9,2:0.1",
+		"insert 3:1.0",
+		"petq 0:1.0 0.4",
+		"topk 0:1.0 2",
+		"window 1:1.0 1 0.3",
+		"dstq 0:0.5,1:0.5 0.5 L1",
+		"estimate 0:1.0 0.4",
+		"get 0",
+		"stats",
+		"io",
+		"delete 2",
+		"rebuild",
+		"check",
+		"quit",
+		"petq 0:1.0 0.4", // never reached
+	}, nil)
+	for _, want := range []string{
+		"new pdr-tree relation",
+		"tid 0",
+		"tid 2",
+		"2 answers", // petq 0.4: tuples 0 (0.5) and 1 (0.9)
+		"prob=0.900000",
+		"estimated selectivity",
+		"entropy",
+		"tuples=3",
+		"reads=",
+		"deleted 2",
+		"rebuilt",
+		"integrity ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	run(t, []string{
+		"petq 0:1.0 0.5",          // 0: no relation yet
+		"new bogus",               // 1: bad kind
+		"new inverted",            // 2
+		"insert",                  // 3: missing arg
+		"insert 0:x",              // 4: bad prob
+		"petq 0:1.0 nope",         // 5: bad tau
+		"get 99",                  // 6: missing tuple
+		"frobnicate",              // 7: unknown command
+		"load /no/such/file.ucat", // 8
+	}, map[int]bool{0: true, 1: true, 3: true, 4: true, 5: true, 6: true, 7: true, 8: true})
+}
+
+func TestShellSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rel.ucat")
+	out := run(t, []string{
+		"new inverted",
+		"insert 5:1.0",
+		"save " + path,
+		"new scan", // discard current
+		"load " + path,
+		"petq 5:1.0 0.5",
+	}, nil)
+	if !strings.Contains(out, "loaded inverted relation with 1 tuples") {
+		t.Errorf("load output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1 answers") {
+		t.Errorf("query after load failed:\n%s", out)
+	}
+}
+
+func TestShellHelpAndQuit(t *testing.T) {
+	out := run(t, []string{"help", "exit"}, nil)
+	if !strings.Contains(out, "commands:") || !strings.Contains(out, "petq") {
+		t.Errorf("help output:\n%s", out)
+	}
+}

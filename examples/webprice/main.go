@@ -1,0 +1,125 @@
+// Deep-web data integration: the paper's §1 example of extracting
+// relational data from dynamic HTML. An extractor sees several numeric
+// values on a product page and cannot tell with certainty which one is the
+// price — it emits candidates with likelihoods, yielding an uncertain
+// price-band attribute per listing.
+//
+// Two extraction runs over two retailer sites are integrated by a
+// probabilistic equality join: listings from the two sites that probably
+// sit in the same price band are match candidates for the same product,
+// and a top-k join surfaces the most confident matches for human review.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ucat/internal/core"
+	"ucat/internal/uda"
+)
+
+// Price bands form the categorical domain (e.g. band 17 = $170–$179).
+const numBands = 100
+
+// extract simulates the extractor's output for a listing whose true price
+// band is known: the true band usually gets the highest likelihood, but
+// other numbers on the page (shipping cost, list price, review count)
+// compete with it.
+func extract(r *rand.Rand, trueBand uint32) uda.UDA {
+	conf := 0.5 + 0.4*r.Float64()
+	pairs := []uda.Pair{{Item: trueBand, Prob: conf}}
+	distractors := 1 + r.Intn(3)
+	rest := 1 - conf
+	for i := 0; i < distractors; i++ {
+		share := rest
+		if i < distractors-1 {
+			share = rest * r.Float64()
+		}
+		band := uint32(r.Intn(numBands))
+		if band == trueBand {
+			band = (band + 1) % numBands
+		}
+		pairs = append(pairs, uda.Pair{Item: band, Prob: share})
+		rest -= share
+	}
+	u, err := uda.New(pairs...)
+	if err != nil {
+		// Collisions between distractor bands merge mass; never invalid.
+		panic(err)
+	}
+	return u
+}
+
+func main() {
+	r := rand.New(rand.NewSource(23))
+
+	// 300 products listed on both sites, plus site-exclusive listings.
+	const common, exclusive = 300, 200
+	trueBands := make([]uint32, common)
+	for i := range trueBands {
+		trueBands[i] = uint32(r.Intn(numBands))
+	}
+
+	build := func(kind core.Kind) *core.Relation {
+		rel, err := core.NewRelation(core.Options{Kind: kind})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, band := range trueBands {
+			if _, err := rel.Insert(extract(r, band)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < exclusive; i++ {
+			if _, err := rel.Insert(extract(r, uint32(r.Intn(numBands)))); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return rel
+	}
+	siteA := build(core.InvertedIndex)
+	siteB := build(core.PDRTree)
+
+	// Threshold join: listing pairs probably in the same price band.
+	pairs, err := core.PETJ(siteA, siteB, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truePositives := 0
+	for _, p := range pairs {
+		if p.Left < common && p.Right < common && trueBands[p.Left] == trueBands[p.Right] {
+			truePositives++
+		}
+	}
+	fmt.Printf("PETJ τ=0.5: %d candidate matches, %d share a true price band\n",
+		len(pairs), truePositives)
+
+	// Top-k join: the 10 most confident cross-site matches for review.
+	best, err := core.PEJTopK(siteA, siteB, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n10 most confident matches:")
+	for _, p := range best {
+		mark := " "
+		if p.Left < common && p.Right < common && trueBands[p.Left] == trueBands[p.Right] {
+			mark = "✓"
+		}
+		fmt.Printf("  %s A#%-4d ~ B#%-4d Pr = %.3f\n", mark, p.Left, p.Right, p.Prob)
+	}
+
+	// A single listing can also be matched on demand.
+	probe, err := siteA.Get(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := siteB.TopK(probe, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbest B-side matches for A#0:")
+	for _, m := range ms {
+		fmt.Printf("  B#%-4d Pr = %.3f\n", m.TID, m.Prob)
+	}
+}

@@ -1,0 +1,3 @@
+module ucat
+
+go 1.22

@@ -1,0 +1,327 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ucat/internal/pager"
+)
+
+func newTestTree(t *testing.T, frames int) *Tree {
+	t.Helper()
+	pool := pager.NewPool(pager.NewStore(), frames)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func intKey(v uint64) Key {
+	var k Key
+	binary.BigEndian.PutUint64(k[:8], v)
+	return k
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTestTree(t, 10)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tr.Len())
+	}
+	found, err := tr.Contains(intKey(1))
+	if err != nil || found {
+		t.Errorf("Contains on empty = (%v, %v)", found, err)
+	}
+	if _, ok, err := tr.Min(); err != nil || ok {
+		t.Errorf("Min on empty = ok=%v err=%v", ok, err)
+	}
+	n := 0
+	if err := tr.Scan(Key{}, func(Key) bool { n++; return true }); err != nil || n != 0 {
+		t.Errorf("Scan on empty visited %d keys, err=%v", n, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestInsertContainsScan(t *testing.T) {
+	tr := newTestTree(t, 50)
+	const n = 10000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, v := range perm {
+		ok, err := tr.Insert(intKey(uint64(v)))
+		if err != nil {
+			t.Fatalf("Insert(%d): %v", v, err)
+		}
+		if !ok {
+			t.Fatalf("Insert(%d) reported duplicate", v)
+		}
+	}
+	if tr.Len() != n {
+		t.Errorf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after inserts: %v", err)
+	}
+
+	// Every key present; absent keys absent.
+	for _, v := range []uint64{0, 1, n / 2, n - 1} {
+		found, err := tr.Contains(intKey(v))
+		if err != nil || !found {
+			t.Errorf("Contains(%d) = (%v, %v), want present", v, found, err)
+		}
+	}
+	found, err := tr.Contains(intKey(n))
+	if err != nil || found {
+		t.Errorf("Contains(%d) = (%v, %v), want absent", n, found, err)
+	}
+
+	// Full scan is sorted and complete.
+	var got []uint64
+	if err := tr.Scan(Key{}, func(k Key) bool {
+		got = append(got, binary.BigEndian.Uint64(k[:8]))
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("Scan visited %d keys, want %d", len(got), n)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("Scan output not sorted")
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tr := newTestTree(t, 10)
+	if ok, err := tr.Insert(intKey(5)); err != nil || !ok {
+		t.Fatalf("first Insert = (%v, %v)", ok, err)
+	}
+	if ok, err := tr.Insert(intKey(5)); err != nil || ok {
+		t.Errorf("duplicate Insert = (%v, %v), want (false, nil)", ok, err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestScanFromStart(t *testing.T) {
+	tr := newTestTree(t, 50)
+	for v := 0; v < 1000; v += 2 { // even keys only
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// Start at an absent odd key: first visited must be the next even one.
+	var first uint64
+	found := false
+	if err := tr.Scan(intKey(501), func(k Key) bool {
+		first = binary.BigEndian.Uint64(k[:8])
+		found = true
+		return false
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if !found || first != 502 {
+		t.Errorf("Scan from 501 first = (%d, %v), want 502", first, found)
+	}
+	// Start beyond the last key: nothing visited.
+	n := 0
+	if err := tr.Scan(intKey(9999), func(Key) bool { n++; return true }); err != nil || n != 0 {
+		t.Errorf("Scan past end visited %d, err=%v", n, err)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := newTestTree(t, 50)
+	for v := 0; v < 5000; v++ {
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	n := 0
+	if err := tr.Scan(Key{}, func(Key) bool { n++; return n < 10 }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != 10 {
+		t.Errorf("early-stopped Scan visited %d, want 10", n)
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tr := newTestTree(t, 50)
+	for v := 0; v < 100; v++ {
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	ok, err := tr.Delete(intKey(50))
+	if err != nil || !ok {
+		t.Fatalf("Delete = (%v, %v)", ok, err)
+	}
+	if tr.Len() != 99 {
+		t.Errorf("Len = %d, want 99", tr.Len())
+	}
+	found, err := tr.Contains(intKey(50))
+	if err != nil || found {
+		t.Errorf("deleted key still present")
+	}
+	// Deleting again is a no-op.
+	ok, err = tr.Delete(intKey(50))
+	if err != nil || ok {
+		t.Errorf("second Delete = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+func TestDeleteAllAndReinsert(t *testing.T) {
+	tr := newTestTree(t, 50)
+	const n = 3000
+	for v := 0; v < n; v++ {
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	pagesBefore := tr.Pool().Store().NumPages()
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, v := range perm {
+		ok, err := tr.Delete(intKey(uint64(v)))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d) = (%v, %v)", v, ok, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len after deleting all = %d, want 0", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after full delete: %v", err)
+	}
+	pagesAfter := tr.Pool().Store().NumPages()
+	if pagesAfter >= pagesBefore {
+		t.Errorf("no pages reclaimed: %d before, %d after", pagesBefore, pagesAfter)
+	}
+
+	// The tree remains usable.
+	for v := 0; v < 500; v++ {
+		if _, err := tr.Insert(intKey(uint64(v * 3))); err != nil {
+			t.Fatalf("reinsert: %v", err)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Errorf("Len after reinsert = %d, want 500", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after reinsert: %v", err)
+	}
+}
+
+func TestRandomizedInsertDeleteAgainstMap(t *testing.T) {
+	tr := newTestTree(t, 64)
+	r := rand.New(rand.NewSource(11))
+	model := map[uint64]bool{}
+	for op := 0; op < 20000; op++ {
+		v := uint64(r.Intn(2000))
+		if r.Intn(2) == 0 {
+			ok, err := tr.Insert(intKey(v))
+			if err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			if ok == model[v] {
+				t.Fatalf("Insert(%d) ok=%v but model present=%v", v, ok, model[v])
+			}
+			model[v] = true
+		} else {
+			ok, err := tr.Delete(intKey(v))
+			if err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if ok != model[v] {
+				t.Fatalf("Delete(%d) ok=%v but model present=%v", v, ok, model[v])
+			}
+			delete(model, v)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Errorf("Len = %d, model has %d", tr.Len(), len(model))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	var got []uint64
+	if err := tr.Scan(Key{}, func(k Key) bool {
+		got = append(got, binary.BigEndian.Uint64(k[:8]))
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(got) != len(model) {
+		t.Fatalf("Scan visited %d, model has %d", len(got), len(model))
+	}
+	for _, v := range got {
+		if !model[v] {
+			t.Errorf("Scan produced key %d not in model", v)
+		}
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := newTestTree(t, 20)
+	for _, v := range []uint64{500, 3, 77} {
+		if _, err := tr.Insert(intKey(v)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	k, ok, err := tr.Min()
+	if err != nil || !ok || binary.BigEndian.Uint64(k[:8]) != 3 {
+		t.Errorf("Min = (%v, %v, %v), want key 3", k, ok, err)
+	}
+}
+
+func TestOpenRecomputesSize(t *testing.T) {
+	pool := pager.NewPool(pager.NewStore(), 20)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for v := 0; v < 1234; v++ {
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	reopened, err := Open(pool, tr.Root())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if reopened.Len() != 1234 {
+		t.Errorf("reopened Len = %d, want 1234", reopened.Len())
+	}
+}
+
+func TestTreeSurvivesTinyPool(t *testing.T) {
+	// Pin footprint must stay within a very small pool even while splitting.
+	tr := newTestTree(t, 4)
+	for v := 0; v < 20000; v++ {
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert(%d) under tiny pool: %v", v, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if got := tr.Pool().PinnedPages(); got != 0 {
+		t.Errorf("pin leak: %d pages still pinned", got)
+	}
+}
+
+func TestNodeCapacityConstants(t *testing.T) {
+	if MaxLeafKeys < 100 || MaxInnerKeys < 100 {
+		t.Errorf("suspicious capacities: leaf=%d inner=%d", MaxLeafKeys, MaxInnerKeys)
+	}
+	if headerSize+MaxLeafKeys*leafEntry > pager.PageSize {
+		t.Errorf("leaf layout overflows page")
+	}
+	if headerSize+MaxInnerKeys*innerEntry > pager.PageSize {
+		t.Errorf("inner layout overflows page")
+	}
+}

@@ -1,0 +1,119 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pager"
+)
+
+func sortedKeys(n int) []Key {
+	ks := make([]Key, n)
+	for i := range ks {
+		ks[i] = intKey(uint64(i * 3))
+	}
+	return ks
+}
+
+func TestBulkLoadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, MaxLeafKeys, MaxLeafKeys + 1, 5000, 100000} {
+		pool := pager.NewPool(pager.NewStore(), 64)
+		tr, err := BulkLoad(pool, sortedKeys(n))
+		if err != nil {
+			t.Fatalf("BulkLoad(%d): %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: invariants: %v", n, err)
+		}
+		// Full ordered scan.
+		i := 0
+		if err := tr.Scan(Key{}, func(k Key) bool {
+			if got := binary.BigEndian.Uint64(k[:8]); got != uint64(i*3) {
+				t.Fatalf("n=%d: scan[%d] = %d, want %d", n, i, got, i*3)
+			}
+			i++
+			return true
+		}); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		if i != n {
+			t.Fatalf("n=%d: scanned %d keys", n, i)
+		}
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	pool := pager.NewPool(pager.NewStore(), 16)
+	if _, err := BulkLoad(pool, []Key{intKey(2), intKey(1)}); err == nil {
+		t.Errorf("unsorted input accepted")
+	}
+	if _, err := BulkLoad(pool, []Key{intKey(1), intKey(1)}); err == nil {
+		t.Errorf("duplicate input accepted")
+	}
+}
+
+func TestBulkLoadedTreeAcceptsMutations(t *testing.T) {
+	pool := pager.NewPool(pager.NewStore(), 64)
+	tr, err := BulkLoad(pool, sortedKeys(20000))
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	r := rand.New(rand.NewSource(5))
+	// Insert keys in the gaps, delete some existing ones.
+	for i := 0; i < 3000; i++ {
+		v := uint64(r.Intn(20000)*3 + 1) // never collides with bulk keys
+		if _, err := tr.Insert(intKey(v)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		v := uint64(r.Intn(20000) * 3)
+		if _, err := tr.Delete(intKey(v)); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after mutations: %v", err)
+	}
+	// Scan stays sorted.
+	var prev Key
+	first := true
+	if err := tr.Scan(Key{}, func(k Key) bool {
+		if !first && prev.Compare(k) >= 0 {
+			t.Fatalf("scan out of order")
+		}
+		prev, first = k, false
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+}
+
+func TestBulkLoadPacksBetterThanInserts(t *testing.T) {
+	const n = 100000
+	keys := sortedKeys(n)
+
+	bulkPool := pager.NewPool(pager.NewStore(), 64)
+	if _, err := BulkLoad(bulkPool, keys); err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	insPool := pager.NewPool(pager.NewStore(), 64)
+	tr, err := New(insPool)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, k := range keys {
+		if _, err := tr.Insert(k); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	bulkPages := bulkPool.Store().NumPages()
+	insPages := insPool.Store().NumPages()
+	if bulkPages >= insPages {
+		t.Errorf("bulk load used %d pages, inserts %d; expected tighter packing", bulkPages, insPages)
+	}
+}

@@ -1,0 +1,78 @@
+package btree
+
+import "ucat/internal/pager"
+
+// Cursor streams keys ≥ start in ascending order, one at a time. Unlike
+// Scan, a Cursor lets callers interleave several list scans — the
+// highest-prob-first and NRA searches of the probabilistic inverted index
+// advance many per-item cursors in merge order.
+//
+// A Cursor does not pin pages between Next calls; it re-fetches its current
+// leaf on each call, which is a buffer-pool hit unless the page was evicted
+// in between (in which case the re-read is honestly counted as an I/O).
+// Cursors must not be used across tree mutations.
+type Cursor struct {
+	tree    *Tree
+	pid     pager.PageID
+	idx     int
+	started bool
+	start   Key
+	done    bool
+}
+
+// NewCursor returns a cursor positioned before the first key ≥ start.
+func (t *Tree) NewCursor(start Key) *Cursor {
+	return &Cursor{tree: t, start: start}
+}
+
+// Next returns the next key in order. ok is false when the cursor is
+// exhausted.
+func (c *Cursor) Next() (k Key, ok bool, err error) {
+	if c.done {
+		return Key{}, false, nil
+	}
+	if !c.started {
+		if err := c.seek(); err != nil {
+			return Key{}, false, err
+		}
+		c.started = true
+	}
+	for c.pid != pager.InvalidPage {
+		pg, err := c.tree.pool.Fetch(c.pid)
+		if err != nil {
+			return Key{}, false, err
+		}
+		if c.idx < nodeCount(pg.Data) {
+			k = leafKey(pg.Data, c.idx)
+			c.idx++
+			pg.Unpin(false)
+			return k, true, nil
+		}
+		next := nodeLink(pg.Data)
+		pg.Unpin(false)
+		c.pid = next
+		c.idx = 0
+	}
+	c.done = true
+	return Key{}, false, nil
+}
+
+// seek descends to the leaf containing the start key.
+func (c *Cursor) seek() error {
+	pid := c.tree.root
+	for {
+		pg, err := c.tree.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		if nodeKind(pg.Data) == leafKind {
+			c.pid = pid
+			c.idx = leafSearch(pg.Data, c.start)
+			pg.Unpin(false)
+			return nil
+		}
+		next := innerChild(pg.Data, innerSearch(pg.Data, c.start))
+		pg.Unpin(false)
+		pid = next
+	}
+}

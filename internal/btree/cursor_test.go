@@ -1,0 +1,133 @@
+package btree
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ucat/internal/pager"
+)
+
+func TestCursorFullWalk(t *testing.T) {
+	tr := newTestTree(t, 50)
+	const n = 5000
+	for v := 0; v < n; v++ {
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	c := tr.NewCursor(Key{})
+	for want := uint64(0); want < n; want++ {
+		k, ok, err := c.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next at %d = (ok=%v, err=%v)", want, ok, err)
+		}
+		if got := binary.BigEndian.Uint64(k[:8]); got != want {
+			t.Fatalf("cursor key = %d, want %d", got, want)
+		}
+	}
+	if _, ok, err := c.Next(); err != nil || ok {
+		t.Errorf("cursor past end = (ok=%v, err=%v), want exhausted", ok, err)
+	}
+	// Next after exhaustion stays exhausted.
+	if _, ok, _ := c.Next(); ok {
+		t.Errorf("exhausted cursor produced a key")
+	}
+}
+
+func TestCursorSeekMidway(t *testing.T) {
+	tr := newTestTree(t, 50)
+	for v := 0; v < 1000; v += 10 {
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	c := tr.NewCursor(intKey(95)) // between 90 and 100
+	k, ok, err := c.Next()
+	if err != nil || !ok || binary.BigEndian.Uint64(k[:8]) != 100 {
+		t.Errorf("Next = (%v, %v, %v), want key 100", k, ok, err)
+	}
+}
+
+func TestCursorEmptyTree(t *testing.T) {
+	tr := newTestTree(t, 10)
+	c := tr.NewCursor(Key{})
+	if _, ok, err := c.Next(); err != nil || ok {
+		t.Errorf("cursor over empty tree = (ok=%v, err=%v)", ok, err)
+	}
+}
+
+func TestInterleavedCursors(t *testing.T) {
+	// Two trees scanned in lockstep, as the inverted index does per item.
+	pool := pager.NewPool(pager.NewStore(), 20)
+	t1, err := New(pool)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t2, err := New(pool)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for v := 0; v < 2000; v++ {
+		if _, err := t1.Insert(intKey(uint64(2 * v))); err != nil {
+			t.Fatalf("Insert t1: %v", err)
+		}
+		if _, err := t2.Insert(intKey(uint64(2*v + 1))); err != nil {
+			t.Fatalf("Insert t2: %v", err)
+		}
+	}
+	c1 := t1.NewCursor(Key{})
+	c2 := t2.NewCursor(Key{})
+	for want := uint64(0); want < 4000; want++ {
+		var k Key
+		var ok bool
+		var err error
+		if want%2 == 0 {
+			k, ok, err = c1.Next()
+		} else {
+			k, ok, err = c2.Next()
+		}
+		if err != nil || !ok {
+			t.Fatalf("Next at %d: ok=%v err=%v", want, ok, err)
+		}
+		if got := binary.BigEndian.Uint64(k[:8]); got != want {
+			t.Fatalf("interleaved key = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestCursorSurvivesEviction(t *testing.T) {
+	// A tiny pool forces the cursor's current leaf to be evicted between
+	// calls; Next must transparently re-read it.
+	tr := newTestTree(t, 3)
+	const n = 3000
+	for v := 0; v < n; v++ {
+		if _, err := tr.Insert(intKey(uint64(v))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	c := tr.NewCursor(Key{})
+	count := 0
+	for {
+		k, ok, err := c.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if got := binary.BigEndian.Uint64(k[:8]); got != uint64(count) {
+			t.Fatalf("key = %d, want %d", got, count)
+		}
+		count++
+		if count%17 == 0 {
+			// Churn the pool so the cursor's page is evicted.
+			other := tr.NewCursor(intKey(uint64(n - 1)))
+			if _, _, err := other.Next(); err != nil {
+				t.Fatalf("churn cursor: %v", err)
+			}
+		}
+	}
+	if count != n {
+		t.Errorf("cursor visited %d keys, want %d", count, n)
+	}
+}

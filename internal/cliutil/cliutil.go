@@ -1,0 +1,63 @@
+// Package cliutil holds the argument-parsing helpers shared by the command
+// line tools (ucatquery, ucatshell, ucatbench).
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ucat/internal/invidx"
+	"ucat/internal/uda"
+)
+
+// ParseUDA parses the "item:prob,item:prob,..." notation used by every tool.
+func ParseUDA(s string) (uda.UDA, error) {
+	if strings.TrimSpace(s) == "" {
+		return uda.UDA{}, fmt.Errorf("empty distribution; want item:prob,item:prob,...")
+	}
+	var pairs []uda.Pair
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return uda.UDA{}, fmt.Errorf("bad pair %q; want item:prob", part)
+		}
+		item, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return uda.UDA{}, fmt.Errorf("bad item in %q: %v", part, err)
+		}
+		prob, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return uda.UDA{}, fmt.Errorf("bad probability in %q: %v", part, err)
+		}
+		pairs = append(pairs, uda.Pair{Item: uint32(item), Prob: prob})
+	}
+	return uda.New(pairs...)
+}
+
+// ParseDivergence parses L1 | L2 | KL (case-insensitive).
+func ParseDivergence(s string) (uda.Divergence, error) {
+	switch strings.ToUpper(s) {
+	case "L1":
+		return uda.L1, nil
+	case "L2":
+		return uda.L2, nil
+	case "KL":
+		return uda.KL, nil
+	default:
+		return 0, fmt.Errorf("unknown divergence %q (want L1, L2 or KL)", s)
+	}
+}
+
+// ParseStrategy resolves an inverted-index strategy by its display name.
+func ParseStrategy(s string) (invidx.Strategy, error) {
+	if s == invidx.Auto.String() {
+		return invidx.Auto, nil
+	}
+	for _, st := range invidx.Strategies {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}

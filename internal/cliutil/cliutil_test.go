@@ -1,0 +1,52 @@
+package cliutil
+
+import (
+	"testing"
+
+	"ucat/internal/invidx"
+	"ucat/internal/uda"
+)
+
+func TestParseUDA(t *testing.T) {
+	u, err := ParseUDA("1:0.3, 5:0.7")
+	if err != nil {
+		t.Fatalf("ParseUDA: %v", err)
+	}
+	if u.Prob(1) != 0.3 || u.Prob(5) != 0.7 {
+		t.Errorf("ParseUDA = %v", u)
+	}
+	for _, bad := range []string{"", "  ", "1", "1:", ":0.5", "x:0.5", "1:y", "1:0.6,2:0.6"} {
+		if _, err := ParseUDA(bad); err == nil {
+			t.Errorf("ParseUDA(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseDivergence(t *testing.T) {
+	for s, want := range map[string]uda.Divergence{
+		"L1": uda.L1, "l2": uda.L2, "kl": uda.KL, "KL": uda.KL,
+	} {
+		got, err := ParseDivergence(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDivergence(%q) = (%v, %v)", s, got, err)
+		}
+	}
+	if _, err := ParseDivergence("JS"); err == nil {
+		t.Errorf("unknown divergence accepted")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range invidx.Strategies {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = (%v, %v)", s.String(), got, err)
+		}
+	}
+	if got, err := ParseStrategy("auto"); err != nil || got != invidx.Auto {
+		t.Errorf("ParseStrategy(auto) = (%v, %v)", got, err)
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Errorf("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"ucat/internal/invidx"
+	"ucat/internal/pager"
+	"ucat/internal/pdrtree"
+	"ucat/internal/tuplestore"
+	"ucat/internal/uda"
+)
+
+// Rebuild compacts the relation in place after heavy churn: the tuple heap
+// is rewritten without tombstone slack and the index is reconstructed with
+// the packed bulk builders. Tuple ids are preserved; queries before and
+// after are equivalent. It returns the number of pages reclaimed.
+func (r *Relation) Rebuild() (int, error) {
+	before := r.pool.Store().NumPages()
+	// Refresh the estimation sample from the live tuples.
+	r.sample = newReservoir()
+	err := r.tuples.Scan(func(_ uint32, u uda.UDA) bool {
+		r.sample.observe(u)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch r.opts.Kind {
+	case ScanOnly:
+		if _, err := r.tuples.Compact(); err != nil {
+			return 0, err
+		}
+	case InvertedIndex:
+		if err := r.inv.Rebuild(); err != nil {
+			return 0, err
+		}
+	case PDRTree:
+		// Collect live tuples, drop the tree, compact the heap, bulk-build.
+		var tuples []pdrtree.Tuple
+		err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+			tuples = append(tuples, pdrtree.Tuple{TID: tid, Value: u})
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := r.pdr.Drop(); err != nil {
+			return 0, err
+		}
+		if _, err := r.tuples.Compact(); err != nil {
+			return 0, err
+		}
+		tree, err := pdrtree.BulkLoad(r.pool, r.opts.PDR, tuples)
+		if err != nil {
+			return 0, err
+		}
+		r.pdr = tree
+	default:
+		return 0, fmt.Errorf("core: unknown index kind %v", r.opts.Kind)
+	}
+	return before - r.pool.Store().NumPages(), nil
+}
+
+// BulkLoad builds a relation from a complete set of tuples in one pass,
+// assigning sequential tuple ids. For the indexed kinds it uses the
+// bottom-up bulk builders, which are substantially faster than repeated
+// Insert and produce better-packed pages. The relation accepts further
+// inserts and deletes afterwards like any other.
+func BulkLoad(opts Options, values []uda.UDA) (*Relation, error) {
+	pool := pager.NewPool(pager.NewStore(), opts.PoolFrames)
+	r := &Relation{opts: opts, pool: pool, nextTID: uint32(len(values)), sample: newReservoir()}
+	for _, u := range values {
+		r.sample.observe(u)
+	}
+	switch opts.Kind {
+	case ScanOnly:
+		r.tuples = tuplestore.New(pool)
+		for i, u := range values {
+			if err := r.tuples.Put(uint32(i), u); err != nil {
+				return nil, err
+			}
+		}
+	case InvertedIndex:
+		tuples := make([]invidx.Tuple, len(values))
+		for i, u := range values {
+			tuples[i] = invidx.Tuple{TID: uint32(i), Value: u}
+		}
+		ix, err := invidx.Build(pool, tuples)
+		if err != nil {
+			return nil, err
+		}
+		r.inv = ix
+		r.tuples = ix.Tuples()
+	case PDRTree:
+		r.tuples = tuplestore.New(pool)
+		tuples := make([]pdrtree.Tuple, len(values))
+		for i, u := range values {
+			if err := r.tuples.Put(uint32(i), u); err != nil {
+				return nil, err
+			}
+			tuples[i] = pdrtree.Tuple{TID: uint32(i), Value: u}
+		}
+		tree, err := pdrtree.BulkLoad(pool, opts.PDR, tuples)
+		if err != nil {
+			return nil, err
+		}
+		r.pdr = tree
+		r.opts.PDR = tree.Config()
+	default:
+		return nil, fmt.Errorf("core: unknown index kind %v", opts.Kind)
+	}
+	return r, nil
+}

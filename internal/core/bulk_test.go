@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	values := make([]uda.UDA, 3000)
+	for i := range values {
+		values[i] = uda.Random(r, 25, 5)
+	}
+	for _, kind := range []Kind{ScanOnly, InvertedIndex, PDRTree} {
+		bulk, err := BulkLoad(Options{Kind: kind, PoolFrames: 512}, values)
+		if err != nil {
+			t.Fatalf("%v BulkLoad: %v", kind, err)
+		}
+		inc, err := NewRelation(Options{Kind: kind, PoolFrames: 512})
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		for _, u := range values {
+			if _, err := inc.Insert(u); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+		if bulk.Len() != inc.Len() {
+			t.Fatalf("%v: bulk Len %d, incremental %d", kind, bulk.Len(), inc.Len())
+		}
+
+		for trial := 0; trial < 5; trial++ {
+			q := uda.Random(r, 25, 4)
+			want, err := inc.PETQ(q, 0.05)
+			if err != nil {
+				t.Fatalf("incremental PETQ: %v", err)
+			}
+			got, err := bulk.PETQ(q, 0.05)
+			if err != nil {
+				t.Fatalf("bulk PETQ: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v: bulk PETQ %d matches, incremental %d", kind, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].TID != want[i].TID || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+					t.Fatalf("%v: bulk match %d = %v, want %v", kind, i, got[i], want[i])
+				}
+			}
+		}
+
+		// The bulk relation remains fully mutable.
+		tid, err := bulk.Insert(uda.Certain(7))
+		if err != nil {
+			t.Fatalf("%v Insert after bulk: %v", kind, err)
+		}
+		if tid != 3000 {
+			t.Errorf("%v: post-bulk tid = %d, want 3000", kind, tid)
+		}
+		if err := bulk.Delete(5); err != nil {
+			t.Fatalf("%v Delete after bulk: %v", kind, err)
+		}
+	}
+}
+
+func TestBulkLoadPacksTighter(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	values := make([]uda.UDA, 20000)
+	for i := range values {
+		values[i] = uda.Random(r, 30, 6)
+	}
+	for _, kind := range []Kind{InvertedIndex, PDRTree} {
+		bulk, err := BulkLoad(Options{Kind: kind, PoolFrames: 512}, values)
+		if err != nil {
+			t.Fatalf("%v BulkLoad: %v", kind, err)
+		}
+		inc, err := NewRelation(Options{Kind: kind, PoolFrames: 512})
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		for _, u := range values {
+			if _, err := inc.Insert(u); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+		bp := bulk.Pool().Store().NumPages()
+		ip := inc.Pool().Store().NumPages()
+		if bp >= ip {
+			t.Errorf("%v: bulk used %d pages, incremental %d; expected tighter packing", kind, bp, ip)
+		}
+	}
+}
+
+func TestBulkLoadPDRQueriesNoWorseThanIncremental(t *testing.T) {
+	// Mode-ordered packing should cluster at least as well as incremental
+	// insertion for equality queries on certain values.
+	r := rand.New(rand.NewSource(29))
+	values := make([]uda.UDA, 20000)
+	for i := range values {
+		values[i] = uda.Random(r, 30, 4)
+	}
+	measure := func(rel *Relation) uint64 {
+		pool := rel.Pool()
+		var total uint64
+		for item := uint32(0); item < 10; item++ {
+			if err := pool.Resize(100); err != nil {
+				t.Fatal(err)
+			}
+			pool.ResetStats()
+			if _, err := rel.PETQ(uda.Certain(item), 0.5); err != nil {
+				t.Fatal(err)
+			}
+			total += pool.Stats().IOs()
+		}
+		return total
+	}
+	bulk, err := BulkLoad(Options{Kind: PDRTree, PoolFrames: 512}, values)
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	inc, err := NewRelation(Options{Kind: PDRTree, PoolFrames: 512})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	for _, u := range values {
+		if _, err := inc.Insert(u); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	bio, iio := measure(bulk), measure(inc)
+	if float64(bio) > 1.5*float64(iio) {
+		t.Errorf("bulk-loaded tree costs %d I/Os vs incremental %d; clustering regressed badly", bio, iio)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	for _, kind := range []Kind{ScanOnly, InvertedIndex, PDRTree} {
+		rel, err := BulkLoad(Options{Kind: kind}, nil)
+		if err != nil {
+			t.Fatalf("%v empty BulkLoad: %v", kind, err)
+		}
+		if rel.Len() != 0 {
+			t.Errorf("%v: Len = %d", kind, rel.Len())
+		}
+		if _, err := rel.Insert(uda.Certain(1)); err != nil {
+			t.Errorf("%v: Insert into empty bulk relation: %v", kind, err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ucat/internal/tuplestore"
+	"ucat/internal/uda"
+)
+
+// ErrNotFound is returned by Get and Delete for unknown tuple ids.
+var ErrNotFound = tuplestore.ErrNotFound
+
+// CheckIntegrity verifies that the index and the base heap agree: the tuple
+// counts match, and for up to sampleSize randomly chosen live tuples the
+// index actually returns the tuple when queried with its own distribution
+// (a tuple's self-equality probability is a score it provably attains, so a
+// PETQ just below it must surface the tuple). sampleSize ≤ 0 checks every
+// tuple. The check performs I/O like any other query and returns the number
+// of tuples probed.
+func (r *Relation) CheckIntegrity(sampleSize int) (int, error) {
+	// Count agreement between heap and index.
+	switch r.opts.Kind {
+	case InvertedIndex:
+		if r.inv.Len() != r.tuples.Len() {
+			return 0, fmt.Errorf("core: inverted index holds %d tuples, heap %d", r.inv.Len(), r.tuples.Len())
+		}
+	case PDRTree:
+		if r.pdr.Len() != r.tuples.Len() {
+			return 0, fmt.Errorf("core: PDR-tree holds %d tuples, heap %d", r.pdr.Len(), r.tuples.Len())
+		}
+	}
+
+	// Collect candidate ids.
+	var tids []uint32
+	var values []uda.UDA
+	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+		tids = append(tids, tid)
+		values = append(values, u)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	idx := make([]int, len(tids))
+	for i := range idx {
+		idx[i] = i
+	}
+	if sampleSize > 0 && sampleSize < len(idx) {
+		rng := rand.New(rand.NewSource(int64(len(idx))))
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		idx = idx[:sampleSize]
+	}
+
+	probed := 0
+	for _, i := range idx {
+		tid, u := tids[i], values[i]
+		self := uda.SelfEqualityProb(u)
+		if self <= 0 {
+			continue // empty distribution cannot be surfaced by equality search
+		}
+		// Query strictly below the attainable score.
+		tau := self * (1 - 1e-9)
+		ms, err := r.PETQ(u, tau)
+		if err != nil {
+			return probed, err
+		}
+		found := false
+		for _, m := range ms {
+			if m.TID == tid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return probed, fmt.Errorf("core: tuple %d present in heap but not surfaced by the %s index", tid, r.opts.Kind)
+		}
+		probed++
+	}
+	return probed, nil
+}
+
+// IsNotFound reports whether err denotes a missing tuple.
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }

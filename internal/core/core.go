@@ -1,0 +1,352 @@
+// Package core is the public face of the library: uncertain relations with
+// probabilistic equality queries, top-k queries, distributional similarity
+// queries, and joins, backed by either of the paper's two index structures
+// (probabilistic inverted index, PDR-tree) or by a plain scan.
+//
+// A Relation models one table with a single uncertain discrete attribute
+// (the paper's setting): a paged base heap holding the tuples plus an
+// optional secondary index. All page traffic flows through one buffer pool
+// whose statistics give the per-query disk I/O counts the paper reports.
+//
+// Typical use:
+//
+//	rel, _ := core.NewRelation(core.Options{Kind: core.PDRTree})
+//	tid, _ := rel.Insert(uda.MustNew(uda.Pair{Item: brake, Prob: 0.5}, uda.Pair{Item: tires, Prob: 0.5}))
+//	matches, _ := rel.PETQ(query, 0.3)   // tuples equal to query with prob > 0.3
+//	top, _ := rel.TopK(query, 10)        // 10 most probable matches
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ucat/internal/invidx"
+	"ucat/internal/pager"
+	"ucat/internal/pdrtree"
+	"ucat/internal/query"
+	"ucat/internal/tuplestore"
+	"ucat/internal/uda"
+)
+
+// Match is a query answer: tuple id and equality probability.
+type Match = query.Match
+
+// Neighbor is a similarity-query answer: tuple id and distance.
+type Neighbor = query.Neighbor
+
+// Kind selects the access method backing a Relation.
+type Kind int
+
+const (
+	// ScanOnly keeps no index: every query scans the base heap. It is the
+	// baseline the paper's indexes are measured against.
+	ScanOnly Kind = iota
+	// InvertedIndex uses the probabilistic inverted index (§3.1).
+	InvertedIndex
+	// PDRTree uses the Probabilistic Distribution R-tree (§3.2).
+	PDRTree
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ScanOnly:
+		return "scan"
+	case InvertedIndex:
+		return "inverted"
+	case PDRTree:
+		return "pdr-tree"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Options configures a new Relation.
+type Options struct {
+	// Kind selects the access method. Default ScanOnly.
+	Kind Kind
+	// PoolFrames sizes the buffer pool; 0 means the paper's 100 frames.
+	PoolFrames int
+	// InvStrategy is the inverted-index search strategy for PETQ/TopK.
+	// Default HighestProbFirst.
+	InvStrategy invidx.Strategy
+	// PDR configures the PDR-tree (divergence, insert/split policies,
+	// compression). The zero value is the paper's best combination.
+	PDR pdrtree.Config
+}
+
+// Relation is a single-uncertain-attribute relation with an optional index.
+// It is not safe for concurrent use.
+type Relation struct {
+	opts    Options
+	pool    *pager.Pool
+	tuples  *tuplestore.Store
+	inv     *invidx.Index
+	pdr     *pdrtree.Tree
+	nextTID uint32
+	sample  *reservoir // for selectivity estimation
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(opts Options) (*Relation, error) {
+	pool := pager.NewPool(pager.NewStore(), opts.PoolFrames)
+	r := &Relation{opts: opts, pool: pool, sample: newReservoir()}
+	switch opts.Kind {
+	case ScanOnly:
+		r.tuples = tuplestore.New(pool)
+	case InvertedIndex:
+		r.inv = invidx.New(pool)
+		r.tuples = r.inv.Tuples() // the index shares the base heap
+	case PDRTree:
+		tree, err := pdrtree.New(pool, opts.PDR)
+		if err != nil {
+			return nil, err
+		}
+		r.pdr = tree
+		r.tuples = tuplestore.New(pool)
+	default:
+		return nil, fmt.Errorf("core: unknown index kind %v", opts.Kind)
+	}
+	return r, nil
+}
+
+// Kind returns the access method backing the relation.
+func (r *Relation) Kind() Kind { return r.opts.Kind }
+
+// Pool returns the relation's buffer pool, whose Stats give the disk I/O
+// counts of the queries run so far.
+func (r *Relation) Pool() *pager.Pool { return r.pool }
+
+// Len returns the number of live tuples.
+func (r *Relation) Len() int { return r.tuples.Len() }
+
+// SetInvStrategy switches the inverted-index search strategy for subsequent
+// queries. It is a no-op for other kinds.
+func (r *Relation) SetInvStrategy(s invidx.Strategy) { r.opts.InvStrategy = s }
+
+// Insert appends a tuple and returns its assigned id.
+func (r *Relation) Insert(u uda.UDA) (uint32, error) {
+	tid := r.nextTID
+	if err := r.insertWithID(tid, u); err != nil {
+		return 0, err
+	}
+	r.nextTID++
+	return tid, nil
+}
+
+func (r *Relation) insertWithID(tid uint32, u uda.UDA) error {
+	if err := u.Validate(); err != nil {
+		return fmt.Errorf("core: insert: %w", err)
+	}
+	if r.sample != nil {
+		r.sample.observe(u)
+	}
+	switch r.opts.Kind {
+	case ScanOnly:
+		return r.tuples.Put(tid, u)
+	case InvertedIndex:
+		return r.inv.Insert(tid, u) // puts into the shared heap too
+	case PDRTree:
+		if err := r.tuples.Put(tid, u); err != nil {
+			return err
+		}
+		if err := r.pdr.Insert(tid, u); err != nil {
+			// Roll the heap insert back so the structures stay consistent.
+			if derr := r.tuples.Delete(tid); derr != nil {
+				return errors.Join(err, derr)
+			}
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown index kind %v", r.opts.Kind)
+	}
+}
+
+// Get fetches a tuple's distribution by id.
+func (r *Relation) Get(tid uint32) (uda.UDA, error) { return r.tuples.Get(tid) }
+
+// Delete removes a tuple from the relation and its index.
+func (r *Relation) Delete(tid uint32) error {
+	switch r.opts.Kind {
+	case InvertedIndex:
+		return r.inv.Delete(tid)
+	case PDRTree:
+		u, err := r.tuples.Get(tid)
+		if err != nil {
+			return err
+		}
+		if err := r.pdr.Delete(tid, u); err != nil {
+			return err
+		}
+		return r.tuples.Delete(tid)
+	default:
+		return r.tuples.Delete(tid)
+	}
+}
+
+// Scan visits every live tuple in heap order.
+func (r *Relation) Scan(fn func(tid uint32, u uda.UDA) bool) error {
+	return r.tuples.Scan(fn)
+}
+
+// PETQ answers the probabilistic equality threshold query (Definition 4):
+// all tuples t with Pr(q = t) > tau, with exact probabilities, in descending
+// probability order.
+func (r *Relation) PETQ(q uda.UDA, tau float64) ([]Match, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("core: negative threshold %g", tau)
+	}
+	switch r.opts.Kind {
+	case InvertedIndex:
+		return r.inv.PETQ(q, tau, r.opts.InvStrategy)
+	case PDRTree:
+		return r.pdr.PETQ(q, tau)
+	default:
+		return r.scanPETQ(q, tau)
+	}
+}
+
+// PEQ is the probabilistic equality query (Definition 3): all tuples with
+// non-zero equality probability.
+func (r *Relation) PEQ(q uda.UDA) ([]Match, error) { return r.PETQ(q, 0) }
+
+// TopK answers PETQ-top-k: the k tuples with the highest equality
+// probability (ties at the kth position broken arbitrarily).
+func (r *Relation) TopK(q uda.UDA, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: non-positive k %d", k)
+	}
+	switch r.opts.Kind {
+	case InvertedIndex:
+		return r.inv.TopK(q, k, r.opts.InvStrategy)
+	case PDRTree:
+		return r.pdr.TopK(q, k)
+	default:
+		return r.scanTopK(q, k)
+	}
+}
+
+// scanPETQ is the index-less baseline: one pass over the base heap.
+func (r *Relation) scanPETQ(q uda.UDA, tau float64) ([]Match, error) {
+	var res []Match
+	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+		if p := uda.EqualityProb(q, u); p > tau {
+			res = append(res, Match{TID: tid, Prob: p})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	query.SortMatches(res)
+	return res, nil
+}
+
+func (r *Relation) scanTopK(q uda.UDA, k int) ([]Match, error) {
+	tk := query.NewTopK(k)
+	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+		tk.Offer(Match{TID: tid, Prob: uda.EqualityProb(q, u)})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tk.Results(), nil
+}
+
+// WindowPETQ answers the relaxed window-equality threshold query on ordered
+// domains (§2 of the paper): all tuples t with Pr(|q − t.a| ≤ c) > tau,
+// treating item codes as positions on a total order. WindowPETQ(q, 0, tau)
+// is plain PETQ.
+func (r *Relation) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]Match, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("core: negative threshold %g", tau)
+	}
+	switch r.opts.Kind {
+	case InvertedIndex:
+		return r.inv.WindowPETQ(q, c, tau)
+	case PDRTree:
+		return r.pdr.WindowPETQ(q, c, tau)
+	default:
+		var res []Match
+		err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+			if p := uda.WithinProb(q, u, c); p > tau {
+				res = append(res, Match{TID: tid, Prob: p})
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		query.SortMatches(res)
+		return res, nil
+	}
+}
+
+// WindowTopK returns the k tuples with the highest window-equality
+// probability Pr(|q − t.a| ≤ c).
+func (r *Relation) WindowTopK(q uda.UDA, c uint32, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: non-positive k %d", k)
+	}
+	switch r.opts.Kind {
+	case InvertedIndex:
+		return r.inv.WindowTopK(q, c, k)
+	case PDRTree:
+		return r.pdr.WindowTopK(q, c, k)
+	default:
+		tk := query.NewTopK(k)
+		err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+			tk.Offer(Match{TID: tid, Prob: uda.WithinProb(q, u, c)})
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return tk.Results(), nil
+	}
+}
+
+// DSTQ answers the distributional similarity threshold query (Definition 5):
+// all tuples whose distance from q under div is at most td, ascending by
+// distance. The PDR-tree prunes subtrees for the metric divergences (L1,
+// L2); other access methods scan.
+func (r *Relation) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]Neighbor, error) {
+	if td < 0 {
+		return nil, fmt.Errorf("core: negative distance threshold %g", td)
+	}
+	if r.opts.Kind == PDRTree {
+		return r.pdr.DSTQ(q, td, div)
+	}
+	var res []Neighbor
+	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+		if d := div.Distance(q, u); d <= td {
+			res = append(res, Neighbor{TID: tid, Dist: d})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	query.SortNeighbors(res)
+	return res, nil
+}
+
+// DSTopK answers DSQ-top-k: the k tuples distributionally closest to q.
+func (r *Relation) DSTopK(q uda.UDA, k int, div uda.Divergence) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: non-positive k %d", k)
+	}
+	if r.opts.Kind == PDRTree {
+		return r.pdr.DSTopK(q, k, div)
+	}
+	nk := query.NewNearestK(k)
+	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+		nk.Offer(Neighbor{TID: tid, Dist: div.Distance(q, u)})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nk.Results(), nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ucat/internal/uda"
+)
+
+// reservoirSize is the number of tuples kept for selectivity estimation.
+// 512 samples bound the standard error of a selectivity estimate by
+// ~sqrt(p(1−p)/512) ≤ 2.2 percentage points.
+const reservoirSize = 512
+
+// reservoir is a classic Vitter reservoir sample over the inserted tuples.
+// It is maintained on Insert only; deletions make it slightly stale, which
+// is acceptable for estimation (Rebuild refreshes it).
+type reservoir struct {
+	rng   *rand.Rand
+	seen  int
+	items []uda.UDA
+}
+
+func newReservoir() *reservoir {
+	return &reservoir{rng: rand.New(rand.NewSource(1))}
+}
+
+func (r *reservoir) observe(u uda.UDA) {
+	r.seen++
+	if len(r.items) < reservoirSize {
+		r.items = append(r.items, u)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < reservoirSize {
+		r.items[j] = u
+	}
+}
+
+// EstimateSelectivity predicts the fraction of tuples a PETQ(q, tau) would
+// return, from a reservoir sample of the inserted data — no I/O is
+// performed. With the default 512-tuple sample the estimate's standard
+// error is at most ~2 percentage points; use it to pick thresholds or to
+// decide between access paths, not as an exact count.
+func (r *Relation) EstimateSelectivity(q uda.UDA, tau float64) (float64, error) {
+	if tau < 0 {
+		return 0, fmt.Errorf("core: negative threshold %g", tau)
+	}
+	if r.sample == nil || len(r.sample.items) == 0 {
+		return 0, nil
+	}
+	hits := 0
+	for _, u := range r.sample.items {
+		if uda.EqualityProb(q, u) > tau {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(r.sample.items)), nil
+}
+
+// EstimateThreshold inverts EstimateSelectivity: it returns a threshold tau
+// for which PETQ(q, tau) selects roughly the given fraction of the
+// relation. It is how a caller reproduces the paper's selectivity-calibrated
+// workloads without scanning: the probabilities of the sampled tuples are
+// ranked and the appropriate order statistic returned.
+//
+// Selectivities above the fraction of tuples that overlap q at all are
+// unachievable under the strict > predicate; the returned tau bottoms out
+// at 0, which selects every overlapping tuple.
+func (r *Relation) EstimateThreshold(q uda.UDA, selectivity float64) (float64, error) {
+	if selectivity < 0 || selectivity > 1 {
+		return 0, fmt.Errorf("core: selectivity %g outside [0, 1]", selectivity)
+	}
+	if r.sample == nil || len(r.sample.items) == 0 {
+		return 0, nil
+	}
+	probs := make([]float64, len(r.sample.items))
+	for i, u := range r.sample.items {
+		probs[i] = uda.EqualityProb(q, u)
+	}
+	// Selection sort down to the needed rank: the sample is tiny.
+	rank := int(selectivity * float64(len(probs)))
+	if rank >= len(probs) {
+		return 0, nil
+	}
+	for i := 0; i <= rank; i++ {
+		for j := i + 1; j < len(probs); j++ {
+			if probs[j] > probs[i] {
+				probs[i], probs[j] = probs[j], probs[i]
+			}
+		}
+	}
+	return probs[rank], nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+func TestEstimateSelectivityAccuracy(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: PDRTree, PoolFrames: 512})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(8))
+	data := make([]uda.UDA, 20000)
+	for i := range data {
+		data[i] = uda.Random(r, 20, 5)
+		if _, err := rel.Insert(data[i]); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		q := uda.Random(r, 20, 4)
+		for _, tau := range []float64{0.02, 0.05, 0.1} {
+			est, err := rel.EstimateSelectivity(q, tau)
+			if err != nil {
+				t.Fatalf("EstimateSelectivity: %v", err)
+			}
+			truth := 0
+			for _, u := range data {
+				if uda.EqualityProb(q, u) > tau {
+					truth++
+				}
+			}
+			actual := float64(truth) / float64(len(data))
+			// 512 samples: allow 5 standard errors ≈ 11 points absolute.
+			if math.Abs(est-actual) > 0.11 {
+				t.Errorf("tau=%g: estimate %.3f vs actual %.3f", tau, est, actual)
+			}
+		}
+	}
+}
+
+func TestEstimateThresholdHitsTarget(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: InvertedIndex, PoolFrames: 512})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(6))
+	var data []uda.UDA
+	for i := 0; i < 10000; i++ {
+		u := uda.Random(r, 15, 4)
+		data = append(data, u)
+		if _, err := rel.Insert(u); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	q := uda.Random(r, 15, 3)
+	for _, sel := range []float64{0.01, 0.05, 0.1} {
+		tau, err := rel.EstimateThreshold(q, sel)
+		if err != nil {
+			t.Fatalf("EstimateThreshold: %v", err)
+		}
+		got := 0
+		for _, u := range data {
+			if uda.EqualityProb(q, u) > tau {
+				got++
+			}
+		}
+		actual := float64(got) / float64(len(data))
+		if math.Abs(actual-sel) > 0.1 {
+			t.Errorf("sel=%g: calibrated tau %g selects %.3f", sel, tau, actual)
+		}
+	}
+	// Targets above the share of tuples overlapping q at all are
+	// unachievable under the strict > predicate; tau then bottoms out at 0.
+	tau, err := rel.EstimateThreshold(q, 0.9)
+	if err != nil || tau != 0 {
+		t.Errorf("unachievable selectivity: tau = %g (%v), want 0", tau, err)
+	}
+}
+
+func TestEstimateValidationAndEdges(t *testing.T) {
+	rel, err := NewRelation(Options{})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	if _, err := rel.EstimateSelectivity(uda.Certain(1), -1); err == nil {
+		t.Errorf("negative tau accepted")
+	}
+	if _, err := rel.EstimateThreshold(uda.Certain(1), 2); err == nil {
+		t.Errorf("selectivity > 1 accepted")
+	}
+	// Empty relation: estimates are zero, not errors.
+	if est, err := rel.EstimateSelectivity(uda.Certain(1), 0.1); err != nil || est != 0 {
+		t.Errorf("empty estimate = (%g, %v)", est, err)
+	}
+	if tau, err := rel.EstimateThreshold(uda.Certain(1), 0.5); err != nil || tau != 0 {
+		t.Errorf("empty threshold = (%g, %v)", tau, err)
+	}
+	// Selectivity 1 selects (almost) everything: tau must be 0.
+	if _, err := rel.Insert(uda.Certain(1)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if tau, err := rel.EstimateThreshold(uda.Certain(1), 1); err != nil || tau != 0 {
+		t.Errorf("sel=1 threshold = (%g, %v), want 0", tau, err)
+	}
+}
+
+func TestEstimateSurvivesSaveLoad(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: PDRTree})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if _, err := rel.Insert(uda.Random(r, 10, 3)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rel.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadRelation(&buf)
+	if err != nil {
+		t.Fatalf("LoadRelation: %v", err)
+	}
+	q := uda.Certain(3)
+	a, err := rel.EstimateSelectivity(q, 0.3)
+	if err != nil {
+		t.Fatalf("EstimateSelectivity: %v", err)
+	}
+	b, err := loaded.EstimateSelectivity(q, 0.3)
+	if err != nil {
+		t.Fatalf("loaded EstimateSelectivity: %v", err)
+	}
+	// Samples differ (reloaded one is rebuilt from the heap) but both must
+	// land near the true selectivity.
+	if math.Abs(a-b) > 0.15 {
+		t.Errorf("estimates diverge badly across reload: %.3f vs %.3f", a, b)
+	}
+}

@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"ucat/internal/core"
+	"ucat/internal/uda"
+)
+
+// The paper's Table 1(a): an uncertain Problem attribute over the domain
+// {Brake, Tires, Trans, Suspension, Exhaust} = {0, 1, 2, 3, 4}.
+func ExampleRelation_PETQ() {
+	rel, err := core.NewRelation(core.Options{Kind: core.PDRTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuples := []uda.UDA{
+		uda.MustNew(uda.Pair{Item: 0, Prob: 0.5}, uda.Pair{Item: 1, Prob: 0.5}), // Explorer
+		uda.MustNew(uda.Pair{Item: 2, Prob: 0.2}, uda.Pair{Item: 3, Prob: 0.8}), // Camry
+		uda.MustNew(uda.Pair{Item: 4, Prob: 0.4}, uda.Pair{Item: 0, Prob: 0.6}), // Civic
+		uda.MustNew(uda.Pair{Item: 2, Prob: 1.0}),                               // Caravan
+	}
+	for _, u := range tuples {
+		if _, err := rel.Insert(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// All tuples highly likely to have a brake problem (item 0).
+	matches, err := rel.PETQ(uda.Certain(0), 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("tuple %d: %.2f\n", m.TID, m.Prob)
+	}
+	// Output:
+	// tuple 2: 0.60
+	// tuple 0: 0.50
+}
+
+func ExampleRelation_TopK() {
+	rel, err := core.NewRelation(core.Options{Kind: core.InvertedIndex})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []uda.UDA{
+		uda.MustNew(uda.Pair{Item: 1, Prob: 0.9}, uda.Pair{Item: 2, Prob: 0.1}),
+		uda.MustNew(uda.Pair{Item: 1, Prob: 0.3}, uda.Pair{Item: 3, Prob: 0.7}),
+		uda.MustNew(uda.Pair{Item: 2, Prob: 1.0}),
+	} {
+		if _, err := rel.Insert(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q := uda.MustNew(uda.Pair{Item: 1, Prob: 0.8}, uda.Pair{Item: 2, Prob: 0.2})
+	top, err := rel.TopK(q, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range top {
+		fmt.Printf("tuple %d: %.2f\n", m.TID, m.Prob)
+	}
+	// Output:
+	// tuple 0: 0.74
+	// tuple 1: 0.24
+}
+
+func ExamplePETJ() {
+	// Table 1(b): employees with uncertain departments; which pairs might
+	// work in the same one?
+	mk := func() *core.Relation {
+		rel, err := core.NewRelation(core.Options{Kind: core.PDRTree})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rel
+	}
+	employees := mk()
+	for _, u := range []uda.UDA{
+		uda.MustNew(uda.Pair{Item: 0, Prob: 0.5}, uda.Pair{Item: 1, Prob: 0.5}), // Jim: Shoes/Sales
+		uda.MustNew(uda.Pair{Item: 1, Prob: 0.4}, uda.Pair{Item: 2, Prob: 0.6}), // Tom: Sales/Clothes
+	} {
+		if _, err := employees.Insert(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pairs, err := core.PETJ(employees, employees, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.Left < p.Right { // one direction only
+			fmt.Printf("employees %d and %d: %.2f\n", p.Left, p.Right, p.Prob)
+		}
+	}
+	// Output:
+	// employees 0 and 1: 0.20
+}
+
+func ExampleRelation_DSTQ() {
+	rel, err := core.NewRelation(core.Options{Kind: core.PDRTree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []uda.UDA{
+		uda.MustNew(uda.Pair{Item: 0, Prob: 0.6}, uda.Pair{Item: 1, Prob: 0.4}),
+		uda.MustNew(uda.Pair{Item: 0, Prob: 0.1}, uda.Pair{Item: 1, Prob: 0.9}),
+	} {
+		if _, err := rel.Insert(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q := uda.MustNew(uda.Pair{Item: 0, Prob: 0.5}, uda.Pair{Item: 1, Prob: 0.5})
+	near, err := rel.DSTQ(q, 0.25, uda.L1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range near {
+		fmt.Printf("tuple %d at L1 distance %.2f\n", n.TID, n.Dist)
+	}
+	// Output:
+	// tuple 0 at L1 distance 0.20
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"ucat/internal/query"
+	"ucat/internal/uda"
+)
+
+// MultiRelation implements the paper's stated future work ("the extension of
+// these indexing techniques for multiple uncertain attributes", §6): a
+// relation with several uncertain discrete attributes, each backed by its
+// own index, with conjunctive probabilistic equality queries across them.
+//
+// Under the paper's independence assumption the probability that a tuple
+// matches a conjunctive query is the product of the per-attribute equality
+// probabilities: Pr(∧_i a_i = q_i) = Π_i Pr(a_i = q_i).
+type MultiRelation struct {
+	attrs []*Relation
+	live  map[uint32]struct{}
+	next  uint32
+}
+
+// NewMultiRelation creates a relation with one uncertain attribute per
+// option set. At least one attribute is required.
+func NewMultiRelation(opts ...Options) (*MultiRelation, error) {
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("core: multi-relation needs at least one attribute")
+	}
+	m := &MultiRelation{live: make(map[uint32]struct{})}
+	for i, o := range opts {
+		rel, err := NewRelation(o)
+		if err != nil {
+			return nil, fmt.Errorf("core: attribute %d: %w", i, err)
+		}
+		m.attrs = append(m.attrs, rel)
+	}
+	return m, nil
+}
+
+// Attrs returns the number of uncertain attributes.
+func (m *MultiRelation) Attrs() int { return len(m.attrs) }
+
+// Attr exposes one attribute's underlying relation (for per-attribute
+// queries and I/O statistics).
+func (m *MultiRelation) Attr(i int) *Relation { return m.attrs[i] }
+
+// Len returns the number of live tuples.
+func (m *MultiRelation) Len() int { return len(m.live) }
+
+// Insert appends a tuple with one UDA per attribute and returns its id.
+func (m *MultiRelation) Insert(values ...uda.UDA) (uint32, error) {
+	if len(values) != len(m.attrs) {
+		return 0, fmt.Errorf("core: %d values for %d attributes", len(values), len(m.attrs))
+	}
+	tid := m.next
+	for i, v := range values {
+		if err := m.attrs[i].insertWithID(tid, v); err != nil {
+			// Roll back the attributes already written.
+			for j := 0; j < i; j++ {
+				if derr := m.attrs[j].Delete(tid); derr != nil {
+					return 0, fmt.Errorf("core: insert failed (%v) and rollback failed: %w", err, derr)
+				}
+			}
+			return 0, err
+		}
+	}
+	m.live[tid] = struct{}{}
+	m.next++
+	return tid, nil
+}
+
+// Delete removes a tuple from every attribute index.
+func (m *MultiRelation) Delete(tid uint32) error {
+	if _, ok := m.live[tid]; !ok {
+		return fmt.Errorf("core: tuple %d not found", tid)
+	}
+	for i := range m.attrs {
+		if err := m.attrs[i].Delete(tid); err != nil {
+			return fmt.Errorf("core: attribute %d: %w", i, err)
+		}
+	}
+	delete(m.live, tid)
+	return nil
+}
+
+// Get fetches all attribute values of a tuple.
+func (m *MultiRelation) Get(tid uint32) ([]uda.UDA, error) {
+	out := make([]uda.UDA, len(m.attrs))
+	for i := range m.attrs {
+		v, err := m.attrs[i].Get(tid)
+		if err != nil {
+			return nil, fmt.Errorf("core: attribute %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ConjunctivePETQ returns all tuples with Π_i Pr(a_i = q_i) > tau, with the
+// exact product probability, in descending order.
+//
+// Every per-attribute factor is at most 1, so each factor of a qualifying
+// tuple must itself exceed tau: the query runs PETQ(q_0, tau) on the first
+// attribute's index and verifies the survivors against the remaining
+// attributes, multiplying factors and abandoning a candidate as soon as its
+// running product drops to tau or below. Put the most selective attribute
+// first for the cheapest plan.
+func (m *MultiRelation) ConjunctivePETQ(qs []uda.UDA, tau float64) ([]Match, error) {
+	if len(qs) != len(m.attrs) {
+		return nil, fmt.Errorf("core: %d query attributes for %d-attribute relation", len(qs), len(m.attrs))
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("core: negative threshold %g", tau)
+	}
+	candidates, err := m.attrs[0].PETQ(qs[0], tau)
+	if err != nil {
+		return nil, err
+	}
+	var res []Match
+	for _, c := range candidates {
+		prob, qualified, err := m.product(c, qs, tau)
+		if err != nil {
+			return nil, err
+		}
+		if qualified {
+			res = append(res, Match{TID: c.TID, Prob: prob})
+		}
+	}
+	query.SortMatches(res)
+	return res, nil
+}
+
+// product multiplies the remaining attributes' factors into the candidate's
+// first-attribute probability, stopping early once the product cannot
+// strictly exceed tau.
+func (m *MultiRelation) product(c Match, qs []uda.UDA, tau float64) (float64, bool, error) {
+	prob := c.Prob
+	for i := 1; i < len(m.attrs); i++ {
+		if prob <= tau {
+			return 0, false, nil
+		}
+		v, err := m.attrs[i].Get(c.TID)
+		if err != nil {
+			return 0, false, err
+		}
+		prob *= uda.EqualityProb(qs[i], v)
+	}
+	return prob, prob > tau, nil
+}
+
+// ConjunctiveTopK returns the k tuples with the highest conjunctive
+// probability Π_i Pr(a_i = q_i), ties at the kth position broken
+// arbitrarily.
+//
+// It iteratively deepens a top-k' query on the first attribute: since the
+// product is bounded by the first factor, once the kth best product so far
+// is at least the (k'+1)-largest first-attribute factor, no unseen tuple can
+// improve the answer.
+func (m *MultiRelation) ConjunctiveTopK(qs []uda.UDA, k int) ([]Match, error) {
+	if len(qs) != len(m.attrs) {
+		return nil, fmt.Errorf("core: %d query attributes for %d-attribute relation", len(qs), len(m.attrs))
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: non-positive k %d", k)
+	}
+	for kp := 4 * k; ; kp *= 2 {
+		heads, err := m.attrs[0].TopK(qs[0], kp)
+		if err != nil {
+			return nil, err
+		}
+		tk := query.NewTopK(k)
+		for _, c := range heads {
+			prob, _, err := m.product(c, qs, 0)
+			if err != nil {
+				return nil, err
+			}
+			tk.Offer(Match{TID: c.TID, Prob: prob})
+		}
+		// Unseen tuples have first factor ≤ the weakest head we retrieved;
+		// if the first attribute ran dry we have seen everything.
+		if len(heads) < kp {
+			return tk.Results(), nil
+		}
+		frontier := heads[len(heads)-1].Prob
+		if tk.Full() && tk.Threshold() >= frontier {
+			return tk.Results(), nil
+		}
+		if kp > m.Len()*2 {
+			return tk.Results(), nil
+		}
+	}
+}

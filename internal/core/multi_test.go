@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+// newTestMulti builds a 2-attribute relation (inverted + PDR) with random
+// data, returning the ground truth values.
+func newTestMulti(t *testing.T, n int, seed int64) (*MultiRelation, map[uint32][]uda.UDA) {
+	t.Helper()
+	m, err := NewMultiRelation(
+		Options{Kind: InvertedIndex},
+		Options{Kind: PDRTree},
+	)
+	if err != nil {
+		t.Fatalf("NewMultiRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	truth := make(map[uint32][]uda.UDA)
+	for i := 0; i < n; i++ {
+		vals := []uda.UDA{uda.Random(r, 12, 4), uda.Random(r, 8, 3)}
+		tid, err := m.Insert(vals...)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		truth[tid] = vals
+	}
+	return m, truth
+}
+
+func conjunctiveProb(qs []uda.UDA, vals []uda.UDA) float64 {
+	p := 1.0
+	for i := range qs {
+		p *= uda.EqualityProb(qs[i], vals[i])
+	}
+	return p
+}
+
+func TestConjunctivePETQMatchesNaive(t *testing.T) {
+	m, truth := newTestMulti(t, 600, 5)
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		qs := []uda.UDA{uda.Random(r, 12, 3), uda.Random(r, 8, 3)}
+		for _, tau := range []float64{0, 0.01, 0.05, 0.2} {
+			var want []Match
+			for tid, vals := range truth {
+				if p := conjunctiveProb(qs, vals); p > tau {
+					want = append(want, Match{TID: tid, Prob: p})
+				}
+			}
+			sort.Slice(want, func(i, j int) bool {
+				if want[i].Prob != want[j].Prob {
+					return want[i].Prob > want[j].Prob
+				}
+				return want[i].TID < want[j].TID
+			})
+			got, err := m.ConjunctivePETQ(qs, tau)
+			if err != nil {
+				t.Fatalf("ConjunctivePETQ: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("tau=%g: %d matches, want %d", tau, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].TID != want[i].TID || math.Abs(got[i].Prob-want[i].Prob) > 1e-9 {
+					t.Fatalf("tau=%g match %d = %v, want %v", tau, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestConjunctiveTopKMatchesNaive(t *testing.T) {
+	m, truth := newTestMulti(t, 500, 7)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 4; trial++ {
+		qs := []uda.UDA{uda.Random(r, 12, 3), uda.Random(r, 8, 3)}
+		for _, k := range []int{1, 5, 25} {
+			var all []float64
+			for _, vals := range truth {
+				if p := conjunctiveProb(qs, vals); p > 0 {
+					all = append(all, p)
+				}
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+			want := all
+			if len(want) > k {
+				want = want[:k]
+			}
+			got, err := m.ConjunctiveTopK(qs, k)
+			if err != nil {
+				t.Fatalf("ConjunctiveTopK: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			for i := range want {
+				if math.Abs(got[i].Prob-want[i]) > 1e-9 {
+					t.Fatalf("k=%d result %d prob %g, want %g", k, i, got[i].Prob, want[i])
+				}
+				if math.Abs(conjunctiveProb(qs, mustGet(t, m, got[i].TID))-got[i].Prob) > 1e-9 {
+					t.Fatalf("k=%d result %d misreports probability", k, i)
+				}
+			}
+		}
+	}
+}
+
+func mustGet(t *testing.T, m *MultiRelation, tid uint32) []uda.UDA {
+	t.Helper()
+	vals, err := m.Get(tid)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", tid, err)
+	}
+	return vals
+}
+
+func TestMultiDeleteAndGet(t *testing.T) {
+	m, truth := newTestMulti(t, 100, 11)
+	if m.Len() != 100 || m.Attrs() != 2 {
+		t.Fatalf("Len=%d Attrs=%d", m.Len(), m.Attrs())
+	}
+	vals := mustGet(t, m, 42)
+	if !vals[0].Equal(truth[42][0]) || !vals[1].Equal(truth[42][1]) {
+		t.Errorf("Get(42) returned wrong values")
+	}
+	if err := m.Delete(42); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if m.Len() != 99 {
+		t.Errorf("Len after delete = %d", m.Len())
+	}
+	if _, err := m.Get(42); err == nil {
+		t.Errorf("Get of deleted tuple succeeded")
+	}
+	if err := m.Delete(42); err == nil {
+		t.Errorf("double Delete succeeded")
+	}
+	// The deleted tuple never reappears in queries.
+	qs := []uda.UDA{truth[42][0], truth[42][1]}
+	got, err := m.ConjunctivePETQ(qs, 0)
+	if err != nil {
+		t.Fatalf("ConjunctivePETQ: %v", err)
+	}
+	for _, g := range got {
+		if g.TID == 42 {
+			t.Errorf("deleted tuple returned by query")
+		}
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	if _, err := NewMultiRelation(); err == nil {
+		t.Errorf("zero attributes accepted")
+	}
+	m, _ := newTestMulti(t, 10, 1)
+	if _, err := m.Insert(uda.Certain(1)); err == nil {
+		t.Errorf("wrong arity Insert accepted")
+	}
+	q := []uda.UDA{uda.Certain(1), uda.Certain(1)}
+	if _, err := m.ConjunctivePETQ(q[:1], 0); err == nil {
+		t.Errorf("wrong arity query accepted")
+	}
+	if _, err := m.ConjunctivePETQ(q, -1); err == nil {
+		t.Errorf("negative tau accepted")
+	}
+	if _, err := m.ConjunctiveTopK(q, 0); err == nil {
+		t.Errorf("k=0 accepted")
+	}
+	if _, err := m.ConjunctiveTopK(q[:1], 3); err == nil {
+		t.Errorf("wrong arity TopK accepted")
+	}
+	if m.Attr(0) == nil || m.Attr(1) == nil {
+		t.Errorf("Attr returned nil")
+	}
+}
+
+func TestMultiAttributeSelectivityOrdering(t *testing.T) {
+	// Documented contract: attribute 0's index drives the plan. A certain
+	// query on attribute 0 must touch far fewer candidates than the naive
+	// cross-check would.
+	m, truth := newTestMulti(t, 1000, 13)
+	qs := []uda.UDA{uda.Certain(3), uda.Certain(2)}
+	got, err := m.ConjunctivePETQ(qs, 0.3)
+	if err != nil {
+		t.Fatalf("ConjunctivePETQ: %v", err)
+	}
+	for _, g := range got {
+		p := conjunctiveProb(qs, truth[g.TID])
+		if p <= 0.3 {
+			t.Errorf("tuple %d returned with product %g ≤ 0.3", g.TID, p)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ucat/internal/invidx"
+	"ucat/internal/pager"
+	"ucat/internal/pdrtree"
+	"ucat/internal/tuplestore"
+	"ucat/internal/uda"
+)
+
+// Relations persist as a gob-encoded snapshot: the raw page images of the
+// shared store plus each component's metadata (list roots, tuple locations,
+// tree root and configuration). The format is versioned so later releases
+// can evolve it.
+
+const snapshotVersion = 1
+
+type relationSnapshot struct {
+	Version    int
+	Kind       int
+	NextTID    uint32
+	PoolFrames int
+
+	StorePages [][]byte
+	StoreFree  []uint32
+
+	// Exactly one of the following is meaningful, per Kind.
+	Tuples *tuplestore.Snapshot // ScanOnly and PDRTree (the base heap)
+	Inv    *invidx.Snapshot     // InvertedIndex (includes its heap)
+	PDR    *pdrtree.Snapshot    // PDRTree
+}
+
+// Save writes the relation to w. All dirty pages are flushed first; the
+// relation remains usable afterwards.
+func (r *Relation) Save(w io.Writer) error {
+	if err := r.pool.FlushAll(); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	pages, free := r.pool.Store().Snapshot()
+	snap := relationSnapshot{
+		Version:    snapshotVersion,
+		Kind:       int(r.opts.Kind),
+		NextTID:    r.nextTID,
+		PoolFrames: r.opts.PoolFrames,
+		StorePages: pages,
+	}
+	for _, f := range free {
+		snap.StoreFree = append(snap.StoreFree, uint32(f))
+	}
+	switch r.opts.Kind {
+	case ScanOnly:
+		t := r.tuples.Snapshot()
+		snap.Tuples = &t
+	case InvertedIndex:
+		iv := r.inv.Snapshot()
+		snap.Inv = &iv
+	case PDRTree:
+		t := r.tuples.Snapshot()
+		snap.Tuples = &t
+		p := r.pdr.Snapshot()
+		snap.PDR = &p
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// SaveFile writes the relation to a file, creating or truncating it.
+func (r *Relation) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRelation reads a relation previously written by Save.
+func LoadRelation(rd io.Reader) (*Relation, error) {
+	var snap relationSnapshot
+	if err := gob.NewDecoder(rd).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: load: unsupported snapshot version %d", snap.Version)
+	}
+	free := make([]pager.PageID, 0, len(snap.StoreFree))
+	for _, f := range snap.StoreFree {
+		free = append(free, pager.PageID(f))
+	}
+	store, err := pager.RestoreStore(snap.StorePages, free)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	pool := pager.NewPool(store, snap.PoolFrames)
+
+	kind := Kind(snap.Kind)
+	r := &Relation{
+		opts:    Options{Kind: kind, PoolFrames: snap.PoolFrames},
+		pool:    pool,
+		nextTID: snap.NextTID,
+	}
+	switch kind {
+	case ScanOnly:
+		if snap.Tuples == nil {
+			return nil, fmt.Errorf("core: load: scan snapshot missing tuple heap")
+		}
+		tuples, err := tuplestore.Restore(pool, *snap.Tuples)
+		if err != nil {
+			return nil, err
+		}
+		r.tuples = tuples
+	case InvertedIndex:
+		if snap.Inv == nil {
+			return nil, fmt.Errorf("core: load: inverted snapshot missing index")
+		}
+		ix, err := invidx.Restore(pool, *snap.Inv)
+		if err != nil {
+			return nil, err
+		}
+		r.inv = ix
+		r.tuples = ix.Tuples()
+	case PDRTree:
+		if snap.Tuples == nil || snap.PDR == nil {
+			return nil, fmt.Errorf("core: load: PDR snapshot missing heap or tree")
+		}
+		tuples, err := tuplestore.Restore(pool, *snap.Tuples)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := pdrtree.Restore(pool, *snap.PDR)
+		if err != nil {
+			return nil, err
+		}
+		r.tuples = tuples
+		r.pdr = tree
+		r.opts.PDR = tree.Config()
+	default:
+		return nil, fmt.Errorf("core: load: unknown index kind %d", snap.Kind)
+	}
+	// Rebuild the estimation sample from the loaded tuples (a one-time
+	// sequential pass over the heap).
+	r.sample = newReservoir()
+	err = r.tuples.Scan(func(_ uint32, u uda.UDA) bool {
+		r.sample.observe(u)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// LoadRelationFile reads a relation from a file written by SaveFile.
+func LoadRelationFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadRelation(f)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ucat/internal/pdrtree"
+	"ucat/internal/uda"
+)
+
+func testSaveLoadRoundTrip(t *testing.T, opts Options) {
+	t.Helper()
+	rel, err := NewRelation(opts)
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(123))
+	data := make(map[uint32]uda.UDA)
+	for i := 0; i < 800; i++ {
+		u := uda.Random(r, 15, 4)
+		tid, err := rel.Insert(u)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		data[tid] = u
+	}
+	// Exercise deletions so tombstones round-trip too.
+	for tid := uint32(0); tid < 100; tid += 7 {
+		if err := rel.Delete(tid); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		delete(data, tid)
+	}
+
+	var buf bytes.Buffer
+	if err := rel.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadRelation(&buf)
+	if err != nil {
+		t.Fatalf("LoadRelation: %v", err)
+	}
+	if loaded.Kind() != opts.Kind {
+		t.Errorf("loaded Kind = %v, want %v", loaded.Kind(), opts.Kind)
+	}
+	if loaded.Len() != len(data) {
+		t.Errorf("loaded Len = %d, want %d", loaded.Len(), len(data))
+	}
+
+	// Queries agree between original and loaded.
+	q := uda.Random(r, 15, 3)
+	want, err := rel.PETQ(q, 0.05)
+	if err != nil {
+		t.Fatalf("PETQ original: %v", err)
+	}
+	got, err := loaded.PETQ(q, 0.05)
+	if err != nil {
+		t.Fatalf("PETQ loaded: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded PETQ: %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].TID != want[i].TID || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+			t.Fatalf("loaded match %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// The loaded relation accepts new tuples without id collisions.
+	newTID, err := loaded.Insert(uda.Certain(3))
+	if err != nil {
+		t.Fatalf("Insert into loaded: %v", err)
+	}
+	if _, clash := data[newTID]; clash {
+		t.Errorf("loaded relation reused tid %d", newTID)
+	}
+	if _, err := loaded.Get(newTID); err != nil {
+		t.Errorf("Get of new tuple: %v", err)
+	}
+}
+
+func TestSaveLoadScanOnly(t *testing.T) { testSaveLoadRoundTrip(t, Options{Kind: ScanOnly}) }
+func TestSaveLoadInverted(t *testing.T) { testSaveLoadRoundTrip(t, Options{Kind: InvertedIndex}) }
+func TestSaveLoadPDR(t *testing.T)      { testSaveLoadRoundTrip(t, Options{Kind: PDRTree}) }
+func TestSaveLoadPDRCompressed(t *testing.T) {
+	testSaveLoadRoundTrip(t, Options{
+		Kind: PDRTree,
+		PDR:  pdrtree.Config{Compression: pdrtree.SignatureCompression, Buckets: 8},
+	})
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: PDRTree})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	if _, err := rel.Insert(uda.Certain(5)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "rel.ucat")
+	if err := rel.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadRelationFile(path)
+	if err != nil {
+		t.Fatalf("LoadRelationFile: %v", err)
+	}
+	ms, err := loaded.PETQ(uda.Certain(5), 0.5)
+	if err != nil || len(ms) != 1 {
+		t.Errorf("loaded PETQ = (%v, %v)", ms, err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadRelation(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Errorf("garbage accepted")
+	}
+	var empty bytes.Buffer
+	if _, err := LoadRelation(&empty); err == nil {
+		t.Errorf("empty input accepted")
+	}
+}
+
+func TestPDRConfigSurvivesReload(t *testing.T) {
+	cfg := pdrtree.Config{
+		Divergence:  uda.L2,
+		Split:       pdrtree.TopDown,
+		Compression: pdrtree.DiscretizedCompression,
+		Bits:        5,
+	}
+	rel, err := NewRelation(Options{Kind: PDRTree, PDR: cfg})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		if _, err := rel.Insert(uda.Random(r, 40, 5)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rel.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadRelation(&buf)
+	if err != nil {
+		t.Fatalf("LoadRelation: %v", err)
+	}
+	// Inserting into the loaded tree must use the same boundary encoding —
+	// a mismatch would corrupt inner nodes immediately.
+	for i := 0; i < 300; i++ {
+		if _, err := loaded.Insert(uda.Random(r, 40, 5)); err != nil {
+			t.Fatalf("Insert into loaded: %v", err)
+		}
+	}
+	q := uda.Random(r, 40, 4)
+	if _, err := loaded.PETQ(q, 0.05); err != nil {
+		t.Fatalf("PETQ after reload+insert: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+func TestRebuildReclaimsAndPreservesAnswers(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for _, kind := range []Kind{ScanOnly, InvertedIndex, PDRTree} {
+		rel, err := NewRelation(Options{Kind: kind, PoolFrames: 512})
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		data := make(map[uint32]uda.UDA)
+		for i := 0; i < 4000; i++ {
+			u := uda.Random(r, 20, 5)
+			tid, err := rel.Insert(u)
+			if err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			data[tid] = u
+		}
+		// Heavy churn: delete 70%.
+		for tid := uint32(0); tid < 4000; tid++ {
+			if tid%10 < 7 {
+				if err := rel.Delete(tid); err != nil {
+					t.Fatalf("Delete: %v", err)
+				}
+				delete(data, tid)
+			}
+		}
+
+		q := uda.Random(r, 20, 4)
+		want, err := rel.PETQ(q, 0.05)
+		if err != nil {
+			t.Fatalf("PETQ before rebuild: %v", err)
+		}
+
+		reclaimed, err := rel.Rebuild()
+		if err != nil {
+			t.Fatalf("%v Rebuild: %v", kind, err)
+		}
+		if reclaimed <= 0 {
+			t.Errorf("%v Rebuild reclaimed %d pages after 70%% deletions", kind, reclaimed)
+		}
+
+		got, err := rel.PETQ(q, 0.05)
+		if err != nil {
+			t.Fatalf("PETQ after rebuild: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: rebuild changed answers: %d vs %d", kind, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].TID != want[i].TID || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+				t.Fatalf("%v: rebuild changed match %d: %v vs %v", kind, i, got[i], want[i])
+			}
+		}
+
+		// Still fully mutable.
+		if _, err := rel.Insert(uda.Certain(3)); err != nil {
+			t.Fatalf("%v Insert after rebuild: %v", kind, err)
+		}
+		if err := rel.Delete(got[0].TID); err != nil {
+			t.Fatalf("%v Delete after rebuild: %v", kind, err)
+		}
+		if rel.Len() != len(data) {
+			t.Errorf("%v Len = %d, want %d", kind, rel.Len(), len(data))
+		}
+	}
+}
+
+func TestRebuildNoChurnIsStable(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: PDRTree, PoolFrames: 512})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if _, err := rel.Insert(uda.Random(r, 15, 4)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if _, err := rel.Rebuild(); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if rel.Len() != 1000 {
+		t.Errorf("Len = %d", rel.Len())
+	}
+	// Rebuilding twice is fine.
+	if _, err := rel.Rebuild(); err != nil {
+		t.Fatalf("second Rebuild: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pdrtree"
+	"ucat/internal/uda"
+)
+
+// TestSoakModelBased drives relations through long randomized sequences of
+// inserts, deletes, queries, rebuilds and save/load cycles, checking every
+// query against an in-memory oracle. This is the closest thing to running
+// the system in production for a while.
+func TestSoakModelBased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test in -short mode")
+	}
+	configs := []Options{
+		{Kind: ScanOnly},
+		{Kind: InvertedIndex},
+		{Kind: PDRTree},
+		{Kind: PDRTree, PDR: pdrtree.Config{
+			Divergence: uda.L1, Split: pdrtree.TopDown,
+			Compression: pdrtree.DiscretizedCompression, Bits: 5,
+		}},
+	}
+	for ci, opts := range configs {
+		opts := opts
+		r := rand.New(rand.NewSource(int64(100 + ci)))
+		rel, err := NewRelation(opts)
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		oracle := map[uint32]uda.UDA{}
+		var live []uint32 // ids currently in the oracle
+
+		checkQueries := func(step int) {
+			q := uda.Random(r, 18, 4)
+			tau := r.Float64() * 0.3
+
+			want := 0
+			var bestProb float64
+			for _, u := range oracle {
+				p := uda.EqualityProb(q, u)
+				if p > tau {
+					want++
+				}
+				if p > bestProb {
+					bestProb = p
+				}
+			}
+			got, err := rel.PETQ(q, tau)
+			if err != nil {
+				t.Fatalf("cfg %d step %d PETQ: %v", ci, step, err)
+			}
+			if len(got) != want {
+				t.Fatalf("cfg %d step %d: PETQ %d matches, oracle %d", ci, step, len(got), want)
+			}
+			for _, m := range got {
+				if math.Abs(uda.EqualityProb(q, oracle[m.TID])-m.Prob) > 1e-9 {
+					t.Fatalf("cfg %d step %d: PETQ misreports tuple %d", ci, step, m.TID)
+				}
+			}
+			if len(oracle) > 0 && bestProb > 0 {
+				top, err := rel.TopK(q, 1)
+				if err != nil {
+					t.Fatalf("cfg %d step %d TopK: %v", ci, step, err)
+				}
+				if len(top) != 1 || math.Abs(top[0].Prob-bestProb) > 1e-9 {
+					t.Fatalf("cfg %d step %d: TopK(1) = %v, oracle best %g", ci, step, top, bestProb)
+				}
+			}
+		}
+
+		const steps = 1200
+		for step := 0; step < steps; step++ {
+			switch op := r.Intn(100); {
+			case op < 55: // insert
+				u := uda.Random(r, 18, 4)
+				tid, err := rel.Insert(u)
+				if err != nil {
+					t.Fatalf("cfg %d step %d Insert: %v", ci, step, err)
+				}
+				if _, dup := oracle[tid]; dup {
+					t.Fatalf("cfg %d step %d: tid %d reused", ci, step, tid)
+				}
+				oracle[tid] = u
+				live = append(live, tid)
+			case op < 80 && len(live) > 0: // delete
+				i := r.Intn(len(live))
+				tid := live[i]
+				if err := rel.Delete(tid); err != nil {
+					t.Fatalf("cfg %d step %d Delete(%d): %v", ci, step, tid, err)
+				}
+				delete(oracle, tid)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case op < 85: // query burst
+				checkQueries(step)
+			case op < 88 && len(oracle) > 20: // rebuild
+				if _, err := rel.Rebuild(); err != nil {
+					t.Fatalf("cfg %d step %d Rebuild: %v", ci, step, err)
+				}
+			case op < 91: // save/load cycle
+				var buf bytes.Buffer
+				if err := rel.Save(&buf); err != nil {
+					t.Fatalf("cfg %d step %d Save: %v", ci, step, err)
+				}
+				loaded, err := LoadRelation(&buf)
+				if err != nil {
+					t.Fatalf("cfg %d step %d Load: %v", ci, step, err)
+				}
+				rel = loaded
+			default: // point lookups
+				if len(live) > 0 {
+					tid := live[r.Intn(len(live))]
+					u, err := rel.Get(tid)
+					if err != nil {
+						t.Fatalf("cfg %d step %d Get(%d): %v", ci, step, tid, err)
+					}
+					if !u.Equal(oracle[tid]) {
+						t.Fatalf("cfg %d step %d: Get(%d) returned wrong tuple", ci, step, tid)
+					}
+				}
+			}
+		}
+		if rel.Len() != len(oracle) {
+			t.Fatalf("cfg %d: final Len %d, oracle %d", ci, rel.Len(), len(oracle))
+		}
+		checkQueries(steps)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+)
+
+// IndexStats is an access-method-agnostic description of a relation's
+// physical layout.
+type IndexStats struct {
+	Kind       Kind
+	Tuples     int
+	StorePages int   // allocated pages across heap and index
+	StoreBytes int64 // total allocated bytes
+	Detail     string
+}
+
+func (s IndexStats) String() string {
+	return fmt.Sprintf("%s: tuples=%d pages=%d bytes=%d (%s)",
+		s.Kind, s.Tuples, s.StorePages, s.StoreBytes, s.Detail)
+}
+
+// IndexStats reports the relation's physical shape. For the PDR-tree this
+// walks the tree (costing I/O); the other methods report from memory.
+func (r *Relation) IndexStats() (IndexStats, error) {
+	st := IndexStats{
+		Kind:       r.opts.Kind,
+		Tuples:     r.Len(),
+		StorePages: r.pool.Store().NumPages(),
+		StoreBytes: r.pool.Store().Bytes(),
+	}
+	switch r.opts.Kind {
+	case InvertedIndex:
+		st.Detail = r.inv.Stats().String()
+	case PDRTree:
+		ts, err := r.pdr.Stats()
+		if err != nil {
+			return IndexStats{}, err
+		}
+		st.Detail = ts.String()
+	default:
+		st.Detail = fmt.Sprintf("heap-pages=%d", st.StorePages)
+	}
+	return st, nil
+}

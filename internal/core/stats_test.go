@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+func TestIndexStatsAllKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, kind := range []Kind{ScanOnly, InvertedIndex, PDRTree} {
+		rel, err := NewRelation(Options{Kind: kind, PoolFrames: 512})
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		for i := 0; i < 2000; i++ {
+			if _, err := rel.Insert(uda.Random(r, 20, 5)); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+		st, err := rel.IndexStats()
+		if err != nil {
+			t.Fatalf("%v IndexStats: %v", kind, err)
+		}
+		if st.Kind != kind || st.Tuples != 2000 {
+			t.Errorf("%v stats = %+v", kind, st)
+		}
+		if st.StorePages <= 0 || st.StoreBytes != int64(st.StorePages)*8192 {
+			t.Errorf("%v page accounting: %+v", kind, st)
+		}
+		if st.Detail == "" || st.String() == "" {
+			t.Errorf("%v stats missing detail", kind)
+		}
+	}
+}
+
+func TestPDRStatsShape(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: PDRTree, PoolFrames: 512})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		if _, err := rel.Insert(uda.Random(r, 10, 5)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	st, err := rel.IndexStats()
+	if err != nil {
+		t.Fatalf("IndexStats: %v", err)
+	}
+	for _, want := range []string{"height=", "leaves=", "fanout="} {
+		if !strings.Contains(st.Detail, want) {
+			t.Errorf("PDR detail %q missing %q", st.Detail, want)
+		}
+	}
+}
+
+func TestInvertedStatsShape(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: InvertedIndex, PoolFrames: 512})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if _, err := rel.Insert(uda.Random(r, 8, 3)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	st, err := rel.IndexStats()
+	if err != nil {
+		t.Fatalf("IndexStats: %v", err)
+	}
+	if !strings.Contains(st.Detail, "lists=8") {
+		t.Errorf("expected 8 lists in detail %q", st.Detail)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+
+	"ucat/internal/uda"
+)
+
+// SyncRelation wraps a Relation for concurrent use: queries run under a
+// shared (read) lock and may proceed in parallel — the buffer pool is
+// thread-safe and queries touch no other mutable state — while mutations
+// (Insert, Delete, Rebuild, Save) take the exclusive lock.
+type SyncRelation struct {
+	mu  sync.RWMutex
+	rel *Relation
+}
+
+// Synchronized wraps rel. The caller must stop using rel directly.
+func Synchronized(rel *Relation) *SyncRelation {
+	return &SyncRelation{rel: rel}
+}
+
+// Kind returns the access method backing the relation.
+func (s *SyncRelation) Kind() Kind { return s.rel.Kind() }
+
+// Len returns the number of live tuples.
+func (s *SyncRelation) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.Len()
+}
+
+// Insert appends a tuple and returns its assigned id.
+func (s *SyncRelation) Insert(u uda.UDA) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rel.Insert(u)
+}
+
+// Delete removes a tuple.
+func (s *SyncRelation) Delete(tid uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rel.Delete(tid)
+}
+
+// Get fetches a tuple's distribution.
+func (s *SyncRelation) Get(tid uint32) (uda.UDA, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.Get(tid)
+}
+
+// PETQ answers the probabilistic equality threshold query.
+func (s *SyncRelation) PETQ(q uda.UDA, tau float64) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.PETQ(q, tau)
+}
+
+// TopK answers PETQ-top-k.
+func (s *SyncRelation) TopK(q uda.UDA, k int) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.TopK(q, k)
+}
+
+// WindowPETQ answers the relaxed window-equality query.
+func (s *SyncRelation) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]Match, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.WindowPETQ(q, c, tau)
+}
+
+// DSTQ answers the distributional similarity threshold query.
+func (s *SyncRelation) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]Neighbor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.DSTQ(q, td, div)
+}
+
+// DSTopK answers DSQ-top-k.
+func (s *SyncRelation) DSTopK(q uda.UDA, k int, div uda.Divergence) ([]Neighbor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.DSTopK(q, k, div)
+}
+
+// Scan visits every live tuple under the read lock; fn must not call back
+// into the relation's mutating methods.
+func (s *SyncRelation) Scan(fn func(tid uint32, u uda.UDA) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.Scan(fn)
+}
+
+// Rebuild compacts the relation in place.
+func (s *SyncRelation) Rebuild() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rel.Rebuild()
+}
+
+// SaveFile snapshots the relation to a file.
+func (s *SyncRelation) SaveFile(path string) error {
+	s.mu.Lock() // Save flushes the pool, which conflicts with pinned readers
+	defer s.mu.Unlock()
+	return s.rel.SaveFile(path)
+}
+
+// Unwrap returns the underlying relation for single-threaded phases (e.g.
+// bulk maintenance). The caller takes responsibility for exclusion.
+func (s *SyncRelation) Unwrap() *Relation { return s.rel }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+// TestSyncRelationConcurrentReadersAndWriters hammers a SyncRelation from
+// parallel query and mutation goroutines. Run with -race.
+func TestSyncRelationConcurrentReadersAndWriters(t *testing.T) {
+	base, err := NewRelation(Options{Kind: InvertedIndex, PoolFrames: 256})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	rel := Synchronized(base)
+	seed := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		if _, err := rel.Insert(uda.Random(seed, 15, 4)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+
+	// 4 reader goroutines running the full query mix.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(gseed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(gseed))
+			for i := 0; i < 150; i++ {
+				q := uda.Random(r, 15, 3)
+				if _, err := rel.PETQ(q, 0.1); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := rel.TopK(q, 5); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := rel.DSTQ(q, 0.5, uda.L1); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := rel.WindowPETQ(q, 1, 0.1); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g) + 10)
+	}
+	// 2 writer goroutines inserting and deleting.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(gseed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(gseed))
+			for i := 0; i < 100; i++ {
+				tid, err := rel.Insert(uda.Random(r, 15, 4))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%3 == 0 {
+					if err := rel.Delete(tid); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(g) + 50)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent access: %v", err)
+	}
+	if rel.Kind() != InvertedIndex {
+		t.Errorf("Kind = %v", rel.Kind())
+	}
+	if rel.Unwrap() != base {
+		t.Errorf("Unwrap returned a different relation")
+	}
+	// Final read-side sanity: Len matches a scan.
+	n := 0
+	if err := rel.Scan(func(uint32, uda.UDA) bool { n++; return true }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != rel.Len() {
+		t.Errorf("Scan saw %d tuples, Len says %d", n, rel.Len())
+	}
+}
+
+func TestSyncRelationRebuildAndSave(t *testing.T) {
+	base, err := NewRelation(Options{Kind: PDRTree})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	rel := Synchronized(base)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		if _, err := rel.Insert(uda.Random(r, 10, 3)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for tid := uint32(0); tid < 200; tid++ {
+		if err := rel.Delete(tid); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if _, err := rel.Rebuild(); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if rel.Len() != 100 {
+		t.Errorf("Len = %d", rel.Len())
+	}
+	if _, err := rel.Get(250); err != nil {
+		t.Errorf("Get after rebuild: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pdrtree"
+	"ucat/internal/uda"
+)
+
+// TestHugeItemCodes exercises item codes across the full uint32 range —
+// sparse gigantic domains arise when items are hashes (e.g. token ids).
+func TestHugeItemCodes(t *testing.T) {
+	top := ^uint32(0)
+	tuples := []uda.UDA{
+		uda.MustNew(uda.Pair{Item: 0, Prob: 0.5}, uda.Pair{Item: top, Prob: 0.5}),
+		uda.MustNew(uda.Pair{Item: top - 1, Prob: 1}),
+		uda.MustNew(uda.Pair{Item: 1 << 31, Prob: 0.7}, uda.Pair{Item: 12345, Prob: 0.3}),
+	}
+	for _, kind := range []Kind{ScanOnly, InvertedIndex, PDRTree} {
+		rel, err := NewRelation(Options{Kind: kind})
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		for _, u := range tuples {
+			if _, err := rel.Insert(u); err != nil {
+				t.Fatalf("%v Insert: %v", kind, err)
+			}
+		}
+		got, err := rel.PETQ(uda.Certain(top), 0.4)
+		if err != nil {
+			t.Fatalf("%v PETQ: %v", kind, err)
+		}
+		if len(got) != 1 || got[0].TID != 0 || math.Abs(got[0].Prob-0.5) > 1e-12 {
+			t.Errorf("%v PETQ at max item = %v", kind, got)
+		}
+		// Windowed query across the top of the domain must not wrap.
+		win, err := rel.WindowPETQ(uda.Certain(top), 1, 0.4)
+		if err != nil {
+			t.Fatalf("%v WindowPETQ: %v", kind, err)
+		}
+		if len(win) != 2 {
+			t.Errorf("%v window at max item found %d matches, want 2 (items max and max-1)", kind, len(win))
+		}
+		for _, m := range win {
+			if m.TID == 2 {
+				t.Errorf("%v window wrapped around the domain", kind)
+			}
+		}
+	}
+}
+
+// TestSparseGigaDomain runs a realistic sparse workload over a domain of a
+// billion item codes; the inverted index handles it natively and the
+// PDR-tree needs signature compression to keep fan-out.
+func TestSparseGigaDomain(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const n = 2000
+	gen := func() uda.UDA {
+		a := uint32(r.Int31())
+		b := uint32(r.Int31())
+		if b == a {
+			b++
+		}
+		p := 0.3 + 0.4*r.Float64()
+		return uda.MustNew(uda.Pair{Item: a, Prob: p}, uda.Pair{Item: b, Prob: 1 - p})
+	}
+	data := make([]uda.UDA, n)
+	for i := range data {
+		data[i] = gen()
+	}
+	for _, opts := range []Options{
+		{Kind: InvertedIndex},
+		{Kind: PDRTree, PDR: pdrtree.Config{Compression: pdrtree.SignatureCompression, Buckets: 128}},
+	} {
+		rel, err := NewRelation(opts)
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		for _, u := range data {
+			if _, err := rel.Insert(u); err != nil {
+				t.Fatalf("%v Insert: %v", opts.Kind, err)
+			}
+		}
+		// Query a known tuple against itself: it must be its own best match.
+		for _, probe := range []uint32{0, 500, 1999} {
+			q := data[probe]
+			top, err := rel.TopK(q, 1)
+			if err != nil {
+				t.Fatalf("%v TopK: %v", opts.Kind, err)
+			}
+			want := uda.SelfEqualityProb(q)
+			if len(top) != 1 || math.Abs(top[0].Prob-want) > 1e-9 {
+				t.Errorf("%v TopK self-match = %v, want prob %g", opts.Kind, top, want)
+			}
+		}
+	}
+}

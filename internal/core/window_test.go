@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pdrtree"
+	"ucat/internal/uda"
+)
+
+func windowKinds(t *testing.T) []*Relation {
+	t.Helper()
+	var rels []*Relation
+	for _, opts := range []Options{
+		{Kind: ScanOnly},
+		{Kind: InvertedIndex},
+		{Kind: PDRTree},
+		{Kind: PDRTree, PDR: pdrtree.Config{Compression: pdrtree.DiscretizedCompression, Bits: 6}},
+	} {
+		r, err := NewRelation(opts)
+		if err != nil {
+			t.Fatalf("NewRelation: %v", err)
+		}
+		rels = append(rels, r)
+	}
+	return rels
+}
+
+func TestWindowPETQMatchesNaive(t *testing.T) {
+	rels := windowKinds(t)
+	data := fill(t, rels, 700, 25, 5, 77)
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		q := uda.Random(r, 25, 4)
+		for _, c := range []uint32{0, 1, 3, 10} {
+			for _, tau := range []float64{0, 0.05, 0.3} {
+				var want []Match
+				for tid, u := range data {
+					if p := uda.WithinProb(q, u, c); p > tau {
+						want = append(want, Match{TID: tid, Prob: p})
+					}
+				}
+				for _, rel := range rels {
+					got, err := rel.WindowPETQ(q, c, tau)
+					if err != nil {
+						t.Fatalf("%v WindowPETQ(c=%d, tau=%g): %v", rel.Kind(), c, tau, err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%v WindowPETQ(c=%d, tau=%g): %d matches, want %d",
+							rel.Kind(), c, tau, len(got), len(want))
+					}
+					for _, m := range got {
+						if math.Abs(uda.WithinProb(q, data[m.TID], c)-m.Prob) > 1e-9 {
+							t.Fatalf("%v WindowPETQ misreports probability for %d", rel.Kind(), m.TID)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWindowTopKMatchesNaive(t *testing.T) {
+	rels := windowKinds(t)
+	data := fill(t, rels, 500, 20, 4, 31)
+	q := uda.Random(rand.New(rand.NewSource(6)), 20, 3)
+	const c = 2
+	want, err := rels[0].WindowTopK(q, c, 15) // scan is the reference
+	if err != nil {
+		t.Fatalf("scan WindowTopK: %v", err)
+	}
+	for _, rel := range rels[1:] {
+		got, err := rel.WindowTopK(q, c, 15)
+		if err != nil {
+			t.Fatalf("%v WindowTopK: %v", rel.Kind(), err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v WindowTopK: %d results, want %d", rel.Kind(), len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Prob-want[i].Prob) > 1e-9 {
+				t.Errorf("%v WindowTopK result %d prob %g, want %g",
+					rel.Kind(), i, got[i].Prob, want[i].Prob)
+			}
+			if math.Abs(uda.WithinProb(q, data[got[i].TID], c)-got[i].Prob) > 1e-9 {
+				t.Errorf("%v WindowTopK result %d misreports probability", rel.Kind(), i)
+			}
+		}
+	}
+}
+
+func TestWindowZeroEqualsPETQ(t *testing.T) {
+	rels := windowKinds(t)
+	fill(t, rels, 300, 15, 4, 9)
+	q := uda.Random(rand.New(rand.NewSource(2)), 15, 3)
+	for _, rel := range rels {
+		plain, err := rel.PETQ(q, 0.05)
+		if err != nil {
+			t.Fatalf("PETQ: %v", err)
+		}
+		window, err := rel.WindowPETQ(q, 0, 0.05)
+		if err != nil {
+			t.Fatalf("WindowPETQ: %v", err)
+		}
+		if len(plain) != len(window) {
+			t.Fatalf("%v: window c=0 gave %d matches, PETQ gave %d", rel.Kind(), len(window), len(plain))
+		}
+		for i := range plain {
+			if plain[i].TID != window[i].TID || math.Abs(plain[i].Prob-window[i].Prob) > 1e-12 {
+				t.Fatalf("%v: window c=0 diverges from PETQ at %d", rel.Kind(), i)
+			}
+		}
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: PDRTree})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	if _, err := rel.WindowPETQ(uda.Certain(1), 2, -1); err == nil {
+		t.Errorf("negative tau accepted")
+	}
+	if _, err := rel.WindowTopK(uda.Certain(1), 2, 0); err == nil {
+		t.Errorf("k=0 accepted")
+	}
+	// Signature compression folds the domain and breaks adjacency: window
+	// queries must refuse rather than silently answer wrong.
+	sig, err := NewRelation(Options{Kind: PDRTree,
+		PDR: pdrtree.Config{Compression: pdrtree.SignatureCompression, Buckets: 8}})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	if _, err := sig.WindowPETQ(uda.Certain(1), 2, 0); err == nil {
+		t.Errorf("window query under signature compression accepted")
+	}
+	if _, err := sig.WindowTopK(uda.Certain(1), 2, 3); err == nil {
+		t.Errorf("window top-k under signature compression accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformShape(t *testing.T) {
+	d := Uniform(1, 1000)
+	if d.Domain != 5 || len(d.Tuples) != 1000 {
+		t.Fatalf("Uniform: domain=%d n=%d", d.Domain, len(d.Tuples))
+	}
+	for i, u := range d.Tuples {
+		if u.Len() != 5 {
+			t.Fatalf("tuple %d has %d non-zero items, want 5 (dense)", i, u.Len())
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("tuple %d invalid: %v", i, err)
+		}
+		if math.Abs(u.Mass()-1) > 1e-9 {
+			t.Fatalf("tuple %d mass %g", i, u.Mass())
+		}
+	}
+}
+
+func TestPairwiseShape(t *testing.T) {
+	d := Pairwise(2, 1000)
+	combos := map[[2]uint32]bool{}
+	for i, u := range d.Tuples {
+		if u.Len() != 2 {
+			t.Fatalf("tuple %d has %d items, want 2", i, u.Len())
+		}
+		ps := u.Pairs()
+		// Roughly equal probabilities.
+		if math.Abs(ps[0].Prob-ps[1].Prob) > 0.11 {
+			t.Errorf("tuple %d probabilities %g/%g not roughly equal", i, ps[0].Prob, ps[1].Prob)
+		}
+		combos[[2]uint32{ps[0].Item, ps[1].Item}] = true
+	}
+	if len(combos) > 5 {
+		t.Errorf("Pairwise produced %d distinct combinations, want at most 5", len(combos))
+	}
+}
+
+func TestGen3FillFactor(t *testing.T) {
+	if f := gen3Fill(10); f != 3 {
+		t.Errorf("fill(10) = %g, want 3", f)
+	}
+	if f := gen3Fill(500); f != 10 {
+		t.Errorf("fill(500) = %g, want 10", f)
+	}
+	if f := gen3Fill(100); f <= 3 || f >= 10 {
+		t.Errorf("fill(100) = %g, want in (3, 10)", f)
+	}
+
+	for _, domain := range []int{5, 10, 50, 200, 500} {
+		d := Gen3(3, 2000, domain)
+		var total float64
+		for i, u := range d.Tuples {
+			if err := u.Validate(); err != nil {
+				t.Fatalf("domain %d tuple %d invalid: %v", domain, i, err)
+			}
+			if mx, ok := u.MaxItem(); ok && int(mx) >= domain {
+				t.Fatalf("domain %d tuple %d has item %d outside domain", domain, i, mx)
+			}
+			total += float64(u.Len())
+		}
+		mean := total / float64(len(d.Tuples))
+		want := gen3Fill(domain)
+		// Geometric sizes truncated at the domain; the mean should be in the
+		// right ballpark.
+		if mean < want*0.5 || mean > want*1.6 {
+			t.Errorf("domain %d: mean fill %g, expected near %g", domain, mean, want)
+		}
+	}
+}
+
+func TestCRM1Sparse(t *testing.T) {
+	d := CRM1Like(4, 5000)
+	if d.Domain != CRMCategories {
+		t.Fatalf("domain = %d", d.Domain)
+	}
+	var totalLen, domProb float64
+	for i, u := range d.Tuples {
+		if err := u.Validate(); err != nil {
+			t.Fatalf("tuple %d invalid: %v", i, err)
+		}
+		totalLen += float64(u.Len())
+		_, p, err := u.Mode()
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		domProb += p
+	}
+	meanLen := totalLen / float64(len(d.Tuples))
+	meanDom := domProb / float64(len(d.Tuples))
+	if meanLen > 4 {
+		t.Errorf("CRM1 mean support %g, want sparse (< 4)", meanLen)
+	}
+	if meanDom < 0.55 {
+		t.Errorf("CRM1 mean dominant probability %g, want confident (> 0.55)", meanDom)
+	}
+}
+
+func TestCRM2Dense(t *testing.T) {
+	d := CRM2Like(5, 3000)
+	var totalLen float64
+	for i, u := range d.Tuples {
+		if err := u.Validate(); err != nil {
+			t.Fatalf("tuple %d invalid: %v", i, err)
+		}
+		totalLen += float64(u.Len())
+	}
+	meanLen := totalLen / float64(len(d.Tuples))
+	if meanLen < 10 || meanLen > 30 {
+		t.Errorf("CRM2 mean support %g, want ~15 of 50 (dense relative to CRM1)", meanLen)
+	}
+}
+
+func TestCRMContrast(t *testing.T) {
+	// The property Figure 6 vs 7 rests on: CRM1 much sparser than CRM2.
+	c1 := CRM1Like(6, 2000)
+	c2 := CRM2Like(6, 2000)
+	mean := func(d *Dataset) float64 {
+		var s float64
+		for _, u := range d.Tuples {
+			s += float64(u.Len())
+		}
+		return s / float64(len(d.Tuples))
+	}
+	m1, m2 := mean(c1), mean(c2)
+	if m2 < 8*m1 {
+		t.Errorf("density contrast too weak: CRM1 %g vs CRM2 %g non-zero items", m1, m2)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Uniform(42, 100)
+	b := Uniform(42, 100)
+	for i := range a.Tuples {
+		if !a.Tuples[i].Equal(b.Tuples[i]) {
+			t.Fatalf("same seed produced different tuples at %d", i)
+		}
+	}
+	c := Uniform(43, 100)
+	same := true
+	for i := range a.Tuples {
+		if !a.Tuples[i].Equal(c.Tuples[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical datasets")
+	}
+}
+
+func TestQueryDrawsFromDataset(t *testing.T) {
+	d := Pairwise(7, 50)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		q := d.Query(r)
+		found := false
+		for _, u := range d.Tuples {
+			if u.Equal(q) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Query returned a UDA not in the dataset")
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package exp reproduces the paper's evaluation (§4): it builds the paper's
+// datasets, calibrates query thresholds to target selectivities, measures
+// disk I/Os per query under the paper's buffer-management discipline (8 KB
+// pages, 100-frame clock pool allocated per query), and emits each figure's
+// data series.
+//
+// Methodology notes, matching §4:
+//
+//   - The y-axis is always "number of disk I/Os per query"; we count buffer
+//     pool misses plus write-backs.
+//   - The x-axis of Figures 4–7 and 10 is query selectivity as a
+//     percentage, on {0.01, 0.1, 1, 10}.
+//   - Queries are drawn from the dataset itself; thresholds are calibrated
+//     per query so the answer set is the target fraction of the relation,
+//     and top-k queries use k = target answer size.
+//   - Each point averages a configurable number of queries (default 20),
+//     each run against a freshly cleared pool ("a buffer manager that
+//     allocates 100 blocks to each query").
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"ucat/internal/core"
+	"ucat/internal/dataset"
+	"ucat/internal/invidx"
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// Selectivities is the x-axis of the selectivity figures, as fractions
+// (0.01% … 10%).
+var Selectivities = []float64{0.0001, 0.001, 0.01, 0.1}
+
+// Params tunes an experiment run.
+type Params struct {
+	// Scale multiplies the paper's dataset sizes (1.0 = full scale:
+	// 10k synthetic, 100k CRM). Use smaller scales for quick runs.
+	Scale float64
+	// Queries is the number of queries averaged per data point.
+	Queries int
+	// Seed makes runs reproducible.
+	Seed int64
+	// InvStrategy overrides the inverted-index search strategy. When nil,
+	// each figure uses the strategy the paper's discussion implies for its
+	// data: frontier search (highest-prob-first) on sparse datasets, where
+	// per-candidate random accesses are cheap and Lemma 1 stops early, and
+	// list joining (inv-index-search) on dense datasets, where "the random
+	// access … performs poorly as against simply joining the relevant parts
+	// of inverted lists" (§3.1).
+	InvStrategy *invidx.Strategy
+	// BuildFrames sizes the buffer pool during index construction; queries
+	// always run under the paper's 100 frames.
+	BuildFrames int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	if p.Queries <= 0 {
+		p.Queries = 20
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.BuildFrames <= 0 {
+		p.BuildFrames = 4096
+	}
+	return p
+}
+
+// strategyOr returns the override strategy if set, else the figure's
+// data-appropriate default.
+func (p Params) strategyOr(def invidx.Strategy) invidx.Strategy {
+	if p.InvStrategy != nil {
+		return *p.InvStrategy
+	}
+	return def
+}
+
+// scaled applies the scale factor with a sane floor.
+func (p Params) scaled(n int) int {
+	m := int(float64(n) * p.Scale)
+	if m < 100 {
+		m = 100
+	}
+	return m
+}
+
+// Point is one measured data point: an x value (selectivity fraction,
+// dataset size, domain size, …) and the mean I/Os per query.
+type Point struct {
+	X   float64
+	IOs float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced table/figure: its paper identity and data series.
+type Figure struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// WriteCSV renders the figure as CSV (header row, then one row per x
+// value), for plotting tools.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s", f.XLabel); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(w, ",%s", s.Label)
+	}
+	fmt.Fprintln(w)
+	if len(f.Series) == 0 {
+		return nil
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(w, "%g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, ",%g", s.Points[i].IOs)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the figure as an aligned text table, x values as rows
+// and series as columns.
+func (f *Figure) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %22s", s.Label)
+	}
+	fmt.Fprintln(w)
+	if len(f.Series) == 0 {
+		return nil
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(w, "%-14g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, " %22.1f", s.Points[i].IOs)
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// workload is a dataset plus calibrated queries.
+type workload struct {
+	data    *dataset.Dataset
+	queries []uda.UDA
+	ranked  [][]float64 // per query: equality probabilities, descending
+}
+
+// newWorkload draws queries from the dataset and precomputes, in memory
+// (no I/O is charged), each query's ranked probability list for threshold
+// calibration.
+func newWorkload(d *dataset.Dataset, numQueries int, seed int64) *workload {
+	r := rand.New(rand.NewSource(seed))
+	w := &workload{data: d}
+	for len(w.queries) < numQueries {
+		q := d.Query(r)
+		probs := make([]float64, len(d.Tuples))
+		for i, u := range d.Tuples {
+			probs[i] = uda.EqualityProb(q, u)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(probs)))
+		w.queries = append(w.queries, q)
+		w.ranked = append(w.ranked, probs)
+	}
+	return w
+}
+
+// targetCount converts a selectivity fraction to an answer-set size.
+func (w *workload) targetCount(sel float64) int {
+	m := int(sel*float64(len(w.data.Tuples)) + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	if m > len(w.data.Tuples) {
+		m = len(w.data.Tuples)
+	}
+	return m
+}
+
+// tau returns the threshold for query qi that admits roughly the target
+// number of tuples: the (m+1)-th highest probability, so that strictly-
+// greater comparison selects about m tuples.
+func (w *workload) tau(qi int, sel float64) float64 {
+	m := w.targetCount(sel)
+	probs := w.ranked[qi]
+	if m >= len(probs) {
+		return 0
+	}
+	return probs[m]
+}
+
+// access describes one access method under measurement.
+type access struct {
+	label string
+	opts  core.Options
+}
+
+// buildRelation loads the dataset into a fresh relation under a large build
+// pool, then shrinks the pool to the paper's 100 frames for querying.
+func buildRelation(d *dataset.Dataset, opts core.Options, buildFrames int) (*core.Relation, error) {
+	opts.PoolFrames = buildFrames
+	rel, err := core.NewRelation(opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range d.Tuples {
+		if _, err := rel.Insert(u); err != nil {
+			return nil, err
+		}
+	}
+	if err := rel.Pool().Resize(pager.DefaultPoolFrames); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// measure runs every workload query at the given selectivity and returns
+// the mean I/Os per query. Each query starts with a cleared pool and fresh
+// counters.
+func measure(rel *core.Relation, w *workload, sel float64, topk bool) (float64, error) {
+	pool := rel.Pool()
+	var total uint64
+	for qi, q := range w.queries {
+		if err := pool.Clear(); err != nil {
+			return 0, err
+		}
+		pool.ResetStats()
+		var err error
+		if topk {
+			_, err = rel.TopK(q, w.targetCount(sel))
+		} else {
+			_, err = rel.PETQ(q, w.tau(qi, sel))
+		}
+		if err != nil {
+			return 0, err
+		}
+		total += pool.Stats().IOs()
+	}
+	return float64(total) / float64(len(w.queries)), nil
+}
+
+// selectivitySweep measures one access method across Selectivities,
+// producing the "<label>-Thres" and "<label>-TopK" series the paper plots.
+func selectivitySweep(d *dataset.Dataset, a access, p Params) ([]Series, error) {
+	rel, err := buildRelation(d, a.opts, p.BuildFrames)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.label, err)
+	}
+	w := newWorkload(d, p.Queries, p.Seed)
+	thres := Series{Label: a.label + "-Thres"}
+	topk := Series{Label: a.label + "-TopK"}
+	for _, sel := range Selectivities {
+		io1, err := measure(rel, w, sel, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s thres: %w", a.label, err)
+		}
+		io2, err := measure(rel, w, sel, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s topk: %w", a.label, err)
+		}
+		thres.Points = append(thres.Points, Point{X: sel * 100, IOs: io1})
+		topk.Points = append(topk.Points, Point{X: sel * 100, IOs: io2})
+	}
+	return []Series{thres, topk}, nil
+}

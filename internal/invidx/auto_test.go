@@ -1,0 +1,75 @@
+package invidx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+func TestAutoMatchesNaive(t *testing.T) {
+	ix := newTestIndex(t, 200)
+	data := buildRandom(t, ix, 1500, 25, 5, 61)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		q := uda.Random(r, 25, 4)
+		for _, tau := range []float64{0, 0.05, 0.2} {
+			want := naivePETQ(data, q, tau)
+			got, err := ix.PETQ(q, tau, Auto)
+			if err != nil {
+				t.Fatalf("Auto PETQ: %v", err)
+			}
+			matchesEqual(t, "auto", got, want)
+		}
+		top, err := ix.TopK(q, 10, Auto)
+		if err != nil {
+			t.Fatalf("Auto TopK: %v", err)
+		}
+		want := naivePETQ(data, q, 0)
+		if len(want) > 10 {
+			want = want[:10]
+		}
+		if len(top) != len(want) {
+			t.Fatalf("Auto TopK: %d results, want %d", len(top), len(want))
+		}
+		for i := range want {
+			if math.Abs(top[i].Prob-want[i].Prob) > 1e-9 {
+				t.Fatalf("Auto TopK result %d prob %g, want %g", i, top[i].Prob, want[i].Prob)
+			}
+		}
+	}
+}
+
+func TestAutoPicksByListLength(t *testing.T) {
+	// Sparse index with short lists → frontier search.
+	sparse := New(pager.NewPool(pager.NewStore(), 100))
+	for i := 0; i < 200; i++ {
+		if err := sparse.Insert(uint32(i), uda.Certain(uint32(i%100))); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	q := uda.Certain(5)
+	if got := sparse.chooseStrategy(q); got != HighestProbFirst {
+		t.Errorf("sparse index chose %v, want highest-prob-first", got)
+	}
+
+	// Dense index with long lists → rank join.
+	dense := New(pager.NewPool(pager.NewStore(), 100))
+	u := uda.MustNew(uda.Pair{Item: 0, Prob: 0.5}, uda.Pair{Item: 1, Prob: 0.5})
+	for i := 0; i < 20000; i++ {
+		if err := dense.Insert(uint32(i), u); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if got := dense.chooseStrategy(u); got != NRA {
+		t.Errorf("dense index chose %v, want nra", got)
+	}
+}
+
+func TestAutoString(t *testing.T) {
+	if Auto.String() != "auto" {
+		t.Errorf("Auto.String() = %q", Auto.String())
+	}
+}

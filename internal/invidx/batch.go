@@ -1,0 +1,77 @@
+package invidx
+
+import (
+	"fmt"
+
+	"ucat/internal/btree"
+	"ucat/internal/query"
+	"ucat/internal/uda"
+)
+
+// MultiPETQ answers many threshold queries in one shared pass: every
+// inverted list any query needs is scanned exactly once, accumulating
+// q_j · t_j into each interested query's score table simultaneously. For a
+// batch of m queries over shared lists this costs the I/O of one
+// brute-force query instead of m — the classic multi-query optimization for
+// index nested-loop joins, where the outer relation produces thousands of
+// probes against the same lists.
+//
+// taus holds one threshold per query (all must be non-negative). The result
+// has one match slice per query, each in canonical descending-probability
+// order with exact probabilities.
+func (ix *Index) MultiPETQ(qs []uda.UDA, taus []float64) ([][]query.Match, error) {
+	if len(qs) != len(taus) {
+		return nil, fmt.Errorf("invidx: %d queries with %d thresholds", len(qs), len(taus))
+	}
+	for i, tau := range taus {
+		if tau < 0 {
+			return nil, fmt.Errorf("invidx: negative threshold %g for query %d", tau, i)
+		}
+	}
+
+	// Invert the batch: item → (query index, query probability) pairs.
+	type interest struct {
+		qi int
+		qp float64
+	}
+	byItem := make(map[uint32][]interest)
+	for qi, q := range qs {
+		for _, p := range q.Pairs() {
+			byItem[p.Item] = append(byItem[p.Item], interest{qi: qi, qp: p.Prob})
+		}
+	}
+
+	scores := make([]map[uint32]float64, len(qs))
+	for i := range scores {
+		scores[i] = make(map[uint32]float64)
+	}
+	for item, interested := range byItem {
+		tree, ok := ix.dir[item]
+		if !ok {
+			continue
+		}
+		err := tree.Scan(btree.Key{}, func(k btree.Key) bool {
+			prob, tid := unpackKey(k)
+			for _, in := range interested {
+				scores[in.qi][tid] += in.qp * prob
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([][]query.Match, len(qs))
+	for qi := range qs {
+		var res []query.Match
+		for tid, sc := range scores[qi] {
+			if sc > taus[qi] {
+				res = append(res, query.Match{TID: tid, Prob: sc})
+			}
+		}
+		query.SortMatches(res)
+		out[qi] = res
+	}
+	return out, nil
+}

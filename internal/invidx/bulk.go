@@ -1,0 +1,45 @@
+package invidx
+
+import (
+	"fmt"
+	"sort"
+
+	"ucat/internal/btree"
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// Tuple pairs a tuple id with its uncertain attribute value, for bulk
+// loading.
+type Tuple struct {
+	TID   uint32
+	Value uda.UDA
+}
+
+// Build constructs an index over the tuples in one pass: the heap is filled
+// sequentially and every inverted list is bulk-loaded as a packed B-tree,
+// avoiding the per-insert descents and splits of incremental construction.
+func Build(pool *pager.Pool, tuples []Tuple) (*Index, error) {
+	ix := New(pool)
+	perItem := make(map[uint32][]btree.Key)
+	for _, t := range tuples {
+		if err := t.Value.Validate(); err != nil {
+			return nil, fmt.Errorf("invidx: build tuple %d: %w", t.TID, err)
+		}
+		if err := ix.tuples.Put(t.TID, t.Value); err != nil {
+			return nil, err
+		}
+		for _, p := range t.Value.Pairs() {
+			perItem[p.Item] = append(perItem[p.Item], packKey(p.Prob, t.TID))
+		}
+	}
+	for item, keys := range perItem {
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+		tree, err := btree.BulkLoad(pool, keys)
+		if err != nil {
+			return nil, fmt.Errorf("invidx: build list %d: %w", item, err)
+		}
+		ix.dir[item] = tree
+	}
+	return ix, nil
+}

@@ -1,0 +1,63 @@
+package invidx_test
+
+import (
+	"fmt"
+	"log"
+
+	"ucat/internal/invidx"
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+func ExampleIndex_PETQ() {
+	pool := pager.NewPool(pager.NewStore(), 100)
+	ix := invidx.New(pool)
+	tuples := []uda.UDA{
+		uda.MustNew(uda.Pair{Item: 1, Prob: 0.9}, uda.Pair{Item: 2, Prob: 0.1}),
+		uda.MustNew(uda.Pair{Item: 1, Prob: 0.2}, uda.Pair{Item: 3, Prob: 0.8}),
+		uda.MustNew(uda.Pair{Item: 4, Prob: 1.0}),
+	}
+	for tid, u := range tuples {
+		if err := ix.Insert(uint32(tid), u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Auto picks a strategy from the list statistics; all strategies return
+	// identical answers.
+	matches, err := ix.PETQ(uda.Certain(1), 0.5, invidx.Auto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("tuple %d: %.1f\n", m.TID, m.Prob)
+	}
+	// Output:
+	// tuple 0: 0.9
+}
+
+func ExampleIndex_MultiPETQ() {
+	pool := pager.NewPool(pager.NewStore(), 100)
+	ix := invidx.New(pool)
+	for tid, u := range []uda.UDA{
+		uda.MustNew(uda.Pair{Item: 1, Prob: 0.6}, uda.Pair{Item: 2, Prob: 0.4}),
+		uda.MustNew(uda.Pair{Item: 2, Prob: 1.0}),
+	} {
+		if err := ix.Insert(uint32(tid), u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Two queries answered in one shared pass over the lists.
+	qs := []uda.UDA{uda.Certain(1), uda.Certain(2)}
+	results, err := ix.MultiPETQ(qs, []float64{0.5, 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for qi, ms := range results {
+		for _, m := range ms {
+			fmt.Printf("query %d: tuple %d at %.1f\n", qi, m.TID, m.Prob)
+		}
+	}
+	// Output:
+	// query 0: tuple 0 at 0.6
+	// query 1: tuple 1 at 1.0
+}

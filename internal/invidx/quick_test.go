@@ -1,0 +1,116 @@
+package invidx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// TestQuickStrategiesAgreeWithNaive is a randomized end-to-end property:
+// for random datasets, random queries and random thresholds, every search
+// strategy returns exactly the naive answer.
+func TestQuickStrategiesAgreeWithNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 15; trial++ {
+		domain := 2 + r.Intn(40)
+		maxPairs := 1 + r.Intn(8)
+		n := 50 + r.Intn(500)
+		ix := New(pager.NewPool(pager.NewStore(), 100))
+		data := make(map[uint32]uda.UDA, n)
+		for i := 0; i < n; i++ {
+			u := uda.Random(r, domain, maxPairs)
+			data[uint32(i)] = u
+			if err := ix.Insert(uint32(i), u); err != nil {
+				t.Fatalf("trial %d Insert: %v", trial, err)
+			}
+		}
+		// Random deletions keep the index honest.
+		for i := 0; i < n/10; i++ {
+			tid := uint32(r.Intn(n))
+			if _, ok := data[tid]; !ok {
+				continue
+			}
+			if err := ix.Delete(tid); err != nil {
+				t.Fatalf("trial %d Delete: %v", trial, err)
+			}
+			delete(data, tid)
+		}
+
+		for qi := 0; qi < 3; qi++ {
+			q := uda.Random(r, domain, maxPairs)
+			tau := r.Float64() * 0.3
+			want := naivePETQ(data, q, tau)
+			for _, s := range Strategies {
+				got, err := ix.PETQ(q, tau, s)
+				if err != nil {
+					t.Fatalf("trial %d %v: %v", trial, s, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("trial %d %v tau=%g: %d matches, want %d",
+						trial, s, tau, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].TID != want[i].TID || math.Abs(got[i].Prob-want[i].Prob) > 1e-9 {
+						t.Fatalf("trial %d %v: match %d = %v, want %v", trial, s, i, got[i], want[i])
+					}
+				}
+			}
+
+			k := 1 + r.Intn(20)
+			wantK := naivePETQ(data, q, 0)
+			if len(wantK) > k {
+				wantK = wantK[:k]
+			}
+			for _, s := range Strategies {
+				got, err := ix.TopK(q, k, s)
+				if err != nil {
+					t.Fatalf("trial %d %v TopK: %v", trial, s, err)
+				}
+				if len(got) != len(wantK) {
+					t.Fatalf("trial %d %v TopK(%d): %d results, want %d",
+						trial, s, k, len(got), len(wantK))
+				}
+				for i := range wantK {
+					if math.Abs(got[i].Prob-wantK[i].Prob) > 1e-9 {
+						t.Fatalf("trial %d %v TopK: prob %g, want %g",
+							trial, s, got[i].Prob, wantK[i].Prob)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickNoFalseDropsUnderTinyPool runs searches under a minimal buffer
+// pool: eviction pressure must never change answers, only cost.
+func TestQuickNoFalseDropsUnderTinyPool(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	ix := New(pager.NewPool(pager.NewStore(), 8))
+	data := make(map[uint32]uda.UDA)
+	for i := 0; i < 2000; i++ {
+		u := uda.Random(r, 15, 4)
+		data[uint32(i)] = u
+		if err := ix.Insert(uint32(i), u); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		q := uda.Random(r, 15, 3)
+		want := naivePETQ(data, q, 0.05)
+		for _, s := range Strategies {
+			got, err := ix.PETQ(q, 0.05, s)
+			if err != nil {
+				t.Fatalf("%v under tiny pool: %v", s, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v under tiny pool: %d matches, want %d", s, len(got), len(want))
+			}
+		}
+	}
+	if ix.Pool().PinnedPages() != 0 {
+		t.Errorf("pin leak: %d pages pinned after queries", ix.Pool().PinnedPages())
+	}
+}

@@ -1,0 +1,44 @@
+package invidx
+
+import (
+	"sort"
+
+	"ucat/internal/btree"
+	"ucat/internal/uda"
+)
+
+// Rebuild compacts the tuple heap and reconstructs every inverted list as a
+// freshly packed B-tree, reclaiming the space left behind by deletions and
+// lazy B-tree maintenance. Equivalent to dropping and bulk-rebuilding the
+// index, in place.
+func (ix *Index) Rebuild() error {
+	// Collect the live postings before touching anything.
+	perItem := make(map[uint32][]btree.Key)
+	err := ix.tuples.Scan(func(tid uint32, u uda.UDA) bool {
+		for _, p := range u.Pairs() {
+			perItem[p.Item] = append(perItem[p.Item], packKey(p.Prob, tid))
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := ix.tuples.Compact(); err != nil {
+		return err
+	}
+	for item, tree := range ix.dir {
+		if err := tree.Drop(); err != nil {
+			return err
+		}
+		delete(ix.dir, item)
+	}
+	for item, keys := range perItem {
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+		tree, err := btree.BulkLoad(ix.pool, keys)
+		if err != nil {
+			return err
+		}
+		ix.dir[item] = tree
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package invidx
+
+import (
+	"ucat/internal/btree"
+	"ucat/internal/pager"
+	"ucat/internal/tuplestore"
+)
+
+// Snapshot is the index's persistent metadata: the inverted directory's list
+// roots and the tuple heap's metadata. The page contents live in the
+// pager.Store.
+type Snapshot struct {
+	Roots  map[uint32]uint32 // item → B-tree root page id
+	Tuples tuplestore.Snapshot
+}
+
+// Snapshot captures the index's metadata for persistence.
+func (ix *Index) Snapshot() Snapshot {
+	snap := Snapshot{
+		Roots:  make(map[uint32]uint32, len(ix.dir)),
+		Tuples: ix.tuples.Snapshot(),
+	}
+	for item, tree := range ix.dir {
+		snap.Roots[item] = uint32(tree.Root())
+	}
+	return snap
+}
+
+// Restore rebuilds an index over the given pool from a snapshot. Each list's
+// key count is recomputed by scanning it once.
+func Restore(pool *pager.Pool, snap Snapshot) (*Index, error) {
+	ix := New(pool)
+	tuples, err := tuplestore.Restore(pool, snap.Tuples)
+	if err != nil {
+		return nil, err
+	}
+	ix.tuples = tuples
+	for item, root := range snap.Roots {
+		tree, err := btree.Open(pool, pager.PageID(root))
+		if err != nil {
+			return nil, err
+		}
+		ix.dir[item] = tree
+	}
+	return ix, nil
+}

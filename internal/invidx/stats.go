@@ -1,0 +1,39 @@
+package invidx
+
+import "fmt"
+
+// Stats describes the index's physical shape.
+type Stats struct {
+	Tuples     int     // indexed UDAs
+	Lists      int     // non-empty inverted lists (distinct items)
+	Entries    int     // total (tid, prob) entries across all lists
+	MeanLength float64 // mean entries per list
+	MaxLength  int     // longest list
+	HeapPages  int     // tuple heap data pages
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tuples=%d lists=%d entries=%d mean-list=%.1f max-list=%d heap-pages=%d",
+		s.Tuples, s.Lists, s.Entries, s.MeanLength, s.MaxLength, s.HeapPages)
+}
+
+// Stats reports the index's shape without I/O: list lengths are tracked by
+// the B-trees in memory.
+func (ix *Index) Stats() Stats {
+	st := Stats{
+		Tuples:    ix.tuples.Len(),
+		Lists:     len(ix.dir),
+		HeapPages: ix.tuples.Pages(),
+	}
+	for _, tree := range ix.dir {
+		n := tree.Len()
+		st.Entries += n
+		if n > st.MaxLength {
+			st.MaxLength = n
+		}
+	}
+	if st.Lists > 0 {
+		st.MeanLength = float64(st.Entries) / float64(st.Lists)
+	}
+	return st
+}

@@ -1,0 +1,63 @@
+package invidx
+
+import (
+	"fmt"
+
+	"ucat/internal/btree"
+	"ucat/internal/query"
+	"ucat/internal/uda"
+)
+
+// WindowPETQ answers the paper's relaxed equality query on ordered domains
+// (§2): all tuples t with Pr(|q − t| ≤ c) > tau. Window equality is a plain
+// weighted dot product against the box-filtered query
+// w = Smear(q, c) — Pr(|q−t| ≤ c) = Σ_i w_i · t_i — so the search joins the
+// inverted lists of w's support with w as the per-list weight, exactly like
+// the brute-force equality search with a wider query.
+func (ix *Index) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("invidx: negative threshold %g", tau)
+	}
+	w := uda.Smear(q, c)
+	scores := make(map[uint32]float64)
+	for _, p := range w {
+		tree, ok := ix.dir[p.Item]
+		if !ok {
+			continue
+		}
+		weight := p.Prob
+		err := tree.Scan(btree.Key{}, func(k btree.Key) bool {
+			prob, tid := unpackKey(k)
+			scores[tid] += weight * prob
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var res []query.Match
+	for tid, sc := range scores {
+		if sc > tau {
+			res = append(res, query.Match{TID: tid, Prob: sc})
+		}
+	}
+	query.SortMatches(res)
+	return res, nil
+}
+
+// WindowTopK returns the k tuples with the highest window-equality
+// probability Pr(|q − t| ≤ c).
+func (ix *Index) WindowTopK(q uda.UDA, c uint32, k int) ([]query.Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("invidx: non-positive k %d", k)
+	}
+	all, err := ix.WindowPETQ(q, c, 0)
+	if err != nil {
+		return nil, err
+	}
+	tk := query.NewTopK(k)
+	for _, m := range all {
+		tk.Offer(m)
+	}
+	return tk.Results(), nil
+}

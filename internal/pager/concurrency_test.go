@@ -1,0 +1,119 @@
+package pager
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolConcurrentFetch hammers a shared pool from many goroutines. Run
+// with -race to catch synchronization bugs; the assertions here check pin
+// accounting and content integrity.
+func TestPoolConcurrentFetch(t *testing.T) {
+	store := NewStore()
+	pool := NewPool(store, 16)
+
+	// Seed pages whose first byte encodes their id.
+	const numPages = 64
+	pids := make([]PageID, numPages)
+	for i := range pids {
+		pg, err := pool.NewPage()
+		if err != nil {
+			t.Fatalf("NewPage: %v", err)
+		}
+		pg.Data[0] = byte(pg.ID)
+		pids[i] = pg.ID
+		pg.Unpin(true)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				pid := pids[(seed*2000+i*7)%numPages]
+				pg, err := pool.Fetch(pid)
+				if err != nil {
+					// Transient exhaustion is impossible here: 8 goroutines
+					// hold at most 8 pins against 16 frames.
+					errs <- err
+					return
+				}
+				if pg.Data[0] != byte(pid) {
+					errs <- errContent(pid)
+					pg.Unpin(false)
+					return
+				}
+				pg.Unpin(false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent fetch: %v", err)
+	}
+	if got := pool.PinnedPages(); got != 0 {
+		t.Errorf("pin leak: %d pages pinned", got)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Errorf("FlushAll: %v", err)
+	}
+}
+
+type errContent PageID
+
+func (e errContent) Error() string { return "page content corrupted" }
+
+// TestPoolConcurrentMixed mixes NewPage, Fetch and FreePage across
+// goroutines, each working on its own pages so the only shared state is the
+// pool itself.
+func TestPoolConcurrentMixed(t *testing.T) {
+	store := NewStore()
+	pool := NewPool(store, 32)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []PageID
+			for i := 0; i < 300; i++ {
+				pg, err := pool.NewPage()
+				if err != nil {
+					errs <- err
+					return
+				}
+				pg.Data[1] = 0xAB
+				mine = append(mine, pg.ID)
+				pg.Unpin(true)
+			}
+			for _, pid := range mine {
+				pg, err := pool.Fetch(pid)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if pg.Data[1] != 0xAB {
+					errs <- errContent(pid)
+					pg.Unpin(false)
+					return
+				}
+				pg.Unpin(false)
+				if err := pool.FreePage(pid); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent mixed: %v", err)
+	}
+	if store.NumPages() != 0 {
+		t.Errorf("%d pages leaked", store.NumPages())
+	}
+}

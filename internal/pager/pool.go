@@ -1,0 +1,326 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DefaultPoolFrames is the buffer pool capacity used throughout the paper's
+// experiments: "all experiments are conducted with a buffer manager that
+// allocates 100 blocks to each query".
+const DefaultPoolFrames = 100
+
+// ErrPoolExhausted is returned by Fetch/NewPage when every frame is pinned.
+var ErrPoolExhausted = errors.New("pager: buffer pool exhausted (all frames pinned)")
+
+// Stats counts page traffic through a Pool. Reads and Writes are transfers
+// between pool and store — the paper's "disk I/Os". Hits are fetches served
+// from the pool without touching the store.
+type Stats struct {
+	Reads  uint64 // pages read from the store (pool misses)
+	Writes uint64 // dirty pages written back to the store
+	Hits   uint64 // fetches satisfied inside the pool
+}
+
+// IOs returns the total I/O count Reads+Writes, the y-axis of every figure
+// in the paper's evaluation.
+func (s Stats) IOs() uint64 { return s.Reads + s.Writes }
+
+// Sub returns the difference s − t, used to attribute I/Os to one query.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
+}
+
+// Add returns the sum s + t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{Reads: s.Reads + t.Reads, Writes: s.Writes + t.Writes, Hits: s.Hits + t.Hits}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d hits=%d io=%d", s.Reads, s.Writes, s.Hits, s.IOs())
+}
+
+type frame struct {
+	pid   PageID
+	data  []byte
+	pins  int
+	ref   bool // clock reference bit (second chance)
+	dirty bool
+}
+
+// Pool is a buffer pool over a Store with clock replacement. Callers obtain
+// pinned Pages via Fetch or NewPage and must Unpin them when done; unpinned
+// frames are eligible for eviction, dirty ones being written back first.
+//
+// Pool is safe for concurrent use, but a Page's Data is only protected while
+// the page is pinned, and concurrent writers to one page must coordinate
+// among themselves.
+type Pool struct {
+	store  *Store
+	mu     sync.Mutex
+	frames []frame
+	table  map[PageID]int // pid → frame index
+	hand   int            // clock hand
+	stats  Stats
+}
+
+// NewPool creates a pool with nframes frames (DefaultPoolFrames if
+// nframes <= 0) over the given store.
+func NewPool(store *Store, nframes int) *Pool {
+	if nframes <= 0 {
+		nframes = DefaultPoolFrames
+	}
+	p := &Pool{
+		store:  store,
+		frames: make([]frame, nframes),
+		table:  make(map[PageID]int, nframes),
+	}
+	for i := range p.frames {
+		p.frames[i].data = make([]byte, PageSize)
+	}
+	return p
+}
+
+// Store returns the underlying page store.
+func (p *Pool) Store() *Store { return p.store }
+
+// Frames returns the pool capacity.
+func (p *Pool) Frames() int { return len(p.frames) }
+
+// Page is a pinned page image. Data aliases the pool frame directly; it is
+// valid until Unpin and must not be retained afterwards.
+type Page struct {
+	ID   PageID
+	Data []byte
+	pool *Pool
+	idx  int
+}
+
+// Fetch pins the page in the pool, reading it from the store on a miss.
+func (p *Pool) Fetch(pid PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.table[pid]; ok {
+		f := &p.frames[idx]
+		f.pins++
+		f.ref = true
+		p.stats.Hits++
+		return &Page{ID: pid, Data: f.data, pool: p, idx: idx}, nil
+	}
+	idx, err := p.evict()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if err := p.store.ReadAt(pid, f.data); err != nil {
+		// Leave the frame empty so a later fetch can reuse it.
+		f.pid = InvalidPage
+		return nil, err
+	}
+	p.stats.Reads++
+	f.pid = pid
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	p.table[pid] = idx
+	return &Page{ID: pid, Data: f.data, pool: p, idx: idx}, nil
+}
+
+// NewPage allocates a fresh zeroed page in the store and pins it without a
+// store read (materializing a brand-new page costs no input I/O; it will
+// cost a write when evicted or flushed).
+func (p *Pool) NewPage() (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.evict()
+	if err != nil {
+		return nil, err
+	}
+	pid := p.store.Allocate()
+	f := &p.frames[idx]
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.pid = pid
+	f.pins = 1
+	f.ref = true
+	f.dirty = true
+	p.table[pid] = idx
+	return &Page{ID: pid, Data: f.data, pool: p, idx: idx}, nil
+}
+
+// Unpin releases one pin on the page. If dirty is true the frame is marked
+// for write-back on eviction. Unpinning an unpinned page panics: it is a
+// use-after-release bug in the caller.
+func (pg *Page) Unpin(dirty bool) {
+	p := pg.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := &p.frames[pg.idx]
+	if f.pid != pg.ID || f.pins <= 0 {
+		panic(fmt.Sprintf("pager: unpin of page %d not pinned in frame %d", pg.ID, pg.idx))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FreePage removes the page from the pool (it must not be pinned) and
+// releases it in the store.
+func (p *Pool) FreePage(pid PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.table[pid]; ok {
+		f := &p.frames[idx]
+		if f.pins > 0 {
+			return fmt.Errorf("pager: freeing pinned page %d", pid)
+		}
+		delete(p.table, pid)
+		f.pid = InvalidPage
+		f.dirty = false
+	}
+	return p.store.Free(pid)
+}
+
+// FlushAll writes every dirty unpinned frame back to the store. It returns
+// an error if a dirty page is still pinned, which indicates a pin leak.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.pid == InvalidPage || !f.dirty {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("pager: flush with page %d still pinned", f.pid)
+		}
+		if err := p.store.WriteAt(f.pid, f.data); err != nil {
+			return err
+		}
+		p.stats.Writes++
+		f.dirty = false
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the I/O counters (the pool contents are untouched, so a
+// query following a reset runs against a warm pool, as in the paper).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Clear writes back all dirty frames and then drops every cached page, so
+// subsequent fetches run against a cold cache. The paper's evaluation
+// allocates a buffer pool "to each query"; the experiment harness models that
+// by clearing the pool between queries. Clearing fails if any page is pinned.
+func (p *Pool) Clear() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clearLocked()
+}
+
+// Resize changes the pool capacity, clearing it in the process. It is used
+// to build an index under a large pool and then query it under the paper's
+// 100-frame pool.
+func (p *Pool) Resize(nframes int) error {
+	if nframes <= 0 {
+		nframes = DefaultPoolFrames
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.clearLocked(); err != nil {
+		return err
+	}
+	p.frames = make([]frame, nframes)
+	for i := range p.frames {
+		p.frames[i].data = make([]byte, PageSize)
+	}
+	p.table = make(map[PageID]int, nframes)
+	p.hand = 0
+	return nil
+}
+
+// clearLocked must be called with p.mu held.
+func (p *Pool) clearLocked() error {
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.pid == InvalidPage {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("pager: clear with page %d still pinned", f.pid)
+		}
+		if f.dirty {
+			if err := p.store.WriteAt(f.pid, f.data); err != nil {
+				return err
+			}
+			p.stats.Writes++
+		}
+		delete(p.table, f.pid)
+		f.pid = InvalidPage
+		f.dirty = false
+		f.ref = false
+	}
+	return nil
+}
+
+// PinnedPages reports how many frames are currently pinned; useful for leak
+// detection in tests.
+func (p *Pool) PinnedPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.frames {
+		if p.frames[i].pid != InvalidPage && p.frames[i].pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// evict selects a victim frame using the clock algorithm, writing it back if
+// dirty, and returns its index with the frame detached from the page table.
+// Must be called with p.mu held.
+func (p *Pool) evict() (int, error) {
+	// An empty frame is free to take without a sweep.
+	// The clock makes at most two full sweeps: the first clears reference
+	// bits, the second takes the first unpinned frame.
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		f := &p.frames[p.hand]
+		idx := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pid == InvalidPage {
+			return idx, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false // second chance
+			continue
+		}
+		if f.dirty {
+			if err := p.store.WriteAt(f.pid, f.data); err != nil {
+				return 0, err
+			}
+			p.stats.Writes++
+		}
+		delete(p.table, f.pid)
+		f.pid = InvalidPage
+		f.dirty = false
+		return idx, nil
+	}
+	return 0, ErrPoolExhausted
+}

@@ -1,0 +1,122 @@
+// Package pager provides the disk substrate the paper's evaluation
+// presupposes: fixed-size 8 KB pages, a page allocator, and a buffer pool
+// with clock (second-chance) replacement. The paper measures index quality
+// as "number of disk I/Os per query" under "a buffer manager that allocates
+// 100 blocks to each query. A clock replacement algorithm is used to manage
+// the buffer pool" (§4); this package implements exactly that accounting.
+//
+// The page store itself is in memory — the metric of interest is buffer-pool
+// misses, which depend only on page size, pool size and replacement policy,
+// not on the medium behind the pool.
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes. The paper's experiments use
+// 8 KB pages.
+const PageSize = 8192
+
+// PageID identifies an allocated page. The zero value is never a valid page,
+// so it can be used as a null pointer in on-page data structures.
+type PageID uint32
+
+// InvalidPage is the null page id.
+const InvalidPage PageID = 0
+
+// ErrInvalidPage is returned when an operation names a page that was never
+// allocated or has been freed.
+var ErrInvalidPage = errors.New("pager: invalid page id")
+
+// Store is a page-granular storage device: a flat array of fixed-size pages
+// with allocate/free. All access should normally go through a Pool so that
+// I/O is counted; Store's own ReadAt/WriteAt are exposed for the pool and for
+// tests.
+type Store struct {
+	mu    sync.Mutex
+	pages [][]byte // index pid-1; nil entries are freed pages
+	free  []PageID
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Allocate reserves a new zeroed page and returns its id.
+func (s *Store) Allocate() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		pid := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.pages[pid-1] = make([]byte, PageSize)
+		return pid
+	}
+	s.pages = append(s.pages, make([]byte, PageSize))
+	return PageID(len(s.pages))
+}
+
+// Free releases a page. Freeing an already-free or never-allocated page is
+// an error: it indicates index corruption.
+func (s *Store) Free(pid PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(pid); err != nil {
+		return err
+	}
+	s.pages[pid-1] = nil
+	s.free = append(s.free, pid)
+	return nil
+}
+
+// ReadAt copies the page's contents into dst, which must be PageSize bytes.
+func (s *Store) ReadAt(pid PageID, dst []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(pid); err != nil {
+		return err
+	}
+	if len(dst) != PageSize {
+		return fmt.Errorf("pager: ReadAt buffer is %d bytes, want %d", len(dst), PageSize)
+	}
+	copy(dst, s.pages[pid-1])
+	return nil
+}
+
+// WriteAt overwrites the page's contents from src, which must be PageSize
+// bytes.
+func (s *Store) WriteAt(pid PageID, src []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(pid); err != nil {
+		return err
+	}
+	if len(src) != PageSize {
+		return fmt.Errorf("pager: WriteAt buffer is %d bytes, want %d", len(src), PageSize)
+	}
+	copy(s.pages[pid-1], src)
+	return nil
+}
+
+// NumPages returns the number of currently allocated pages.
+func (s *Store) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages) - len(s.free)
+}
+
+// Bytes returns the total allocated size in bytes, the on-disk footprint an
+// index built on this store would occupy.
+func (s *Store) Bytes() int64 {
+	return int64(s.NumPages()) * PageSize
+}
+
+// check must be called with s.mu held.
+func (s *Store) check(pid PageID) error {
+	if pid == InvalidPage || int(pid) > len(s.pages) || s.pages[pid-1] == nil {
+		return fmt.Errorf("%w: %d", ErrInvalidPage, pid)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package pdrtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+func TestBulkLoadInvariantsAndScan(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, cfg := range []Config{
+		{},
+		{Compression: DiscretizedCompression, Bits: 6},
+		{Compression: SignatureCompression, Buckets: 8},
+	} {
+		tuples := make([]Tuple, 4000)
+		for i := range tuples {
+			tuples[i] = Tuple{TID: uint32(i), Value: uda.Random(r, 20, 5)}
+		}
+		tr, err := BulkLoad(pager.NewPool(pager.NewStore(), 256), cfg, tuples)
+		if err != nil {
+			t.Fatalf("cfg %+v BulkLoad: %v", cfg, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("cfg %+v invariants: %v", cfg, err)
+		}
+		seen := map[uint32]bool{}
+		if err := tr.Scan(func(tid uint32, u uda.UDA) bool {
+			seen[tid] = true
+			return true
+		}); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		if len(seen) != len(tuples) {
+			t.Fatalf("cfg %+v: scan saw %d tuples, want %d", cfg, len(seen), len(tuples))
+		}
+		d, err := tr.Depth()
+		if err != nil || d < 2 {
+			t.Errorf("cfg %+v: depth = %d (%v)", cfg, d, err)
+		}
+	}
+}
+
+func TestBulkLoadRejectsOversize(t *testing.T) {
+	pairs := make([]uda.Pair, 400)
+	for i := range pairs {
+		pairs[i] = uda.Pair{Item: uint32(i), Prob: 1.0 / 500}
+	}
+	big := uda.MustNew(pairs...)
+	_, err := BulkLoad(pager.NewPool(pager.NewStore(), 16), Config{}, []Tuple{{TID: 1, Value: big}})
+	if err == nil {
+		t.Errorf("oversize record accepted by BulkLoad")
+	}
+}
+
+func TestBulkLoadSingleLeaf(t *testing.T) {
+	tuples := []Tuple{{TID: 1, Value: uda.Certain(3)}, {TID: 2, Value: uda.Certain(4)}}
+	tr, err := BulkLoad(pager.NewPool(pager.NewStore(), 16), Config{}, tuples)
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	ms, err := tr.PETQ(uda.Certain(3), 0.5)
+	if err != nil || len(ms) != 1 || ms[0].TID != 1 {
+		t.Errorf("PETQ = (%v, %v)", ms, err)
+	}
+	d, err := tr.Depth()
+	if err != nil || d != 1 {
+		t.Errorf("two tuples should fit one leaf: depth %d (%v)", d, err)
+	}
+}

@@ -1,0 +1,129 @@
+package pdrtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ucat/internal/pager"
+	"ucat/internal/query"
+	"ucat/internal/uda"
+)
+
+// Distributional similarity queries (Definition 5 of the paper). The
+// PDR-tree clusters distributionally similar UDAs, so a subtree can be
+// pruned with a lower bound on the distance between the query and anything
+// beneath the subtree's boundary: since every stored u satisfies
+// u_i ≤ bound_i pointwise, each coordinate with q_i > bound_i contributes at
+// least q_i − bound_i to the L1 distance (and its square to L2²). KL is not
+// a metric ("hence it is not directly usable for pruning search paths",
+// §2), so KL queries traverse without pruning.
+
+// distLowerBound returns a lower bound on div(q, u) for every u dominated by
+// bound. Under signature compression the query's items are folded onto
+// buckets before comparing, which keeps the bound valid because
+// u_i ≤ proj(u)[f(i)] ≤ bound[f(i)].
+func (t *Tree) distLowerBound(q uda.UDA, bound uda.Vector, div uda.Divergence) float64 {
+	if div == uda.KL {
+		return 0
+	}
+	var l1, l2 float64
+	for _, p := range q.Pairs() {
+		item := p.Item
+		if t.cfg.Compression == SignatureCompression {
+			item = t.cfg.bucketOf(p.Item)
+		}
+		if d := p.Prob - bound.Prob(item); d > 0 {
+			l1 += d
+			l2 += d * d
+		}
+	}
+	if div == uda.L2 {
+		return math.Sqrt(l2)
+	}
+	return l1
+}
+
+// DSTQ returns all tuples whose distributional distance from q is at most
+// td, in ascending distance order.
+func (t *Tree) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]query.Neighbor, error) {
+	if td < 0 {
+		return nil, fmt.Errorf("pdrtree: negative distance threshold %g", td)
+	}
+	var res []query.Neighbor
+	err := t.dstq(t.root, q, td, div, &res)
+	if err != nil {
+		return nil, err
+	}
+	query.SortNeighbors(res)
+	return res, nil
+}
+
+func (t *Tree) dstq(pid pager.PageID, q uda.UDA, td float64, div uda.Divergence, res *[]query.Neighbor) error {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, u := range n.udas {
+			if d := div.Distance(q, u); d <= td {
+				*res = append(*res, query.Neighbor{TID: n.tids[i], Dist: d})
+			}
+		}
+		return nil
+	}
+	for i := range n.children {
+		if t.distLowerBound(q, n.bounds[i], div) > td {
+			continue
+		}
+		if err := t.dstq(n.children[i], q, td, div, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DSTopK returns the k tuples distributionally closest to q (DSQ-top-k),
+// descending best-first into the child with the smallest distance lower
+// bound so the pruning threshold tightens early.
+func (t *Tree) DSTopK(q uda.UDA, k int, div uda.Divergence) ([]query.Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("pdrtree: non-positive k %d", k)
+	}
+	nk := query.NewNearestK(k)
+	if err := t.dstopk(t.root, q, div, nk); err != nil {
+		return nil, err
+	}
+	return nk.Results(), nil
+}
+
+func (t *Tree) dstopk(pid pager.PageID, q uda.UDA, div uda.Divergence, nk *query.NearestK) error {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, u := range n.udas {
+			nk.Offer(query.Neighbor{TID: n.tids[i], Dist: div.Distance(q, u)})
+		}
+		return nil
+	}
+	type scored struct {
+		child pager.PageID
+		lb    float64
+	}
+	order := make([]scored, len(n.children))
+	for i := range n.children {
+		order[i] = scored{child: n.children[i], lb: t.distLowerBound(q, n.bounds[i], div)}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].lb < order[j].lb })
+	for _, s := range order {
+		if thr, full := nk.Threshold(); full && s.lb > thr {
+			break // children are in ascending bound order
+		}
+		if err := t.dstopk(s.child, q, div, nk); err != nil {
+			return err
+		}
+	}
+	return nil
+}

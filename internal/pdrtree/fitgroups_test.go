@@ -1,0 +1,108 @@
+package pdrtree
+
+import (
+	"testing"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// bigUDA builds a distribution whose leaf record is roughly the requested
+// number of bytes (12 bytes per pair + 6 overhead).
+func bigUDA(t *testing.T, base uint32, bytes int) uda.UDA {
+	t.Helper()
+	pairs := (bytes - 6) / 12
+	if pairs < 1 {
+		pairs = 1
+	}
+	ps := make([]uda.Pair, pairs)
+	for i := range ps {
+		ps[i] = uda.Pair{Item: base + uint32(i), Prob: 1.0 / float64(pairs+1)}
+	}
+	return uda.MustNew(ps...)
+}
+
+func TestFitGroupsRebalancesByBytes(t *testing.T) {
+	tr := newTestTree(t, Config{}, 32)
+	// Group A: two records of ~3.9 KB each — together they exceed the 8184-
+	// byte payload. Group B: a handful of small records with plenty of room.
+	a := &node{leaf: true}
+	for i := 0; i < 2; i++ {
+		u := bigUDA(t, uint32(1000*i), 4180)
+		a.tids = append(a.tids, uint32(i))
+		a.udas = append(a.udas, u)
+	}
+	b := &node{leaf: true}
+	for i := 0; i < 3; i++ {
+		u := bigUDA(t, uint32(5000+100*i), 60)
+		b.tids = append(b.tids, uint32(10+i))
+		b.udas = append(b.udas, u)
+	}
+	if a.encodedSize(tr.cfg) <= payload {
+		t.Fatalf("test setup: group A should overflow (size %d)", a.encodedSize(tr.cfg))
+	}
+	if err := tr.fitGroups(a, b); err != nil {
+		t.Fatalf("fitGroups: %v", err)
+	}
+	if a.encodedSize(tr.cfg) > payload || b.encodedSize(tr.cfg) > payload {
+		t.Errorf("groups still overflow: %d and %d", a.encodedSize(tr.cfg), b.encodedSize(tr.cfg))
+	}
+	if a.count()+b.count() != 5 {
+		t.Errorf("entries lost: %d + %d", a.count(), b.count())
+	}
+	seen := map[uint32]bool{}
+	for _, n := range [2]*node{a, b} {
+		for _, tid := range n.tids {
+			if seen[tid] {
+				t.Errorf("tuple %d duplicated across groups", tid)
+			}
+			seen[tid] = true
+		}
+	}
+}
+
+func TestFitGroupsReportsImpossibleSplit(t *testing.T) {
+	tr := newTestTree(t, Config{}, 32)
+	// Both groups over-full with maximum-size records: nothing can move.
+	mk := func(base uint32) *node {
+		n := &node{leaf: true}
+		for i := 0; i < 3; i++ {
+			n.tids = append(n.tids, base+uint32(i))
+			n.udas = append(n.udas, bigUDA(t, base+uint32(1000*i), 4180))
+		}
+		return n
+	}
+	a, b := mk(0), mk(100)
+	if err := tr.fitGroups(a, b); err == nil {
+		t.Errorf("impossible split accepted")
+	}
+}
+
+func TestSplitWithMixedRecordSizesEndToEnd(t *testing.T) {
+	// Drive the byte-rebalance through the public API: insert a stream of
+	// alternating large and tiny records so splits must rebalance by bytes.
+	tr := newTestTree(t, Config{}, pager.DefaultPoolFrames)
+	for i := 0; i < 40; i++ {
+		var u uda.UDA
+		if i%2 == 0 {
+			// Large records share one item range so subtree boundaries stay
+			// narrow enough for inner nodes.
+			u = bigUDA(t, 10000, 3000)
+		} else {
+			u = bigUDA(t, uint32(i%5), 40)
+		}
+		if err := tr.Insert(uint32(i), u); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	n := 0
+	if err := tr.Scan(func(uint32, uda.UDA) bool { n++; return true }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != 40 {
+		t.Errorf("scan saw %d tuples, want 40", n)
+	}
+}

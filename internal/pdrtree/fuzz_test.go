@@ -1,0 +1,54 @@
+package pdrtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+// FuzzDecodeBoundary exercises the boundary codec (both the float32 and the
+// bit-packed discretized forms) with arbitrary bytes: reject or produce a
+// valid vector, never panic.
+func FuzzDecodeBoundary(f *testing.F) {
+	r := rand.New(rand.NewSource(2))
+	cfgPlain, _ := Config{}.withDefaults()
+	cfgDisc, _ := Config{Compression: DiscretizedCompression, Bits: 6}.withDefaults()
+	for i := 0; i < 6; i++ {
+		v := uda.Vec(uda.Random(r, 200, 12))
+		f.Add(encodeBoundary(v, cfgPlain), false)
+		f.Add(encodeBoundary(v, cfgDisc), true)
+	}
+	f.Add([]byte{}, false)
+	f.Add([]byte{0, 0}, true)
+	f.Add([]byte{9, 0, 1}, false)
+
+	f.Fuzz(func(t *testing.T, data []byte, disc bool) {
+		cfg := cfgPlain
+		if disc {
+			cfg = cfgDisc
+		}
+		v, err := decodeBoundary(data, cfg)
+		if err != nil {
+			return
+		}
+		if verr := v.Validate(); verr != nil {
+			t.Fatalf("decodeBoundary returned invalid vector: %v", verr)
+		}
+		// Re-encoding must produce a boundary that dominates the decoded one
+		// (encoding only ever rounds up) and decodes back to itself.
+		re := encodeBoundary(v, cfg)
+		v2, err := decodeBoundary(re, cfg)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(v2) != len(v) {
+			t.Fatalf("re-decode has %d entries, want %d", len(v2), len(v))
+		}
+		for i := range v {
+			if v2[i].Item != v[i].Item || v2[i].Prob < v[i].Prob {
+				t.Fatalf("re-decode entry %d = %v, want dominating %v", i, v2[i], v[i])
+			}
+		}
+	})
+}

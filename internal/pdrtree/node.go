@@ -1,0 +1,287 @@
+package pdrtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// Page layout:
+//
+//	offset 0: kind  byte (leafKind or innerKind)
+//	offset 1: pad
+//	offset 2: count uint16
+//	offset 4: pad (4 bytes, reserved)
+//	offset 8: payload
+//
+// Leaf payload: count × { tid uint32, uda encoding }. The full UDA is stored
+// exactly — the leaf is the authoritative copy used to compute exact
+// equality probabilities.
+//
+// Inner payload: count × { child uint32, blen uint16, boundary bytes }.
+// Boundary bytes are the configured (possibly lossy, always over-estimating)
+// encoding of the child's MBR boundary vector.
+const (
+	leafKind   = 1
+	innerKind  = 2
+	headerSize = 8
+	payload    = pager.PageSize - headerSize
+)
+
+// errNodeTooBig reports that an encoded node exceeds the page payload; the
+// caller must split.
+var errNodeTooBig = errors.New("pdrtree: node exceeds page capacity")
+
+// node is the in-memory image of one tree page.
+type node struct {
+	leaf bool
+	// Leaf fields.
+	tids []uint32
+	udas []uda.UDA
+	// Inner fields, parallel slices.
+	children []pager.PageID
+	bounds   []uda.Vector
+}
+
+func (n *node) count() int {
+	if n.leaf {
+		return len(n.tids)
+	}
+	return len(n.children)
+}
+
+// leafRecordSize returns the on-page size of one leaf record.
+func leafRecordSize(u uda.UDA) int { return 4 + uda.EncodedSize(u) }
+
+// encodedSize returns the payload bytes the node needs under cfg.
+func (n *node) encodedSize(cfg Config) int {
+	s := 0
+	if n.leaf {
+		for _, u := range n.udas {
+			s += leafRecordSize(u)
+		}
+		return s
+	}
+	for _, b := range n.bounds {
+		s += 4 + 2 + boundaryEncodedSize(b, cfg)
+	}
+	return s
+}
+
+// readNode fetches and decodes the page.
+func (t *Tree) readNode(pid pager.PageID) (*node, error) {
+	pg, err := t.pool.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	defer pg.Unpin(false)
+	data := pg.Data
+	count := int(binary.LittleEndian.Uint16(data[2:]))
+	n := &node{}
+	off := headerSize
+	switch data[0] {
+	case leafKind:
+		n.leaf = true
+		n.tids = make([]uint32, 0, count)
+		n.udas = make([]uda.UDA, 0, count)
+		for i := 0; i < count; i++ {
+			tid := binary.LittleEndian.Uint32(data[off:])
+			u, sz, err := uda.Decode(data[off+4:])
+			if err != nil {
+				return nil, fmt.Errorf("pdrtree: leaf %d record %d: %w", pid, i, err)
+			}
+			n.tids = append(n.tids, tid)
+			n.udas = append(n.udas, u)
+			off += 4 + sz
+		}
+	case innerKind:
+		n.children = make([]pager.PageID, 0, count)
+		n.bounds = make([]uda.Vector, 0, count)
+		for i := 0; i < count; i++ {
+			child := pager.PageID(binary.LittleEndian.Uint32(data[off:]))
+			blen := int(binary.LittleEndian.Uint16(data[off+4:]))
+			b, err := decodeBoundary(data[off+6:off+6+blen], t.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("pdrtree: inner %d entry %d: %w", pid, i, err)
+			}
+			n.children = append(n.children, child)
+			n.bounds = append(n.bounds, b)
+			off += 6 + blen
+		}
+	default:
+		return nil, fmt.Errorf("pdrtree: page %d has unknown kind %d", pid, data[0])
+	}
+	return n, nil
+}
+
+// writeNode encodes the node onto its page. It returns errNodeTooBig without
+// touching the page when the encoding does not fit.
+func (t *Tree) writeNode(pid pager.PageID, n *node) error {
+	if n.encodedSize(t.cfg) > payload {
+		return errNodeTooBig
+	}
+	pg, err := t.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	data := pg.Data
+	for i := range data[:headerSize] {
+		data[i] = 0
+	}
+	kind := byte(innerKind)
+	if n.leaf {
+		kind = leafKind
+	}
+	data[0] = kind
+	binary.LittleEndian.PutUint16(data[2:], uint16(n.count()))
+	buf := data[headerSize:headerSize]
+	if n.leaf {
+		for i, u := range n.udas {
+			buf = binary.LittleEndian.AppendUint32(buf, n.tids[i])
+			buf, err = uda.AppendEncode(buf, u)
+			if err != nil {
+				pg.Unpin(false)
+				return err
+			}
+		}
+	} else {
+		for i, b := range n.bounds {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(n.children[i]))
+			enc := encodeBoundary(b, t.cfg)
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(enc)))
+			buf = append(buf, enc...)
+		}
+	}
+	pg.Unpin(true)
+	return nil
+}
+
+// boundaryEncodedSize returns the encoded size of a boundary under cfg.
+func boundaryEncodedSize(b uda.Vector, cfg Config) int {
+	if cfg.Compression == DiscretizedCompression {
+		return 2 + 4*len(b) + (len(b)*int(cfg.Bits)+7)/8
+	}
+	return 2 + 8*len(b)
+}
+
+// roundUp32 converts p to the smallest float32 not below it. Boundary values
+// are over-estimates by construction, so rounding up costs nothing but keeps
+// the paper's 4-bytes-per-value accounting ("an MBR boundary may be
+// described in terms of D floating-point values").
+func roundUp32(p float64) float32 {
+	f := float32(p)
+	if float64(f) < p {
+		f = math.Float32frombits(math.Float32bits(f) + 1)
+	}
+	return f
+}
+
+// encodeBoundary serializes a boundary vector. Values are stored as float32
+// rounded up (or quantized up under discretized compression) so the stored
+// boundary still dominates everything beneath it.
+func encodeBoundary(b uda.Vector, cfg Config) []byte {
+	out := make([]byte, 0, boundaryEncodedSize(b, cfg))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(b)))
+	if cfg.Compression == DiscretizedCompression {
+		for _, p := range b {
+			out = binary.LittleEndian.AppendUint32(out, p.Item)
+		}
+		out = appendPackedLevels(out, b, cfg.Bits)
+		return out
+	}
+	for _, p := range b {
+		out = binary.LittleEndian.AppendUint32(out, p.Item)
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(roundUp32(p.Prob)))
+	}
+	return out
+}
+
+// decodeBoundary reverses encodeBoundary.
+func decodeBoundary(buf []byte, cfg Config) (uda.Vector, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("pdrtree: short boundary encoding")
+	}
+	count := int(binary.LittleEndian.Uint16(buf))
+	if cfg.Compression == DiscretizedCompression {
+		need := 2 + 4*count + (count*int(cfg.Bits)+7)/8
+		if len(buf) < need {
+			return nil, fmt.Errorf("pdrtree: short discretized boundary (%d < %d)", len(buf), need)
+		}
+		v := make(uda.Vector, count)
+		for i := 0; i < count; i++ {
+			v[i].Item = binary.LittleEndian.Uint32(buf[2+4*i:])
+		}
+		readPackedLevels(buf[2+4*count:], v, cfg.Bits)
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	need := 2 + 8*count
+	if len(buf) < need {
+		return nil, fmt.Errorf("pdrtree: short boundary (%d < %d)", len(buf), need)
+	}
+	v := make(uda.Vector, count)
+	for i := 0; i < count; i++ {
+		off := 2 + 8*i
+		v[i].Item = binary.LittleEndian.Uint32(buf[off:])
+		v[i].Prob = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:])))
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// appendPackedLevels quantizes each value up to level/2^bits and bit-packs
+// the levels. A value p maps to level ceil(p·2^bits) ∈ [1, 2^bits], stored
+// as level−1 in exactly `bits` bits.
+func appendPackedLevels(dst []byte, b uda.Vector, bits uint) []byte {
+	slabs := uint64(1) << bits
+	var acc uint64
+	var nbits uint
+	for _, p := range b {
+		level := uint64(math.Ceil(p.Prob * float64(slabs)))
+		if level < 1 {
+			level = 1
+		}
+		if level > slabs {
+			level = slabs
+		}
+		acc |= (level - 1) << nbits
+		nbits += bits
+		for nbits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// readPackedLevels fills v's probabilities from the bit-packed levels.
+func readPackedLevels(buf []byte, v uda.Vector, bits uint) {
+	slabs := uint64(1) << bits
+	var acc uint64
+	var nbits uint
+	pos := 0
+	mask := slabs - 1
+	for i := range v {
+		for nbits < bits {
+			acc |= uint64(buf[pos]) << nbits
+			pos++
+			nbits += 8
+		}
+		level := (acc & mask) + 1
+		acc >>= bits
+		nbits -= bits
+		v[i].Prob = float64(level) / float64(slabs)
+	}
+}

@@ -1,0 +1,158 @@
+package pdrtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// TestQuickPETQAgainstNaive fuzzes random configurations, datasets, queries
+// and thresholds: PETQ must always equal the naive answer exactly.
+func TestQuickPETQAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		cfg := Config{
+			Divergence: uda.Divergence(r.Intn(3)),
+			Insert:     InsertPolicy(r.Intn(3)),
+			Split:      SplitPolicy(r.Intn(2)),
+		}
+		switch r.Intn(3) {
+		case 1:
+			cfg.Compression = SignatureCompression
+			cfg.Buckets = 2 + r.Intn(30)
+		case 2:
+			cfg.Compression = DiscretizedCompression
+			cfg.Bits = uint(1 + r.Intn(12))
+		}
+		tr, err := New(pager.NewPool(pager.NewStore(), 200), cfg)
+		if err != nil {
+			t.Fatalf("trial %d New: %v", trial, err)
+		}
+		domain := 2 + r.Intn(60)
+		maxPairs := 1 + r.Intn(8)
+		n := 100 + r.Intn(800)
+		data := make(map[uint32]uda.UDA, n)
+		for i := 0; i < n; i++ {
+			u := uda.Random(r, domain, maxPairs)
+			data[uint32(i)] = u
+			if err := tr.Insert(uint32(i), u); err != nil {
+				t.Fatalf("trial %d Insert: %v", trial, err)
+			}
+		}
+		// Random deletions.
+		for i := 0; i < n/10; i++ {
+			tid := uint32(r.Intn(n))
+			u, ok := data[tid]
+			if !ok {
+				continue
+			}
+			if err := tr.Delete(tid, u); err != nil {
+				t.Fatalf("trial %d Delete: %v", trial, err)
+			}
+			delete(data, tid)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d (cfg %+v): %v", trial, cfg, err)
+		}
+
+		for qi := 0; qi < 3; qi++ {
+			q := uda.Random(r, domain, maxPairs)
+			tau := r.Float64() * 0.3
+			want := naivePETQ(data, q, tau)
+			got, err := tr.PETQ(q, tau)
+			if err != nil {
+				t.Fatalf("trial %d PETQ: %v", trial, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d cfg %+v tau=%g: %d matches, want %d",
+					trial, cfg, tau, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].TID != want[i].TID || math.Abs(got[i].Prob-want[i].Prob) > 1e-9 {
+					t.Fatalf("trial %d: match %d = %v, want %v", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuickDSTQAgainstNaive fuzzes similarity queries: pruning with the
+// distance lower bound must never drop answers, for all three divergences.
+func TestQuickDSTQAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for _, cfg := range []Config{
+		{},
+		{Compression: SignatureCompression, Buckets: 8},
+		{Compression: DiscretizedCompression, Bits: 4},
+	} {
+		tr, err := New(pager.NewPool(pager.NewStore(), 200), cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		data := make(map[uint32]uda.UDA)
+		for i := 0; i < 600; i++ {
+			u := uda.Random(r, 25, 5)
+			data[uint32(i)] = u
+			if err := tr.Insert(uint32(i), u); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := uda.Random(r, 25, 4)
+			for _, div := range []uda.Divergence{uda.L1, uda.L2, uda.KL} {
+				td := r.Float64() * 1.2
+				wantCount := 0
+				for _, u := range data {
+					if div.Distance(q, u) <= td {
+						wantCount++
+					}
+				}
+				got, err := tr.DSTQ(q, td, div)
+				if err != nil {
+					t.Fatalf("DSTQ(%v): %v", div, err)
+				}
+				if len(got) != wantCount {
+					t.Fatalf("cfg %+v DSTQ(%v, %g): %d answers, want %d",
+						cfg, div, td, len(got), wantCount)
+				}
+				for _, nb := range got {
+					if math.Abs(div.Distance(q, data[nb.TID])-nb.Dist) > 1e-9 {
+						t.Fatalf("DSTQ(%v) misreports distance for %d", div, nb.TID)
+					}
+				}
+
+				// DSTopK agrees with a naive nearest-k on distances.
+				k := 1 + r.Intn(10)
+				nk, err := tr.DSTopK(q, k, div)
+				if err != nil {
+					t.Fatalf("DSTopK(%v): %v", div, err)
+				}
+				dists := make([]float64, 0, len(data))
+				for _, u := range data {
+					dists = append(dists, div.Distance(q, u))
+				}
+				for i := 0; i < len(dists); i++ {
+					for j := i + 1; j < len(dists); j++ {
+						if dists[j] < dists[i] {
+							dists[i], dists[j] = dists[j], dists[i]
+						}
+					}
+					if i >= k {
+						break
+					}
+				}
+				if len(nk) != k {
+					t.Fatalf("DSTopK(%v, %d) returned %d", div, k, len(nk))
+				}
+				for i := 0; i < k; i++ {
+					if math.Abs(nk[i].Dist-dists[i]) > 1e-9 {
+						t.Fatalf("DSTopK(%v) result %d dist %g, want %g", div, i, nk[i].Dist, dists[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package pdrtree
+
+import (
+	"fmt"
+	"sort"
+
+	"ucat/internal/pager"
+	"ucat/internal/query"
+	"ucat/internal/uda"
+)
+
+// PETQ answers the probabilistic equality threshold query: all tuples t with
+// Pr(q = t) > tau, with exact probabilities, in descending probability
+// order. A subtree is pruned when ⟨boundary, q⟩ ≤ tau (Lemma 2: the dot
+// product with the pointwise-max boundary dominates the equality probability
+// of everything beneath it).
+func (t *Tree) PETQ(q uda.UDA, tau float64) ([]query.Match, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("pdrtree: negative threshold %g", tau)
+	}
+	var res []query.Match
+	err := t.petq(t.root, q, tau, &res)
+	if err != nil {
+		return nil, err
+	}
+	query.SortMatches(res)
+	return res, nil
+}
+
+func (t *Tree) petq(pid pager.PageID, q uda.UDA, tau float64, res *[]query.Match) error {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, u := range n.udas {
+			if p := uda.EqualityProb(q, u); p > tau {
+				*res = append(*res, query.Match{TID: n.tids[i], Prob: p})
+			}
+		}
+		return nil
+	}
+	for i := range n.children {
+		if t.cfg.queryDot(q, n.bounds[i]) <= tau {
+			continue
+		}
+		if err := t.petq(n.children[i], q, tau, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TopK returns the k tuples with the highest equality probability to q
+// (ties at the kth position broken arbitrarily). The search descends
+// greedily into the child with the largest ⟨boundary, q⟩ first so the
+// dynamic threshold rises early, and prunes children whose bound cannot beat
+// the current kth best probability.
+func (t *Tree) TopK(q uda.UDA, k int) ([]query.Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("pdrtree: non-positive k %d", k)
+	}
+	tk := query.NewTopK(k)
+	if err := t.topk(t.root, q, tk); err != nil {
+		return nil, err
+	}
+	return tk.Results(), nil
+}
+
+func (t *Tree) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, u := range n.udas {
+			tk.Offer(query.Match{TID: n.tids[i], Prob: uda.EqualityProb(q, u)})
+		}
+		return nil
+	}
+	type scored struct {
+		child pager.PageID
+		dot   float64
+	}
+	order := make([]scored, len(n.children))
+	for i := range n.children {
+		order[i] = scored{child: n.children[i], dot: t.cfg.queryDot(q, n.bounds[i])}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].dot > order[j].dot })
+	for _, s := range order {
+		// Children are in descending bound order: once one cannot beat the
+		// threshold, none of the rest can.
+		if tk.Full() && s.dot <= tk.Threshold() {
+			break
+		}
+		if s.dot <= 0 {
+			break
+		}
+		if err := t.topk(s.child, q, tk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan visits every (tid, UDA) in the tree in depth-first page order; fn
+// returns false to stop. Useful for verification and for rebuilding.
+func (t *Tree) Scan(fn func(tid uint32, u uda.UDA) bool) error {
+	stop := false
+	var walk func(pid pager.PageID) error
+	walk = func(pid pager.PageID) error {
+		if stop {
+			return nil
+		}
+		n, err := t.readNode(pid)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for i, u := range n.udas {
+				if !fn(n.tids[i], u) {
+					stop = true
+					return nil
+				}
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}
+
+// Depth returns the height of the tree (1 for a single leaf).
+func (t *Tree) Depth() (int, error) {
+	d := 0
+	pid := t.root
+	for {
+		n, err := t.readNode(pid)
+		if err != nil {
+			return 0, err
+		}
+		d++
+		if n.leaf {
+			return d, nil
+		}
+		pid = n.children[0]
+	}
+}

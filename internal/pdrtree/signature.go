@@ -1,0 +1,68 @@
+package pdrtree
+
+import (
+	"fmt"
+	"sort"
+
+	"ucat/internal/uda"
+)
+
+// LearnSignature builds an item→bucket map for signature compression from a
+// data sample. The paper leaves the fold function f : D → C open, noting
+// that "good correlation detection and clustering methods ensure meaningful
+// f and C"; the default f(d) = d mod |C| folds arbitrary items together, so
+// a rarely-probable item that shares a bucket with a frequently-high item
+// inherits its large maximum and every query on it loses pruning power.
+//
+// The learned map instead groups items whose observed maximum probabilities
+// are similar: the signature value of a bucket (the max of its members) then
+// over-estimates each member by as little as possible. This is optimal 1-D
+// clustering by sorting — items are ordered by their observed maximum and
+// cut into |C| contiguous, population-balanced runs.
+//
+// Items never seen in the sample carry no evidence; they fall back to the
+// default mod fold so they cannot crowd the observed items' buckets. The
+// returned slice has length domain; entry d is the bucket of item d.
+func LearnSignature(sample []uda.UDA, domain, buckets int) ([]uint32, error) {
+	if domain <= 0 || buckets <= 0 {
+		return nil, fmt.Errorf("pdrtree: invalid signature dimensions %d/%d", domain, buckets)
+	}
+	if buckets > domain {
+		buckets = domain
+	}
+	maxProb := make([]float64, domain)
+	seen := make([]bool, domain)
+	for _, u := range sample {
+		for _, p := range u.Pairs() {
+			if int(p.Item) >= domain {
+				return nil, fmt.Errorf("pdrtree: sample item %d outside domain %d", p.Item, domain)
+			}
+			seen[p.Item] = true
+			if p.Prob > maxProb[p.Item] {
+				maxProb[p.Item] = p.Prob
+			}
+		}
+	}
+	var order []int
+	for i := 0; i < domain; i++ {
+		if seen[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if maxProb[order[a]] != maxProb[order[b]] {
+			return maxProb[order[a]] < maxProb[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	m := make([]uint32, domain)
+	for i := 0; i < domain; i++ {
+		if !seen[i] {
+			m[i] = uint32(i % buckets) // no evidence: default fold
+		}
+	}
+	for rank, item := range order {
+		m[item] = uint32(rank * buckets / len(order))
+	}
+	return m, nil
+}

@@ -1,0 +1,181 @@
+package pdrtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+func TestLearnSignatureShape(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	sample := make([]uda.UDA, 500)
+	for i := range sample {
+		sample[i] = uda.Random(r, 100, 8)
+	}
+	m, err := LearnSignature(sample, 100, 16)
+	if err != nil {
+		t.Fatalf("LearnSignature: %v", err)
+	}
+	if len(m) != 100 {
+		t.Fatalf("map has %d entries, want 100", len(m))
+	}
+	used := map[uint32]int{}
+	for _, b := range m {
+		if b >= 16 {
+			t.Fatalf("bucket %d out of range", b)
+		}
+		used[b]++
+	}
+	// Population-balanced: every bucket holds domain/buckets ± rounding.
+	for b, n := range used {
+		if n < 100/16 || n > 100/16+1 {
+			t.Errorf("bucket %d holds %d items, want balanced", b, n)
+		}
+	}
+}
+
+func TestLearnSignatureGroupsSimilarMaxima(t *testing.T) {
+	// Two populations: items 0-9 appear with prob ~0.9, items 10-19 with
+	// ~0.05. A good map should not mix them.
+	var sample []uda.UDA
+	for i := 0; i < 10; i++ {
+		sample = append(sample, uda.MustNew(
+			uda.Pair{Item: uint32(i), Prob: 0.9},
+			uda.Pair{Item: uint32(10 + i), Prob: 0.05},
+		))
+	}
+	m, err := LearnSignature(sample, 20, 2)
+	if err != nil {
+		t.Fatalf("LearnSignature: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if m[i] != m[0] {
+			t.Errorf("high-probability items split across buckets: m[%d]=%d m[0]=%d", i, m[i], m[0])
+		}
+		if m[10+i] == m[0] {
+			t.Errorf("low item %d shares bucket with the high population", 10+i)
+		}
+	}
+}
+
+func TestLearnSignatureValidation(t *testing.T) {
+	if _, err := LearnSignature(nil, 0, 4); err == nil {
+		t.Errorf("domain 0 accepted")
+	}
+	if _, err := LearnSignature(nil, 10, 0); err == nil {
+		t.Errorf("buckets 0 accepted")
+	}
+	bad := []uda.UDA{uda.Certain(50)}
+	if _, err := LearnSignature(bad, 10, 4); err == nil {
+		t.Errorf("out-of-domain sample accepted")
+	}
+	// More buckets than items degrades gracefully.
+	m, err := LearnSignature([]uda.UDA{uda.Certain(1)}, 3, 10)
+	if err != nil || len(m) != 3 {
+		t.Errorf("buckets>domain: (%v, %v)", m, err)
+	}
+}
+
+func TestLearnedSignatureStaysExact(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	sample := make([]uda.UDA, 1500)
+	for i := range sample {
+		sample[i] = uda.Random(r, 200, 8)
+	}
+	m, err := LearnSignature(sample, 200, 16)
+	if err != nil {
+		t.Fatalf("LearnSignature: %v", err)
+	}
+	cfg := Config{Compression: SignatureCompression, Buckets: 16, SignatureMap: m}
+	tr := newTestTree(t, cfg, 300)
+	data := make(map[uint32]uda.UDA)
+	for i, u := range sample {
+		data[uint32(i)] = u
+		if err := tr.Insert(uint32(i), u); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		q := uda.Random(r, 200, 6)
+		for _, tau := range []float64{0, 0.05, 0.2} {
+			want := naivePETQ(data, q, tau)
+			got, err := tr.PETQ(q, tau)
+			if err != nil {
+				t.Fatalf("PETQ: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("tau=%g: %d matches, want %d", tau, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].TID != want[i].TID || math.Abs(got[i].Prob-want[i].Prob) > 1e-12 {
+					t.Fatalf("match %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLearnedSignaturePrunesBetterThanMod(t *testing.T) {
+	// Skewed data where mod-folding mixes heavy and light items: queries on
+	// light items should prune far better under the learned map.
+	r := rand.New(rand.NewSource(17))
+	const domain = 200
+	gen := func() uda.UDA {
+		// Even items carry high probabilities, odd items tiny ones — and
+		// mod-folding with an even bucket count would actually separate
+		// them, so use skew by item *range* instead: items < 100 heavy,
+		// ≥ 100 light.
+		heavy := uint32(r.Intn(100))
+		light := uint32(100 + r.Intn(100))
+		return uda.MustNew(
+			uda.Pair{Item: heavy, Prob: 0.85 + 0.1*r.Float64()},
+			uda.Pair{Item: light, Prob: 0.02},
+		)
+	}
+	sample := make([]uda.UDA, 5000)
+	for i := range sample {
+		sample[i] = gen()
+	}
+	m, err := LearnSignature(sample, domain, 16)
+	if err != nil {
+		t.Fatalf("LearnSignature: %v", err)
+	}
+
+	build := func(cfg Config) *Tree {
+		tr := newTestTree(t, cfg, 0)
+		for i, u := range sample {
+			if err := tr.Insert(uint32(i), u); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+		return tr
+	}
+	measure := func(tr *Tree) uint64 {
+		pool := tr.Pool()
+		var total uint64
+		// Queries on light items: with mod folding they inherit heavy
+		// bounds (items 100+i and i share bucket i%16).
+		for i := 0; i < 10; i++ {
+			q := uda.Certain(uint32(100 + 7*i))
+			if err := pool.Clear(); err != nil {
+				t.Fatal(err)
+			}
+			pool.ResetStats()
+			if _, err := tr.PETQ(q, 0.1); err != nil {
+				t.Fatal(err)
+			}
+			total += pool.Stats().IOs()
+		}
+		return total
+	}
+	modIO := measure(build(Config{Compression: SignatureCompression, Buckets: 16}))
+	learnedIO := measure(build(Config{Compression: SignatureCompression, Buckets: 16, SignatureMap: m}))
+	if learnedIO >= modIO {
+		t.Errorf("learned signature %d I/Os, mod folding %d; expected improvement", learnedIO, modIO)
+	}
+}

@@ -1,0 +1,32 @@
+package pdrtree
+
+import "ucat/internal/pager"
+
+// Snapshot is the tree's persistent metadata; the node pages live in the
+// pager.Store. The configuration is part of the snapshot because boundary
+// encodings (compression mode, bucket count, bit width) must match between
+// writer and reader.
+type Snapshot struct {
+	Root   uint32
+	Size   int
+	Config Config
+}
+
+// Snapshot captures the tree's metadata for persistence.
+func (t *Tree) Snapshot() Snapshot {
+	return Snapshot{Root: uint32(t.root), Size: t.size, Config: t.cfg}
+}
+
+// Restore rebuilds a tree over the given pool from a snapshot.
+func Restore(pool *pager.Pool, snap Snapshot) (*Tree, error) {
+	cfg, err := snap.Config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		pool: pool,
+		cfg:  cfg,
+		root: pager.PageID(snap.Root),
+		size: snap.Size,
+	}, nil
+}

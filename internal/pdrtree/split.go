@@ -1,0 +1,147 @@
+package pdrtree
+
+import (
+	"ucat/internal/uda"
+)
+
+// balanceCap returns the maximum elements either side of a split may hold:
+// "No cluster is allowed to contain more than 3/4 of the total elements."
+func balanceCap(n int) int {
+	c := (3 * n) / 4
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// splitIndices partitions the entries (represented by their vectors) into
+// two non-empty groups according to the configured split policy. len(vs)
+// must be at least 2.
+func splitIndices(vs []uda.Vector, policy SplitPolicy, div uda.Divergence) (ga, gb []int) {
+	switch policy {
+	case TopDown:
+		return splitTopDown(vs, div)
+	case BottomUp:
+		return splitBottomUp(vs, div)
+	default:
+		panic("pdrtree: unknown split policy " + policy.String())
+	}
+}
+
+// splitTopDown picks the two entries farthest apart under the divergence as
+// cluster seeds and assigns every other entry to the closer seed, honouring
+// the 3/4 balance cap. This is the paper's top-down algorithm as described:
+// because the farthest pair tends to be outliers, the seeds can be poor and
+// the resulting clusters loose — the effect Figure 10 measures.
+func splitTopDown(vs []uda.Vector, div uda.Divergence) (ga, gb []int) {
+	n := len(vs)
+	// Farthest pair by brute force; splits are rare and n is a page's worth.
+	si, sj := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := div.VecDistance(vs[i], vs[j]); d > worst {
+				worst, si, sj = d, i, j
+			}
+		}
+	}
+	ga = []int{si}
+	gb = []int{sj}
+
+	cap := balanceCap(n)
+	for i := 0; i < n; i++ {
+		if i == si || i == sj {
+			continue
+		}
+		preferA := div.VecDistance(vs[i], vs[si]) <= div.VecDistance(vs[i], vs[sj])
+		switch {
+		case preferA && len(ga) < cap, !preferA && len(gb) >= cap:
+			ga = append(ga, i)
+		default:
+			gb = append(gb, i)
+		}
+	}
+	return ga, gb
+}
+
+// splitBottomUp starts with singleton clusters and repeatedly merges the
+// closest pair (by divergence between cluster boundary vectors) until two
+// clusters remain, skipping merges that would exceed the 3/4 cap.
+func splitBottomUp(vs []uda.Vector, div uda.Divergence) (ga, gb []int) {
+	n := len(vs)
+	type cluster struct {
+		members []int
+		bound   uda.Vector
+		alive   bool
+	}
+	cs := make([]cluster, n)
+	for i := range cs {
+		cs[i] = cluster{members: []int{i}, bound: vs[i], alive: true}
+	}
+	// Distance matrix between live clusters.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := 0; j < i; j++ {
+			d := div.VecDistance(cs[i].bound, cs[j].bound)
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	cap := balanceCap(n)
+	alive := n
+	for alive > 2 {
+		bi, bj := -1, -1
+		best := 0.0
+		for i := 0; i < n; i++ {
+			if !cs[i].alive {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if !cs[j].alive || len(cs[i].members)+len(cs[j].members) > cap {
+					continue
+				}
+				if bi == -1 || dist[i][j] < best {
+					best, bi, bj = dist[i][j], i, j
+				}
+			}
+		}
+		if bi == -1 {
+			// With ≥3 clusters each ≤ cap and cap = 3n/4, some pair always
+			// fits, so this is unreachable; guard anyway.
+			break
+		}
+		// Merge bj into bi.
+		cs[bi].members = append(cs[bi].members, cs[bj].members...)
+		cs[bi].bound = uda.MaxVec(cs[bi].bound, cs[bj].bound)
+		cs[bj].alive = false
+		alive--
+		for k := 0; k < n; k++ {
+			if k == bi || !cs[k].alive {
+				continue
+			}
+			d := div.VecDistance(cs[bi].bound, cs[k].bound)
+			dist[bi][k] = d
+			dist[k][bi] = d
+		}
+	}
+
+	var groups [][]int
+	for i := range cs {
+		if cs[i].alive {
+			groups = append(groups, cs[i].members)
+		}
+	}
+	// alive == 2 in all reachable states; the guard above could leave more,
+	// in which case fold extras into the smaller of the first two.
+	ga, gb = groups[0], groups[1]
+	for _, g := range groups[2:] {
+		if len(ga) <= len(gb) {
+			ga = append(ga, g...)
+		} else {
+			gb = append(gb, g...)
+		}
+	}
+	return ga, gb
+}

@@ -1,0 +1,64 @@
+package pdrtree
+
+import (
+	"fmt"
+
+	"ucat/internal/pager"
+)
+
+// Stats describes a tree's physical shape.
+type Stats struct {
+	Tuples     int     // indexed UDAs
+	Height     int     // levels including the leaf level
+	LeafPages  int     // pages holding UDAs
+	InnerPages int     // pages holding child entries
+	FanOut     float64 // mean children per inner node
+	LeafFill   float64 // mean leaf payload utilization in [0, 1]
+	Bytes      int64   // total page bytes (leaf + inner)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tuples=%d height=%d leaves=%d inner=%d fanout=%.1f leaf-fill=%.0f%% bytes=%d",
+		s.Tuples, s.Height, s.LeafPages, s.InnerPages, s.FanOut, 100*s.LeafFill, s.Bytes)
+}
+
+// Stats walks the tree and reports its shape. The walk performs I/O through
+// the pool like any other operation.
+func (t *Tree) Stats() (Stats, error) {
+	st := Stats{Tuples: t.size}
+	var children, fillSum float64
+	var walk func(pid pager.PageID, depth int) error
+	walk = func(pid pager.PageID, depth int) error {
+		n, err := t.readNode(pid)
+		if err != nil {
+			return err
+		}
+		if depth > st.Height {
+			st.Height = depth
+		}
+		if n.leaf {
+			st.LeafPages++
+			fillSum += float64(n.encodedSize(t.cfg)) / float64(payload)
+			return nil
+		}
+		st.InnerPages++
+		children += float64(len(n.children))
+		for _, c := range n.children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1); err != nil {
+		return Stats{}, err
+	}
+	if st.InnerPages > 0 {
+		st.FanOut = children / float64(st.InnerPages)
+	}
+	if st.LeafPages > 0 {
+		st.LeafFill = fillSum / float64(st.LeafPages)
+	}
+	st.Bytes = int64(st.LeafPages+st.InnerPages) * pager.PageSize
+	return st, nil
+}

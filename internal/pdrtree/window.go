@@ -1,0 +1,108 @@
+package pdrtree
+
+import (
+	"fmt"
+	"sort"
+
+	"ucat/internal/pager"
+	"ucat/internal/query"
+	"ucat/internal/uda"
+)
+
+// WindowPETQ answers the relaxed window-equality query on ordered domains
+// (§2): all tuples t with Pr(|q − t| ≤ c) > tau. The window probability is
+// the dot product ⟨Smear(q, c), t⟩, so ⟨boundary, Smear(q, c)⟩ dominates it
+// for every tuple under an MBR boundary — the same Lemma 2 argument as plain
+// PETQ, with the smeared query.
+//
+// Window queries are only meaningful without signature compression: domain
+// folding does not preserve item adjacency.
+func (t *Tree) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, error) {
+	if tau < 0 {
+		return nil, fmt.Errorf("pdrtree: negative threshold %g", tau)
+	}
+	if t.cfg.Compression == SignatureCompression {
+		return nil, fmt.Errorf("pdrtree: window queries require an order-preserving boundary encoding (not signature compression)")
+	}
+	w := uda.Smear(q, c)
+	var res []query.Match
+	err := t.windowPETQ(t.root, q, c, w, tau, &res)
+	if err != nil {
+		return nil, err
+	}
+	query.SortMatches(res)
+	return res, nil
+}
+
+func (t *Tree) windowPETQ(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, tau float64, res *[]query.Match) error {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, u := range n.udas {
+			if p := uda.WithinProb(q, u, c); p > tau {
+				*res = append(*res, query.Match{TID: n.tids[i], Prob: p})
+			}
+		}
+		return nil
+	}
+	for i := range n.children {
+		if uda.VecDot(w, n.bounds[i]) <= tau {
+			continue
+		}
+		if err := t.windowPETQ(n.children[i], q, c, w, tau, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WindowTopK returns the k tuples with the highest window-equality
+// probability, descending greedily into the child with the largest smeared
+// dot product.
+func (t *Tree) WindowTopK(q uda.UDA, c uint32, k int) ([]query.Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("pdrtree: non-positive k %d", k)
+	}
+	if t.cfg.Compression == SignatureCompression {
+		return nil, fmt.Errorf("pdrtree: window queries require an order-preserving boundary encoding (not signature compression)")
+	}
+	w := uda.Smear(q, c)
+	tk := query.NewTopK(k)
+	if err := t.windowTopK(t.root, q, c, w, tk); err != nil {
+		return nil, err
+	}
+	return tk.Results(), nil
+}
+
+func (t *Tree) windowTopK(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, tk *query.TopK) error {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i, u := range n.udas {
+			tk.Offer(query.Match{TID: n.tids[i], Prob: uda.WithinProb(q, u, c)})
+		}
+		return nil
+	}
+	type scored struct {
+		child pager.PageID
+		dot   float64
+	}
+	order := make([]scored, len(n.children))
+	for i := range n.children {
+		order[i] = scored{child: n.children[i], dot: uda.VecDot(w, n.bounds[i])}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].dot > order[j].dot })
+	for _, s := range order {
+		if (tk.Full() && s.dot <= tk.Threshold()) || s.dot <= 0 {
+			break
+		}
+		if err := t.windowTopK(s.child, q, c, w, tk); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortNeighbors(t *testing.T) {
+	ns := []Neighbor{{TID: 3, Dist: 0.5}, {TID: 1, Dist: 0.1}, {TID: 2, Dist: 0.5}}
+	SortNeighbors(ns)
+	want := []Neighbor{{1, 0.1}, {2, 0.5}, {3, 0.5}}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Errorf("ns[%d] = %v, want %v", i, ns[i], want[i])
+		}
+	}
+}
+
+func TestNearestKBasics(t *testing.T) {
+	nk := NewNearestK(2)
+	if _, full := nk.Threshold(); full {
+		t.Errorf("fresh NearestK reports a threshold")
+	}
+	nk.Offer(Neighbor{TID: 1, Dist: 0.9})
+	nk.Offer(Neighbor{TID: 2, Dist: 0.5})
+	thr, full := nk.Threshold()
+	if !full || thr != 0.9 {
+		t.Errorf("Threshold = (%g, %v), want (0.9, true)", thr, full)
+	}
+	nk.Offer(Neighbor{TID: 3, Dist: 0.1}) // evicts 0.9
+	thr, _ = nk.Threshold()
+	if thr != 0.5 {
+		t.Errorf("Threshold after eviction = %g, want 0.5", thr)
+	}
+	got := nk.Results()
+	want := []Neighbor{{3, 0.1}, {2, 0.5}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Results = %v, want %v", got, want)
+	}
+}
+
+func TestNearestKTieBreaksByTID(t *testing.T) {
+	nk := NewNearestK(1)
+	nk.Offer(Neighbor{TID: 9, Dist: 0.5})
+	nk.Offer(Neighbor{TID: 2, Dist: 0.5})
+	got := nk.Results()
+	if len(got) != 1 || got[0].TID != 2 {
+		t.Errorf("Results = %v, want tid 2", got)
+	}
+}
+
+func TestNearestKAgainstFullSort(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		k := 1 + r.Intn(20)
+		all := make([]Neighbor, n)
+		nk := NewNearestK(k)
+		for i := range all {
+			all[i] = Neighbor{TID: uint32(i), Dist: float64(r.Intn(100)) / 100}
+			nk.Offer(all[i])
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Dist != all[j].Dist {
+				return all[i].Dist < all[j].Dist
+			}
+			return all[i].TID < all[j].TID
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := nk.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNewNearestKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewNearestK(0) did not panic")
+		}
+	}()
+	NewNearestK(0)
+}

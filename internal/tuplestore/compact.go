@@ -1,0 +1,81 @@
+package tuplestore
+
+import (
+	"encoding/binary"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// Compact rewrites the heap, dropping tombstoned records and repacking the
+// survivors densely onto fresh pages; the old pages are freed. Tuple ids are
+// preserved (they move to new locations, like a VACUUM FULL). It returns the
+// number of pages reclaimed.
+func (s *Store) Compact() (reclaimed int, err error) {
+	oldPages := s.pages
+	type rec struct {
+		tid uint32
+		u   uda.UDA
+	}
+	// Collect live records in page order (one sequential pass).
+	var live []rec
+	err = s.Scan(func(tid uint32, u uda.UDA) bool {
+		live = append(live, rec{tid: tid, u: u})
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Reset the in-memory layout and re-append everything.
+	s.loc = make(map[uint32]location, len(live))
+	s.pages = nil
+	s.used = 0
+	for _, r := range live {
+		if err := s.appendRecord(r.tid, r.u); err != nil {
+			return 0, err
+		}
+	}
+	// Tombstones are gone from the pages; keep the dead set so ids are
+	// still never reused.
+
+	for _, pid := range oldPages {
+		if err := s.pool.FreePage(pid); err != nil {
+			return 0, err
+		}
+	}
+	return len(oldPages) - len(s.pages), nil
+}
+
+// appendRecord is Put without the duplicate/tombstone checks, for rebuild
+// paths that re-insert known-live records.
+func (s *Store) appendRecord(tid uint32, u uda.UDA) error {
+	recSize := 4 + uda.EncodedSize(u)
+	if len(s.pages) == 0 || s.used+recSize > pager.PageSize {
+		pg, err := s.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint16(pg.Data, pageHeader)
+		s.pages = append(s.pages, pg.ID)
+		s.used = pageHeader
+		pg.Unpin(true)
+	}
+	pid := s.pages[len(s.pages)-1]
+	pg, err := s.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	off := s.used
+	binary.LittleEndian.PutUint32(pg.Data[off:], tid)
+	enc, err := uda.AppendEncode(pg.Data[:off+4], u)
+	if err != nil {
+		pg.Unpin(false)
+		return err
+	}
+	s.used = len(enc)
+	binary.LittleEndian.PutUint16(pg.Data, uint16(s.used))
+	pg.Unpin(true)
+	s.loc[tid] = location{pid: pid, off: uint16(off)}
+	return nil
+}

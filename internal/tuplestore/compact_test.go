@@ -1,0 +1,107 @@
+package tuplestore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+func TestCompactReclaimsPages(t *testing.T) {
+	s := newTestStore(t, 64)
+	r := rand.New(rand.NewSource(3))
+	want := make(map[uint32]uda.UDA)
+	for i := 0; i < 4000; i++ {
+		u := uda.Random(r, 40, 8)
+		want[uint32(i)] = u
+		if err := s.Put(uint32(i), u); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Delete 75% of the tuples.
+	for tid := uint32(0); tid < 4000; tid++ {
+		if tid%4 != 0 {
+			if err := s.Delete(tid); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			delete(want, tid)
+		}
+	}
+	before := s.Pages()
+	reclaimed, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if reclaimed <= 0 || s.Pages() >= before {
+		t.Fatalf("Compact reclaimed %d pages (%d → %d)", reclaimed, before, s.Pages())
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("Len after compact = %d, want %d", s.Len(), len(want))
+	}
+
+	// Every live tuple is readable at its new location.
+	for tid, u := range want {
+		got, err := s.Get(tid)
+		if err != nil {
+			t.Fatalf("Get(%d) after compact: %v", tid, err)
+		}
+		if !got.Equal(u) {
+			t.Fatalf("Get(%d) returned wrong tuple after compact", tid)
+		}
+	}
+	// Scans see exactly the live set, once each.
+	seen := map[uint32]bool{}
+	if err := s.Scan(func(tid uint32, u uda.UDA) bool {
+		if seen[tid] {
+			t.Fatalf("tuple %d scanned twice after compact", tid)
+		}
+		seen[tid] = true
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("Scan saw %d tuples, want %d", len(seen), len(want))
+	}
+
+	// Deleted ids stay unusable; new inserts still work.
+	if err := s.Put(1, uda.Certain(1)); err == nil {
+		t.Errorf("tombstoned id reusable after compact")
+	}
+	if err := s.Put(99999, uda.Certain(2)); err != nil {
+		t.Errorf("Put after compact: %v", err)
+	}
+	// The freed pages are genuinely reusable by the store.
+	if _, err := s.Get(99999); err != nil {
+		t.Errorf("Get of post-compact insert: %v", err)
+	}
+}
+
+func TestCompactEmptyAndFull(t *testing.T) {
+	s := newTestStore(t, 16)
+	if n, err := s.Compact(); err != nil || n != 0 {
+		t.Errorf("Compact of empty store = (%d, %v)", n, err)
+	}
+	// No deletions: compaction keeps everything, reclaiming nothing or a
+	// page of slack at most.
+	for i := 0; i < 500; i++ {
+		if err := s.Put(uint32(i), uda.Certain(uint32(i%9))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	before := s.Pages()
+	n, err := s.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n < 0 || s.Pages() > before {
+		t.Errorf("Compact grew the heap: %d → %d", before, s.Pages())
+	}
+	if s.Len() != 500 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if _, err := s.Get(250); errors.Is(err, ErrNotFound) {
+		t.Errorf("live tuple lost by compact")
+	}
+}

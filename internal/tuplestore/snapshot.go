@@ -1,0 +1,53 @@
+package tuplestore
+
+import (
+	"fmt"
+
+	"ucat/internal/pager"
+)
+
+// Snapshot is the store's persistent metadata: everything except the page
+// images themselves, which live in the pager.Store.
+type Snapshot struct {
+	Loc   map[uint32][2]uint32 // tid → (page id, offset)
+	Pages []uint32             // data pages in append order
+	Used  int                  // bytes used in the last page
+	Dead  []uint32             // tombstoned tuple ids
+}
+
+// Snapshot captures the store's metadata for persistence.
+func (s *Store) Snapshot() Snapshot {
+	snap := Snapshot{
+		Loc:  make(map[uint32][2]uint32, len(s.loc)),
+		Used: s.used,
+	}
+	for tid, l := range s.loc {
+		snap.Loc[tid] = [2]uint32{uint32(l.pid), uint32(l.off)}
+	}
+	for _, pid := range s.pages {
+		snap.Pages = append(snap.Pages, uint32(pid))
+	}
+	for tid := range s.dead {
+		snap.Dead = append(snap.Dead, tid)
+	}
+	return snap
+}
+
+// Restore rebuilds a store over the given pool from a snapshot.
+func Restore(pool *pager.Pool, snap Snapshot) (*Store, error) {
+	s := New(pool)
+	s.used = snap.Used
+	for tid, l := range snap.Loc {
+		if l[1] > uint32(pager.PageSize) {
+			return nil, fmt.Errorf("tuplestore: tuple %d has offset %d beyond page size", tid, l[1])
+		}
+		s.loc[tid] = location{pid: pager.PageID(l[0]), off: uint16(l[1])}
+	}
+	for _, pid := range snap.Pages {
+		s.pages = append(s.pages, pager.PageID(pid))
+	}
+	for _, tid := range snap.Dead {
+		s.dead[tid] = struct{}{}
+	}
+	return s, nil
+}

@@ -1,0 +1,154 @@
+// Package tuplestore implements a paged heap file mapping tuple ids to their
+// uncertain attribute values.
+//
+// The probabilistic inverted index needs random access to tuples: its search
+// heuristics produce candidate tuple ids whose exact equality probability is
+// then computed by fetching the tuple ("the above methods require a random
+// access for each candidate tuple", §3.1). Each such probe costs the page
+// fetch a real system would pay. The store also supports a page-order full
+// scan, which doubles as the paper-less baseline (answering PETQ with no
+// index at all).
+//
+// Records are appended to 8 KB data pages and never move, so a tuple id maps
+// to a stable (page, offset) pair — the moral equivalent of a DBMS record id.
+// That map is kept in memory, as record ids would be inside a real heap file;
+// probing it costs no I/O. Deleted records are tombstoned in memory and their
+// space is not reclaimed (append-only heap).
+package tuplestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// ErrNotFound is returned by Get for unknown or deleted tuple ids.
+var ErrNotFound = errors.New("tuplestore: tuple not found")
+
+// Page layout: uint16 used-byte count, then records packed back to back.
+// Record: tid uint32, then the uda binary encoding.
+const pageHeader = 2
+
+type location struct {
+	pid pager.PageID
+	off uint16
+}
+
+// Store is a tid → UDA heap file. It is not safe for concurrent use.
+type Store struct {
+	pool  *pager.Pool
+	loc   map[uint32]location
+	pages []pager.PageID // data pages in append order
+	used  int            // bytes used in the last page (including header)
+	dead  map[uint32]struct{}
+}
+
+// New creates an empty store on the given pool.
+func New(pool *pager.Pool) *Store {
+	return &Store{
+		pool: pool,
+		loc:  make(map[uint32]location),
+		dead: make(map[uint32]struct{}),
+	}
+}
+
+// Len returns the number of live tuples.
+func (s *Store) Len() int { return len(s.loc) }
+
+// Pool returns the buffer pool the store performs I/O through.
+func (s *Store) Pool() *pager.Pool { return s.pool }
+
+// Pages returns the number of data pages in the heap.
+func (s *Store) Pages() int { return len(s.pages) }
+
+// Put appends the tuple under the given id. It fails if the id is already
+// present (including as a tombstone: ids are never reused) or if the encoded
+// record cannot fit in a page.
+func (s *Store) Put(tid uint32, u uda.UDA) error {
+	if _, ok := s.loc[tid]; ok {
+		return fmt.Errorf("tuplestore: duplicate tuple id %d", tid)
+	}
+	if _, ok := s.dead[tid]; ok {
+		return fmt.Errorf("tuplestore: tuple id %d was deleted and cannot be reused", tid)
+	}
+	recSize := 4 + uda.EncodedSize(u)
+	if pageHeader+recSize > pager.PageSize {
+		return fmt.Errorf("tuplestore: record for tuple %d is %d bytes, exceeds page capacity %d",
+			tid, recSize, pager.PageSize-pageHeader)
+	}
+	return s.appendRecord(tid, u)
+}
+
+// Get fetches the tuple's distribution, costing one page access.
+func (s *Store) Get(tid uint32) (uda.UDA, error) {
+	l, ok := s.loc[tid]
+	if !ok {
+		return uda.UDA{}, fmt.Errorf("%w: %d", ErrNotFound, tid)
+	}
+	pg, err := s.pool.Fetch(l.pid)
+	if err != nil {
+		return uda.UDA{}, err
+	}
+	defer pg.Unpin(false)
+	gotTID := binary.LittleEndian.Uint32(pg.Data[l.off:])
+	if gotTID != tid {
+		return uda.UDA{}, fmt.Errorf("tuplestore: page %d offset %d holds tuple %d, want %d",
+			l.pid, l.off, gotTID, tid)
+	}
+	u, _, err := uda.Decode(pg.Data[l.off+4:])
+	return u, err
+}
+
+// Has reports whether the tuple id is live, without I/O.
+func (s *Store) Has(tid uint32) bool {
+	_, ok := s.loc[tid]
+	return ok
+}
+
+// Delete tombstones the tuple. The id cannot be reused.
+func (s *Store) Delete(tid uint32) error {
+	if _, ok := s.loc[tid]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, tid)
+	}
+	delete(s.loc, tid)
+	s.dead[tid] = struct{}{}
+	return nil
+}
+
+// Scan visits every live tuple in page order — the access pattern of a full
+// table scan. fn returns false to stop early.
+func (s *Store) Scan(fn func(tid uint32, u uda.UDA) bool) error {
+	for i, pid := range s.pages {
+		pg, err := s.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		used := int(binary.LittleEndian.Uint16(pg.Data))
+		end := used
+		if i == len(s.pages)-1 {
+			end = s.used
+		}
+		off := pageHeader
+		for off < end {
+			tid := binary.LittleEndian.Uint32(pg.Data[off:])
+			u, n, err := uda.Decode(pg.Data[off+4:])
+			if err != nil {
+				pg.Unpin(false)
+				return fmt.Errorf("tuplestore: page %d offset %d: %w", pid, off, err)
+			}
+			off += 4 + n
+			if _, gone := s.dead[tid]; gone {
+				continue
+			}
+			if !fn(tid, u) {
+				pg.Unpin(false)
+				return nil
+			}
+		}
+		pg.Unpin(false)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package tuplestore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+func newTestStore(t *testing.T, frames int) *Store {
+	t.Helper()
+	return New(pager.NewPool(pager.NewStore(), frames))
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newTestStore(t, 20)
+	u := uda.MustNew(uda.Pair{Item: 1, Prob: 0.25}, uda.Pair{Item: 9, Prob: 0.75})
+	if err := s.Put(42, u); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(42)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.Len() != 2 || got.Prob(1) < 0.25 || got.Prob(9) < 0.75 {
+		t.Errorf("Get = %v", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if !s.Has(42) || s.Has(43) {
+		t.Errorf("Has wrong: Has(42)=%v Has(43)=%v", s.Has(42), s.Has(43))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := newTestStore(t, 20)
+	if _, err := s.Get(7); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get unknown err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutDuplicate(t *testing.T) {
+	s := newTestStore(t, 20)
+	u := uda.Certain(1)
+	if err := s.Put(1, u); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put(1, u); err == nil {
+		t.Errorf("duplicate Put succeeded")
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	s := newTestStore(t, 20)
+	if err := s.Put(1, uda.Certain(5)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get(1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get deleted err = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete(1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double Delete err = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(1, uda.Certain(5)); err == nil {
+		t.Errorf("Put of deleted id succeeded, ids must not be reused")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestManyTuplesAcrossPages(t *testing.T) {
+	s := newTestStore(t, 20)
+	r := rand.New(rand.NewSource(5))
+	const n = 5000
+	want := make([]uda.UDA, n)
+	for i := 0; i < n; i++ {
+		want[i] = uda.Random(r, 100, 10)
+		if err := s.Put(uint32(i), want[i]); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	if s.Pages() < 2 {
+		t.Fatalf("expected multiple data pages, got %d", s.Pages())
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		got, err := s.Get(uint32(i))
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if got.Len() != want[i].Len() {
+			t.Errorf("Get(%d) has %d pairs, want %d", i, got.Len(), want[i].Len())
+		}
+	}
+}
+
+func TestScanVisitsAllLiveTuples(t *testing.T) {
+	s := newTestStore(t, 20)
+	r := rand.New(rand.NewSource(9))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := s.Put(uint32(i), uda.Random(r, 50, 5)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Delete every third tuple.
+	deleted := 0
+	for i := 0; i < n; i += 3 {
+		if err := s.Delete(uint32(i)); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		deleted++
+	}
+	seen := map[uint32]bool{}
+	if err := s.Scan(func(tid uint32, u uda.UDA) bool {
+		if seen[tid] {
+			t.Fatalf("Scan visited tuple %d twice", tid)
+		}
+		if u.IsEmpty() {
+			t.Fatalf("Scan produced empty UDA for %d", tid)
+		}
+		seen[tid] = true
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(seen) != n-deleted {
+		t.Errorf("Scan visited %d tuples, want %d", len(seen), n-deleted)
+	}
+	for tid := range seen {
+		if tid%3 == 0 {
+			t.Errorf("Scan visited deleted tuple %d", tid)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := newTestStore(t, 20)
+	for i := 0; i < 100; i++ {
+		if err := s.Put(uint32(i), uda.Certain(uint32(i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	n := 0
+	if err := s.Scan(func(uint32, uda.UDA) bool { n++; return n < 5 }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("early-stopped Scan visited %d, want 5", n)
+	}
+}
+
+func TestGetCostsOnePageAccess(t *testing.T) {
+	s := newTestStore(t, 4)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if err := s.Put(uint32(i), uda.Random(r, 50, 5)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	pool := s.Pool()
+	if err := pool.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	pool.ResetStats()
+	if _, err := s.Get(500); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got := pool.Stats().Reads; got != 1 {
+		t.Errorf("cold Get cost %d reads, want 1", got)
+	}
+	// Warm repeat costs nothing.
+	pool.ResetStats()
+	if _, err := s.Get(500); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got := pool.Stats(); got.Reads != 0 || got.Hits != 1 {
+		t.Errorf("warm Get stats = %+v, want pure hit", got)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	s := newTestStore(t, 4)
+	// Build a UDA with more pairs than fit in a page (12 bytes per pair).
+	pairs := make([]uda.Pair, 1100)
+	for i := range pairs {
+		pairs[i] = uda.Pair{Item: uint32(i), Prob: 1.0 / 1200}
+	}
+	big := uda.MustNew(pairs...)
+	if err := s.Put(1, big); err == nil {
+		t.Errorf("oversize Put succeeded, want error")
+	}
+}

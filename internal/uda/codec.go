@@ -1,0 +1,76 @@
+package uda
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary page format for UDAs, used by the PDR-tree leaf pages and the tuple
+// directory:
+//
+//	count  uint16  number of pairs
+//	pairs  count × { item uint32, prob float64 }
+//
+// All integers are little-endian. Probabilities round-trip exactly: the
+// tuple heap and PDR-tree leaves hold the authoritative distributions, so
+// query probabilities computed from them must match in-memory evaluation
+// bit for bit. (The PDR-tree's *MBR boundaries* may be stored lossily, but
+// that compression lives in the pdrtree package and over-estimates by
+// construction.)
+
+const pairSize = 4 + 8 // item uint32 + prob float64
+
+// EncodedSize returns the number of bytes AppendEncode will write for u.
+func EncodedSize(u UDA) int { return 2 + pairSize*len(u.pairs) }
+
+// MaxEncodedPairs returns how many pairs fit in a buffer of n bytes.
+func MaxEncodedPairs(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return (n - 2) / pairSize
+}
+
+// AppendEncode appends the binary encoding of u to dst and returns the
+// extended slice. Encoding fails only if the distribution has more pairs than
+// fit in the uint16 count.
+func AppendEncode(dst []byte, u UDA) ([]byte, error) {
+	if len(u.pairs) > math.MaxUint16 {
+		return dst, fmt.Errorf("uda: %d pairs exceed encodable maximum %d", len(u.pairs), math.MaxUint16)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(u.pairs)))
+	for _, p := range u.pairs {
+		dst = binary.LittleEndian.AppendUint32(dst, p.Item)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Prob))
+	}
+	return dst, nil
+}
+
+// Decode parses one encoded UDA from the front of buf and returns it along
+// with the number of bytes consumed. The decoded distribution is validated
+// structurally (sorted items, probabilities in range) so that corrupted pages
+// surface as errors instead of silent wrong answers.
+func Decode(buf []byte) (UDA, int, error) {
+	if len(buf) < 2 {
+		return UDA{}, 0, fmt.Errorf("uda: short buffer (%d bytes) decoding count", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	need := 2 + pairSize*n
+	if len(buf) < need {
+		return UDA{}, 0, fmt.Errorf("uda: short buffer (%d bytes) decoding %d pairs", len(buf), n)
+	}
+	pairs := make([]Pair, n)
+	off := 2
+	for i := 0; i < n; i++ {
+		item := binary.LittleEndian.Uint32(buf[off:])
+		prob := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		pairs[i] = Pair{Item: item, Prob: prob}
+		off += pairSize
+	}
+	u := UDA{pairs: pairs}
+	if err := u.Validate(); err != nil {
+		return UDA{}, 0, fmt.Errorf("uda: corrupt encoding: %w", err)
+	}
+	return u, need, nil
+}

@@ -1,0 +1,128 @@
+package uda
+
+import (
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	u := MustNew(Pair{1, 0.25}, Pair{7, 0.5}, Pair{1000000, 0.25})
+	buf, err := AppendEncode(nil, u)
+	if err != nil {
+		t.Fatalf("AppendEncode: %v", err)
+	}
+	if len(buf) != EncodedSize(u) {
+		t.Errorf("encoded %d bytes, EncodedSize says %d", len(buf), EncodedSize(u))
+	}
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("Decode consumed %d bytes, want %d", n, len(buf))
+	}
+	if got.Len() != u.Len() {
+		t.Fatalf("decoded %d pairs, want %d", got.Len(), u.Len())
+	}
+	if !got.Equal(u) {
+		t.Errorf("decoded %v, want exact round-trip of %v", got, u)
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	var u UDA
+	buf, err := AppendEncode(nil, u)
+	if err != nil {
+		t.Fatalf("AppendEncode: %v", err)
+	}
+	if len(buf) != 2 {
+		t.Errorf("empty encoding is %d bytes, want 2", len(buf))
+	}
+	got, n, err := Decode(buf)
+	if err != nil || n != 2 || !got.IsEmpty() {
+		t.Errorf("Decode empty = (%v, %d, %v)", got, n, err)
+	}
+}
+
+func TestDecodeMultipleConcatenated(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{2, 0.5})
+	v := MustNew(Pair{9, 1})
+	buf, err := AppendEncode(nil, u)
+	if err != nil {
+		t.Fatalf("AppendEncode u: %v", err)
+	}
+	buf, err = AppendEncode(buf, v)
+	if err != nil {
+		t.Fatalf("AppendEncode v: %v", err)
+	}
+	got1, n1, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode 1: %v", err)
+	}
+	got2, n2, err := Decode(buf[n1:])
+	if err != nil {
+		t.Fatalf("Decode 2: %v", err)
+	}
+	if n1+n2 != len(buf) {
+		t.Errorf("consumed %d+%d bytes, want %d", n1, n2, len(buf))
+	}
+	if got1.Len() != 2 || got2.Len() != 1 || got2.Prob(9) != 1 {
+		t.Errorf("decoded %v then %v", got1, got2)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Errorf("Decode(nil) succeeded, want error")
+	}
+	if _, _, err := Decode([]byte{1}); err == nil {
+		t.Errorf("Decode of 1-byte buffer succeeded, want error")
+	}
+	// Count says 3 pairs but only one is present.
+	u := MustNew(Pair{1, 1})
+	buf, _ := AppendEncode(nil, u)
+	buf[0] = 3
+	if _, _, err := Decode(buf); err == nil {
+		t.Errorf("Decode of truncated buffer succeeded, want error")
+	}
+}
+
+func TestDecodeRejectsCorruptPayload(t *testing.T) {
+	u := MustNew(Pair{5, 0.5}, Pair{6, 0.5})
+	buf, _ := AppendEncode(nil, u)
+	// Swap the two items so the ordering invariant breaks.
+	copy(buf[2:6], []byte{9, 0, 0, 0})
+	copy(buf[10:14], []byte{5, 0, 0, 0})
+	if _, _, err := Decode(buf); err == nil {
+		t.Errorf("Decode of out-of-order payload succeeded, want error")
+	}
+}
+
+func TestMaxEncodedPairs(t *testing.T) {
+	if got := MaxEncodedPairs(0); got != 0 {
+		t.Errorf("MaxEncodedPairs(0) = %d, want 0", got)
+	}
+	if got := MaxEncodedPairs(2); got != 0 {
+		t.Errorf("MaxEncodedPairs(2) = %d, want 0", got)
+	}
+	if got := MaxEncodedPairs(2 + 12*5); got != 5 {
+		t.Errorf("MaxEncodedPairs = %d, want 5", got)
+	}
+}
+
+func TestEncodeIsExact(t *testing.T) {
+	// A probability that is not float32-representable must still round-trip
+	// exactly: the tuple heap is the authoritative copy of the data.
+	p := 0.1 + 1e-9
+	u := MustNew(Pair{1, p})
+	buf, err := AppendEncode(nil, u)
+	if err != nil {
+		t.Fatalf("AppendEncode: %v", err)
+	}
+	got, _, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Prob(1) != p {
+		t.Errorf("decoded prob %.17g, want exactly %.17g", got.Prob(1), p)
+	}
+}

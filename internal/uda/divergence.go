@@ -1,0 +1,134 @@
+package uda
+
+import (
+	"fmt"
+	"math"
+)
+
+// Divergence identifies one of the paper's three distribution distance
+// functions (§2). L1 and L2 are metrics; KL is not, so it cannot prune search
+// paths directly but can cluster distributions in an index — the paper's
+// experiments (Figure 4) show KL-based clustering gives the best PDR-tree
+// performance.
+type Divergence int
+
+const (
+	// L1 is the Manhattan distance Σ |u_i − v_i|.
+	L1 Divergence = iota
+	// L2 is the Euclidean distance sqrt(Σ (u_i − v_i)²).
+	L2
+	// KL is the Kullback-Leibler divergence Σ u_i log(u_i / v_i).
+	KL
+)
+
+// String returns the paper's name for the divergence.
+func (d Divergence) String() string {
+	switch d {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case KL:
+		return "KL"
+	default:
+		return fmt.Sprintf("Divergence(%d)", int(d))
+	}
+}
+
+// Distance evaluates the divergence between two distributions. For KL the
+// smoothed variant is used so that the result stays finite on sparse data;
+// see KLDivergence for the exact definition.
+func (d Divergence) Distance(u, v UDA) float64 {
+	switch d {
+	case L1:
+		return L1Distance(u, v)
+	case L2:
+		return L2Distance(u, v)
+	case KL:
+		return KLSmoothed(u, v)
+	default:
+		panic("uda: unknown divergence " + d.String())
+	}
+}
+
+// merge walks the union of the two sparse supports, invoking f with the
+// aligned probabilities (zero where an item is absent).
+func merge(u, v UDA, f func(pu, pv float64)) {
+	i, j := 0, 0
+	for i < len(u.pairs) || j < len(v.pairs) {
+		switch {
+		case j >= len(v.pairs) || (i < len(u.pairs) && u.pairs[i].Item < v.pairs[j].Item):
+			f(u.pairs[i].Prob, 0)
+			i++
+		case i >= len(u.pairs) || u.pairs[i].Item > v.pairs[j].Item:
+			f(0, v.pairs[j].Prob)
+			j++
+		default:
+			f(u.pairs[i].Prob, v.pairs[j].Prob)
+			i++
+			j++
+		}
+	}
+}
+
+// L1Distance returns the Manhattan distance Σ_i |u_i − v_i|.
+func L1Distance(u, v UDA) float64 {
+	var s float64
+	merge(u, v, func(pu, pv float64) { s += math.Abs(pu - pv) })
+	return s
+}
+
+// L2Distance returns the Euclidean distance sqrt(Σ_i (u_i − v_i)²).
+func L2Distance(u, v UDA) float64 {
+	var s float64
+	merge(u, v, func(pu, pv float64) { d := pu - pv; s += d * d })
+	return math.Sqrt(s)
+}
+
+// KLDivergence returns the exact Kullback-Leibler divergence
+// Σ_i u_i · log(u_i / v_i), with the convention 0·log(0/x) = 0. It is +Inf
+// whenever u has mass on an item where v has none, which on sparse data is
+// the common case; most callers want KLSmoothed instead.
+func KLDivergence(u, v UDA) float64 {
+	var s float64
+	merge(u, v, func(pu, pv float64) {
+		if pu == 0 {
+			return
+		}
+		if pv == 0 {
+			s = math.Inf(1)
+			return
+		}
+		s += pu * math.Log(pu/pv)
+	})
+	return s
+}
+
+// klFloor is the probability floor substituted for zeros in KLSmoothed. The
+// exact value is immaterial for clustering — it only needs to make "v lacks
+// an item that u has" expensive but finite.
+const klFloor = 1e-6
+
+// KLSmoothed is the KL divergence with zero probabilities replaced by a small
+// floor on the v side, so the result is always finite. The PDR-tree uses it
+// to compare distributions (and MBR boundary vectors, which are not strictly
+// distributions — the paper notes most divergence measures still apply).
+func KLSmoothed(u, v UDA) float64 {
+	var s float64
+	merge(u, v, func(pu, pv float64) {
+		if pu == 0 {
+			return
+		}
+		if pv < klFloor {
+			pv = klFloor
+		}
+		s += pu * math.Log(pu/pv)
+	})
+	return s
+}
+
+// SymmetricKL returns KLSmoothed(u,v) + KLSmoothed(v,u), a symmetric variant
+// convenient for agglomerative clustering where the direction is arbitrary.
+func SymmetricKL(u, v UDA) float64 {
+	return KLSmoothed(u, v) + KLSmoothed(v, u)
+}

@@ -1,0 +1,117 @@
+package uda
+
+import (
+	"math"
+	"testing"
+)
+
+func TestL1Distance(t *testing.T) {
+	u := MustNew(Pair{1, 0.6}, Pair{2, 0.4})
+	v := MustNew(Pair{1, 0.4}, Pair{2, 0.6})
+	if got := L1Distance(u, v); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("L1 = %g, want 0.4", got)
+	}
+	if got := L1Distance(u, u); got != 0 {
+		t.Errorf("L1(u,u) = %g, want 0", got)
+	}
+}
+
+func TestL1DisjointSupports(t *testing.T) {
+	u := MustNew(Pair{1, 1})
+	v := MustNew(Pair{2, 1})
+	if got := L1Distance(u, v); math.Abs(got-2) > 1e-12 {
+		t.Errorf("L1 over disjoint complete distributions = %g, want 2", got)
+	}
+}
+
+func TestL2Distance(t *testing.T) {
+	u := MustNew(Pair{1, 0.6}, Pair{2, 0.4})
+	v := MustNew(Pair{1, 0.4}, Pair{2, 0.6})
+	want := math.Sqrt(0.04 + 0.04)
+	if got := L2Distance(u, v); math.Abs(got-want) > 1e-12 {
+		t.Errorf("L2 = %g, want %g", got, want)
+	}
+}
+
+func TestKLDivergenceExact(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{2, 0.5})
+	v := MustNew(Pair{1, 0.25}, Pair{2, 0.75})
+	want := 0.5*math.Log(0.5/0.25) + 0.5*math.Log(0.5/0.75)
+	if got := KLDivergence(u, v); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KL = %g, want %g", got, want)
+	}
+	if got := KLDivergence(u, u); math.Abs(got) > 1e-12 {
+		t.Errorf("KL(u,u) = %g, want 0", got)
+	}
+}
+
+func TestKLDivergenceInfiniteWhenSupportUncovered(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{2, 0.5})
+	v := MustNew(Pair{1, 1})
+	if got := KLDivergence(u, v); !math.IsInf(got, 1) {
+		t.Errorf("KL with uncovered support = %g, want +Inf", got)
+	}
+	// Smoothed variant must stay finite.
+	if got := KLSmoothed(u, v); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("KLSmoothed = %g, want finite", got)
+	}
+}
+
+func TestKLSmoothedMatchesExactOnCoveredSupport(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{2, 0.5})
+	v := MustNew(Pair{1, 0.25}, Pair{2, 0.75})
+	if got, want := KLSmoothed(u, v), KLDivergence(u, v); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KLSmoothed = %g, want %g (exact)", got, want)
+	}
+}
+
+func TestSymmetricKL(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{2, 0.5})
+	v := MustNew(Pair{1, 0.25}, Pair{2, 0.75})
+	if got, want := SymmetricKL(u, v), SymmetricKL(v, u); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SymmetricKL not symmetric: %g vs %g", got, want)
+	}
+}
+
+func TestDivergenceDispatchAndString(t *testing.T) {
+	u := MustNew(Pair{1, 0.6}, Pair{2, 0.4})
+	v := MustNew(Pair{1, 0.4}, Pair{2, 0.6})
+	if got := L1.Distance(u, v); got != L1Distance(u, v) {
+		t.Errorf("L1 dispatch mismatch")
+	}
+	if got := L2.Distance(u, v); got != L2Distance(u, v) {
+		t.Errorf("L2 dispatch mismatch")
+	}
+	if got := KL.Distance(u, v); got != KLSmoothed(u, v) {
+		t.Errorf("KL dispatch mismatch")
+	}
+	for d, want := range map[Divergence]string{L1: "L1", L2: "L2", KL: "KL"} {
+		if d.String() != want {
+			t.Errorf("String() = %q, want %q", d.String(), want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("unknown divergence did not panic")
+		}
+	}()
+	Divergence(42).Distance(u, v)
+}
+
+func TestPaperSimilarityVsEqualityDistinction(t *testing.T) {
+	// §2: two identical flat distributions have distance 0 but a *lower*
+	// equality probability than two different concentrated ones.
+	flat := MustNew(Pair{0, 0.2}, Pair{1, 0.2}, Pair{2, 0.2}, Pair{3, 0.2}, Pair{4, 0.2})
+	u := MustNew(Pair{0, 0.6}, Pair{1, 0.4})
+	v := MustNew(Pair{0, 0.4}, Pair{1, 0.6})
+	if L1Distance(flat, flat) != 0 {
+		t.Fatalf("identical distributions should be at distance 0")
+	}
+	if L1Distance(u, v) == 0 {
+		t.Fatalf("different distributions should have positive distance")
+	}
+	if EqualityProb(u, v) <= EqualityProb(flat, flat) {
+		t.Errorf("expected Pr(u=v)=%g > Pr(flat=flat)=%g",
+			EqualityProb(u, v), EqualityProb(flat, flat))
+	}
+}

@@ -1,0 +1,80 @@
+package uda
+
+// EqualityProb returns Pr(u = v) = Σ_i u.p_i · v.p_i, the probability that
+// two independent uncertain attributes take the same value (Definition 2 of
+// the paper). It is the predicate evaluated by probabilistic equality
+// threshold queries and joins.
+//
+// Both operands are sparse and sorted by item, so the sum is a linear merge.
+func EqualityProb(u, v UDA) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(u.pairs) && j < len(v.pairs) {
+		a, b := u.pairs[i], v.pairs[j]
+		switch {
+		case a.Item < b.Item:
+			i++
+		case a.Item > b.Item:
+			j++
+		default:
+			s += a.Prob * b.Prob
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// EqualsItemProb returns Pr(u = item), the probability that the uncertain
+// attribute equals a given certain value. It is EqualityProb(u, Certain(item))
+// without the allocation.
+func EqualsItemProb(u UDA, item uint32) float64 {
+	return u.Prob(item)
+}
+
+// Dot returns the dot product Σ_i u_i · w_i between a UDA and a sparse
+// weight vector given as sorted pairs. It is used for PDR-tree pruning where
+// w is an MBR boundary vector (an over-estimate, not a distribution): if
+// ⟨boundary, q⟩ ≤ τ then no UDA under the boundary can satisfy PETQ(q, τ).
+func Dot(u UDA, w []Pair) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(u.pairs) && j < len(w) {
+		a, b := u.pairs[i], w[j]
+		switch {
+		case a.Item < b.Item:
+			i++
+		case a.Item > b.Item:
+			j++
+		default:
+			s += a.Prob * b.Prob
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// MaxEqualityProb returns an upper bound on Pr(u = v) over all v: it is
+// attained by a v that concentrates on u's mode. Useful for quickly deciding
+// whether a threshold τ can be met by any tuple at all.
+func MaxEqualityProb(u UDA) float64 {
+	var best float64
+	for _, p := range u.pairs {
+		if p.Prob > best {
+			best = p.Prob
+		}
+	}
+	return best
+}
+
+// SelfEqualityProb returns Pr(u = u') where u' is an independent copy of u,
+// i.e. Σ p_i². This is the "collision probability" of the distribution; the
+// paper's §2 example shows it can be small even for identical distributions.
+func SelfEqualityProb(u UDA) float64 {
+	var s float64
+	for _, p := range u.pairs {
+		s += p.Prob * p.Prob
+	}
+	return s
+}

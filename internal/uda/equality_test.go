@@ -1,0 +1,82 @@
+package uda
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqualityProbPaperExamples(t *testing.T) {
+	// §2 of the paper: for u = v = (0.2,0.2,0.2,0.2,0.2), Pr(u=v) = 0.2;
+	// for u = (0.6,0.4,0,0,0) and v = (0.4,0.6,0,0,0), Pr(u=v) = 0.48.
+	flat := MustNew(Pair{0, 0.2}, Pair{1, 0.2}, Pair{2, 0.2}, Pair{3, 0.2}, Pair{4, 0.2})
+	if got := EqualityProb(flat, flat); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Pr(flat=flat) = %g, want 0.2", got)
+	}
+	u := MustNew(Pair{0, 0.6}, Pair{1, 0.4})
+	v := MustNew(Pair{0, 0.4}, Pair{1, 0.6})
+	if got := EqualityProb(u, v); math.Abs(got-0.48) > 1e-12 {
+		t.Errorf("Pr(u=v) = %g, want 0.48", got)
+	}
+}
+
+func TestEqualityProbDisjointSupports(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{2, 0.5})
+	v := MustNew(Pair{3, 0.5}, Pair{4, 0.5})
+	if got := EqualityProb(u, v); got != 0 {
+		t.Errorf("Pr over disjoint supports = %g, want 0", got)
+	}
+}
+
+func TestEqualityProbWithCertain(t *testing.T) {
+	u := MustNew(Pair{1, 0.3}, Pair{2, 0.7})
+	if got := EqualityProb(u, Certain(2)); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Pr(u=certain 2) = %g, want 0.7", got)
+	}
+	if got := EqualsItemProb(u, 2); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("EqualsItemProb = %g, want 0.7", got)
+	}
+}
+
+func TestEqualityProbEmpty(t *testing.T) {
+	var empty UDA
+	u := MustNew(Pair{1, 1})
+	if got := EqualityProb(empty, u); got != 0 {
+		t.Errorf("Pr(empty=u) = %g, want 0", got)
+	}
+	if got := EqualityProb(empty, empty); got != 0 {
+		t.Errorf("Pr(empty=empty) = %g, want 0", got)
+	}
+}
+
+func TestDotAgainstBoundaryVector(t *testing.T) {
+	q := MustNew(Pair{3, 0.4}, Pair{5, 0.2}, Pair{6, 0.1})
+	// An MBR boundary is not a distribution; its entries may sum past 1.
+	boundary := []Pair{{3, 0.9}, {4, 0.8}, {6, 0.92}}
+	got := Dot(q, boundary)
+	want := 0.4*0.9 + 0.1*0.92
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Dot = %g, want %g", got, want)
+	}
+}
+
+func TestDotEmptyWeight(t *testing.T) {
+	q := MustNew(Pair{1, 1})
+	if got := Dot(q, nil); got != 0 {
+		t.Errorf("Dot with empty weights = %g, want 0", got)
+	}
+}
+
+func TestMaxAndSelfEqualityProb(t *testing.T) {
+	u := MustNew(Pair{1, 0.6}, Pair{2, 0.4})
+	if got := MaxEqualityProb(u); got != 0.6 {
+		t.Errorf("MaxEqualityProb = %g, want 0.6", got)
+	}
+	if got := SelfEqualityProb(u); math.Abs(got-(0.36+0.16)) > 1e-12 {
+		t.Errorf("SelfEqualityProb = %g, want 0.52", got)
+	}
+	var empty UDA
+	if MaxEqualityProb(empty) != 0 || SelfEqualityProb(empty) != 0 {
+		t.Errorf("empty distribution: Max=%g Self=%g, want 0, 0",
+			MaxEqualityProb(empty), SelfEqualityProb(empty))
+	}
+}

@@ -1,0 +1,71 @@
+package uda_test
+
+import (
+	"fmt"
+
+	"ucat/internal/uda"
+)
+
+// The paper's §2 example: two very different concentrated distributions can
+// be *more probably equal* than two identical flat ones.
+func ExampleEqualityProb() {
+	flat := uda.MustNew(
+		uda.Pair{Item: 0, Prob: 0.2}, uda.Pair{Item: 1, Prob: 0.2},
+		uda.Pair{Item: 2, Prob: 0.2}, uda.Pair{Item: 3, Prob: 0.2},
+		uda.Pair{Item: 4, Prob: 0.2},
+	)
+	u := uda.MustNew(uda.Pair{Item: 0, Prob: 0.6}, uda.Pair{Item: 1, Prob: 0.4})
+	v := uda.MustNew(uda.Pair{Item: 0, Prob: 0.4}, uda.Pair{Item: 1, Prob: 0.6})
+	fmt.Printf("Pr(flat = flat) = %.2f\n", uda.EqualityProb(flat, flat))
+	fmt.Printf("Pr(u = v)       = %.2f\n", uda.EqualityProb(u, v))
+	fmt.Printf("L1(flat, flat)  = %.2f\n", uda.L1Distance(flat, flat))
+	fmt.Printf("L1(u, v)        = %.2f\n", uda.L1Distance(u, v))
+	// Output:
+	// Pr(flat = flat) = 0.20
+	// Pr(u = v)       = 0.48
+	// L1(flat, flat)  = 0.00
+	// L1(u, v)        = 0.40
+}
+
+func ExampleUDA_Mode() {
+	// Table 1(a), Camry: {(Trans, 0.2), (Suspension, 0.8)}.
+	const trans, suspension = 2, 3
+	camry := uda.MustNew(uda.Pair{Item: trans, Prob: 0.2}, uda.Pair{Item: suspension, Prob: 0.8})
+	item, prob, _ := camry.Mode()
+	fmt.Printf("most likely problem: item %d with probability %.1f\n", item, prob)
+	// Output:
+	// most likely problem: item 3 with probability 0.8
+}
+
+func ExampleGreaterProb() {
+	// Ordered domain (e.g. severity levels 0..4): how likely is incident A
+	// more severe than incident B?
+	a := uda.MustNew(uda.Pair{Item: 1, Prob: 0.3}, uda.Pair{Item: 3, Prob: 0.7})
+	b := uda.MustNew(uda.Pair{Item: 2, Prob: 1.0})
+	fmt.Printf("Pr(A > B) = %.1f\n", uda.GreaterProb(a, b))
+	fmt.Printf("Pr(A < B) = %.1f\n", uda.LessProb(a, b))
+	// Output:
+	// Pr(A > B) = 0.7
+	// Pr(A < B) = 0.3
+}
+
+func ExampleWithinProb() {
+	// Window equality: readings within one shelf position count as equal.
+	a := uda.MustNew(uda.Pair{Item: 10, Prob: 0.5}, uda.Pair{Item: 12, Prob: 0.5})
+	b := uda.MustNew(uda.Pair{Item: 11, Prob: 1.0})
+	fmt.Printf("Pr(|A − B| ≤ 1) = %.1f\n", uda.WithinProb(a, b, 1))
+	fmt.Printf("Pr(A = B)       = %.1f\n", uda.EqualityProb(a, b))
+	// Output:
+	// Pr(|A − B| ≤ 1) = 1.0
+	// Pr(A = B)       = 0.0
+}
+
+func ExampleMix() {
+	// Two RFID readers report the same tag with different confidence.
+	readerA := uda.MustNew(uda.Pair{Item: 5, Prob: 0.8}, uda.Pair{Item: 6, Prob: 0.2})
+	readerB := uda.MustNew(uda.Pair{Item: 6, Prob: 1.0})
+	fused, _ := uda.Mix(readerA, readerB, 0.75) // trust A three times as much
+	fmt.Println(fused)
+	// Output:
+	// {(5, 0.6), (6, 0.4)}
+}

@@ -1,0 +1,79 @@
+package uda
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMixBasic(t *testing.T) {
+	u := MustNew(Pair{1, 1})
+	v := MustNew(Pair{2, 1})
+	m, err := Mix(u, v, 0.3)
+	if err != nil {
+		t.Fatalf("Mix: %v", err)
+	}
+	if math.Abs(m.Prob(1)-0.3) > 1e-12 || math.Abs(m.Prob(2)-0.7) > 1e-12 {
+		t.Errorf("Mix = %v", m)
+	}
+}
+
+func TestMixOverlappingSupport(t *testing.T) {
+	u := MustNew(Pair{1, 0.6}, Pair{2, 0.4})
+	v := MustNew(Pair{2, 0.5}, Pair{3, 0.5})
+	m, err := Mix(u, v, 0.5)
+	if err != nil {
+		t.Fatalf("Mix: %v", err)
+	}
+	if math.Abs(m.Prob(2)-0.45) > 1e-12 {
+		t.Errorf("Mix[2] = %g, want 0.45", m.Prob(2))
+	}
+	if math.Abs(m.Mass()-1) > 1e-12 {
+		t.Errorf("Mix mass = %g", m.Mass())
+	}
+}
+
+func TestMixBoundaryWeights(t *testing.T) {
+	u := MustNew(Pair{1, 1})
+	v := MustNew(Pair{2, 1})
+	m, err := Mix(u, v, 1)
+	if err != nil || !m.Equal(u) {
+		t.Errorf("Mix w=1 = (%v, %v), want u", m, err)
+	}
+	m, err = Mix(u, v, 0)
+	if err != nil || !m.Equal(v) {
+		t.Errorf("Mix w=0 = (%v, %v), want v", m, err)
+	}
+	if _, err := Mix(u, v, 1.5); err == nil {
+		t.Errorf("weight 1.5 accepted")
+	}
+	if _, err := Mix(u, v, -0.1); err == nil {
+		t.Errorf("weight -0.1 accepted")
+	}
+}
+
+func TestMixPreservesValidity(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		u := Random(r, 30, 6)
+		v := Random(r, 30, 6)
+		w := r.Float64()
+		m, err := Mix(u, v, w)
+		if err != nil {
+			t.Fatalf("Mix: %v", err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Mix produced invalid UDA: %v", err)
+		}
+		if math.Abs(m.Mass()-1) > 1e-9 {
+			t.Fatalf("Mix mass = %g", m.Mass())
+		}
+		// Pointwise check on a few items.
+		for _, it := range []uint32{0, 5, 29} {
+			want := w*u.Prob(it) + (1-w)*v.Prob(it)
+			if math.Abs(m.Prob(it)-want) > 1e-12 {
+				t.Fatalf("Mix[%d] = %g, want %g", it, m.Prob(it), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package uda
+
+// Ordered-domain extensions. The paper's §2 notes that when the categorical
+// domain is totally ordered (D = {1, ..., N}) additional probabilistic
+// relations become meaningful: Pr(u > v), Pr(|u − v| < c), and an equality
+// relaxed to a window within which values are considered equal. These
+// operators treat item codes as positions on that order.
+
+// GreaterProb returns Pr(u > v) under the independence assumption:
+// Σ_{i > j} u_i · v_j.
+//
+// The computation is a single merge over v's items accumulating v's prefix
+// mass: for each item a of u, the contribution is u_a times the mass v puts
+// strictly below a. Runs in O(len(u) + len(v)).
+func GreaterProb(u, v UDA) float64 {
+	var s, vBelow float64
+	j := 0
+	for _, a := range u.pairs {
+		for j < len(v.pairs) && v.pairs[j].Item < a.Item {
+			vBelow += v.pairs[j].Prob
+			j++
+		}
+		s += a.Prob * vBelow
+	}
+	return s
+}
+
+// LessProb returns Pr(u < v) = Pr(v > u).
+func LessProb(u, v UDA) float64 { return GreaterProb(v, u) }
+
+// WithinProb returns Pr(|u − v| ≤ c) under independence:
+// Σ_{|i−j| ≤ c} u_i · v_j. With c = 0 it reduces to EqualityProb.
+//
+// It uses a sliding window over v's sorted items: for each item a of u, the
+// qualifying window of v is [a−c, a+c]. The window's endpoints only advance,
+// so the total work is O(len(u) + len(v) + matches).
+func WithinProb(u, v UDA, c uint32) float64 {
+	if c == 0 {
+		return EqualityProb(u, v)
+	}
+	var s float64
+	lo := 0
+	for _, a := range u.pairs {
+		var min uint32
+		if a.Item > c {
+			min = a.Item - c
+		}
+		max := a.Item + c
+		if max < a.Item { // overflow: window extends to the top of the domain
+			max = ^uint32(0)
+		}
+		for lo < len(v.pairs) && v.pairs[lo].Item < min {
+			lo++
+		}
+		for j := lo; j < len(v.pairs) && v.pairs[j].Item <= max; j++ {
+			s += a.Prob * v.pairs[j].Prob
+		}
+	}
+	return s
+}
+
+// WindowEqualityProb is the paper's relaxed equality: two values are
+// considered equal when they fall within a window of width c of each other.
+// It is an alias for WithinProb provided for readability at call sites that
+// implement windowed PETQ.
+func WindowEqualityProb(u, v UDA, c uint32) float64 { return WithinProb(u, v, c) }
+
+// ExpectedItem returns the mean item position Σ i · p_i of an ordered-domain
+// UDA, normalized by the total mass. It returns 0, ErrEmpty for the empty
+// distribution.
+func ExpectedItem(u UDA) (float64, error) {
+	mass := u.Mass()
+	if mass == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, p := range u.pairs {
+		s += float64(p.Item) * p.Prob
+	}
+	return s / mass, nil
+}
+
+// CDF returns Pr(u ≤ item) for an ordered domain.
+func CDF(u UDA, item uint32) float64 {
+	var s float64
+	for _, p := range u.pairs {
+		if p.Item > item {
+			break
+		}
+		s += p.Prob
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package uda
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGreaterProbBasic(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{3, 0.5})
+	v := MustNew(Pair{2, 1})
+	// u > v only when u = 3: 0.5.
+	if got := GreaterProb(u, v); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Pr(u>v) = %g, want 0.5", got)
+	}
+	if got := LessProb(u, v); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Pr(u<v) = %g, want 0.5", got)
+	}
+}
+
+func TestGreaterLessEqualPartition(t *testing.T) {
+	// For complete distributions, Pr(u>v) + Pr(u<v) + Pr(u=v) = 1.
+	u := MustNew(Pair{1, 0.2}, Pair{2, 0.3}, Pair{5, 0.5})
+	v := MustNew(Pair{2, 0.6}, Pair{4, 0.4})
+	sum := GreaterProb(u, v) + LessProb(u, v) + EqualityProb(u, v)
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("partition sums to %g, want 1", sum)
+	}
+}
+
+func TestGreaterProbCertain(t *testing.T) {
+	if got := GreaterProb(Certain(5), Certain(3)); got != 1 {
+		t.Errorf("Pr(5>3) = %g, want 1", got)
+	}
+	if got := GreaterProb(Certain(3), Certain(5)); got != 0 {
+		t.Errorf("Pr(3>5) = %g, want 0", got)
+	}
+	if got := GreaterProb(Certain(3), Certain(3)); got != 0 {
+		t.Errorf("Pr(3>3) = %g, want 0", got)
+	}
+}
+
+func TestWithinProb(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{4, 0.5})
+	v := MustNew(Pair{2, 0.5}, Pair{8, 0.5})
+	// |u-v| <= 1: (1,2) and... (4,2)? diff 2 no. So 0.5*0.5 = 0.25.
+	if got := WithinProb(u, v, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("WithinProb c=1 = %g, want 0.25", got)
+	}
+	// |u-v| <= 4: (1,2)=0.25, (4,2)=0.25, (4,8)=0.25 → 0.75.
+	if got := WithinProb(u, v, 4); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("WithinProb c=4 = %g, want 0.75", got)
+	}
+	// c large enough covers everything.
+	if got := WithinProb(u, v, 100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("WithinProb c=100 = %g, want 1", got)
+	}
+}
+
+func TestWithinProbZeroIsEquality(t *testing.T) {
+	u := MustNew(Pair{1, 0.6}, Pair{2, 0.4})
+	v := MustNew(Pair{1, 0.4}, Pair{2, 0.6})
+	if got, want := WithinProb(u, v, 0), EqualityProb(u, v); got != want {
+		t.Errorf("WithinProb c=0 = %g, want EqualityProb %g", got, want)
+	}
+	if got, want := WindowEqualityProb(u, v, 2), WithinProb(u, v, 2); got != want {
+		t.Errorf("WindowEqualityProb = %g, want %g", got, want)
+	}
+}
+
+func TestWithinProbOverflowWindow(t *testing.T) {
+	top := ^uint32(0)
+	u := MustNew(Pair{top - 1, 1})
+	v := MustNew(Pair{top, 1})
+	if got := WithinProb(u, v, 5); got != 1 {
+		t.Errorf("WithinProb near uint32 max = %g, want 1", got)
+	}
+}
+
+func TestExpectedItemAndCDF(t *testing.T) {
+	u := MustNew(Pair{1, 0.5}, Pair{3, 0.5})
+	e, err := ExpectedItem(u)
+	if err != nil || math.Abs(e-2) > 1e-12 {
+		t.Errorf("ExpectedItem = (%g, %v), want (2, nil)", e, err)
+	}
+	if got := CDF(u, 0); got != 0 {
+		t.Errorf("CDF(0) = %g, want 0", got)
+	}
+	if got := CDF(u, 1); got != 0.5 {
+		t.Errorf("CDF(1) = %g, want 0.5", got)
+	}
+	if got := CDF(u, 3); got != 1 {
+		t.Errorf("CDF(3) = %g, want 1", got)
+	}
+	var empty UDA
+	if _, err := ExpectedItem(empty); err != ErrEmpty {
+		t.Errorf("ExpectedItem(empty) err = %v, want ErrEmpty", err)
+	}
+}

@@ -1,0 +1,159 @@
+package uda
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg generates random valid UDAs for every argument of a property,
+// regardless of declared parameter types (all properties here take UDAs).
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(Random(r, 50, 8))
+			}
+		},
+	}
+}
+
+func TestQuickRandomIsValid(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		u := Random(r, 1+r.Intn(100), 1+r.Intn(10))
+		if err := u.Validate(); err != nil {
+			t.Fatalf("Random produced invalid UDA: %v", err)
+		}
+		if math.Abs(u.Mass()-1) > 1e-9 {
+			t.Fatalf("Random mass = %g, want 1", u.Mass())
+		}
+	}
+}
+
+func TestQuickEqualitySymmetric(t *testing.T) {
+	f := func(u, v UDA) bool {
+		return math.Abs(EqualityProb(u, v)-EqualityProb(v, u)) < 1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualityBounds(t *testing.T) {
+	f := func(u, v UDA) bool {
+		p := EqualityProb(u, v)
+		return p >= 0 && p <= MaxEqualityProb(u)+1e-12 && p <= MaxEqualityProb(v)+1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDotUpperBoundsEquality(t *testing.T) {
+	// Dot against any pointwise over-estimate of v must dominate Pr(u=v):
+	// this is the soundness core of PDR-tree pruning (Lemma 2).
+	f := func(u, v UDA) bool {
+		boundary := v.Pairs()
+		for i := range boundary {
+			boundary[i].Prob = math.Min(1, boundary[i].Prob*1.25)
+		}
+		return Dot(u, boundary) >= EqualityProb(u, v)-1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickL1L2Metric(t *testing.T) {
+	f := func(u, v, w UDA) bool {
+		// Symmetry, identity, triangle inequality for both metrics.
+		if math.Abs(L1Distance(u, v)-L1Distance(v, u)) > 1e-12 {
+			return false
+		}
+		if math.Abs(L2Distance(u, v)-L2Distance(v, u)) > 1e-12 {
+			return false
+		}
+		if L1Distance(u, u) != 0 || L2Distance(u, u) != 0 {
+			return false
+		}
+		if L1Distance(u, w) > L1Distance(u, v)+L1Distance(v, w)+1e-12 {
+			return false
+		}
+		return L2Distance(u, w) <= L2Distance(u, v)+L2Distance(v, w)+1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKLNonNegative(t *testing.T) {
+	// Gibbs' inequality: KL ≥ 0 for complete distributions (Random always
+	// produces mass-1 distributions).
+	f := func(u, v UDA) bool {
+		kl := KLDivergence(u, v)
+		return kl >= -1e-12 // may be +Inf, which passes
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrderPartition(t *testing.T) {
+	f := func(u, v UDA) bool {
+		sum := GreaterProb(u, v) + LessProb(u, v) + EqualityProb(u, v)
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWithinProbMonotoneInWindow(t *testing.T) {
+	f := func(u, v UDA) bool {
+		prev := WithinProb(u, v, 0)
+		for _, c := range []uint32{1, 2, 5, 10, 50} {
+			cur := WithinProb(u, v, c)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCodecRoundTripExact(t *testing.T) {
+	f := func(u UDA) bool {
+		buf, err := AppendEncode(nil, u)
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(buf)
+		return err == nil && n == len(buf) && got.Equal(u)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopPreservesValidity(t *testing.T) {
+	f := func(u UDA) bool {
+		for n := 0; n <= u.Len(); n++ {
+			if err := u.Top(n).Validate(); err != nil {
+				return false
+			}
+		}
+		norm, err := u.Normalize()
+		return err == nil && math.Abs(norm.Mass()-1) < 1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package uda
+
+import "math/rand"
+
+// Random draws a random UDA with at most maxPairs non-zero items from the
+// domain [0, domain). The support is sampled without replacement and the
+// probabilities are a normalized random point on the simplex, so the result
+// always has total mass 1. It is used by property-based tests and by the
+// workload generators.
+func Random(r *rand.Rand, domain, maxPairs int) UDA {
+	if domain <= 0 {
+		return UDA{}
+	}
+	n := 1 + r.Intn(maxPairs)
+	if n > domain {
+		n = domain
+	}
+	items := sampleItems(r, domain, n)
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		w := r.Float64() + 1e-3 // bounded away from zero so no pair vanishes
+		weights[i] = w
+		sum += w
+	}
+	pairs := make([]Pair, n)
+	for i, item := range items {
+		pairs[i] = Pair{Item: item, Prob: weights[i] / sum}
+	}
+	return MustNew(pairs...)
+}
+
+// sampleItems draws n distinct items uniformly from [0, domain). For small n
+// relative to the domain it uses rejection sampling against a set; otherwise
+// it shuffles a prefix of the full domain.
+func sampleItems(r *rand.Rand, domain, n int) []uint32 {
+	if n*4 < domain {
+		seen := make(map[uint32]struct{}, n)
+		out := make([]uint32, 0, n)
+		for len(out) < n {
+			it := uint32(r.Intn(domain))
+			if _, dup := seen[it]; dup {
+				continue
+			}
+			seen[it] = struct{}{}
+			out = append(out, it)
+		}
+		return out
+	}
+	all := make([]uint32, domain)
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	r.Shuffle(domain, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:n]
+}

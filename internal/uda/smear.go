@@ -1,0 +1,85 @@
+package uda
+
+// Smear returns the box-filtered weight vector w with
+// w_i = Σ_{j : |i−j| ≤ c} u_j.
+//
+// It is the bridge between windowed equality and ordinary dot products: for
+// any two distributions, Pr(|u − v| ≤ c) = Σ_j u_j Σ_{|i−j| ≤ c} v_i
+// = ⟨Smear(u, c), v⟩. Both index structures therefore answer the paper's
+// relaxed window-equality queries (§2, ordered domains) by running their
+// usual threshold machinery against the smeared query: inverted lists are
+// scanned with w as the per-list weight, and the PDR-tree prunes with
+// ⟨boundary, Smear(q, c)⟩, which over-estimates the window probability of
+// everything below the boundary exactly as in Lemma 2.
+//
+// The result is a Vector, not a distribution: its mass is up to (2c+1)
+// times u's.
+func Smear(u UDA, c uint32) Vector {
+	if len(u.pairs) == 0 {
+		return nil
+	}
+	if c == 0 {
+		return Vec(u)
+	}
+	// Sweep the sorted pairs once, maintaining the window [i−c, i+c] of
+	// source items covering each output item. Output items form runs around
+	// each source item; to stay simple and exact, collect boundaries first.
+	type edge struct {
+		item  uint32
+		delta float64
+		open  int // +1 window opens, −1 window closes
+	}
+	var edges []edge
+	for _, p := range u.pairs {
+		lo := uint32(0)
+		if p.Item > c {
+			lo = p.Item - c
+		}
+		hi := p.Item + c
+		if hi < p.Item { // overflow: clamp to the top of the domain
+			hi = ^uint32(0)
+		}
+		edges = append(edges, edge{item: lo, delta: p.Prob, open: 1})
+		if hi != ^uint32(0) {
+			edges = append(edges, edge{item: hi + 1, delta: -p.Prob, open: -1})
+		}
+	}
+	// Sort edges by item (insertion sort: |edges| = 2·len(pairs), small).
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j-1].item > edges[j].item; j-- {
+			edges[j-1], edges[j] = edges[j], edges[j-1]
+		}
+	}
+	// Walk the edges accumulating the running weight; emit a pair per item
+	// in covered ranges. Coverage is decided by the integer open-window
+	// count — the float weight can retain round-off residue after all
+	// windows close, which must not be emitted (it would extend to the end
+	// of the item space).
+	var out Vector
+	var weight float64
+	open := 0
+	for i := 0; i < len(edges); {
+		item := edges[i].item
+		for i < len(edges) && edges[i].item == item {
+			weight += edges[i].delta
+			open += edges[i].open
+			i++
+		}
+		if open <= 0 || weight <= 0 {
+			continue
+		}
+		end := ^uint32(0)
+		lastRange := i >= len(edges)
+		if !lastRange {
+			end = edges[i].item
+		}
+		for it := item; it < end; it++ {
+			out = append(out, Pair{Item: it, Prob: weight})
+		}
+		if lastRange {
+			// Only a clamped-at-max window reaches here; include the top item.
+			out = append(out, Pair{Item: end, Prob: weight})
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package uda
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSmearZeroWindowIsIdentity(t *testing.T) {
+	u := MustNew(Pair{1, 0.4}, Pair{5, 0.6})
+	s := Smear(u, 0)
+	if len(s) != 2 || s.Prob(1) != 0.4 || s.Prob(5) != 0.6 {
+		t.Errorf("Smear(u, 0) = %v", s)
+	}
+}
+
+func TestSmearBasic(t *testing.T) {
+	u := MustNew(Pair{5, 1})
+	s := Smear(u, 2)
+	// Items 3..7 each get weight 1.
+	if len(s) != 5 {
+		t.Fatalf("Smear = %v, want 5 entries", s)
+	}
+	for it := uint32(3); it <= 7; it++ {
+		if s.Prob(it) != 1 {
+			t.Errorf("Smear[%d] = %g, want 1", it, s.Prob(it))
+		}
+	}
+}
+
+func TestSmearOverlappingWindows(t *testing.T) {
+	u := MustNew(Pair{2, 0.5}, Pair{4, 0.5})
+	s := Smear(u, 1)
+	// Item 3 is covered by both windows: weight 1.
+	if got := s.Prob(3); got != 1 {
+		t.Errorf("Smear[3] = %g, want 1", got)
+	}
+	if got := s.Prob(1); got != 0.5 {
+		t.Errorf("Smear[1] = %g, want 0.5", got)
+	}
+	if got := s.Prob(6); got != 0 {
+		t.Errorf("Smear[6] = %g, want 0", got)
+	}
+}
+
+func TestSmearClampsAtDomainEdges(t *testing.T) {
+	u := MustNew(Pair{1, 1})
+	s := Smear(u, 3)
+	// Window [max(0,1−3), 4] = [0, 4].
+	if s.Prob(0) != 1 || s.Prob(4) != 1 || s.Prob(5) != 0 {
+		t.Errorf("Smear near zero = %v", s)
+	}
+	top := ^uint32(0)
+	u = MustNew(Pair{top - 1, 1})
+	s = Smear(u, 4)
+	if s.Prob(top) != 1 || s.Prob(top-5) != 1 {
+		t.Errorf("Smear near max = %d entries", len(s))
+	}
+}
+
+func TestSmearEmpty(t *testing.T) {
+	var u UDA
+	if got := Smear(u, 3); len(got) != 0 {
+		t.Errorf("Smear(empty) = %v", got)
+	}
+}
+
+func TestSmearDotEqualsWithinProb(t *testing.T) {
+	// The identity the window-equality indexes rely on:
+	// ⟨Smear(u, c), Vec(v)⟩ = Pr(|u − v| ≤ c).
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		u := Random(r, 30, 6)
+		v := Random(r, 30, 6)
+		for _, c := range []uint32{0, 1, 2, 5, 29} {
+			dot := VecDot(Smear(u, c), Vec(v))
+			want := WithinProb(u, v, c)
+			if math.Abs(dot-want) > 1e-12 {
+				t.Fatalf("trial %d c=%d: smear dot %g, WithinProb %g", trial, c, dot, want)
+			}
+		}
+	}
+}
+
+func TestSmearOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		s := Smear(Random(r, 50, 8), uint32(r.Intn(6)))
+		for i := 1; i < len(s); i++ {
+			if s[i-1].Item >= s[i].Item {
+				t.Fatalf("Smear output not strictly increasing: %v", s)
+			}
+		}
+	}
+}

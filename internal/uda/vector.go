@@ -1,0 +1,199 @@
+package uda
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vector is a sparse non-negative vector over the categorical domain, sorted
+// by item. Unlike a UDA it carries no total-mass constraint: the PDR-tree's
+// MBR boundary vectors are pointwise maxima of distributions and routinely
+// sum past 1 ("Even though an MBR boundary is not a probability distribution
+// in the strict sense, we can still apply most divergence measures", §3.2).
+type Vector []Pair
+
+// Vec returns u's pairs as a Vector (a copy).
+func Vec(u UDA) Vector { return Vector(u.Pairs()) }
+
+// Validate checks the representation invariants: strictly increasing items
+// and probabilities in (0, 1].
+func (v Vector) Validate() error {
+	for i, p := range v {
+		if i > 0 && v[i-1].Item >= p.Item {
+			return fmt.Errorf("uda: vector items not strictly increasing at index %d", i)
+		}
+		if math.IsNaN(p.Prob) || p.Prob <= 0 || p.Prob > 1 {
+			return fmt.Errorf("uda: vector item %d has out-of-range value %v", p.Item, p.Prob)
+		}
+	}
+	return nil
+}
+
+// Prob returns the coordinate for item (zero when absent).
+func (v Vector) Prob(item uint32) float64 {
+	i := sort.Search(len(v), func(i int) bool { return v[i].Item >= item })
+	if i < len(v) && v[i].Item == item {
+		return v[i].Prob
+	}
+	return 0
+}
+
+// Area returns the L1 mass Σ v_i — the paper's simplest MBR "area" measure,
+// which the insert heuristics minimize.
+func (v Vector) Area() float64 {
+	var s float64
+	for _, p := range v {
+		s += p.Prob
+	}
+	return s
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// MaxVec returns the pointwise maximum of a and b — how an MBR boundary
+// grows to accommodate a new distribution or child boundary.
+func MaxVec(a, b Vector) Vector {
+	out := make(Vector, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Item < b[j].Item):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || a[i].Item > b[j].Item:
+			out = append(out, b[j])
+			j++
+		default:
+			p := a[i]
+			if b[j].Prob > p.Prob {
+				p.Prob = b[j].Prob
+			}
+			out = append(out, p)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Dominates reports whether v ≥ u pointwise, i.e. v is a valid over-estimate
+// of the distribution u. Every UDA stored under an MBR is dominated by the
+// MBR's boundary.
+func (v Vector) Dominates(u UDA) bool {
+	i := 0
+	for _, p := range u.pairs {
+		for i < len(v) && v[i].Item < p.Item {
+			i++
+		}
+		if i >= len(v) || v[i].Item != p.Item || v[i].Prob < p.Prob {
+			return false
+		}
+	}
+	return true
+}
+
+// DotUDA returns Σ_i q_i · v_i. When v is an MBR boundary this dominates
+// Pr(q = u) for every u under the MBR (Lemma 2), making ⟨v, q⟩ ≤ τ a sound
+// pruning test.
+func (v Vector) DotUDA(q UDA) float64 { return Dot(q, []Pair(v)) }
+
+// VecDot returns Σ_i a_i · b_i between two sparse vectors.
+func VecDot(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Item < b[j].Item:
+			i++
+		case a[i].Item > b[j].Item:
+			j++
+		default:
+			s += a[i].Prob * b[j].Prob
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// mergeVec walks the union of two sparse supports.
+func mergeVec(a, b Vector, f func(pa, pb float64)) {
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Item < b[j].Item):
+			f(a[i].Prob, 0)
+			i++
+		case i >= len(a) || a[i].Item > b[j].Item:
+			f(0, b[j].Prob)
+			j++
+		default:
+			f(a[i].Prob, b[j].Prob)
+			i++
+			j++
+		}
+	}
+}
+
+// VecL1 is the Manhattan distance between two vectors.
+func VecL1(a, b Vector) float64 {
+	var s float64
+	mergeVec(a, b, func(pa, pb float64) { s += math.Abs(pa - pb) })
+	return s
+}
+
+// VecL2 is the Euclidean distance between two vectors.
+func VecL2(a, b Vector) float64 {
+	var s float64
+	mergeVec(a, b, func(pa, pb float64) { d := pa - pb; s += d * d })
+	return math.Sqrt(s)
+}
+
+// VecKL is the smoothed KL divergence extended to vectors. Neither operand
+// need be a distribution — MBR boundaries carry mass well past 1 — so both
+// sides are normalized first: KL "tends to compare the probability values by
+// their ratios" (§2), and ratios are only meaningful between shapes. Without
+// normalization every comparison against a wide boundary collapses towards a
+// constant and the measure stops discriminating.
+func VecKL(a, b Vector) float64 {
+	na, nb := a.Area(), b.Area()
+	if na == 0 || nb == 0 {
+		if na == nb {
+			return 0
+		}
+		return math.Log(1 / klFloor) // maximal penalty for an empty side
+	}
+	var s float64
+	mergeVec(a, b, func(pa, pb float64) {
+		pa /= na
+		pb /= nb
+		if pa == 0 {
+			return
+		}
+		if pb < klFloor {
+			pb = klFloor
+		}
+		s += pa * math.Log(pa/pb)
+	})
+	return s
+}
+
+// VecDistance evaluates the divergence between two vectors.
+func (d Divergence) VecDistance(a, b Vector) float64 {
+	switch d {
+	case L1:
+		return VecL1(a, b)
+	case L2:
+		return VecL2(a, b)
+	case KL:
+		return VecKL(a, b)
+	default:
+		panic("uda: unknown divergence " + d.String())
+	}
+}

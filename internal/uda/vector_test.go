@@ -1,0 +1,146 @@
+package uda
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVecFromUDA(t *testing.T) {
+	u := MustNew(Pair{1, 0.3}, Pair{5, 0.7})
+	v := Vec(u)
+	if len(v) != 2 || v.Prob(1) != 0.3 || v.Prob(5) != 0.7 || v.Prob(2) != 0 {
+		t.Errorf("Vec = %v", v)
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Mutating the vector must not affect the UDA.
+	v[0].Prob = 0.9
+	if u.Prob(1) != 0.3 {
+		t.Errorf("Vec aliases UDA storage")
+	}
+}
+
+func TestVectorValidate(t *testing.T) {
+	bad := Vector{{2, 0.5}, {1, 0.5}}
+	if bad.Validate() == nil {
+		t.Errorf("out-of-order vector passed Validate")
+	}
+	bad = Vector{{1, 1.5}}
+	if bad.Validate() == nil {
+		t.Errorf("value > 1 passed Validate")
+	}
+	bad = Vector{{1, 0}}
+	if bad.Validate() == nil {
+		t.Errorf("zero value passed Validate")
+	}
+}
+
+func TestMaxVec(t *testing.T) {
+	a := Vector{{1, 0.3}, {3, 0.8}}
+	b := Vector{{1, 0.5}, {2, 0.2}}
+	m := MaxVec(a, b)
+	want := Vector{{1, 0.5}, {2, 0.2}, {3, 0.8}}
+	if len(m) != len(want) {
+		t.Fatalf("MaxVec = %v, want %v", m, want)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("MaxVec[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+	// Area of a boundary can exceed 1: it is not a distribution.
+	if m.Area() != 1.5 {
+		t.Errorf("Area = %g, want 1.5", m.Area())
+	}
+}
+
+func TestMaxVecEmpty(t *testing.T) {
+	a := Vector{{1, 0.5}}
+	if got := MaxVec(a, nil); len(got) != 1 || got[0] != a[0] {
+		t.Errorf("MaxVec(a, nil) = %v", got)
+	}
+	if got := MaxVec(nil, nil); len(got) != 0 {
+		t.Errorf("MaxVec(nil, nil) = %v", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	u := MustNew(Pair{1, 0.3}, Pair{3, 0.7})
+	if !(Vector{{1, 0.3}, {3, 0.7}}).Dominates(u) {
+		t.Errorf("equal vector should dominate")
+	}
+	if !(Vector{{1, 0.5}, {2, 0.1}, {3, 0.9}}).Dominates(u) {
+		t.Errorf("larger vector should dominate")
+	}
+	if (Vector{{1, 0.2}, {3, 0.9}}).Dominates(u) {
+		t.Errorf("smaller coordinate should not dominate")
+	}
+	if (Vector{{3, 0.9}}).Dominates(u) {
+		t.Errorf("missing coordinate should not dominate")
+	}
+	var empty UDA
+	if !(Vector{}).Dominates(empty) {
+		t.Errorf("empty dominates empty")
+	}
+}
+
+func TestDotUDAUpperBoundsEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		q := Random(r, 20, 5)
+		us := make([]UDA, 3)
+		bound := Vector{}
+		for i := range us {
+			us[i] = Random(r, 20, 5)
+			bound = MaxVec(bound, Vec(us[i]))
+		}
+		ub := bound.DotUDA(q)
+		for _, u := range us {
+			if !bound.Dominates(u) {
+				t.Fatalf("boundary does not dominate member")
+			}
+			if EqualityProb(q, u) > ub+1e-12 {
+				t.Fatalf("Lemma 2 violated: Pr=%g > bound=%g", EqualityProb(q, u), ub)
+			}
+		}
+	}
+}
+
+func TestVecDistances(t *testing.T) {
+	a := Vector{{1, 0.6}, {2, 0.4}}
+	b := Vector{{1, 0.4}, {2, 0.6}}
+	if got := VecL1(a, b); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("VecL1 = %g, want 0.4", got)
+	}
+	if got := VecL2(a, b); math.Abs(got-math.Sqrt(0.08)) > 1e-12 {
+		t.Errorf("VecL2 = %g", got)
+	}
+	if got := VecKL(a, a); math.Abs(got) > 1e-12 {
+		t.Errorf("VecKL(a,a) = %g, want 0", got)
+	}
+	if VecKL(a, b) <= 0 {
+		t.Errorf("VecKL(a,b) = %g, want > 0", VecKL(a, b))
+	}
+	// Dispatch agrees with the direct functions.
+	for _, d := range []Divergence{L1, L2, KL} {
+		udaA := MustNew(Pair{1, 0.6}, Pair{2, 0.4})
+		udaB := MustNew(Pair{1, 0.4}, Pair{2, 0.6})
+		if got, want := d.VecDistance(Vec(udaA), Vec(udaB)), d.Distance(udaA, udaB); math.Abs(got-want) > 1e-12 {
+			t.Errorf("%v VecDistance = %g, Distance = %g", d, got, want)
+		}
+	}
+}
+
+func TestVectorProbAndClone(t *testing.T) {
+	v := Vector{{2, 0.1}, {10, 0.9}}
+	if v.Prob(10) != 0.9 || v.Prob(3) != 0 {
+		t.Errorf("Prob lookups wrong")
+	}
+	c := v.Clone()
+	c[0].Prob = 0.5
+	if v[0].Prob != 0.1 {
+		t.Errorf("Clone shares storage")
+	}
+}
