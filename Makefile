@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: all build test test-short race cover bench figures ablations fuzz clean
+# Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
+FUZZTIME ?= 30s
 
-all: build test
+.PHONY: all build lint test test-short race cover bench figures ablations fuzz clean
+
+all: build lint test
 
 build:
 	$(GO) build ./...
+
+# Static invariants: go vet plus the project's own analyzer (see DESIGN.md,
+# "Static invariants"). ucatlint enforces the probability / I/O-accounting /
+# determinism rules every figure depends on; the build fails on violations.
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/ucatlint ./...
 
 test:
 	$(GO) test ./...
@@ -15,7 +24,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/pager/ ./internal/core/
+	$(GO) test -race -short ./...
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -32,8 +41,8 @@ ablations:
 	$(GO) run ./cmd/ucatbench -ablations -scale 1 -queries 20 | tee results_ablations.txt
 
 fuzz:
-	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/uda/
-	$(GO) test -fuzz FuzzDecodeBoundary -fuzztime 30s ./internal/pdrtree/
+	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/uda/
+	$(GO) test -fuzz FuzzDecodeBoundary -fuzztime $(FUZZTIME) ./internal/pdrtree/
 
 clean:
 	$(GO) clean ./...

@@ -75,7 +75,7 @@ func (r *Relation) SaveFile(path string) error {
 		return err
 	}
 	if err := r.Save(f); err != nil {
-		f.Close()
+		_ = f.Close() // the Save error takes precedence over the close error
 		return err
 	}
 	return f.Close()
@@ -163,6 +163,7 @@ func LoadRelationFile(path string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	//ucatlint:ignore droppederr read-only file: a close error cannot lose data
 	defer f.Close()
 	return LoadRelation(f)
 }

@@ -1,0 +1,117 @@
+package invidx
+
+import (
+	"strings"
+	"testing"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+func mustUDA(t *testing.T, pairs ...uda.Pair) uda.UDA {
+	t.Helper()
+	u, err := uda.New(pairs...)
+	if err != nil {
+		t.Fatalf("uda.New: %v", err)
+	}
+	return u
+}
+
+func TestStatsEmptyIndex(t *testing.T) {
+	ix := New(pager.NewPool(pager.NewStore(), 0))
+	st := ix.Stats()
+	if st.Tuples != 0 || st.Lists != 0 || st.Entries != 0 || st.MaxLength != 0 {
+		t.Errorf("empty index stats = %+v, want all zero", st)
+	}
+	if st.MeanLength != 0 {
+		t.Errorf("empty index MeanLength = %v, want 0 (no division by zero lists)", st.MeanLength)
+	}
+}
+
+func TestStatsCountsShape(t *testing.T) {
+	ix := New(pager.NewPool(pager.NewStore(), 0))
+	// Three tuples over items {1, 2, 3}:
+	//   t0: items 1, 2     t1: items 1, 3     t2: item 1
+	// → list(1) has 3 entries, list(2) has 1, list(3) has 1.
+	tuples := []uda.UDA{
+		mustUDA(t, uda.Pair{Item: 1, Prob: 0.5}, uda.Pair{Item: 2, Prob: 0.5}),
+		mustUDA(t, uda.Pair{Item: 1, Prob: 0.4}, uda.Pair{Item: 3, Prob: 0.6}),
+		mustUDA(t, uda.Pair{Item: 1, Prob: 1.0}),
+	}
+	for tid, u := range tuples {
+		if err := ix.Insert(uint32(tid), u); err != nil {
+			t.Fatalf("Insert(%d): %v", tid, err)
+		}
+	}
+	st := ix.Stats()
+	if st.Tuples != 3 {
+		t.Errorf("Tuples = %d, want 3", st.Tuples)
+	}
+	if st.Lists != 3 {
+		t.Errorf("Lists = %d, want 3", st.Lists)
+	}
+	if st.Entries != 5 {
+		t.Errorf("Entries = %d, want 5", st.Entries)
+	}
+	if st.MaxLength != 3 {
+		t.Errorf("MaxLength = %d, want 3 (item 1's list)", st.MaxLength)
+	}
+	if want := 5.0 / 3.0; st.MeanLength < want-1e-9 || st.MeanLength > want+1e-9 {
+		t.Errorf("MeanLength = %v, want %v", st.MeanLength, want)
+	}
+	if st.HeapPages <= 0 {
+		t.Errorf("HeapPages = %d, want > 0 after inserts", st.HeapPages)
+	}
+}
+
+func TestStatsTracksDeletes(t *testing.T) {
+	ix := New(pager.NewPool(pager.NewStore(), 0))
+	for tid := uint32(0); tid < 4; tid++ {
+		u := mustUDA(t, uda.Pair{Item: 7, Prob: 0.5}, uda.Pair{Item: 8 + tid, Prob: 0.5})
+		if err := ix.Insert(tid, u); err != nil {
+			t.Fatalf("Insert(%d): %v", tid, err)
+		}
+	}
+	before := ix.Stats()
+	if before.Tuples != 4 || before.MaxLength != 4 {
+		t.Fatalf("pre-delete stats = %+v", before)
+	}
+	if err := ix.Delete(2); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	after := ix.Stats()
+	if after.Tuples != 3 {
+		t.Errorf("Tuples after delete = %d, want 3", after.Tuples)
+	}
+	if after.Entries != before.Entries-2 {
+		t.Errorf("Entries after delete = %d, want %d", after.Entries, before.Entries-2)
+	}
+	if after.MaxLength != 3 {
+		t.Errorf("MaxLength after delete = %d, want 3", after.MaxLength)
+	}
+}
+
+func TestStatsStringIsReadable(t *testing.T) {
+	st := Stats{Tuples: 2, Lists: 3, Entries: 4, MeanLength: 1.5, MaxLength: 2, HeapPages: 1}
+	s := st.String()
+	for _, want := range []string{"tuples=2", "lists=3", "entries=4", "mean-list=1.5", "max-list=2", "heap-pages=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestStatsNeedsNoIO(t *testing.T) {
+	ix := New(pager.NewPool(pager.NewStore(), 0))
+	for tid := uint32(0); tid < 8; tid++ {
+		u := mustUDA(t, uda.Pair{Item: tid % 3, Prob: 0.7}, uda.Pair{Item: 100 + tid, Prob: 0.3})
+		if err := ix.Insert(tid, u); err != nil {
+			t.Fatalf("Insert(%d): %v", tid, err)
+		}
+	}
+	ix.Pool().ResetStats()
+	_ = ix.Stats()
+	if io := ix.Pool().Stats().IOs(); io != 0 {
+		t.Errorf("Stats() performed %d I/Os, want 0 (shape is tracked in memory)", io)
+	}
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErrCheck flags statements that discard the error returned by a
+// resource-release method: Flush*, Close, Sync, Clear, Free, FreePage and
+// Unpin-like calls whose result is thrown away because the call stands alone
+// as a statement (plain, deferred, or spawned with go). A swallowed
+// Pool.FlushAll error means dirty pages never reached the store — the
+// persisted index is corrupt while the program reports success — and a
+// swallowed Close on a freshly written file can lose buffered bytes.
+//
+// Explicitly assigning the result to the blank identifier (`_ = f.Close()`)
+// is accepted as a deliberate, greppable acknowledgment and is not flagged.
+// Test files are exempt.
+func DroppedErrCheck() *Check {
+	return &Check{
+		Name: "droppederr",
+		Doc:  "flag discarded errors from Flush/Close/Sync/Clear/Free-like release methods",
+		Run:  runDroppedErr,
+	}
+}
+
+// releaseMethods are the method names whose errors must be observed.
+var releaseMethods = map[string]bool{
+	"Flush":    true,
+	"FlushAll": true,
+	"Close":    true,
+	"Sync":     true,
+	"Clear":    true,
+	"Free":     true,
+	"FreePage": true,
+	"Unpin":    true, // returns nothing today; guards a future error-returning variant
+}
+
+func runDroppedErr(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if isTestFile(pkg, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var kind string
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+				kind = "call"
+			case *ast.DeferStmt:
+				call = stmt.Call
+				kind = "defer"
+			case *ast.GoStmt:
+				call = stmt.Call
+				kind = "go"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || !releaseMethods[fn.Name()] {
+				return true
+			}
+			if !returnsError(fn) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   pkg.Fset.Position(call.Pos()),
+				Check: "droppederr",
+				Msg: fmt.Sprintf("%s %s discards its error; handle it, or assign to _ to acknowledge discarding it",
+					kind, fn.Name()),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// returnsError reports whether any of the function's results is the built-in
+// error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatcmpCheck flags exact equality comparisons (== and !=, plus switch
+// statements over a float tag) between floating-point operands. Probability
+// mass in this codebase is accumulated float arithmetic — Σ q_j·t_j over
+// inverted lists, normalized simplex samples — so exact comparison is almost
+// always a correctness bug: two mathematically equal probabilities routinely
+// differ in the last ulp depending on summation order. Comparisons must go
+// through an epsilon helper, or be explicitly annotated when bitwise
+// equality is the point (e.g. deterministic sort tie-breaking).
+//
+// Exemptions: test files, constant-folded comparisons (both operands
+// compile-time constants), and the bodies of approved epsilon helpers —
+// functions whose name contains "approx", "almost", "near" or "eps"
+// (case-insensitive), which exist precisely to encapsulate the raw
+// comparison.
+func FloatcmpCheck() *Check {
+	return &Check{
+		Name: "floatcmp",
+		Doc:  "flag == and != on floating-point operands outside epsilon helpers",
+		Run:  runFloatcmp,
+	}
+}
+
+// epsilonHelper reports whether a function name marks an approved home for
+// raw float comparison.
+func epsilonHelper(name string) bool {
+	lower := strings.ToLower(name)
+	for _, marker := range []string{"approx", "almost", "near", "eps"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runFloatcmp(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if isTestFile(pkg, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && epsilonHelper(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// Closures inherit the enclosing declaration's scope;
+					// nothing special to do, keep walking.
+				case *ast.BinaryExpr:
+					if d, bad := floatEquality(pkg, n); bad {
+						diags = append(diags, d)
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					if tv, ok := pkg.Info.Types[n.Tag]; ok && isFloat(tv.Type) {
+						diags = append(diags, Diagnostic{
+							Pos:   pkg.Fset.Position(n.Switch),
+							Check: "floatcmp",
+							Msg:   "switch over a floating-point value compares cases exactly; use epsilon comparisons",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// floatEquality reports a diagnostic if the expression is an exact equality
+// test between float operands that is not fully constant-folded.
+func floatEquality(pkg *Package, e *ast.BinaryExpr) (Diagnostic, bool) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return Diagnostic{}, false
+	}
+	xt, xok := pkg.Info.Types[e.X]
+	yt, yok := pkg.Info.Types[e.Y]
+	if !xok || !yok {
+		return Diagnostic{}, false
+	}
+	if !isFloat(xt.Type) && !isFloat(yt.Type) {
+		return Diagnostic{}, false
+	}
+	if xt.Value != nil && yt.Value != nil {
+		return Diagnostic{}, false // constant-folded at compile time
+	}
+	return Diagnostic{
+		Pos:   pkg.Fset.Position(e.OpPos),
+		Check: "floatcmp",
+		Msg: fmt.Sprintf("exact %s on floating-point operands; use an epsilon comparison or annotate why bitwise equality is intended",
+			e.Op),
+	}, true
+}
+
+// isFloat reports whether t's core type is float32 or float64 (complex
+// kinds are excluded; the codebase has none).
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRandCheck flags uses of the global math/rand (and math/rand/v2)
+// top-level functions in non-test code. The paper's figures are averages
+// over randomly generated datasets and query workloads; every experiment
+// path must thread an explicitly seeded *rand.Rand so a run is reproducible
+// from its seed. The process-global source is shared mutable state — any
+// new draw anywhere reorders every subsequent draw — so one stray
+// rand.Float64() silently changes every dataset generated after it.
+//
+// Constructors (New, NewSource, NewZipf, ...) are allowed: they are how the
+// seeded generators are built. Methods on *rand.Rand are always allowed.
+func GlobalRandCheck() *Check {
+	return &Check{
+		Name: "globalrand",
+		Doc:  "flag global math/rand functions in non-test code; thread a seeded *rand.Rand",
+		Run:  runGlobalRand,
+	}
+}
+
+// randConstructors are the math/rand package-level functions that build
+// seeded generators rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runGlobalRand(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if isTestFile(pkg, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[ident].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isRandPath(fn.Pkg().Path()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand are the approved pattern
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   pkg.Fset.Position(ident.Pos()),
+				Check: "globalrand",
+				Msg: fmt.Sprintf("global %s.%s breaks run-for-run reproducibility; thread a seeded *rand.Rand instead",
+					fn.Pkg().Path(), fn.Name()),
+			})
+			return true
+		})
+	}
+	return diags
+}

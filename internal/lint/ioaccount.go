@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// IOAccountCheck flags direct page-store access from outside the pager
+// package. Every figure in the paper reports "number of I/Os", counted as
+// transfers between the buffer pool and the page store; a read or write that
+// goes straight to *pager.Store bypasses the pool's Reads/Writes counters
+// and silently corrupts that metric. Allocation and freeing directly on the
+// store are equally forbidden outside the pager: the pool's page table would
+// no longer agree with the store, so a later counted access could return a
+// stale or recycled frame.
+//
+// Only ucat/internal/pager may touch these methods; everyone else goes
+// through Pool.Fetch / Pool.NewPage / Pool.FreePage.
+func IOAccountCheck() *Check {
+	return &Check{
+		Name: "ioaccount",
+		Doc:  "flag direct *pager.Store page access that bypasses the counted buffer pool",
+		Run:  runIOAccount,
+	}
+}
+
+// storeMethods maps the forbidden *pager.Store methods to the counted
+// alternative callers should use.
+var storeMethods = map[string]string{
+	"ReadAt":   "Pool.Fetch",
+	"WriteAt":  "Pool.Fetch + Page.Unpin(dirty)",
+	"Allocate": "Pool.NewPage",
+	"Free":     "Pool.FreePage",
+}
+
+func runIOAccount(pkg *Package) []Diagnostic {
+	if pkg.Path == pagerPath {
+		return nil // the pager implements the pool; it is the accounting boundary
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if isTestFile(pkg, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			alt, suspect := storeMethods[fn.Name()]
+			if !suspect {
+				return true
+			}
+			path, name, ok := namedOrPointerTo(sig.Recv().Type())
+			if !ok || path != pagerPath || name != "Store" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   pkg.Fset.Position(call.Pos()),
+				Check: "ioaccount",
+				Msg: fmt.Sprintf("direct Store.%s bypasses the counted buffer pool (breaks the I/O metric); use %s",
+					fn.Name(), alt),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDirectiveValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "unknown check reported",
+			src: `package p
+//ucatlint:ignore nosuchcheck because reasons
+func f() {}
+`,
+			want: []string{`unknown check "nosuchcheck"`},
+		},
+		{
+			name: "missing reason reported",
+			src: `package p
+//ucatlint:ignore floatcmp
+func f() {}
+`,
+			want: []string{"needs a reason"},
+		},
+		{
+			name: "empty directive reported",
+			src: `package p
+//ucatlint:ignore
+func f() {}
+`,
+			want: []string{"needs a check name and a reason"},
+		},
+		{
+			name: "well-formed directive silent",
+			src: `package p
+//ucatlint:ignore floatcmp the comparison below is intentional
+func f() {}
+`,
+			want: nil,
+		},
+		{
+			name: "all with reason silent",
+			src: `package p
+//ucatlint:ignore all generated code
+func f() {}
+`,
+			want: nil,
+		},
+		{
+			name: "unrelated comments ignored",
+			src: `package p
+// ucatlint is great. See //ucatlint:ignore docs for syntax? No: that text
+// is mid-comment, not a directive prefix.
+func f() {}
+`,
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pkg := loadSnippet(t, testPkgPath, map[string]string{"snippet.go": tt.src})
+			expect(t, Run([]*Package{pkg}, nil), tt.want)
+		})
+	}
+}
+
+func TestIgnoreAllSuppressesEveryCheck(t *testing.T) {
+	src := `package p
+func f(a, b float64) bool {
+	return a == b //ucatlint:ignore all synthetic test fixture
+}
+`
+	pkg := loadSnippet(t, testPkgPath, map[string]string{"snippet.go": src})
+	expect(t, Run([]*Package{pkg}, AllChecks()), nil)
+}
+
+func TestRunOrdersDiagnosticsByPosition(t *testing.T) {
+	src := `package p
+import "math/rand"
+func g() float64 { return rand.Float64() }
+func f(a, b float64) bool { return a == b }
+`
+	pkg := loadSnippet(t, testPkgPath, map[string]string{"snippet.go": src})
+	diags := Run([]*Package{pkg}, AllChecks())
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Errorf("diagnostics not sorted by line: %v", diags)
+	}
+	if diags[0].Check != "globalrand" || diags[1].Check != "floatcmp" {
+		t.Errorf("unexpected check order: %v", diags)
+	}
+}
+
+func TestSelectChecks(t *testing.T) {
+	all, err := SelectChecks("all")
+	if err != nil || len(all) != len(AllChecks()) {
+		t.Fatalf("SelectChecks(all) = %d checks, err %v", len(all), err)
+	}
+	two, err := SelectChecks("floatcmp, pinleak")
+	if err != nil {
+		t.Fatalf("SelectChecks: %v", err)
+	}
+	if len(two) != 2 || two[0].Name != "floatcmp" || two[1].Name != "pinleak" {
+		t.Errorf("SelectChecks picked %v", checkNames(two))
+	}
+	if _, err := SelectChecks("bogus"); err == nil {
+		t.Error("SelectChecks(bogus) succeeded, want error")
+	}
+	if _, err := SelectChecks(","); err == nil {
+		t.Error("SelectChecks(\",\") succeeded, want error")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Check: "floatcmp", Msg: "boom"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line = 3
+	d.Pos.Column = 7
+	if got, want := d.String(), "x.go:3:7: boom [floatcmp]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDirectiveText(t *testing.T) {
+	tests := []struct {
+		comment string
+		text    string
+		ok      bool
+	}{
+		{"//ucatlint:ignore floatcmp reason", "floatcmp reason", true},
+		{"// ucatlint:ignore floatcmp reason", "floatcmp reason", true},
+		{"//ucatlint:ignore", "", true},
+		{"// plain comment", "", false},
+		{"/* ucatlint:ignore floatcmp reason */", "", false},
+	}
+	for _, tt := range tests {
+		text, ok := directiveText(tt.comment)
+		if ok != tt.ok || text != tt.text {
+			t.Errorf("directiveText(%q) = %q, %v; want %q, %v", tt.comment, text, ok, tt.text, tt.ok)
+		}
+	}
+}
+
+func TestCheckDocsAndNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range AllChecks() {
+		if c.Name == "" || c.Doc == "" || c.Run == nil {
+			t.Errorf("check %+v is missing a name, doc or run function", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate check name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if strings.ToLower(c.Name) != c.Name {
+			t.Errorf("check name %q must be lower-case", c.Name)
+		}
+	}
+}

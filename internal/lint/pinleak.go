@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PinleakCheck is a heuristic leak detector for buffer-pool pins. A page
+// obtained from Pool.Fetch or Pool.NewPage is pinned: it occupies a frame
+// that the clock replacement cannot evict until Unpin. A leaked pin shrinks
+// the effective pool — skewing the I/O counts the paper's figures are built
+// on — and eventually exhausts the 100-frame pool entirely
+// (ErrPoolExhausted).
+//
+// The heuristic: inside one function body, if a variable is assigned
+// directly from Fetch/NewPage and the function neither calls Unpin on it
+// (plain or deferred, including inside closures) nor lets it escape (returns
+// it, passes it to another function, stores it in a composite, field, map,
+// slice or channel), the pin can never be released — report it. Assigning
+// the page to the blank identifier is reported unconditionally: the pin is
+// unreachable from the moment of the call. Escaping pages are not reported;
+// ownership transfer is a legitimate pattern and cross-function tracking is
+// out of scope for a single-pass heuristic.
+func PinleakCheck() *Check {
+	return &Check{
+		Name: "pinleak",
+		Doc:  "flag Fetch/NewPage results that are neither Unpinned nor handed off in the same function",
+		Run:  runPinleak,
+	}
+}
+
+func runPinleak(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if isTestFile(pkg, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, pinleakFunc(pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+// pinMethod reports whether the call pins a page: a Fetch or NewPage method
+// on (*)ucat/internal/pager.Pool.
+func pinMethod(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Name() != "Fetch" && fn.Name() != "NewPage" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	path, name, ok := namedOrPointerTo(sig.Recv().Type())
+	if !ok || path != pagerPath || name != "Pool" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// pinleakFunc analyzes one function declaration.
+func pinleakFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	parents := buildParents(fd)
+
+	// Pass 1: find pin acquisitions bound to identifiers.
+	type acquisition struct {
+		obj    types.Object
+		method string
+		pos    ast.Node
+	}
+	var acqs []acquisition
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := pinMethod(pkg, call)
+		if !ok {
+			return true
+		}
+		ident, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if ident.Name == "_" {
+			diags = append(diags, Diagnostic{
+				Pos:   pkg.Fset.Position(call.Pos()),
+				Check: "pinleak",
+				Msg:   fmt.Sprintf("%s result discarded; the page stays pinned forever", method),
+			})
+			return true
+		}
+		obj := pkg.Info.Defs[ident]
+		if obj == nil {
+			obj = pkg.Info.Uses[ident]
+		}
+		if obj == nil {
+			return true
+		}
+		acqs = append(acqs, acquisition{obj: obj, method: method, pos: call})
+		return true
+	})
+	if len(acqs) == 0 {
+		return diags
+	}
+
+	// Pass 2: classify every use of each acquired page variable.
+	released := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	tracked := make(map[types.Object]bool, len(acqs))
+	for _, a := range acqs {
+		tracked[a.obj] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[ident]
+		if obj == nil || !tracked[obj] {
+			return true
+		}
+		switch use := classifyUse(parents, ident); use {
+		case useUnpin:
+			released[obj] = true
+		case useEscape:
+			escaped[obj] = true
+		}
+		return true
+	})
+
+	reported := make(map[types.Object]bool)
+	for _, a := range acqs {
+		if released[a.obj] || escaped[a.obj] || reported[a.obj] {
+			continue
+		}
+		reported[a.obj] = true
+		diags = append(diags, Diagnostic{
+			Pos:   pkg.Fset.Position(a.pos.Pos()),
+			Check: "pinleak",
+			Msg: fmt.Sprintf("page from %s is never Unpinned in %s and does not escape; pin leaks a pool frame",
+				a.method, fd.Name.Name),
+		})
+	}
+	return diags
+}
+
+type useKind int
+
+const (
+	useNeutral useKind = iota // field access, reassignment target, declaration
+	useUnpin                  // receiver of an Unpin call
+	useEscape                 // handed to other code; ownership may transfer
+)
+
+// classifyUse decides what one mention of the page variable means for pin
+// tracking, by looking at its syntactic parent.
+func classifyUse(parents map[ast.Node]ast.Node, ident *ast.Ident) useKind {
+	parent := parents[ident]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == ident && p.Sel.Name == "Unpin" {
+			// pg.Unpin — whether plain, deferred, or inside a closure, the
+			// release path exists.
+			return useUnpin
+		}
+		if p.X == ident {
+			return useNeutral // pg.Data, pg.ID, other method
+		}
+		return useNeutral
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ident {
+				return useNeutral // (re)definition
+			}
+		}
+		return useEscape // appears on an RHS: aliased into another variable
+	case *ast.ValueSpec:
+		for _, n := range p.Names {
+			if n == ident {
+				return useNeutral
+			}
+		}
+		return useEscape
+	case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt:
+		return useNeutral // comparisons like pg != nil
+	default:
+		// Call argument, return value, composite literal, index expression,
+		// channel send, … — the page leaves this function's control.
+		return useEscape
+	}
+}
+
+// buildParents records each node's immediate parent within the declaration.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

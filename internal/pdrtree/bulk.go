@@ -59,7 +59,7 @@ func BulkLoad(pool *pager.Pool, cfg Config, tuples []Tuple) (*Tree, error) {
 		if ma.Item != mb.Item {
 			return ma.Item < mb.Item
 		}
-		if ma.Prob != mb.Prob {
+		if ma.Prob != mb.Prob { //ucatlint:ignore floatcmp exact tie-break for a deterministic sort order
 			return ma.Prob > mb.Prob
 		}
 		return tuples[order[a]].TID < tuples[order[b]].TID

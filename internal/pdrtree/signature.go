@@ -50,7 +50,7 @@ func LearnSignature(sample []uda.UDA, domain, buckets int) ([]uint32, error) {
 		}
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if maxProb[order[a]] != maxProb[order[b]] {
+		if maxProb[order[a]] != maxProb[order[b]] { //ucatlint:ignore floatcmp exact tie-break for a deterministic sort order
 			return maxProb[order[a]] < maxProb[order[b]]
 		}
 		return order[a] < order[b]

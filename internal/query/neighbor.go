@@ -15,7 +15,7 @@ type Neighbor struct {
 // SortNeighbors orders by ascending distance, ties by ascending tuple id.
 func SortNeighbors(ns []Neighbor) {
 	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
+		if ns[i].Dist != ns[j].Dist { //ucatlint:ignore floatcmp exact tie-break for a deterministic sort order
 			return ns[i].Dist < ns[j].Dist
 		}
 		return ns[i].TID < ns[j].TID
@@ -28,7 +28,7 @@ type neighborHeap []Neighbor
 
 func (h neighborHeap) Len() int { return len(h) }
 func (h neighborHeap) Less(i, j int) bool {
-	if h[i].Dist != h[j].Dist {
+	if h[i].Dist != h[j].Dist { //ucatlint:ignore floatcmp exact tie-break for a deterministic heap order
 		return h[i].Dist > h[j].Dist
 	}
 	return h[i].TID > h[j].TID
@@ -65,6 +65,7 @@ func (t *NearestK) Offer(n Neighbor) {
 		return
 	}
 	root := t.h[0]
+	//ucatlint:ignore floatcmp exact tie-break keeps replacement consistent with the heap order
 	if root.Dist > n.Dist || (root.Dist == n.Dist && root.TID > n.TID) {
 		t.h[0] = n
 		heap.Fix(&t.h, 0)

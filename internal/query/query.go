@@ -23,7 +23,7 @@ type Match struct {
 // ascending tuple id, the canonical result order.
 func SortMatches(ms []Match) {
 	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Prob != ms[j].Prob {
+		if ms[i].Prob != ms[j].Prob { //ucatlint:ignore floatcmp exact tie-break for a deterministic sort order
 			return ms[i].Prob > ms[j].Prob
 		}
 		return ms[i].TID < ms[j].TID
@@ -36,7 +36,7 @@ type matchHeap []Match
 
 func (h matchHeap) Len() int { return len(h) }
 func (h matchHeap) Less(i, j int) bool {
-	if h[i].Prob != h[j].Prob {
+	if h[i].Prob != h[j].Prob { //ucatlint:ignore floatcmp exact tie-break for a deterministic heap order
 		return h[i].Prob < h[j].Prob
 	}
 	return h[i].TID > h[j].TID
@@ -79,6 +79,7 @@ func (t *TopK) Offer(m Match) {
 	}
 	// Replace the weakest held match if m beats it under the heap order.
 	root := t.h[0]
+	//ucatlint:ignore floatcmp exact tie-break keeps replacement consistent with the heap order
 	if root.Prob < m.Prob || (root.Prob == m.Prob && root.TID > m.TID) {
 		t.h[0] = m
 		heap.Fix(&t.h, 0)

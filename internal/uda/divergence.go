@@ -92,10 +92,10 @@ func L2Distance(u, v UDA) float64 {
 func KLDivergence(u, v UDA) float64 {
 	var s float64
 	merge(u, v, func(pu, pv float64) {
-		if pu == 0 {
+		if pu == 0 { //ucatlint:ignore floatcmp exact zero marks a structurally absent item, not a computed value
 			return
 		}
-		if pv == 0 {
+		if pv == 0 { //ucatlint:ignore floatcmp exact zero marks a structurally absent item, not a computed value
 			s = math.Inf(1)
 			return
 		}
@@ -116,7 +116,7 @@ const klFloor = 1e-6
 func KLSmoothed(u, v UDA) float64 {
 	var s float64
 	merge(u, v, func(pu, pv float64) {
-		if pu == 0 {
+		if pu == 0 { //ucatlint:ignore floatcmp exact zero marks a structurally absent item, not a computed value
 			return
 		}
 		if pv < klFloor {

@@ -69,10 +69,10 @@ func WindowEqualityProb(u, v UDA, c uint32) float64 { return WithinProb(u, v, c)
 // UDA, normalized by the total mass. It returns 0, ErrEmpty for the empty
 // distribution.
 func ExpectedItem(u UDA) (float64, error) {
-	mass := u.Mass()
-	if mass == 0 {
+	if u.IsEmpty() {
 		return 0, ErrEmpty
 	}
+	mass := u.Mass()
 	var s float64
 	for _, p := range u.pairs {
 		s += float64(p.Item) * p.Prob

@@ -60,7 +60,7 @@ func New(pairs ...Pair) (UDA, error) {
 		if p.Prob < 0 {
 			return UDA{}, fmt.Errorf("uda: item %d has negative probability %g", p.Item, p.Prob)
 		}
-		if p.Prob == 0 {
+		if p.Prob == 0 { //ucatlint:ignore floatcmp dropping exactly-zero input pairs is the constructor's contract
 			continue
 		}
 		ps = append(ps, p)
@@ -105,7 +105,7 @@ func FromMap(m map[uint32]float64) (UDA, error) {
 func FromVector(probs []float64) (UDA, error) {
 	pairs := make([]Pair, 0, len(probs))
 	for i, p := range probs {
-		if p != 0 {
+		if p != 0 { //ucatlint:ignore floatcmp exact zero marks a structurally absent item in the dense vector
 			pairs = append(pairs, Pair{Item: uint32(i), Prob: p})
 		}
 	}
@@ -237,10 +237,10 @@ func (u UDA) Entropy() float64 {
 // Normalize returns a copy of u rescaled so the total mass is exactly 1.
 // It returns an error for an empty distribution.
 func (u UDA) Normalize() (UDA, error) {
-	mass := u.Mass()
-	if mass == 0 {
+	if u.IsEmpty() {
 		return UDA{}, ErrEmpty
 	}
+	mass := u.Mass()
 	out := make([]Pair, len(u.pairs))
 	for i, p := range u.pairs {
 		out[i] = Pair{Item: p.Item, Prob: p.Prob / mass}
@@ -260,7 +260,7 @@ func (u UDA) Top(n int) UDA {
 	}
 	byProb := u.Pairs()
 	sort.Slice(byProb, func(i, j int) bool {
-		if byProb[i].Prob != byProb[j].Prob {
+		if byProb[i].Prob != byProb[j].Prob { //ucatlint:ignore floatcmp exact tie-break for a deterministic sort order
 			return byProb[i].Prob > byProb[j].Prob
 		}
 		return byProb[i].Item < byProb[j].Item
@@ -276,7 +276,7 @@ func (u UDA) Top(n int) UDA {
 func (u UDA) PairsByProb() []Pair {
 	out := u.Pairs()
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prob != out[j].Prob {
+		if out[i].Prob != out[j].Prob { //ucatlint:ignore floatcmp exact tie-break for a deterministic sort order
 			return out[i].Prob > out[j].Prob
 		}
 		return out[i].Item < out[j].Item

@@ -163,8 +163,9 @@ func VecL2(a, b Vector) float64 {
 // constant and the measure stops discriminating.
 func VecKL(a, b Vector) float64 {
 	na, nb := a.Area(), b.Area()
+	//ucatlint:ignore floatcmp exact zero area marks a structurally empty vector
 	if na == 0 || nb == 0 {
-		if na == nb {
+		if na == nb { //ucatlint:ignore floatcmp both areas are exactly zero here, so equality means both empty
 			return 0
 		}
 		return math.Log(1 / klFloor) // maximal penalty for an empty side
@@ -173,7 +174,7 @@ func VecKL(a, b Vector) float64 {
 	mergeVec(a, b, func(pa, pb float64) {
 		pa /= na
 		pb /= nb
-		if pa == 0 {
+		if pa == 0 { //ucatlint:ignore floatcmp exact zero marks a structurally absent item, not a computed value
 			return
 		}
 		if pb < klFloor {
