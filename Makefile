@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint test test-short race cover bench figures ablations fuzz clean
+.PHONY: all build lint test test-short race cover bench bench-smoke bench-parallel figures ablations fuzz clean
 
 all: build lint test
 
@@ -29,9 +29,18 @@ race:
 cover:
 	$(GO) test -cover ./internal/...
 
-# Figure benchmarks at reduced scale; UCAT_BENCH_SCALE=1.0 for paper scale.
+# Figure benchmarks at reduced scale; UCAT_BENCH_SCALE=1.0 for paper scale,
+# UCAT_BENCH_WORKERS=N for the parallel query path.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Tiny-scale single-iteration pass so benchmarks can't rot (used by CI).
+bench-smoke:
+	UCAT_BENCH_SCALE=0.02 $(GO) test -bench=. -benchtime=1x -short .
+
+# Sequential vs parallel wall-clock trajectory for full figure regeneration.
+bench-parallel:
+	$(GO) run ./cmd/ucatbench -scale 1 -queries 20 -workers 0 -benchparallel BENCH_parallel.json
 
 # Regenerate the paper's figures (full scale, ~5 minutes).
 figures:

@@ -13,6 +13,7 @@ package ucat_test
 import (
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -21,11 +22,14 @@ import (
 	"ucat/internal/dataset"
 	"ucat/internal/exp"
 	"ucat/internal/invidx"
+	"ucat/internal/pager"
 	"ucat/internal/pdrtree"
 	"ucat/internal/uda"
 )
 
-// benchParams reads the benchmark scale from the environment.
+// benchParams reads the benchmark scale and worker count from the
+// environment. UCAT_BENCH_WORKERS fans each data point's queries out to N
+// goroutines (per-query pool views keep the I/O metrics identical).
 func benchParams() exp.Params {
 	scale := 0.05
 	if s := os.Getenv("UCAT_BENCH_SCALE"); s != "" {
@@ -33,7 +37,13 @@ func benchParams() exp.Params {
 			scale = v
 		}
 	}
-	return exp.Params{Scale: scale, Queries: 10, Seed: 1}
+	workers := 1
+	if s := os.Getenv("UCAT_BENCH_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			workers = v
+		}
+	}
+	return exp.Params{Scale: scale, Queries: 10, Seed: 1, Workers: workers}
 }
 
 // benchFigure runs a figure generator and reports every series' mean I/Os
@@ -75,6 +85,46 @@ func BenchmarkAblationInvStrategies(b *testing.B)   { benchFigure(b, exp.Ablatio
 func BenchmarkAblationInsertCriterion(b *testing.B) { benchFigure(b, exp.AblationInsertCriterion) }
 func BenchmarkAblationCompression(b *testing.B)     { benchFigure(b, exp.AblationCompression) }
 func BenchmarkAblationBufferPool(b *testing.B)      { benchFigure(b, exp.AblationBufferPool) }
+
+// Parallel query-path benchmarks.
+
+// BenchmarkFig4Workers regenerates Figure 4 with the query fan-out sized to
+// GOMAXPROCS — the headline wall-clock number for the parallel harness
+// (compare against BenchmarkFig4DivergenceMeasures, which honours
+// UCAT_BENCH_WORKERS and defaults to sequential).
+func BenchmarkFig4Workers(b *testing.B) {
+	p := benchParams()
+	p.Workers = runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPETQParallelReaders drives concurrent PETQ queries, one private
+// 100-frame pool view per goroutine over the shared store — the per-worker
+// configuration the exp harness uses.
+func BenchmarkPETQParallelReaders(b *testing.B) {
+	rel, d := builtRelation(b, core.Options{Kind: core.PDRTree})
+	r := rand.New(rand.NewSource(8))
+	queries := make([]uda.UDA, 64)
+	for i := range queries {
+		queries[i] = d.Query(r)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		view := pager.NewPool(rel.Pool().Store(), rel.Pool().Frames())
+		rd := rel.Reader(view)
+		i := 0
+		for pb.Next() {
+			if _, err := rd.PETQ(queries[i%len(queries)], 0.1); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
 
 // Microbenchmarks for the core operations.
 

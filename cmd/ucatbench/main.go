@@ -7,14 +7,30 @@
 //	ucatbench -fig fig5,fig10      # selected figures
 //	ucatbench -ablations           # the ablation suite
 //	ucatbench -scale 0.1 -queries 10 -seed 42
+//	ucatbench -workers 4           # per-point queries on 4 goroutines
+//	ucatbench -benchparallel BENCH_parallel.json
 //
 // Full scale builds 100k-tuple CRM datasets; use -scale to iterate quickly.
+//
+// -workers fans each data point's calibrated queries out to N goroutines,
+// each query against its own fresh 100-frame pool view (the paper's
+// per-query buffer discipline), so the I/O numbers are bit-for-bit identical
+// to the sequential run. The default comes from UCAT_BENCH_WORKERS (else 1);
+// -workers 0 means GOMAXPROCS.
+//
+// -benchparallel times full figure regeneration sequentially (workers=1) and
+// in parallel (-workers), verifies the two runs' I/O series are identical,
+// and appends the wall-clock trajectory to the given JSON file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -23,20 +39,76 @@ import (
 	"ucat/internal/invidx"
 )
 
+// benchFigure is one figure's sequential-vs-parallel wall-clock record.
+type benchFigure struct {
+	ID           string  `json:"id"`
+	SequentialNs int64   `json:"sequential_ns"`
+	ParallelNs   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+	IOsIdentical bool    `json:"ios_identical"`
+}
+
+// benchReport is the BENCH_parallel.json payload.
+type benchReport struct {
+	Generated         string        `json:"generated"`
+	Workers           int           `json:"workers"`
+	NumCPU            int           `json:"num_cpu"`
+	GOMAXPROCS        int           `json:"gomaxprocs"`
+	Scale             float64       `json:"scale"`
+	Queries           int           `json:"queries"`
+	Seed              int64         `json:"seed"`
+	Figures           []benchFigure `json:"figures"`
+	TotalSequentialNs int64         `json:"total_sequential_ns"`
+	TotalParallelNs   int64         `json:"total_parallel_ns"`
+	Speedup           float64       `json:"speedup"`
+}
+
+func defaultWorkers() int {
+	if s := os.Getenv("UCAT_BENCH_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "ucatbench: ignoring malformed UCAT_BENCH_WORKERS=%q\n", s)
+	}
+	return 1
+}
+
 func main() {
 	var (
-		figs      = flag.String("fig", "all", "comma-separated figure ids (fig4..fig10) or 'all'")
-		ablations = flag.Bool("ablations", false, "run the ablation suite instead of the paper figures")
-		scale     = flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper scale)")
-		queries   = flag.Int("queries", 20, "queries averaged per data point")
-		seed      = flag.Int64("seed", 1, "PRNG seed")
-		strategy  = flag.String("strategy", "", "inverted-index strategy override (e.g. nra, inv-index-search)")
-		format    = flag.String("format", "table", "output format: table | csv")
-		parallel  = flag.Bool("parallel", false, "run the selected figures concurrently (order preserved in output)")
+		figs       = flag.String("fig", "all", "comma-separated figure ids (fig4..fig10) or 'all'")
+		ablations  = flag.Bool("ablations", false, "run the ablation suite instead of the paper figures")
+		scale      = flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper scale)")
+		queries    = flag.Int("queries", 20, "queries averaged per data point")
+		seed       = flag.Int64("seed", 1, "PRNG seed")
+		strategy   = flag.String("strategy", "", "inverted-index strategy override (e.g. nra, inv-index-search)")
+		format     = flag.String("format", "table", "output format: table | csv")
+		parallel   = flag.Bool("parallel", false, "run the selected figures concurrently (order preserved in output)")
+		workers    = flag.Int("workers", defaultWorkers(), "goroutines per data point's query batch; 0 = GOMAXPROCS (default from UCAT_BENCH_WORKERS)")
+		benchPar   = flag.String("benchparallel", "", "time sequential vs parallel figure regeneration and write the trajectory to this JSON file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	params := exp.Params{Scale: *scale, Queries: *queries, Seed: *seed}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucatbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ucatbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	params := exp.Params{Scale: *scale, Queries: *queries, Seed: *seed, Workers: *workers}
 	if *strategy != "" {
 		found := false
 		for _, s := range invidx.Strategies {
@@ -74,6 +146,15 @@ func main() {
 	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "ucatbench: no figure matched %q\n", *figs)
 		os.Exit(1)
+	}
+
+	if *benchPar != "" {
+		if err := runBenchParallel(selected, params, *benchPar); err != nil {
+			fmt.Fprintf(os.Stderr, "ucatbench: benchparallel: %v\n", err)
+			os.Exit(1)
+		}
+		writeMemProfile(*memprofile)
+		return
 	}
 
 	results := make([]*exp.Figure, len(selected))
@@ -114,5 +195,112 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ucatbench: %v\n", werr)
 			os.Exit(1)
 		}
+	}
+	writeMemProfile(*memprofile)
+}
+
+// runBenchParallel regenerates every selected figure twice — workers=1 and
+// workers=params.Workers — verifies the I/O series match exactly, and writes
+// the wall-clock trajectory to path.
+func runBenchParallel(selected []exp.Runner, params exp.Params, path string) error {
+	report := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Workers:    params.Workers,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      params.Scale,
+		Queries:    params.Queries,
+		Seed:       params.Seed,
+	}
+	seq := params
+	seq.Workers = 1
+	for _, r := range selected {
+		t0 := time.Now()
+		figSeq, err := r.Run(seq)
+		if err != nil {
+			return fmt.Errorf("%s sequential: %w", r.ID, err)
+		}
+		seqNs := time.Since(t0).Nanoseconds()
+
+		t1 := time.Now()
+		figPar, err := r.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s parallel: %w", r.ID, err)
+		}
+		parNs := time.Since(t1).Nanoseconds()
+
+		bf := benchFigure{
+			ID:           r.ID,
+			SequentialNs: seqNs,
+			ParallelNs:   parNs,
+			Speedup:      float64(seqNs) / float64(parNs),
+			IOsIdentical: sameIOs(figSeq, figPar),
+		}
+		if !bf.IOsIdentical {
+			fmt.Fprintf(os.Stderr, "ucatbench: WARNING: %s parallel I/O series differ from sequential\n", r.ID)
+		}
+		report.Figures = append(report.Figures, bf)
+		report.TotalSequentialNs += seqNs
+		report.TotalParallelNs += parNs
+		fmt.Fprintf(os.Stderr, "[%s seq %v | par(%d) %v | ×%.2f]\n", r.ID,
+			time.Duration(seqNs).Round(time.Millisecond), params.Workers,
+			time.Duration(parNs).Round(time.Millisecond), bf.Speedup)
+	}
+	report.Speedup = float64(report.TotalSequentialNs) / float64(report.TotalParallelNs)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[total seq %v | par %v | ×%.2f on %d CPU(s) → %s]\n",
+		time.Duration(report.TotalSequentialNs).Round(time.Millisecond),
+		time.Duration(report.TotalParallelNs).Round(time.Millisecond),
+		report.Speedup, report.NumCPU, path)
+	return nil
+}
+
+// sameIOs reports whether two figures carry exactly the same I/O series —
+// same labels, same x values, bitwise-equal I/O means.
+func sameIOs(a, b *exp.Figure) bool {
+	if len(a.Series) != len(b.Series) {
+		return false
+	}
+	for i := range a.Series {
+		sa, sb := a.Series[i], b.Series[i]
+		if sa.Label != sb.Label || len(sa.Points) != len(sb.Points) {
+			return false
+		}
+		for j := range sa.Points {
+			//ucatlint:ignore floatcmp exact cross-run determinism is the property under test
+			if sa.Points[j].X != sb.Points[j].X || sa.Points[j].IOs != sb.Points[j].IOs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// writeMemProfile dumps a heap profile if a path was requested.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucatbench: memprofile: %v\n", err)
+		os.Exit(1)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatbench: memprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatbench: memprofile: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -98,9 +98,7 @@ func (t *Tree) Len() int { return t.size }
 func (t *Tree) Pool() *pager.Pool { return t.pool }
 
 func initNode(data []byte, kind byte) {
-	for i := 0; i < headerSize; i++ {
-		data[i] = 0
-	}
+	clear(data[:headerSize])
 	data[0] = kind
 }
 
@@ -175,10 +173,15 @@ func innerSearch(data []byte, k Key) int {
 }
 
 // Contains reports whether k is present.
-func (t *Tree) Contains(k Key) (bool, error) {
+func (t *Tree) Contains(k Key) (bool, error) { return t.ContainsVia(t.pool, k) }
+
+// ContainsVia is Contains with every page fetch routed through the given
+// view, so concurrent read-only lookups can each use a private buffer pool
+// over the shared store.
+func (t *Tree) ContainsVia(v pager.View, k Key) (bool, error) {
 	pid := t.root
 	for {
-		pg, err := t.pool.Fetch(pid)
+		pg, err := v.Fetch(pid)
 		if err != nil {
 			return false, err
 		}
@@ -490,10 +493,17 @@ func (t *Tree) spliceLeaf(parent []byte, ci int, removed pager.PageID) error {
 // Scan visits keys ≥ start in ascending order, calling fn for each; fn
 // returns false to stop early.
 func (t *Tree) Scan(start Key, fn func(Key) bool) error {
+	return t.ScanVia(t.pool, start, fn)
+}
+
+// ScanVia is Scan with every page fetch routed through the given view, so
+// concurrent read-only scans can each use a private buffer pool over the
+// shared store.
+func (t *Tree) ScanVia(v pager.View, start Key, fn func(Key) bool) error {
 	// Descend to the leaf containing start.
 	pid := t.root
 	for {
-		pg, err := t.pool.Fetch(pid)
+		pg, err := v.Fetch(pid)
 		if err != nil {
 			return err
 		}
@@ -507,7 +517,7 @@ func (t *Tree) Scan(start Key, fn func(Key) bool) error {
 	}
 	// Walk the sibling chain.
 	for pid != pager.InvalidPage {
-		pg, err := t.pool.Fetch(pid)
+		pg, err := v.Fetch(pid)
 		if err != nil {
 			return err
 		}

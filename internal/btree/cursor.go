@@ -13,6 +13,7 @@ import "ucat/internal/pager"
 // Cursors must not be used across tree mutations.
 type Cursor struct {
 	tree    *Tree
+	view    pager.View
 	pid     pager.PageID
 	idx     int
 	started bool
@@ -20,9 +21,15 @@ type Cursor struct {
 	done    bool
 }
 
-// NewCursor returns a cursor positioned before the first key ≥ start.
-func (t *Tree) NewCursor(start Key) *Cursor {
-	return &Cursor{tree: t, start: start}
+// NewCursor returns a cursor positioned before the first key ≥ start,
+// fetching pages through the tree's own pool.
+func (t *Tree) NewCursor(start Key) *Cursor { return t.NewCursorVia(t.pool, start) }
+
+// NewCursorVia returns a cursor whose page fetches are routed through the
+// given view, so concurrent read-only scans can each use a private buffer
+// pool over the shared store.
+func (t *Tree) NewCursorVia(v pager.View, start Key) *Cursor {
+	return &Cursor{tree: t, view: v, start: start}
 }
 
 // Next returns the next key in order. ok is false when the cursor is
@@ -38,7 +45,7 @@ func (c *Cursor) Next() (k Key, ok bool, err error) {
 		c.started = true
 	}
 	for c.pid != pager.InvalidPage {
-		pg, err := c.tree.pool.Fetch(c.pid)
+		pg, err := c.view.Fetch(c.pid)
 		if err != nil {
 			return Key{}, false, err
 		}
@@ -61,7 +68,7 @@ func (c *Cursor) Next() (k Key, ok bool, err error) {
 func (c *Cursor) seek() error {
 	pid := c.tree.root
 	for {
-		pg, err := c.tree.pool.Fetch(pid)
+		pg, err := c.view.Fetch(pid)
 		if err != nil {
 			return err
 		}

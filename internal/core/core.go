@@ -189,164 +189,41 @@ func (r *Relation) Scan(fn func(tid uint32, u uda.UDA) bool) error {
 	return r.tuples.Scan(fn)
 }
 
-// PETQ answers the probabilistic equality threshold query (Definition 4):
-// all tuples t with Pr(q = t) > tau, with exact probabilities, in descending
-// probability order.
+// PETQ answers the probabilistic equality threshold query (Definition 4)
+// through the relation's own pool. See Reader.PETQ.
 func (r *Relation) PETQ(q uda.UDA, tau float64) ([]Match, error) {
-	if tau < 0 {
-		return nil, fmt.Errorf("core: negative threshold %g", tau)
-	}
-	switch r.opts.Kind {
-	case InvertedIndex:
-		return r.inv.PETQ(q, tau, r.opts.InvStrategy)
-	case PDRTree:
-		return r.pdr.PETQ(q, tau)
-	default:
-		return r.scanPETQ(q, tau)
-	}
+	return r.Reader(nil).PETQ(q, tau)
 }
 
 // PEQ is the probabilistic equality query (Definition 3): all tuples with
 // non-zero equality probability.
 func (r *Relation) PEQ(q uda.UDA) ([]Match, error) { return r.PETQ(q, 0) }
 
-// TopK answers PETQ-top-k: the k tuples with the highest equality
-// probability (ties at the kth position broken arbitrarily).
+// TopK answers PETQ-top-k through the relation's own pool. See Reader.TopK.
 func (r *Relation) TopK(q uda.UDA, k int) ([]Match, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: non-positive k %d", k)
-	}
-	switch r.opts.Kind {
-	case InvertedIndex:
-		return r.inv.TopK(q, k, r.opts.InvStrategy)
-	case PDRTree:
-		return r.pdr.TopK(q, k)
-	default:
-		return r.scanTopK(q, k)
-	}
+	return r.Reader(nil).TopK(q, k)
 }
 
-// scanPETQ is the index-less baseline: one pass over the base heap.
-func (r *Relation) scanPETQ(q uda.UDA, tau float64) ([]Match, error) {
-	var res []Match
-	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
-		if p := uda.EqualityProb(q, u); p > tau {
-			res = append(res, Match{TID: tid, Prob: p})
-		}
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	query.SortMatches(res)
-	return res, nil
-}
-
-func (r *Relation) scanTopK(q uda.UDA, k int) ([]Match, error) {
-	tk := query.NewTopK(k)
-	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
-		tk.Offer(Match{TID: tid, Prob: uda.EqualityProb(q, u)})
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	return tk.Results(), nil
-}
-
-// WindowPETQ answers the relaxed window-equality threshold query on ordered
-// domains (§2 of the paper): all tuples t with Pr(|q − t.a| ≤ c) > tau,
-// treating item codes as positions on a total order. WindowPETQ(q, 0, tau)
-// is plain PETQ.
+// WindowPETQ answers the relaxed window-equality threshold query through the
+// relation's own pool. See Reader.WindowPETQ.
 func (r *Relation) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]Match, error) {
-	if tau < 0 {
-		return nil, fmt.Errorf("core: negative threshold %g", tau)
-	}
-	switch r.opts.Kind {
-	case InvertedIndex:
-		return r.inv.WindowPETQ(q, c, tau)
-	case PDRTree:
-		return r.pdr.WindowPETQ(q, c, tau)
-	default:
-		var res []Match
-		err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
-			if p := uda.WithinProb(q, u, c); p > tau {
-				res = append(res, Match{TID: tid, Prob: p})
-			}
-			return true
-		})
-		if err != nil {
-			return nil, err
-		}
-		query.SortMatches(res)
-		return res, nil
-	}
+	return r.Reader(nil).WindowPETQ(q, c, tau)
 }
 
-// WindowTopK returns the k tuples with the highest window-equality
-// probability Pr(|q − t.a| ≤ c).
+// WindowTopK answers the relaxed window-equality top-k query through the
+// relation's own pool. See Reader.WindowTopK.
 func (r *Relation) WindowTopK(q uda.UDA, c uint32, k int) ([]Match, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: non-positive k %d", k)
-	}
-	switch r.opts.Kind {
-	case InvertedIndex:
-		return r.inv.WindowTopK(q, c, k)
-	case PDRTree:
-		return r.pdr.WindowTopK(q, c, k)
-	default:
-		tk := query.NewTopK(k)
-		err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
-			tk.Offer(Match{TID: tid, Prob: uda.WithinProb(q, u, c)})
-			return true
-		})
-		if err != nil {
-			return nil, err
-		}
-		return tk.Results(), nil
-	}
+	return r.Reader(nil).WindowTopK(q, c, k)
 }
 
-// DSTQ answers the distributional similarity threshold query (Definition 5):
-// all tuples whose distance from q under div is at most td, ascending by
-// distance. The PDR-tree prunes subtrees for the metric divergences (L1,
-// L2); other access methods scan.
+// DSTQ answers the distributional similarity threshold query through the
+// relation's own pool. See Reader.DSTQ.
 func (r *Relation) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]Neighbor, error) {
-	if td < 0 {
-		return nil, fmt.Errorf("core: negative distance threshold %g", td)
-	}
-	if r.opts.Kind == PDRTree {
-		return r.pdr.DSTQ(q, td, div)
-	}
-	var res []Neighbor
-	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
-		if d := div.Distance(q, u); d <= td {
-			res = append(res, Neighbor{TID: tid, Dist: d})
-		}
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	query.SortNeighbors(res)
-	return res, nil
+	return r.Reader(nil).DSTQ(q, td, div)
 }
 
-// DSTopK answers DSQ-top-k: the k tuples distributionally closest to q.
+// DSTopK answers DSQ-top-k through the relation's own pool. See
+// Reader.DSTopK.
 func (r *Relation) DSTopK(q uda.UDA, k int, div uda.Divergence) ([]Neighbor, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: non-positive k %d", k)
-	}
-	if r.opts.Kind == PDRTree {
-		return r.pdr.DSTopK(q, k, div)
-	}
-	nk := query.NewNearestK(k)
-	err := r.tuples.Scan(func(tid uint32, u uda.UDA) bool {
-		nk.Offer(Neighbor{TID: tid, Dist: div.Distance(q, u)})
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	return nk.Results(), nil
+	return r.Reader(nil).DSTopK(q, k, div)
 }

@@ -28,11 +28,11 @@ func AblationInvStrategies(p Params) (*Figure, error) {
 		}
 		series := Series{Label: s.String()}
 		for _, sel := range Selectivities {
-			ios, err := measure(rel, w, sel, false)
+			m, err := measure(rel, w, sel, false, p.Workers)
 			if err != nil {
 				return nil, err
 			}
-			series.Points = append(series.Points, Point{X: sel * 100, IOs: ios})
+			series.Points = append(series.Points, m.point(sel*100))
 		}
 		fig.Series = append(fig.Series, series)
 	}
@@ -107,11 +107,11 @@ func AblationBufferPool(p Params) (*Figure, error) {
 			if err := rel.Pool().Resize(frames); err != nil {
 				return nil, err
 			}
-			ios, err := measure(rel, w, sel, false)
+			m, err := measure(rel, w, sel, false, p.Workers)
 			if err != nil {
 				return nil, err
 			}
-			series.Points = append(series.Points, Point{X: float64(frames), IOs: ios})
+			series.Points = append(series.Points, m.point(float64(frames)))
 		}
 		if err := rel.Pool().Resize(pager.DefaultPoolFrames); err != nil {
 			return nil, err
@@ -150,19 +150,15 @@ func AblationDSTQ(p Params) (*Figure, error) {
 	} {
 		series := Series{Label: cfg.label}
 		for _, td := range thresholds {
-			pool := cfg.rel.Pool()
-			var total uint64
-			for _, q := range w.queries {
-				if err := pool.Clear(); err != nil {
-					return nil, err
-				}
-				pool.ResetStats()
-				if _, err := cfg.rel.DSTQ(q, td, cfg.div); err != nil {
-					return nil, err
-				}
-				total += pool.Stats().IOs()
+			rel, div := cfg.rel, cfg.div
+			m, err := measureEach(rel, w, p.Workers, func(rd *core.Reader, qi int) error {
+				_, err := rd.DSTQ(w.queries[qi], td, div)
+				return err
+			})
+			if err != nil {
+				return nil, err
 			}
-			series.Points = append(series.Points, Point{X: td, IOs: float64(total) / float64(len(w.queries))})
+			series.Points = append(series.Points, m.point(td))
 		}
 		fig.Series = append(fig.Series, series)
 	}

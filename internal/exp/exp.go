@@ -22,7 +22,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"ucat/internal/core"
 	"ucat/internal/dataset"
@@ -55,6 +58,12 @@ type Params struct {
 	// BuildFrames sizes the buffer pool during index construction; queries
 	// always run under the paper's 100 frames.
 	BuildFrames int
+	// Workers is the number of goroutines that execute a point's calibrated
+	// queries. Every query runs against its own fresh pool view over the
+	// shared store — the paper's "100 blocks to each query" discipline —
+	// so the per-point I/O numbers are bit-for-bit identical for any worker
+	// count; only wall-clock time changes. 0 or 1 means sequential.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -69,6 +78,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.BuildFrames <= 0 {
 		p.BuildFrames = 4096
+	}
+	if p.Workers <= 0 {
+		p.Workers = 1
 	}
 	return p
 }
@@ -92,10 +104,15 @@ func (p Params) scaled(n int) int {
 }
 
 // Point is one measured data point: an x value (selectivity fraction,
-// dataset size, domain size, …) and the mean I/Os per query.
+// dataset size, domain size, …) and the mean I/Os per query. Ns and Allocs
+// carry the wall-clock dimension (mean nanoseconds and heap allocations per
+// query); they are informational — figure output (CSV/table) renders only
+// the paper's I/O metric and is unaffected.
 type Point struct {
-	X   float64
-	IOs float64
+	X      float64
+	IOs    float64
+	Ns     float64
+	Allocs float64
 }
 
 // Series is one labelled line of a figure.
@@ -237,29 +254,109 @@ func buildRelation(d *dataset.Dataset, opts core.Options, buildFrames int) (*cor
 	return rel, nil
 }
 
-// measure runs every workload query at the given selectivity and returns
-// the mean I/Os per query. Each query starts with a cleared pool and fresh
-// counters.
-func measure(rel *core.Relation, w *workload, sel float64, topk bool) (float64, error) {
-	pool := rel.Pool()
-	var total uint64
-	for qi, q := range w.queries {
-		if err := pool.Clear(); err != nil {
-			return 0, err
+// Measurement aggregates the per-query cost of one workload batch: the
+// paper's I/O metric plus the wall-clock dimension.
+type Measurement struct {
+	IOs    float64 // mean buffer-pool misses + write-backs per query
+	Ns     float64 // mean wall-clock nanoseconds per query
+	Allocs float64 // mean heap allocations per query (process-wide delta)
+}
+
+// point converts the measurement to a data point at x.
+func (m Measurement) point(x float64) Point {
+	return Point{X: x, IOs: m.IOs, Ns: m.Ns, Allocs: m.Allocs}
+}
+
+// measureEach runs fn once per workload query, each invocation against a
+// fresh private pool view sized like the relation's pool — the paper's
+// "buffer manager that allocates 100 blocks to each query" (§4) — and
+// returns the mean per-query cost.
+//
+// Queries are hermetic (read-only, private pool, no shared mutable state),
+// so their I/O counts do not depend on execution order: the worker fan-out
+// changes wall-clock time only. Per-query I/Os are accumulated into a uint64
+// sum in input order, making the reported means bit-for-bit identical for
+// any worker count. A freshly built pool starts with every frame invalid,
+// exactly like a cleared pool, and clock replacement from an all-invalid
+// state is rotation-invariant — so these numbers also equal the historical
+// sequential Clear-per-query discipline.
+func measureEach(rel *core.Relation, w *workload, workers int, fn func(rd *core.Reader, qi int) error) (Measurement, error) {
+	n := len(w.queries)
+	if n == 0 {
+		return Measurement{}, fmt.Errorf("exp: empty workload")
+	}
+	if workers <= 1 {
+		workers = 1
+	}
+	store := rel.Pool().Store()
+	frames := rel.Pool().Frames()
+
+	type result struct {
+		ios uint64
+		ns  int64
+		err error
+	}
+	results := make([]result, n)
+	run := func(qi int) {
+		view := pager.NewPool(store, frames)
+		rd := rel.Reader(view)
+		t0 := time.Now()
+		err := fn(rd, qi)
+		results[qi] = result{ios: view.Stats().IOs(), ns: time.Since(t0).Nanoseconds(), err: err}
+	}
+
+	var mem0, mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
+	if workers == 1 {
+		for qi := 0; qi < n; qi++ {
+			run(qi)
 		}
-		pool.ResetStats()
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for qi := 0; qi < n; qi++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(qi int) {
+				defer wg.Done()
+				run(qi)
+				<-sem
+			}(qi)
+		}
+		wg.Wait()
+	}
+	runtime.ReadMemStats(&mem1)
+
+	// Merge in input order. Addition over uint64 is exact, so the sums (and
+	// hence the means) cannot depend on completion order.
+	var totalIOs uint64
+	var totalNs int64
+	for qi := range results {
+		if err := results[qi].err; err != nil {
+			return Measurement{}, err
+		}
+		totalIOs += results[qi].ios
+		totalNs += results[qi].ns
+	}
+	return Measurement{
+		IOs:    float64(totalIOs) / float64(n),
+		Ns:     float64(totalNs) / float64(n),
+		Allocs: float64(mem1.Mallocs-mem0.Mallocs) / float64(n),
+	}, nil
+}
+
+// measure runs every workload query at the given selectivity and returns
+// the mean per-query cost. Each query runs against its own fresh pool view.
+func measure(rel *core.Relation, w *workload, sel float64, topk bool, workers int) (Measurement, error) {
+	return measureEach(rel, w, workers, func(rd *core.Reader, qi int) error {
 		var err error
 		if topk {
-			_, err = rel.TopK(q, w.targetCount(sel))
+			_, err = rd.TopK(w.queries[qi], w.targetCount(sel))
 		} else {
-			_, err = rel.PETQ(q, w.tau(qi, sel))
+			_, err = rd.PETQ(w.queries[qi], w.tau(qi, sel))
 		}
-		if err != nil {
-			return 0, err
-		}
-		total += pool.Stats().IOs()
-	}
-	return float64(total) / float64(len(w.queries)), nil
+		return err
+	})
 }
 
 // selectivitySweep measures one access method across Selectivities,
@@ -273,16 +370,16 @@ func selectivitySweep(d *dataset.Dataset, a access, p Params) ([]Series, error) 
 	thres := Series{Label: a.label + "-Thres"}
 	topk := Series{Label: a.label + "-TopK"}
 	for _, sel := range Selectivities {
-		io1, err := measure(rel, w, sel, false)
+		m1, err := measure(rel, w, sel, false, p.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("%s thres: %w", a.label, err)
 		}
-		io2, err := measure(rel, w, sel, true)
+		m2, err := measure(rel, w, sel, true, p.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("%s topk: %w", a.label, err)
 		}
-		thres.Points = append(thres.Points, Point{X: sel * 100, IOs: io1})
-		topk.Points = append(topk.Points, Point{X: sel * 100, IOs: io2})
+		thres.Points = append(thres.Points, m1.point(sel*100))
+		topk.Points = append(topk.Points, m2.point(sel*100))
 	}
 	return []Series{thres, topk}, nil
 }

@@ -69,16 +69,28 @@ func TestMeasureCountsIO(t *testing.T) {
 		t.Errorf("query pool has %d frames, want 100", rel.Pool().Frames())
 	}
 	w := newWorkload(d, 3, 5)
-	ios, err := measure(rel, w, 0.01, false)
+	m, err := measure(rel, w, 0.01, false, 1)
 	if err != nil {
 		t.Fatalf("measure: %v", err)
 	}
-	if ios <= 0 {
-		t.Errorf("measured %g I/Os, want positive (cold pool per query)", ios)
+	if m.IOs <= 0 {
+		t.Errorf("measured %g I/Os, want positive (cold pool per query)", m.IOs)
+	}
+	if m.Ns <= 0 {
+		t.Errorf("measured %g ns/q, want positive", m.Ns)
 	}
 	// Top-k must also run.
-	if _, err := measure(rel, w, 0.01, true); err != nil {
+	if _, err := measure(rel, w, 0.01, true, 1); err != nil {
 		t.Fatalf("measure topk: %v", err)
+	}
+	// The parallel path must produce the same I/O count: each query is
+	// hermetic against its own fresh pool view.
+	m4, err := measure(rel, w, 0.01, false, 4)
+	if err != nil {
+		t.Fatalf("measure workers=4: %v", err)
+	}
+	if m4.IOs != m.IOs { //ucatlint:ignore floatcmp exact determinism is the contract under test
+		t.Errorf("workers=4 measured %g I/Os, sequential %g; must be identical", m4.IOs, m.IOs)
 	}
 }
 

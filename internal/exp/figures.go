@@ -134,16 +134,16 @@ func Fig8(p Params) (*Figure, error) {
 				return nil, err
 			}
 			x := float64(n) / 1000
-			io1, err := measure(rel, w, sel, false)
+			m1, err := measure(rel, w, sel, false, p.Workers)
 			if err != nil {
 				return nil, err
 			}
-			io2, err := measure(rel, w, sel, true)
+			m2, err := measure(rel, w, sel, true, p.Workers)
 			if err != nil {
 				return nil, err
 			}
-			series[2*ai].Points = append(series[2*ai].Points, Point{X: x, IOs: io1})
-			series[2*ai+1].Points = append(series[2*ai+1].Points, Point{X: x, IOs: io2})
+			series[2*ai].Points = append(series[2*ai].Points, m1.point(x))
+			series[2*ai+1].Points = append(series[2*ai+1].Points, m2.point(x))
 		}
 	}
 	fig.Series = series
@@ -174,16 +174,16 @@ func Fig9(p Params) (*Figure, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig9 domain %d: %w", domain, err)
 			}
-			io1, err := measure(rel, w, sel, false)
+			m1, err := measure(rel, w, sel, false, p.Workers)
 			if err != nil {
 				return nil, err
 			}
-			io2, err := measure(rel, w, sel, true)
+			m2, err := measure(rel, w, sel, true, p.Workers)
 			if err != nil {
 				return nil, err
 			}
-			series[2*ai].Points = append(series[2*ai].Points, Point{X: float64(domain), IOs: io1})
-			series[2*ai+1].Points = append(series[2*ai+1].Points, Point{X: float64(domain), IOs: io2})
+			series[2*ai].Points = append(series[2*ai].Points, m1.point(float64(domain)))
+			series[2*ai+1].Points = append(series[2*ai+1].Points, m2.point(float64(domain)))
 		}
 	}
 	fig.Series = series

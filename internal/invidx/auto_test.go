@@ -51,7 +51,7 @@ func TestAutoPicksByListLength(t *testing.T) {
 		}
 	}
 	q := uda.Certain(5)
-	if got := sparse.chooseStrategy(q); got != HighestProbFirst {
+	if got := sparse.Reader(nil).chooseStrategy(q); got != HighestProbFirst {
 		t.Errorf("sparse index chose %v, want highest-prob-first", got)
 	}
 
@@ -63,7 +63,7 @@ func TestAutoPicksByListLength(t *testing.T) {
 			t.Fatalf("Insert: %v", err)
 		}
 	}
-	if got := dense.chooseStrategy(u); got != NRA {
+	if got := dense.Reader(nil).chooseStrategy(u); got != NRA {
 		t.Errorf("dense index chose %v, want nra", got)
 	}
 }

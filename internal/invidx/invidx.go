@@ -27,6 +27,7 @@ import (
 
 	"ucat/internal/btree"
 	"ucat/internal/pager"
+	"ucat/internal/query"
 	"ucat/internal/tuplestore"
 	"ucat/internal/uda"
 )
@@ -46,6 +47,27 @@ func New(pool *pager.Pool) *Index {
 		dir:    make(map[uint32]*btree.Tree),
 		tuples: tuplestore.New(pool),
 	}
+}
+
+// Reader binds the index's read-only query algorithms to a pool view: every
+// page fetch a query performs — list scans, cursor advances, tuple probes —
+// goes through the view instead of the index's construction pool. Handing
+// each concurrent query a Reader over a private 100-frame pool reproduces the
+// paper's per-query buffer-manager accounting (§4) while N queries run in
+// parallel over the same store. A Reader is cheap (two words) and not safe
+// for concurrent use; make one per query.
+type Reader struct {
+	ix   *Index
+	view pager.View
+}
+
+// Reader returns a read-only query handle whose page fetches go through v.
+// A nil view reads through the index's own pool.
+func (ix *Index) Reader(v pager.View) *Reader {
+	if v == nil {
+		v = ix.pool
+	}
+	return &Reader{ix: ix, view: v}
 }
 
 // Len returns the number of indexed tuples.
@@ -138,3 +160,26 @@ func (ix *Index) list(item uint32) (*btree.Tree, error) {
 
 // Get fetches a tuple's distribution from the heap (one page access).
 func (ix *Index) Get(tid uint32) (uda.UDA, error) { return ix.tuples.Get(tid) }
+
+// PETQ answers the probabilistic equality threshold query through the
+// index's own pool. See Reader.PETQ.
+func (ix *Index) PETQ(q uda.UDA, tau float64, s Strategy) ([]query.Match, error) {
+	return ix.Reader(nil).PETQ(q, tau, s)
+}
+
+// TopK answers PETQ-top-k through the index's own pool. See Reader.TopK.
+func (ix *Index) TopK(q uda.UDA, k int, s Strategy) ([]query.Match, error) {
+	return ix.Reader(nil).TopK(q, k, s)
+}
+
+// WindowPETQ answers the relaxed equality threshold query through the
+// index's own pool. See Reader.WindowPETQ.
+func (ix *Index) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, error) {
+	return ix.Reader(nil).WindowPETQ(q, c, tau)
+}
+
+// WindowTopK answers the relaxed equality top-k query through the index's
+// own pool. See Reader.WindowTopK.
+func (ix *Index) WindowTopK(q uda.UDA, c uint32, k int) ([]query.Match, error) {
+	return ix.Reader(nil).WindowTopK(q, c, k)
+}

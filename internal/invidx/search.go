@@ -74,26 +74,26 @@ var Strategies = []Strategy{BruteForce, HighestProbFirst, RowPruning, ColumnPrun
 // all tuples t with Pr(q = t) > tau, with their exact probabilities, in
 // descending probability order. tau must be non-negative; PETQ(q, 0) is the
 // plain probabilistic equality query PEQ (Definition 3).
-func (ix *Index) PETQ(q uda.UDA, tau float64, s Strategy) ([]query.Match, error) {
+func (r *Reader) PETQ(q uda.UDA, tau float64, s Strategy) ([]query.Match, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("invidx: negative threshold %g", tau)
 	}
 	if s == Auto {
-		s = ix.chooseStrategy(q)
+		s = r.chooseStrategy(q)
 	}
 	var res []query.Match
 	var err error
 	switch s {
 	case BruteForce:
-		res, err = ix.bruteForce(q, tau)
+		res, err = r.bruteForce(q, tau)
 	case HighestProbFirst:
-		res, err = ix.highestProbFirst(q, tau)
+		res, err = r.highestProbFirst(q, tau)
 	case RowPruning:
-		res, err = ix.rowPruning(q, tau)
+		res, err = r.rowPruning(q, tau)
 	case ColumnPruning:
-		res, err = ix.columnPruning(q, tau)
+		res, err = r.columnPruning(q, tau)
 	case NRA:
-		res, err = ix.nra(q, tau)
+		res, err = r.nra(q, tau)
 	default:
 		return nil, fmt.Errorf("invidx: unknown strategy %v", s)
 	}
@@ -108,24 +108,24 @@ func (ix *Index) PETQ(q uda.UDA, tau float64, s Strategy) ([]query.Match, error)
 // q (ties at the kth position broken arbitrarily), implemented as a
 // threshold query whose threshold rises dynamically to the kth best
 // probability seen, per §2 of the paper.
-func (ix *Index) TopK(q uda.UDA, k int, s Strategy) ([]query.Match, error) {
+func (r *Reader) TopK(q uda.UDA, k int, s Strategy) ([]query.Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("invidx: non-positive k %d", k)
 	}
 	if s == Auto {
-		s = ix.chooseStrategy(q)
+		s = r.chooseStrategy(q)
 	}
 	switch s {
 	case BruteForce:
-		return ix.bruteForceTopK(q, k)
+		return r.bruteForceTopK(q, k)
 	case HighestProbFirst:
-		return ix.frontierTopK(q, k, true)
+		return r.frontierTopK(q, k, true)
 	case ColumnPruning:
-		return ix.frontierTopK(q, k, false)
+		return r.frontierTopK(q, k, false)
 	case RowPruning:
-		return ix.rowPruningTopK(q, k)
+		return r.rowPruningTopK(q, k)
 	case NRA:
-		return ix.nraTopK(q, k)
+		return r.nraTopK(q, k)
 	default:
 		return nil, fmt.Errorf("invidx: unknown strategy %v", s)
 	}
@@ -135,10 +135,10 @@ func (ix *Index) TopK(q uda.UDA, k int, s Strategy) ([]query.Match, error) {
 // of the frontier search (one probe per distinct candidate, bounded by the
 // total entries in the query's lists) with the list-joining cost (pages of
 // those lists) and keep probing only while it is cheap.
-func (ix *Index) chooseStrategy(q uda.UDA) Strategy {
+func (r *Reader) chooseStrategy(q uda.UDA) Strategy {
 	var entries, pages int
 	for _, p := range q.Pairs() {
-		if tree, ok := ix.dir[p.Item]; ok {
+		if tree, ok := r.ix.dir[p.Item]; ok {
 			n := tree.Len()
 			entries += n
 			pages += 1 + n/btree.MaxLeafKeys
@@ -181,14 +181,14 @@ func (lc *listCursor) advance() error {
 
 // openCursors builds one positioned cursor per query item that has a
 // non-empty list.
-func (ix *Index) openCursors(q uda.UDA) ([]*listCursor, error) {
+func (r *Reader) openCursors(q uda.UDA) ([]*listCursor, error) {
 	var cs []*listCursor
 	for _, p := range q.Pairs() {
-		tree, ok := ix.dir[p.Item]
+		tree, ok := r.ix.dir[p.Item]
 		if !ok || tree.Len() == 0 {
 			continue
 		}
-		lc := &listCursor{item: p.Item, qp: p.Prob, cur: tree.NewCursor(btree.Key{})}
+		lc := &listCursor{item: p.Item, qp: p.Prob, cur: tree.NewCursorVia(r.view, btree.Key{})}
 		if err := lc.advance(); err != nil {
 			return nil, err
 		}
@@ -202,8 +202,8 @@ func (ix *Index) openCursors(q uda.UDA) ([]*listCursor, error) {
 // bruteForce joins the full lists of all query items. The per-tuple
 // accumulated score Σ_j q_j · t_j over exactly the query's items *is* the
 // equality probability, so no random accesses are needed.
-func (ix *Index) bruteForce(q uda.UDA, tau float64) ([]query.Match, error) {
-	scores, err := ix.accumulate(q, nil)
+func (r *Reader) bruteForce(q uda.UDA, tau float64) ([]query.Match, error) {
+	scores, err := r.accumulate(q, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -216,8 +216,8 @@ func (ix *Index) bruteForce(q uda.UDA, tau float64) ([]query.Match, error) {
 	return res, nil
 }
 
-func (ix *Index) bruteForceTopK(q uda.UDA, k int) ([]query.Match, error) {
-	scores, err := ix.accumulate(q, nil)
+func (r *Reader) bruteForceTopK(q uda.UDA, k int) ([]query.Match, error) {
+	scores, err := r.accumulate(q, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -230,18 +230,18 @@ func (ix *Index) bruteForceTopK(q uda.UDA, k int) ([]query.Match, error) {
 
 // accumulate scans the full list of every query item (or only those for
 // which keep returns true) and sums q_j · t_j per tuple.
-func (ix *Index) accumulate(q uda.UDA, keep func(qp float64) bool) (map[uint32]float64, error) {
+func (r *Reader) accumulate(q uda.UDA, keep func(qp float64) bool) (map[uint32]float64, error) {
 	scores := make(map[uint32]float64)
 	for _, p := range q.Pairs() {
 		if keep != nil && !keep(p.Prob) {
 			continue
 		}
-		tree, ok := ix.dir[p.Item]
+		tree, ok := r.ix.dir[p.Item]
 		if !ok {
 			continue
 		}
 		qp := p.Prob
-		err := tree.Scan(btree.Key{}, func(k btree.Key) bool {
+		err := tree.ScanVia(r.view, btree.Key{}, func(k btree.Key) bool {
 			prob, tid := unpackKey(k)
 			scores[tid] += qp * prob
 			return true
@@ -256,8 +256,8 @@ func (ix *Index) accumulate(q uda.UDA, keep func(qp float64) bool) (map[uint32]f
 // highestProbFirst implements the paper's Highest-prob-first search: advance
 // the most promising frontier, verify each newly seen tuple by random
 // access, and stop when Lemma 1 guarantees no unseen tuple can qualify.
-func (ix *Index) highestProbFirst(q uda.UDA, tau float64) ([]query.Match, error) {
-	cs, err := ix.openCursors(q)
+func (r *Reader) highestProbFirst(q uda.UDA, tau float64) ([]query.Match, error) {
+	cs, err := r.openCursors(q)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +290,7 @@ func (ix *Index) highestProbFirst(q uda.UDA, tau float64) ([]query.Match, error)
 			continue
 		}
 		seen[tid] = struct{}{}
-		m, qualifies, err := ix.verify(q, tid, tau)
+		m, qualifies, err := r.verify(q, tid, tau)
 		if err != nil {
 			return nil, err
 		}
@@ -303,8 +303,8 @@ func (ix *Index) highestProbFirst(q uda.UDA, tau float64) ([]query.Match, error)
 
 // verify performs the random access for a candidate and evaluates the exact
 // equality probability against the threshold.
-func (ix *Index) verify(q uda.UDA, tid uint32, tau float64) (query.Match, bool, error) {
-	u, err := ix.tuples.Get(tid)
+func (r *Reader) verify(q uda.UDA, tid uint32, tau float64) (query.Match, bool, error) {
+	u, err := r.ix.tuples.GetVia(r.view, tid)
 	if err != nil {
 		return query.Match{}, false, err
 	}
@@ -317,9 +317,9 @@ func (ix *Index) verify(q uda.UDA, tid uint32, tau float64) (query.Match, bool, 
 // Σ q_j·t_j ≤ tau·Σ t_j ≤ tau, so it cannot strictly exceed the threshold.
 // When at least one list was skipped, the accumulated scores are only lower
 // bounds and every candidate is verified by random access.
-func (ix *Index) rowPruning(q uda.UDA, tau float64) ([]query.Match, error) {
+func (r *Reader) rowPruning(q uda.UDA, tau float64) ([]query.Match, error) {
 	pruned := false
-	scores, err := ix.accumulate(q, func(qp float64) bool {
+	scores, err := r.accumulate(q, func(qp float64) bool {
 		if qp > tau {
 			return true
 		}
@@ -337,7 +337,7 @@ func (ix *Index) rowPruning(q uda.UDA, tau float64) ([]query.Match, error) {
 			}
 			continue
 		}
-		m, qualifies, err := ix.verify(q, tid, tau)
+		m, qualifies, err := r.verify(q, tid, tau)
 		if err != nil {
 			return nil, err
 		}
@@ -351,7 +351,7 @@ func (ix *Index) rowPruning(q uda.UDA, tau float64) ([]query.Match, error) {
 // rowPruningTopK processes whole lists in descending query-probability
 // order, raising the threshold as results accumulate and stopping when the
 // remaining lists' query probabilities can no longer beat it.
-func (ix *Index) rowPruningTopK(q uda.UDA, k int) ([]query.Match, error) {
+func (r *Reader) rowPruningTopK(q uda.UDA, k int) ([]query.Match, error) {
 	pairs := q.PairsByProb()
 	tk := query.NewTopK(k)
 	seen := make(map[uint32]struct{})
@@ -361,18 +361,18 @@ func (ix *Index) rowPruningTopK(q uda.UDA, k int) ([]query.Match, error) {
 		if tk.Full() && p.Prob <= tk.Threshold() {
 			break
 		}
-		tree, ok := ix.dir[p.Item]
+		tree, ok := r.ix.dir[p.Item]
 		if !ok {
 			continue
 		}
 		var verr error
-		err := tree.Scan(btree.Key{}, func(key btree.Key) bool {
+		err := tree.ScanVia(r.view, btree.Key{}, func(key btree.Key) bool {
 			_, tid := unpackKey(key)
 			if _, dup := seen[tid]; dup {
 				return true
 			}
 			seen[tid] = struct{}{}
-			m, _, err := ix.verify(q, tid, 0)
+			m, _, err := r.verify(q, tid, 0)
 			if err != nil {
 				verr = err
 				return false
@@ -394,16 +394,16 @@ func (ix *Index) rowPruningTopK(q uda.UDA, k int) ([]query.Match, error) {
 // probability above tau: a qualifying tuple has Σ q_j·t_j > tau with
 // Σ q_j ≤ 1, so some overlapping item must have t_j > tau and the tuple
 // appears in that list's prefix. Candidates are verified by random access.
-func (ix *Index) columnPruning(q uda.UDA, tau float64) ([]query.Match, error) {
+func (r *Reader) columnPruning(q uda.UDA, tau float64) ([]query.Match, error) {
 	seen := make(map[uint32]struct{})
 	var res []query.Match
 	for _, p := range q.Pairs() {
-		tree, ok := ix.dir[p.Item]
+		tree, ok := r.ix.dir[p.Item]
 		if !ok {
 			continue
 		}
 		var verr error
-		err := tree.Scan(btree.Key{}, func(key btree.Key) bool {
+		err := tree.ScanVia(r.view, btree.Key{}, func(key btree.Key) bool {
 			prob, tid := unpackKey(key)
 			if prob <= tau {
 				return false // rest of the column is below the threshold
@@ -412,7 +412,7 @@ func (ix *Index) columnPruning(q uda.UDA, tau float64) ([]query.Match, error) {
 				return true
 			}
 			seen[tid] = struct{}{}
-			m, qualifies, err := ix.verify(q, tid, tau)
+			m, qualifies, err := r.verify(q, tid, tau)
 			if err != nil {
 				verr = err
 				return false
@@ -439,8 +439,8 @@ func (ix *Index) columnPruning(q uda.UDA, tau float64) ([]query.Match, error) {
 // Lemma 1's Σ q_j·p'_j ≤ τ; otherwise ranking and stopping use the raw
 // frontier probability (column pruning: an unseen tuple's score is at most
 // max_j p'_j because Σ q_j ≤ 1).
-func (ix *Index) frontierTopK(q uda.UDA, k int, scaled bool) ([]query.Match, error) {
-	cs, err := ix.openCursors(q)
+func (r *Reader) frontierTopK(q uda.UDA, k int, scaled bool) ([]query.Match, error) {
+	cs, err := r.openCursors(q)
 	if err != nil {
 		return nil, err
 	}
@@ -486,7 +486,7 @@ func (ix *Index) frontierTopK(q uda.UDA, k int, scaled bool) ([]query.Match, err
 			continue
 		}
 		seen[tid] = struct{}{}
-		m, _, err := ix.verify(q, tid, 0)
+		m, _, err := r.verify(q, tid, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -512,15 +512,15 @@ type nraCandidate struct {
 // candidate set reference it" — and performs random accesses only once the
 // candidate set is small (or to confirm a candidate whose lower bound
 // already beats tau).
-func (ix *Index) nra(q uda.UDA, tau float64) ([]query.Match, error) {
-	cs, err := ix.openCursors(q)
+func (r *Reader) nra(q uda.UDA, tau float64) ([]query.Match, error) {
+	cs, err := r.openCursors(q)
 	if err != nil {
 		return nil, err
 	}
 	if len(cs) > 64 {
 		// The bitmask caps the number of lists; fall back to the safe
 		// strategy for absurdly wide queries.
-		return ix.highestProbFirst(q, tau)
+		return r.highestProbFirst(q, tau)
 	}
 	cand := make(map[uint32]*nraCandidate)
 	done := make(map[uint32]struct{}) // discarded
@@ -584,10 +584,10 @@ func (ix *Index) nra(q uda.UDA, tau float64) ([]query.Match, error) {
 
 		step++
 		if step%sweepEvery == 0 {
-			ix.nraSweep(cs, cand, done, refs, tau, false)
+			r.nraSweep(cs, cand, done, refs, tau, false)
 		}
 	}
-	ix.nraSweep(cs, cand, done, refs, tau, false)
+	r.nraSweep(cs, cand, done, refs, tau, false)
 
 	// Phase 2: resolution. No new candidates are admitted; keep draining
 	// the lists that surviving candidates still reference (a list is
@@ -621,7 +621,7 @@ func (ix *Index) nra(q uda.UDA, tau float64) ([]query.Match, error) {
 		}
 		step++
 		if step%sweepEvery == 0 {
-			ix.nraSweep(cs, cand, done, refs, tau, false)
+			r.nraSweep(cs, cand, done, refs, tau, false)
 		}
 	}
 
@@ -637,7 +637,7 @@ func (ix *Index) nra(q uda.UDA, tau float64) ([]query.Match, error) {
 			}
 		}
 		if unresolved {
-			m, qualifies, err := ix.verify(q, tid, tau)
+			m, qualifies, err := r.verify(q, tid, tau)
 			if err != nil {
 				return nil, err
 			}
@@ -654,7 +654,7 @@ func (ix *Index) nra(q uda.UDA, tau float64) ([]query.Match, error) {
 }
 
 // nraDrop removes a candidate and releases its list references.
-func (ix *Index) nraDrop(cs []*listCursor, cand map[uint32]*nraCandidate, refs []int, tid uint32) {
+func (r *Reader) nraDrop(cs []*listCursor, cand map[uint32]*nraCandidate, refs []int, tid uint32) {
 	c, ok := cand[tid]
 	if !ok {
 		return
@@ -672,7 +672,7 @@ func (ix *Index) nraDrop(cs []*listCursor, cand map[uint32]*nraCandidate, refs [
 // large candidate sets the per-candidate unseen-list walk is replaced by the
 // (sound, slightly weaker) global residual Σ_live q_j·p'_j, keeping sweeps
 // linear in the candidate count.
-func (ix *Index) nraSweep(cs []*listCursor, cand map[uint32]*nraCandidate, done map[uint32]struct{}, refs []int, tau float64, strict bool) {
+func (r *Reader) nraSweep(cs []*listCursor, cand map[uint32]*nraCandidate, done map[uint32]struct{}, refs []int, tau float64, strict bool) {
 	exact := len(cand) <= 1024
 	var residual float64
 	for _, lc := range cs {
@@ -694,7 +694,7 @@ func (ix *Index) nraSweep(cs []*listCursor, cand map[uint32]*nraCandidate, done 
 		}
 		if ub <= tau && (!strict || ub < tau) {
 			done[tid] = struct{}{}
-			ix.nraDrop(cs, cand, refs, tid)
+			r.nraDrop(cs, cand, refs, tid)
 		}
 	}
 }
@@ -704,13 +704,13 @@ func (ix *Index) nraSweep(cs []*listCursor, cand map[uint32]*nraCandidate, done 
 // Discovery stops when Lemma 1's frontier bound cannot beat it; resolution
 // drains the lists surviving candidates reference until every partial is
 // exact, and the k best exact scores win. No random accesses are needed.
-func (ix *Index) nraTopK(q uda.UDA, k int) ([]query.Match, error) {
-	cs, err := ix.openCursors(q)
+func (r *Reader) nraTopK(q uda.UDA, k int) ([]query.Match, error) {
+	cs, err := r.openCursors(q)
 	if err != nil {
 		return nil, err
 	}
 	if len(cs) > 64 {
-		return ix.frontierTopK(q, k, true)
+		return r.frontierTopK(q, k, true)
 	}
 	cand := make(map[uint32]*nraCandidate)
 	done := make(map[uint32]struct{})
@@ -727,7 +727,7 @@ func (ix *Index) nraTopK(q uda.UDA, k int) ([]query.Match, error) {
 		// Strict discard: the threshold is achieved by live candidates, so a
 		// candidate whose upper bound merely equals it may be one of the k
 		// that define it.
-		ix.nraSweep(cs, cand, done, refs, tau, true)
+		r.nraSweep(cs, cand, done, refs, tau, true)
 	}
 
 	// Discovery.

@@ -14,19 +14,19 @@ import (
 // w = Smear(q, c) — Pr(|q−t| ≤ c) = Σ_i w_i · t_i — so the search joins the
 // inverted lists of w's support with w as the per-list weight, exactly like
 // the brute-force equality search with a wider query.
-func (ix *Index) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, error) {
+func (r *Reader) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("invidx: negative threshold %g", tau)
 	}
 	w := uda.Smear(q, c)
 	scores := make(map[uint32]float64)
 	for _, p := range w {
-		tree, ok := ix.dir[p.Item]
+		tree, ok := r.ix.dir[p.Item]
 		if !ok {
 			continue
 		}
 		weight := p.Prob
-		err := tree.Scan(btree.Key{}, func(k btree.Key) bool {
+		err := tree.ScanVia(r.view, btree.Key{}, func(k btree.Key) bool {
 			prob, tid := unpackKey(k)
 			scores[tid] += weight * prob
 			return true
@@ -47,11 +47,11 @@ func (ix *Index) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, er
 
 // WindowTopK returns the k tuples with the highest window-equality
 // probability Pr(|q − t| ≤ c).
-func (ix *Index) WindowTopK(q uda.UDA, c uint32, k int) ([]query.Match, error) {
+func (r *Reader) WindowTopK(q uda.UDA, c uint32, k int) ([]query.Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("invidx: non-positive k %d", k)
 	}
-	all, err := ix.WindowPETQ(q, c, 0)
+	all, err := r.WindowPETQ(q, c, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -15,7 +15,10 @@
 //     buffer pool (ioaccount) and every flush/close error is observed
 //     (droppederr) and every pinned page is released (pinleak).
 //   - Determinism: experiments must thread an explicitly seeded *rand.Rand;
-//     the global math/rand functions destroy reproducibility (globalrand).
+//     the global math/rand functions destroy reproducibility (globalrand),
+//     and read-only query entry points must accept an injected pager.View so
+//     parallel workers keep private, exactly-reproducible I/O accounting
+//     (poolview).
 //
 // A diagnostic can be suppressed with a directive comment on the same line or
 // on the line immediately above:
@@ -80,6 +83,7 @@ func AllChecks() []*Check {
 		DroppedErrCheck(),
 		GlobalRandCheck(),
 		PinleakCheck(),
+		PoolViewCheck(),
 	}
 }
 

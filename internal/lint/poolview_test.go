@@ -1,0 +1,200 @@
+package lint
+
+import "testing"
+
+func TestPoolView(t *testing.T) {
+	tests := []struct {
+		name string
+		path string
+		src  string
+		want []string
+	}{
+		{
+			name: "query method fetching via concrete pool flagged",
+			path: testPkgPath,
+			src: `package p
+
+import "ucat/internal/pager"
+
+type Index struct{ pool *pager.Pool }
+
+func (ix *Index) PETQ(tau float64) error {
+	pg, err := ix.pool.Fetch(1)
+	if err != nil {
+		return err
+	}
+	pg.Unpin(false)
+	return nil
+}
+`,
+			want: []string{"query entry point PETQ fetches through *pager.Pool directly"},
+		},
+		{
+			name: "query method fetching via injected view not flagged",
+			path: testPkgPath,
+			src: `package p
+
+import "ucat/internal/pager"
+
+type Reader struct{ view pager.View }
+
+func (r *Reader) TopK(k int) error {
+	pg, err := r.view.Fetch(1)
+	if err != nil {
+		return err
+	}
+	pg.Unpin(false)
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "pool parameter on query function flagged",
+			path: testPkgPath,
+			src: `package p
+
+import "ucat/internal/pager"
+
+func DSTQ(pool *pager.Pool, tau float64) error {
+	_ = pool
+	return nil
+}
+`,
+			want: []string{"query entry point DSTQ takes a *pager.Pool parameter"},
+		},
+		{
+			name: "view parameter on query function not flagged",
+			path: testPkgPath,
+			src: `package p
+
+import "ucat/internal/pager"
+
+func WindowPETQ(v pager.View, tau float64) error {
+	pg, err := v.Fetch(1)
+	if err != nil {
+		return err
+	}
+	pg.Unpin(false)
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "unexported strategy twin flagged",
+			path: testPkgPath,
+			src: `package p
+
+import "ucat/internal/pager"
+
+type tree struct{ pool *pager.Pool }
+
+func (t *tree) nraTopK(k int) error {
+	pg, err := t.pool.Fetch(2)
+	if err != nil {
+		return err
+	}
+	pg.Unpin(false)
+	return nil
+}
+`,
+			want: []string{"query entry point nraTopK fetches through *pager.Pool directly"},
+		},
+		{
+			name: "write path owning the pool not flagged",
+			path: testPkgPath,
+			src: `package p
+
+import "ucat/internal/pager"
+
+type tree struct{ pool *pager.Pool }
+
+func (t *tree) Insert(x int) error {
+	pg, err := t.pool.Fetch(1)
+	if err != nil {
+		return err
+	}
+	pg.Unpin(true)
+	np, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	np.Unpin(true)
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "pager package itself exempt",
+			path: "ucat/internal/pager",
+			src: `package pager
+
+type PageID uint32
+
+type Page struct{}
+
+func (p *Page) Unpin(dirty bool) {}
+
+type Pool struct{}
+
+func (p *Pool) Fetch(pid PageID) (*Page, error) { return nil, nil }
+
+func (p *Pool) selfPETQ() {
+	pg, _ := p.Fetch(1)
+	pg.Unpin(false)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "both patterns in one function reported once each",
+			path: testPkgPath,
+			src: `package p
+
+import "ucat/internal/pager"
+
+func MultiPETQ(pool *pager.Pool) error {
+	pg, err := pool.Fetch(3)
+	if err != nil {
+		return err
+	}
+	pg.Unpin(false)
+	return nil
+}
+`,
+			want: []string{
+				"query entry point MultiPETQ takes a *pager.Pool parameter",
+				"query entry point MultiPETQ fetches through *pager.Pool directly",
+			},
+		},
+		{
+			name: "ignore directive suppresses",
+			path: testPkgPath,
+			src: `package p
+
+import "ucat/internal/pager"
+
+type Index struct{ pool *pager.Pool }
+
+func (ix *Index) PEQ() error {
+	//ucatlint:ignore poolview sequential-only diagnostic helper, never run by the parallel harness
+	pg, err := ix.pool.Fetch(1)
+	if err != nil {
+		return err
+	}
+	pg.Unpin(false)
+	return nil
+}
+`,
+			want: nil,
+		},
+	}
+	check := PoolViewCheck()
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			expect(t, runOn(t, check, tt.path, tt.src), tt.want)
+		})
+	}
+}

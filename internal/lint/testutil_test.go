@@ -34,6 +34,10 @@ type Page struct {
 
 func (p *Page) Unpin(dirty bool) {}
 
+type View interface {
+	Fetch(pid PageID) (*Page, error)
+}
+
 type Pool struct{}
 
 func (p *Pool) Fetch(pid PageID) (*Page, error) { return nil, nil }

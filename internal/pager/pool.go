@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPoolFrames is the buffer pool capacity used throughout the paper's
@@ -11,7 +12,8 @@ import (
 // allocates 100 blocks to each query".
 const DefaultPoolFrames = 100
 
-// ErrPoolExhausted is returned by Fetch/NewPage when every frame is pinned.
+// ErrPoolExhausted is returned by Fetch/NewPage when every frame in the
+// page's stripe is pinned.
 var ErrPoolExhausted = errors.New("pager: buffer pool exhausted (all frames pinned)")
 
 // Stats counts page traffic through a Pool. Reads and Writes are transfers
@@ -41,6 +43,16 @@ func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d hits=%d io=%d", s.Reads, s.Writes, s.Hits, s.IOs())
 }
 
+// View is the read-side page-access capability a query executes through.
+// Indexes capture one *Pool at construction for writes, but read-only query
+// entry points accept a View so that N concurrent queries can each run
+// against their own private pool (the paper's "100 blocks to each query")
+// over the same shared Store, with independent I/O accounting. *Pool
+// implements View.
+type View interface {
+	Fetch(pid PageID) (*Page, error)
+}
+
 type frame struct {
 	pid   PageID
 	data  []byte
@@ -49,44 +61,121 @@ type frame struct {
 	dirty bool
 }
 
-// Pool is a buffer pool over a Store with clock replacement. Callers obtain
-// pinned Pages via Fetch or NewPage and must Unpin them when done; unpinned
-// frames are eligible for eviction, dirty ones being written back first.
+// shard is one lock stripe of a Pool: a private mutex, frame set, page table
+// and clock hand. Pages map to shards by a fixed hash of their id, so
+// concurrent Fetch/Unpin on pages in different stripes never contend.
+type shard struct {
+	mu     sync.Mutex
+	frames []frame
+	table  map[PageID]int // pid → frame index within this shard
+	hand   int            // clock hand, local to the shard
+
+	// Pad shards apart so their mutexes do not share a cache line.
+	_ [64]byte
+}
+
+// Pool is a buffer pool over a Store with clock (second-chance) replacement.
+// Callers obtain pinned Pages via Fetch or NewPage and must Unpin them when
+// done; unpinned frames are eligible for eviction, dirty ones being written
+// back first.
+//
+// The pool is divided into one or more lock stripes ("shards"). Each page id
+// hashes to exactly one shard, which owns a fixed subset of the frames, its
+// own page table and its own clock hand. NewPool creates a single stripe,
+// which reproduces the paper's global-clock replacement exactly (the figure
+// harness depends on this); NewStripedPool spreads the frames over several
+// stripes so concurrent access to distinct pages does not serialize on one
+// mutex. Stripe invariants:
+//
+//   - a page id always maps to the same shard, so a page is cached at most
+//     once in the whole pool;
+//   - eviction is local: a Fetch evicts only within its page's shard, and
+//     ErrPoolExhausted means that *stripe* is fully pinned, even if other
+//     stripes have free frames;
+//   - Stats counters are atomic and shared by all shards; a Stats() snapshot
+//     is exact when no operation is in flight (each counter is individually
+//     exact always).
 //
 // Pool is safe for concurrent use, but a Page's Data is only protected while
 // the page is pinned, and concurrent writers to one page must coordinate
-// among themselves.
+// among themselves. Clear, Resize and FlushAll lock shards one at a time and
+// must not race with writers.
 type Pool struct {
-	store  *Store
-	mu     sync.Mutex
-	frames []frame
-	table  map[PageID]int // pid → frame index
-	hand   int            // clock hand
-	stats  Stats
+	store   *Store
+	shards  []shard
+	nframes int
+
+	reads  atomic.Uint64
+	writes atomic.Uint64
+	hits   atomic.Uint64
 }
 
 // NewPool creates a pool with nframes frames (DefaultPoolFrames if
-// nframes <= 0) over the given store.
+// nframes <= 0) over the given store, as a single lock stripe: replacement
+// behaves exactly like one global clock, which keeps per-query I/O counts
+// identical to the paper's discipline.
 func NewPool(store *Store, nframes int) *Pool {
+	return NewStripedPool(store, nframes, 1)
+}
+
+// NewStripedPool creates a pool whose frames are spread over nshards lock
+// stripes (clamped to [1, nframes]). Use more than one stripe for pools
+// shared by concurrent readers and writers; use NewPool (one stripe) when
+// exact global-clock replacement matters more than lock contention.
+func NewStripedPool(store *Store, nframes, nshards int) *Pool {
 	if nframes <= 0 {
 		nframes = DefaultPoolFrames
 	}
-	p := &Pool{
-		store:  store,
-		frames: make([]frame, nframes),
-		table:  make(map[PageID]int, nframes),
+	if nshards < 1 {
+		nshards = 1
 	}
-	for i := range p.frames {
-		p.frames[i].data = make([]byte, PageSize)
+	if nshards > nframes {
+		nshards = nframes
 	}
+	p := &Pool{store: store, shards: make([]shard, nshards), nframes: nframes}
+	p.initShards()
 	return p
+}
+
+// initShards distributes p.nframes frames across the shard slice and resets
+// every table and clock hand.
+func (p *Pool) initShards() {
+	n := len(p.shards)
+	base, extra := p.nframes/n, p.nframes%n
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		sh := &p.shards[i]
+		sh.frames = make([]frame, c)
+		for j := range sh.frames {
+			sh.frames[j].data = make([]byte, PageSize)
+		}
+		sh.table = make(map[PageID]int, c)
+		sh.hand = 0
+	}
+}
+
+// shardFor returns the stripe owning pid. The mapping is a fixed hash: it
+// must never change for the lifetime of the pool, or a page could be cached
+// twice.
+func (p *Pool) shardFor(pid PageID) *shard {
+	if len(p.shards) == 1 {
+		return &p.shards[0]
+	}
+	h := uint64(pid) * 0x9E3779B97F4A7C15 // Fibonacci hashing; spreads sequential pids
+	return &p.shards[(h>>32)%uint64(len(p.shards))]
 }
 
 // Store returns the underlying page store.
 func (p *Pool) Store() *Store { return p.store }
 
-// Frames returns the pool capacity.
-func (p *Pool) Frames() int { return len(p.frames) }
+// Frames returns the pool capacity across all stripes.
+func (p *Pool) Frames() int { return p.nframes }
+
+// Shards returns the number of lock stripes.
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // Page is a pinned page image. Data aliases the pool frame directly; it is
 // valid until Unpin and must not be retained afterwards.
@@ -94,70 +183,82 @@ type Page struct {
 	ID   PageID
 	Data []byte
 	pool *Pool
+	sh   *shard
 	idx  int
 }
 
 // Fetch pins the page in the pool, reading it from the store on a miss.
 func (p *Pool) Fetch(pid PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if idx, ok := p.table[pid]; ok {
-		f := &p.frames[idx]
+	sh := p.shardFor(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if idx, ok := sh.table[pid]; ok {
+		f := &sh.frames[idx]
 		f.pins++
 		f.ref = true
-		p.stats.Hits++
-		return &Page{ID: pid, Data: f.data, pool: p, idx: idx}, nil
+		p.hits.Add(1)
+		return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, nil
 	}
-	idx, err := p.evict()
+	idx, err := p.evict(sh)
 	if err != nil {
 		return nil, err
 	}
-	f := &p.frames[idx]
+	f := &sh.frames[idx]
 	if err := p.store.ReadAt(pid, f.data); err != nil {
-		// Leave the frame empty so a later fetch can reuse it.
+		// Leave the shard exactly as if the fetch never happened: drop any
+		// stale table entry for the page and fully reset the frame so a later
+		// fetch can reuse it with no leftover dirty/ref/pin state.
+		delete(sh.table, pid)
 		f.pid = InvalidPage
+		f.pins = 0
+		f.ref = false
+		f.dirty = false
 		return nil, err
 	}
-	p.stats.Reads++
+	p.reads.Add(1)
 	f.pid = pid
 	f.pins = 1
 	f.ref = true
 	f.dirty = false
-	p.table[pid] = idx
-	return &Page{ID: pid, Data: f.data, pool: p, idx: idx}, nil
+	sh.table[pid] = idx
+	return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, nil
 }
 
 // NewPage allocates a fresh zeroed page in the store and pins it without a
 // store read (materializing a brand-new page costs no input I/O; it will
 // cost a write when evicted or flushed).
 func (p *Pool) NewPage() (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	idx, err := p.evict()
+	pid := p.store.Allocate()
+	sh := p.shardFor(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx, err := p.evict(sh)
 	if err != nil {
+		// The new page never became visible; release it so the store is
+		// unchanged by the failed call.
+		if ferr := p.store.Free(pid); ferr != nil {
+			return nil, errors.Join(err, ferr)
+		}
 		return nil, err
 	}
-	pid := p.store.Allocate()
-	f := &p.frames[idx]
-	for i := range f.data {
-		f.data[i] = 0
-	}
+	f := &sh.frames[idx]
+	clear(f.data)
 	f.pid = pid
 	f.pins = 1
 	f.ref = true
 	f.dirty = true
-	p.table[pid] = idx
-	return &Page{ID: pid, Data: f.data, pool: p, idx: idx}, nil
+	sh.table[pid] = idx
+	return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, nil
 }
 
 // Unpin releases one pin on the page. If dirty is true the frame is marked
 // for write-back on eviction. Unpinning an unpinned page panics: it is a
 // use-after-release bug in the caller.
 func (pg *Page) Unpin(dirty bool) {
-	p := pg.pool
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f := &p.frames[pg.idx]
+	sh := pg.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := &sh.frames[pg.idx]
 	if f.pid != pg.ID || f.pins <= 0 {
 		panic(fmt.Sprintf("pager: unpin of page %d not pinned in frame %d", pg.ID, pg.idx))
 	}
@@ -170,14 +271,15 @@ func (pg *Page) Unpin(dirty bool) {
 // FreePage removes the page from the pool (it must not be pinned) and
 // releases it in the store.
 func (p *Pool) FreePage(pid PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if idx, ok := p.table[pid]; ok {
-		f := &p.frames[idx]
+	sh := p.shardFor(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if idx, ok := sh.table[pid]; ok {
+		f := &sh.frames[idx]
 		if f.pins > 0 {
 			return fmt.Errorf("pager: freeing pinned page %d", pid)
 		}
-		delete(p.table, pid)
+		delete(sh.table, pid)
 		f.pid = InvalidPage
 		f.dirty = false
 	}
@@ -186,76 +288,91 @@ func (p *Pool) FreePage(pid PageID) error {
 
 // FlushAll writes every dirty unpinned frame back to the store. It returns
 // an error if a dirty page is still pinned, which indicates a pin leak.
+// Shards are flushed one at a time in stripe order.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		f := &p.frames[i]
-		if f.pid == InvalidPage || !f.dirty {
-			continue
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if f.pid == InvalidPage || !f.dirty {
+				continue
+			}
+			if f.pins > 0 {
+				sh.mu.Unlock()
+				return fmt.Errorf("pager: flush with page %d still pinned", f.pid)
+			}
+			if err := p.store.WriteAt(f.pid, f.data); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			p.writes.Add(1)
+			f.dirty = false
 		}
-		if f.pins > 0 {
-			return fmt.Errorf("pager: flush with page %d still pinned", f.pid)
-		}
-		if err := p.store.WriteAt(f.pid, f.data); err != nil {
-			return err
-		}
-		p.stats.Writes++
-		f.dirty = false
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. Each counter is read
+// atomically; with operations in flight the three counters may be from
+// slightly different instants, but each is individually exact.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{Reads: p.reads.Load(), Writes: p.writes.Load(), Hits: p.hits.Load()}
 }
 
 // ResetStats zeroes the I/O counters (the pool contents are untouched, so a
 // query following a reset runs against a warm pool, as in the paper).
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.reads.Store(0)
+	p.writes.Store(0)
+	p.hits.Store(0)
 }
 
 // Clear writes back all dirty frames and then drops every cached page, so
 // subsequent fetches run against a cold cache. The paper's evaluation
 // allocates a buffer pool "to each query"; the experiment harness models that
-// by clearing the pool between queries. Clearing fails if any page is pinned.
+// by clearing the pool between queries (or, equivalently, giving each query a
+// fresh pool view). Clearing fails if any page is pinned. Shards are cleared
+// one at a time; Clear must not race with writers.
 func (p *Pool) Clear() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.clearLocked()
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		err := p.clearShard(sh)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Resize changes the pool capacity, clearing it in the process. It is used
 // to build an index under a large pool and then query it under the paper's
-// 100-frame pool.
+// 100-frame pool. The stripe count is preserved (clamped to the new frame
+// count). Resize must not race with any other pool use.
 func (p *Pool) Resize(nframes int) error {
 	if nframes <= 0 {
 		nframes = DefaultPoolFrames
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.clearLocked(); err != nil {
+	if err := p.Clear(); err != nil {
 		return err
 	}
-	p.frames = make([]frame, nframes)
-	for i := range p.frames {
-		p.frames[i].data = make([]byte, PageSize)
+	n := len(p.shards)
+	if n > nframes {
+		n = nframes
 	}
-	p.table = make(map[PageID]int, nframes)
-	p.hand = 0
+	p.shards = make([]shard, n)
+	p.nframes = nframes
+	p.initShards()
 	return nil
 }
 
-// clearLocked must be called with p.mu held.
-func (p *Pool) clearLocked() error {
-	for i := range p.frames {
-		f := &p.frames[i]
+// clearShard must be called with sh.mu held.
+func (p *Pool) clearShard(sh *shard) error {
+	for i := range sh.frames {
+		f := &sh.frames[i]
 		if f.pid == InvalidPage {
 			continue
 		}
@@ -266,9 +383,9 @@ func (p *Pool) clearLocked() error {
 			if err := p.store.WriteAt(f.pid, f.data); err != nil {
 				return err
 			}
-			p.stats.Writes++
+			p.writes.Add(1)
 		}
-		delete(p.table, f.pid)
+		delete(sh.table, f.pid)
 		f.pid = InvalidPage
 		f.dirty = false
 		f.ref = false
@@ -279,28 +396,31 @@ func (p *Pool) clearLocked() error {
 // PinnedPages reports how many frames are currently pinned; useful for leak
 // detection in tests.
 func (p *Pool) PinnedPages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for i := range p.frames {
-		if p.frames[i].pid != InvalidPage && p.frames[i].pins > 0 {
-			n++
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		for i := range sh.frames {
+			if sh.frames[i].pid != InvalidPage && sh.frames[i].pins > 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-// evict selects a victim frame using the clock algorithm, writing it back if
-// dirty, and returns its index with the frame detached from the page table.
-// Must be called with p.mu held.
-func (p *Pool) evict() (int, error) {
+// evict selects a victim frame in the shard using the clock algorithm,
+// writing it back if dirty, and returns its index with the frame detached
+// from the shard's page table. Must be called with sh.mu held.
+func (p *Pool) evict(sh *shard) (int, error) {
 	// An empty frame is free to take without a sweep.
 	// The clock makes at most two full sweeps: the first clears reference
 	// bits, the second takes the first unpinned frame.
-	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
-		f := &p.frames[p.hand]
-		idx := p.hand
-		p.hand = (p.hand + 1) % len(p.frames)
+	for sweep := 0; sweep < 2*len(sh.frames); sweep++ {
+		f := &sh.frames[sh.hand]
+		idx := sh.hand
+		sh.hand = (sh.hand + 1) % len(sh.frames)
 		if f.pid == InvalidPage {
 			return idx, nil
 		}
@@ -315,9 +435,9 @@ func (p *Pool) evict() (int, error) {
 			if err := p.store.WriteAt(f.pid, f.data); err != nil {
 				return 0, err
 			}
-			p.stats.Writes++
+			p.writes.Add(1)
 		}
-		delete(p.table, f.pid)
+		delete(sh.table, f.pid)
 		f.pid = InvalidPage
 		f.dirty = false
 		return idx, nil

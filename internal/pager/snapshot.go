@@ -6,8 +6,8 @@ import "fmt"
 // free list, for persistence. Callers must flush any pools over this store
 // first so the images are current; the returned slices are deep copies.
 func (s *Store) Snapshot() (pages [][]byte, free []PageID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	pages = make([][]byte, len(s.pages))
 	for i, p := range s.pages {
 		if p == nil {

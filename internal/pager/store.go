@@ -35,8 +35,12 @@ var ErrInvalidPage = errors.New("pager: invalid page id")
 // with allocate/free. All access should normally go through a Pool so that
 // I/O is counted; Store's own ReadAt/WriteAt are exposed for the pool and for
 // tests.
+//
+// The store is guarded by a read-write mutex: ReadAt takes only the read
+// lock, so any number of pools (for example, one per concurrent query) can
+// read the same store in parallel without serializing on it.
 type Store struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	pages [][]byte // index pid-1; nil entries are freed pages
 	free  []PageID
 }
@@ -72,9 +76,10 @@ func (s *Store) Free(pid PageID) error {
 }
 
 // ReadAt copies the page's contents into dst, which must be PageSize bytes.
+// It takes only the store's read lock, so concurrent readers never contend.
 func (s *Store) ReadAt(pid PageID, dst []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.check(pid); err != nil {
 		return err
 	}
@@ -102,8 +107,8 @@ func (s *Store) WriteAt(pid PageID, src []byte) error {
 
 // NumPages returns the number of currently allocated pages.
 func (s *Store) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.pages) - len(s.free)
 }
 

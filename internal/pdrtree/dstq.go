@@ -46,12 +46,12 @@ func (t *Tree) distLowerBound(q uda.UDA, bound uda.Vector, div uda.Divergence) f
 
 // DSTQ returns all tuples whose distributional distance from q is at most
 // td, in ascending distance order.
-func (t *Tree) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]query.Neighbor, error) {
+func (r *Reader) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]query.Neighbor, error) {
 	if td < 0 {
 		return nil, fmt.Errorf("pdrtree: negative distance threshold %g", td)
 	}
 	var res []query.Neighbor
-	err := t.dstq(t.root, q, td, div, &res)
+	err := r.dstq(r.t.root, q, td, div, &res)
 	if err != nil {
 		return nil, err
 	}
@@ -59,8 +59,8 @@ func (t *Tree) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]query.Neighbor
 	return res, nil
 }
 
-func (t *Tree) dstq(pid pager.PageID, q uda.UDA, td float64, div uda.Divergence, res *[]query.Neighbor) error {
-	n, err := t.readNode(pid)
+func (r *Reader) dstq(pid pager.PageID, q uda.UDA, td float64, div uda.Divergence, res *[]query.Neighbor) error {
+	n, err := r.readNode(pid)
 	if err != nil {
 		return err
 	}
@@ -73,10 +73,10 @@ func (t *Tree) dstq(pid pager.PageID, q uda.UDA, td float64, div uda.Divergence,
 		return nil
 	}
 	for i := range n.children {
-		if t.distLowerBound(q, n.bounds[i], div) > td {
+		if r.t.distLowerBound(q, n.bounds[i], div) > td {
 			continue
 		}
-		if err := t.dstq(n.children[i], q, td, div, res); err != nil {
+		if err := r.dstq(n.children[i], q, td, div, res); err != nil {
 			return err
 		}
 	}
@@ -86,19 +86,19 @@ func (t *Tree) dstq(pid pager.PageID, q uda.UDA, td float64, div uda.Divergence,
 // DSTopK returns the k tuples distributionally closest to q (DSQ-top-k),
 // descending best-first into the child with the smallest distance lower
 // bound so the pruning threshold tightens early.
-func (t *Tree) DSTopK(q uda.UDA, k int, div uda.Divergence) ([]query.Neighbor, error) {
+func (r *Reader) DSTopK(q uda.UDA, k int, div uda.Divergence) ([]query.Neighbor, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("pdrtree: non-positive k %d", k)
 	}
 	nk := query.NewNearestK(k)
-	if err := t.dstopk(t.root, q, div, nk); err != nil {
+	if err := r.dstopk(r.t.root, q, div, nk); err != nil {
 		return nil, err
 	}
 	return nk.Results(), nil
 }
 
-func (t *Tree) dstopk(pid pager.PageID, q uda.UDA, div uda.Divergence, nk *query.NearestK) error {
-	n, err := t.readNode(pid)
+func (r *Reader) dstopk(pid pager.PageID, q uda.UDA, div uda.Divergence, nk *query.NearestK) error {
+	n, err := r.readNode(pid)
 	if err != nil {
 		return err
 	}
@@ -114,14 +114,14 @@ func (t *Tree) dstopk(pid pager.PageID, q uda.UDA, div uda.Divergence, nk *query
 	}
 	order := make([]scored, len(n.children))
 	for i := range n.children {
-		order[i] = scored{child: n.children[i], lb: t.distLowerBound(q, n.bounds[i], div)}
+		order[i] = scored{child: n.children[i], lb: r.t.distLowerBound(q, n.bounds[i], div)}
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].lb < order[j].lb })
 	for _, s := range order {
 		if thr, full := nk.Threshold(); full && s.lb > thr {
 			break // children are in ascending bound order
 		}
-		if err := t.dstopk(s.child, q, div, nk); err != nil {
+		if err := r.dstopk(s.child, q, div, nk); err != nil {
 			return err
 		}
 	}

@@ -72,9 +72,14 @@ func (n *node) encodedSize(cfg Config) int {
 	return s
 }
 
-// readNode fetches and decodes the page.
+// readNode fetches and decodes the page through the tree's own pool.
 func (t *Tree) readNode(pid pager.PageID) (*node, error) {
-	pg, err := t.pool.Fetch(pid)
+	return t.readNodeVia(t.pool, pid)
+}
+
+// readNodeVia fetches and decodes the page through the given pool view.
+func (t *Tree) readNodeVia(v pager.View, pid pager.PageID) (*node, error) {
+	pg, err := v.Fetch(pid)
 	if err != nil {
 		return nil, err
 	}
@@ -129,9 +134,7 @@ func (t *Tree) writeNode(pid pager.PageID, n *node) error {
 		return err
 	}
 	data := pg.Data
-	for i := range data[:headerSize] {
-		data[i] = 0
-	}
+	clear(data[:headerSize])
 	kind := byte(innerKind)
 	if n.leaf {
 		kind = leafKind

@@ -1,0 +1,76 @@
+package pdrtree
+
+import (
+	"ucat/internal/pager"
+	"ucat/internal/query"
+	"ucat/internal/uda"
+)
+
+// Reader binds the tree's read-only query traversals to a pool view: every
+// node fetch goes through the view instead of the tree's construction pool.
+// Handing each concurrent query a Reader over a private 100-frame pool
+// reproduces the paper's per-query buffer-manager accounting (§4) while N
+// queries run in parallel over the same store. A Reader is cheap (two words)
+// and not safe for concurrent use; make one per query. Readers must not be
+// used across tree mutations.
+type Reader struct {
+	t    *Tree
+	view pager.View
+}
+
+// Reader returns a read-only query handle whose page fetches go through v.
+// A nil view reads through the tree's own pool.
+func (t *Tree) Reader(v pager.View) *Reader {
+	if v == nil {
+		v = t.pool
+	}
+	return &Reader{t: t, view: v}
+}
+
+// readNode fetches and decodes the page through the reader's view.
+func (r *Reader) readNode(pid pager.PageID) (*node, error) {
+	return r.t.readNodeVia(r.view, pid)
+}
+
+// PETQ answers the probabilistic equality threshold query through the
+// tree's own pool. See Reader.PETQ.
+func (t *Tree) PETQ(q uda.UDA, tau float64) ([]query.Match, error) {
+	return t.Reader(nil).PETQ(q, tau)
+}
+
+// TopK answers PETQ-top-k through the tree's own pool. See Reader.TopK.
+func (t *Tree) TopK(q uda.UDA, k int) ([]query.Match, error) {
+	return t.Reader(nil).TopK(q, k)
+}
+
+// Scan visits every (tid, UDA) through the tree's own pool. See Reader.Scan.
+func (t *Tree) Scan(fn func(tid uint32, u uda.UDA) bool) error {
+	return t.Reader(nil).Scan(fn)
+}
+
+// Depth returns the height of the tree (1 for a single leaf), reading
+// through the tree's own pool. See Reader.Depth.
+func (t *Tree) Depth() (int, error) { return t.Reader(nil).Depth() }
+
+// DSTQ answers the distributional similarity threshold query through the
+// tree's own pool. See Reader.DSTQ.
+func (t *Tree) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]query.Neighbor, error) {
+	return t.Reader(nil).DSTQ(q, td, div)
+}
+
+// DSTopK answers DSQ-top-k through the tree's own pool. See Reader.DSTopK.
+func (t *Tree) DSTopK(q uda.UDA, k int, div uda.Divergence) ([]query.Neighbor, error) {
+	return t.Reader(nil).DSTopK(q, k, div)
+}
+
+// WindowPETQ answers the relaxed window-equality threshold query through the
+// tree's own pool. See Reader.WindowPETQ.
+func (t *Tree) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, error) {
+	return t.Reader(nil).WindowPETQ(q, c, tau)
+}
+
+// WindowTopK answers the relaxed window-equality top-k query through the
+// tree's own pool. See Reader.WindowTopK.
+func (t *Tree) WindowTopK(q uda.UDA, c uint32, k int) ([]query.Match, error) {
+	return t.Reader(nil).WindowTopK(q, c, k)
+}

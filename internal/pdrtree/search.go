@@ -14,12 +14,12 @@ import (
 // order. A subtree is pruned when ⟨boundary, q⟩ ≤ tau (Lemma 2: the dot
 // product with the pointwise-max boundary dominates the equality probability
 // of everything beneath it).
-func (t *Tree) PETQ(q uda.UDA, tau float64) ([]query.Match, error) {
+func (r *Reader) PETQ(q uda.UDA, tau float64) ([]query.Match, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("pdrtree: negative threshold %g", tau)
 	}
 	var res []query.Match
-	err := t.petq(t.root, q, tau, &res)
+	err := r.petq(r.t.root, q, tau, &res)
 	if err != nil {
 		return nil, err
 	}
@@ -27,8 +27,8 @@ func (t *Tree) PETQ(q uda.UDA, tau float64) ([]query.Match, error) {
 	return res, nil
 }
 
-func (t *Tree) petq(pid pager.PageID, q uda.UDA, tau float64, res *[]query.Match) error {
-	n, err := t.readNode(pid)
+func (r *Reader) petq(pid pager.PageID, q uda.UDA, tau float64, res *[]query.Match) error {
+	n, err := r.readNode(pid)
 	if err != nil {
 		return err
 	}
@@ -41,10 +41,10 @@ func (t *Tree) petq(pid pager.PageID, q uda.UDA, tau float64, res *[]query.Match
 		return nil
 	}
 	for i := range n.children {
-		if t.cfg.queryDot(q, n.bounds[i]) <= tau {
+		if r.t.cfg.queryDot(q, n.bounds[i]) <= tau {
 			continue
 		}
-		if err := t.petq(n.children[i], q, tau, res); err != nil {
+		if err := r.petq(n.children[i], q, tau, res); err != nil {
 			return err
 		}
 	}
@@ -56,19 +56,19 @@ func (t *Tree) petq(pid pager.PageID, q uda.UDA, tau float64, res *[]query.Match
 // greedily into the child with the largest ⟨boundary, q⟩ first so the
 // dynamic threshold rises early, and prunes children whose bound cannot beat
 // the current kth best probability.
-func (t *Tree) TopK(q uda.UDA, k int) ([]query.Match, error) {
+func (r *Reader) TopK(q uda.UDA, k int) ([]query.Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("pdrtree: non-positive k %d", k)
 	}
 	tk := query.NewTopK(k)
-	if err := t.topk(t.root, q, tk); err != nil {
+	if err := r.topk(r.t.root, q, tk); err != nil {
 		return nil, err
 	}
 	return tk.Results(), nil
 }
 
-func (t *Tree) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
-	n, err := t.readNode(pid)
+func (r *Reader) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
+	n, err := r.readNode(pid)
 	if err != nil {
 		return err
 	}
@@ -84,7 +84,7 @@ func (t *Tree) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
 	}
 	order := make([]scored, len(n.children))
 	for i := range n.children {
-		order[i] = scored{child: n.children[i], dot: t.cfg.queryDot(q, n.bounds[i])}
+		order[i] = scored{child: n.children[i], dot: r.t.cfg.queryDot(q, n.bounds[i])}
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].dot > order[j].dot })
 	for _, s := range order {
@@ -96,7 +96,7 @@ func (t *Tree) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
 		if s.dot <= 0 {
 			break
 		}
-		if err := t.topk(s.child, q, tk); err != nil {
+		if err := r.topk(s.child, q, tk); err != nil {
 			return err
 		}
 	}
@@ -105,14 +105,14 @@ func (t *Tree) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
 
 // Scan visits every (tid, UDA) in the tree in depth-first page order; fn
 // returns false to stop. Useful for verification and for rebuilding.
-func (t *Tree) Scan(fn func(tid uint32, u uda.UDA) bool) error {
+func (r *Reader) Scan(fn func(tid uint32, u uda.UDA) bool) error {
 	stop := false
 	var walk func(pid pager.PageID) error
 	walk = func(pid pager.PageID) error {
 		if stop {
 			return nil
 		}
-		n, err := t.readNode(pid)
+		n, err := r.readNode(pid)
 		if err != nil {
 			return err
 		}
@@ -135,15 +135,15 @@ func (t *Tree) Scan(fn func(tid uint32, u uda.UDA) bool) error {
 		}
 		return nil
 	}
-	return walk(t.root)
+	return walk(r.t.root)
 }
 
 // Depth returns the height of the tree (1 for a single leaf).
-func (t *Tree) Depth() (int, error) {
+func (r *Reader) Depth() (int, error) {
 	d := 0
-	pid := t.root
+	pid := r.t.root
 	for {
-		n, err := t.readNode(pid)
+		n, err := r.readNode(pid)
 		if err != nil {
 			return 0, err
 		}

@@ -17,16 +17,16 @@ import (
 //
 // Window queries are only meaningful without signature compression: domain
 // folding does not preserve item adjacency.
-func (t *Tree) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, error) {
+func (r *Reader) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("pdrtree: negative threshold %g", tau)
 	}
-	if t.cfg.Compression == SignatureCompression {
+	if r.t.cfg.Compression == SignatureCompression {
 		return nil, fmt.Errorf("pdrtree: window queries require an order-preserving boundary encoding (not signature compression)")
 	}
 	w := uda.Smear(q, c)
 	var res []query.Match
-	err := t.windowPETQ(t.root, q, c, w, tau, &res)
+	err := r.windowPETQ(r.t.root, q, c, w, tau, &res)
 	if err != nil {
 		return nil, err
 	}
@@ -34,8 +34,8 @@ func (t *Tree) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, erro
 	return res, nil
 }
 
-func (t *Tree) windowPETQ(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, tau float64, res *[]query.Match) error {
-	n, err := t.readNode(pid)
+func (r *Reader) windowPETQ(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, tau float64, res *[]query.Match) error {
+	n, err := r.readNode(pid)
 	if err != nil {
 		return err
 	}
@@ -51,7 +51,7 @@ func (t *Tree) windowPETQ(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, t
 		if uda.VecDot(w, n.bounds[i]) <= tau {
 			continue
 		}
-		if err := t.windowPETQ(n.children[i], q, c, w, tau, res); err != nil {
+		if err := r.windowPETQ(n.children[i], q, c, w, tau, res); err != nil {
 			return err
 		}
 	}
@@ -61,23 +61,23 @@ func (t *Tree) windowPETQ(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, t
 // WindowTopK returns the k tuples with the highest window-equality
 // probability, descending greedily into the child with the largest smeared
 // dot product.
-func (t *Tree) WindowTopK(q uda.UDA, c uint32, k int) ([]query.Match, error) {
+func (r *Reader) WindowTopK(q uda.UDA, c uint32, k int) ([]query.Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("pdrtree: non-positive k %d", k)
 	}
-	if t.cfg.Compression == SignatureCompression {
+	if r.t.cfg.Compression == SignatureCompression {
 		return nil, fmt.Errorf("pdrtree: window queries require an order-preserving boundary encoding (not signature compression)")
 	}
 	w := uda.Smear(q, c)
 	tk := query.NewTopK(k)
-	if err := t.windowTopK(t.root, q, c, w, tk); err != nil {
+	if err := r.windowTopK(r.t.root, q, c, w, tk); err != nil {
 		return nil, err
 	}
 	return tk.Results(), nil
 }
 
-func (t *Tree) windowTopK(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, tk *query.TopK) error {
-	n, err := t.readNode(pid)
+func (r *Reader) windowTopK(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, tk *query.TopK) error {
+	n, err := r.readNode(pid)
 	if err != nil {
 		return err
 	}
@@ -100,7 +100,7 @@ func (t *Tree) windowTopK(pid pager.PageID, q uda.UDA, c uint32, w uda.Vector, t
 		if (tk.Full() && s.dot <= tk.Threshold()) || s.dot <= 0 {
 			break
 		}
-		if err := t.windowTopK(s.child, q, c, w, tk); err != nil {
+		if err := r.windowTopK(s.child, q, c, w, tk); err != nil {
 			return err
 		}
 	}

@@ -83,12 +83,17 @@ func (s *Store) Put(tid uint32, u uda.UDA) error {
 }
 
 // Get fetches the tuple's distribution, costing one page access.
-func (s *Store) Get(tid uint32) (uda.UDA, error) {
+func (s *Store) Get(tid uint32) (uda.UDA, error) { return s.GetVia(s.pool, tid) }
+
+// GetVia fetches the tuple's distribution through the given pool view, so a
+// concurrent read-only query can pay its page accesses against a private
+// buffer pool.
+func (s *Store) GetVia(v pager.View, tid uint32) (uda.UDA, error) {
 	l, ok := s.loc[tid]
 	if !ok {
 		return uda.UDA{}, fmt.Errorf("%w: %d", ErrNotFound, tid)
 	}
-	pg, err := s.pool.Fetch(l.pid)
+	pg, err := v.Fetch(l.pid)
 	if err != nil {
 		return uda.UDA{}, err
 	}
@@ -121,8 +126,13 @@ func (s *Store) Delete(tid uint32) error {
 // Scan visits every live tuple in page order — the access pattern of a full
 // table scan. fn returns false to stop early.
 func (s *Store) Scan(fn func(tid uint32, u uda.UDA) bool) error {
+	return s.ScanVia(s.pool, fn)
+}
+
+// ScanVia is Scan with page fetches routed through the given pool view.
+func (s *Store) ScanVia(v pager.View, fn func(tid uint32, u uda.UDA) bool) error {
 	for i, pid := range s.pages {
-		pg, err := s.pool.Fetch(pid)
+		pg, err := v.Fetch(pid)
 		if err != nil {
 			return err
 		}
