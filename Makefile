@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint test test-short race cover bench bench-smoke bench-parallel figures ablations fuzz clean
+.PHONY: all build lint test test-short race cover bench bench-smoke bench-parallel obs-smoke metrics figures ablations fuzz clean
 
 all: build lint test
 
@@ -41,6 +41,21 @@ bench-smoke:
 # Sequential vs parallel wall-clock trajectory for full figure regeneration.
 bench-parallel:
 	$(GO) run ./cmd/ucatbench -scale 1 -queries 20 -workers 0 -benchparallel BENCH_parallel.json
+
+# Zero-overhead contract for tracing (DESIGN.md §14): with no recorder
+# attached, the full per-query span pattern must allocate nothing. The
+# AllocsPerRun test fails the build on any regression; the benchmark run
+# prints allocs/op for the record.
+obs-smoke:
+	$(GO) test -run TestDisabledPathZeroAllocs -count=1 -v ./internal/obs/
+	$(GO) test -run - -bench 'BenchmarkDisabled' -benchmem -benchtime=100000x ./internal/obs/
+
+# Dump the metrics registry from a tiny benchmark run. ucatbench re-parses
+# the file with obs.ParseText before exiting, so a non-zero exit means the
+# Prometheus text exposition rotted (used by CI).
+metrics:
+	$(GO) run ./cmd/ucatbench -fig fig4 -scale 0.02 -queries 4 -metricsout metrics.prom
+	@echo "wrote metrics.prom"
 
 # Regenerate the paper's figures (full scale, ~5 minutes).
 figures:

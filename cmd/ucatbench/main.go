@@ -37,6 +37,7 @@ import (
 
 	"ucat/internal/exp"
 	"ucat/internal/invidx"
+	"ucat/internal/obs"
 )
 
 // benchFigure is one figure's sequential-vs-parallel wall-clock record.
@@ -81,14 +82,26 @@ func main() {
 		queries    = flag.Int("queries", 20, "queries averaged per data point")
 		seed       = flag.Int64("seed", 1, "PRNG seed")
 		strategy   = flag.String("strategy", "", "inverted-index strategy override (e.g. nra, inv-index-search)")
-		format     = flag.String("format", "table", "output format: table | csv")
+		format     = flag.String("format", "table", "output format: table | csv | json")
 		parallel   = flag.Bool("parallel", false, "run the selected figures concurrently (order preserved in output)")
 		workers    = flag.Int("workers", defaultWorkers(), "goroutines per data point's query batch; 0 = GOMAXPROCS (default from UCAT_BENCH_WORKERS)")
 		benchPar   = flag.String("benchparallel", "", "time sequential vs parallel figure regeneration and write the trajectory to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		debugAddr  = flag.String("debugaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
+		metricsOut = flag.String("metricsout", "", "write the metrics registry in text format to this file on exit (self-validated)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucatbench: debugaddr: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = ds.Close() }()
+		fmt.Fprintf(os.Stderr, "[debug server on http://%s — /metrics /debug/vars /debug/pprof]\n", ds.Addr)
+	}
 
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -153,6 +166,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ucatbench: benchparallel: %v\n", err)
 			os.Exit(1)
 		}
+		writeMetricsOut(*metricsOut)
 		writeMemProfile(*memprofile)
 		return
 	}
@@ -188,6 +202,8 @@ func main() {
 		switch *format {
 		case "csv":
 			werr = fig.WriteCSV(os.Stdout)
+		case "json":
+			werr = fig.WriteJSON(os.Stdout)
 		default:
 			werr = fig.WriteTable(os.Stdout)
 		}
@@ -196,7 +212,42 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	writeMetricsOut(*metricsOut)
 	writeMemProfile(*memprofile)
+}
+
+// writeMetricsOut dumps the process-wide metrics registry in text format and
+// re-parses the result, so a malformed exposition line fails the run (the CI
+// `make metrics` check relies on this).
+func writeMetricsOut(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucatbench: metricsout: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.Default.WriteText(f); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatbench: metricsout: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatbench: metricsout: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucatbench: metricsout: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() { _ = g.Close() }()
+	n, err := obs.ParseText(g)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucatbench: metricsout: invalid exposition: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[metrics: %d samples → %s]\n", n, path)
 }
 
 // runBenchParallel regenerates every selected figure twice — workers=1 and

@@ -20,6 +20,7 @@ import (
 	"ucat/internal/cliutil"
 	"ucat/internal/core"
 	"ucat/internal/dataset"
+	"ucat/internal/obs"
 )
 
 func main() {
@@ -40,8 +41,19 @@ func main() {
 		save     = flag.String("save", "", "save the built relation to this file")
 		load     = flag.String("load", "", "load a relation from this file instead of building one")
 		stats    = flag.Bool("stats", false, "print index statistics")
+		debug    = flag.String("debugaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		ds, err := obs.ServeDebug(*debug, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ucatquery: debugaddr: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = ds.Close() }()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s — /metrics /debug/vars /debug/pprof\n", ds.Addr)
+	}
 
 	if err := run(params{
 		dsName: *dsName, n: *n, domain: *domain, seed: *seed,
@@ -156,7 +168,8 @@ func run(p params) error {
 	}
 
 	st := rel.Pool().Stats()
-	fmt.Printf("I/O: %d (reads %d, writes %d, pool hits %d)\n", st.IOs(), st.Reads, st.Writes, st.Hits)
+	fmt.Printf("I/O: %d (reads %d, writes %d, pool hits %d, hit rate %.3f)\n",
+		st.IOs(), st.Reads, st.Writes, st.Hits, st.HitRate())
 	return nil
 }
 

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"ucat/internal/cliutil"
+	"ucat/internal/core"
+	"ucat/internal/obs"
+	"ucat/internal/pager"
+	"ucat/internal/query"
+	"ucat/internal/uda"
+)
+
+// cmdExplain runs a query under a fresh 100-frame instrumented pool view and
+// prints the recorded span tree — per-node I/O, timing and hot-path counters
+// — followed by the pool totals and the answers. The per-span reads sum to
+// exactly the pool's read counter, so EXPLAIN doubles as an I/O-accounting
+// audit of the paper's cost model (§4).
+func (sh *shell) cmdExplain(args []string) error {
+	if err := sh.need(); err != nil {
+		return err
+	}
+	if len(args) < 1 {
+		return fmt.Errorf("usage: explain <petq|topk|window|dstq> <args...>")
+	}
+	// Dirty construction-pool pages must reach the store before a second view
+	// reads it, or the fresh pool would see stale bytes.
+	if err := sh.rel.Pool().FlushAll(); err != nil {
+		return err
+	}
+	view := pager.NewPool(sh.rel.Pool().Store(), pager.DefaultPoolFrames)
+	rec := obs.NewRecorder()
+	rd := sh.rel.Reader(obs.InstrumentView(view, rec))
+
+	sub, rest := args[0], args[1:]
+	var ms []core.Match
+	var ns []core.Neighbor
+	var err error
+	switch sub {
+	case "petq":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: explain petq <item:prob,...> <tau>")
+		}
+		var q uda.UDA
+		var tau float64
+		if q, err = cliutil.ParseUDA(rest[0]); err != nil {
+			return err
+		}
+		if tau, err = strconv.ParseFloat(rest[1], 64); err != nil {
+			return err
+		}
+		ms, err = explainQuery(rec, "explain.petq", func() ([]core.Match, error) {
+			return rd.PETQ(q, tau)
+		})
+	case "topk":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: explain topk <item:prob,...> <k>")
+		}
+		var q uda.UDA
+		var k int
+		if q, err = cliutil.ParseUDA(rest[0]); err != nil {
+			return err
+		}
+		if k, err = strconv.Atoi(rest[1]); err != nil {
+			return err
+		}
+		ms, err = explainQuery(rec, "explain.topk", func() ([]core.Match, error) {
+			return rd.TopK(q, k)
+		})
+	case "window":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: explain window <item:prob,...> <c> <tau>")
+		}
+		var q uda.UDA
+		var c uint64
+		var tau float64
+		if q, err = cliutil.ParseUDA(rest[0]); err != nil {
+			return err
+		}
+		if c, err = strconv.ParseUint(rest[1], 10, 32); err != nil {
+			return err
+		}
+		if tau, err = strconv.ParseFloat(rest[2], 64); err != nil {
+			return err
+		}
+		ms, err = explainQuery(rec, "explain.window", func() ([]core.Match, error) {
+			return rd.WindowPETQ(q, uint32(c), tau)
+		})
+	case "dstq":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: explain dstq <item:prob,...> <td> <L1|L2|KL>")
+		}
+		var q uda.UDA
+		var td float64
+		var div uda.Divergence
+		if q, err = cliutil.ParseUDA(rest[0]); err != nil {
+			return err
+		}
+		if td, err = strconv.ParseFloat(rest[1], 64); err != nil {
+			return err
+		}
+		if div, err = cliutil.ParseDivergence(rest[2]); err != nil {
+			return err
+		}
+		ns, err = explainQuery(rec, "explain.dstq", func() ([]query.Neighbor, error) {
+			return rd.DSTQ(q, td, div)
+		})
+	default:
+		return fmt.Errorf("explain: unknown query %q (petq|topk|window|dstq)", sub)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(sh.out, "trace:")
+	if err := rec.WriteTree(sh.out); err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "pool: %s\n", view.Stats())
+	if sub == "dstq" {
+		fmt.Fprintf(sh.out, "%d answers\n", len(ns))
+		for i, n := range ns {
+			if i == 20 {
+				fmt.Fprintf(sh.out, "... %d more\n", len(ns)-20)
+				break
+			}
+			fmt.Fprintf(sh.out, "  tid=%-8d dist=%.6f\n", n.TID, n.Dist)
+		}
+		return nil
+	}
+	sh.printMatches(ms)
+	return nil
+}
+
+// explainQuery wraps a query execution in a root span so every page fetch —
+// including any outside the index's own spans — is attributed to the tree.
+func explainQuery[T any](rec *obs.Recorder, name string, run func() ([]T, error)) ([]T, error) {
+	sp := rec.StartSpan(name)
+	defer sp.End()
+	return run()
+}

@@ -45,6 +45,8 @@ func (sh *shell) execute(line string) error {
 		return sh.cmdWindow(args)
 	case "dstq":
 		return sh.cmdDSTQ(args)
+	case "explain":
+		return sh.cmdExplain(args)
 	case "estimate":
 		return sh.cmdEstimate(args)
 	case "stats":
@@ -74,6 +76,9 @@ func (sh *shell) help() {
   topk <item:prob,...> <k>         top-k equality query
   window <item:prob,...> <c> <tau> relaxed window equality (ordered domain)
   dstq <item:prob,...> <td> <div>  similarity query (div: L1|L2|KL)
+  explain <petq|topk|window|dstq> <args...>
+                                   run a query under a fresh 100-frame pool
+                                   and print its trace span tree + I/O
   estimate <item:prob,...> <tau>   predicted selectivity (no I/O)
   stats                            index statistics
   io                               buffer pool counters since last 'io'

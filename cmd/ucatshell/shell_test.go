@@ -111,4 +111,72 @@ func TestShellHelpAndQuit(t *testing.T) {
 	if !strings.Contains(out, "commands:") || !strings.Contains(out, "petq") {
 		t.Errorf("help output:\n%s", out)
 	}
+	if !strings.Contains(out, "explain") {
+		t.Errorf("help does not mention explain:\n%s", out)
+	}
+}
+
+func TestShellExplainInverted(t *testing.T) {
+	out := run(t, []string{
+		"new inverted",
+		"insert 0:0.5,1:0.5",
+		"insert 0:0.9,2:0.1",
+		"insert 1:0.3,3:0.7",
+		"explain petq 0:1.0 0.4",
+	}, nil)
+	for _, want := range []string{
+		"trace:",
+		"explain.petq", // root span
+		"invidx.petq",  // index span nested under it
+		"strategy=",    // strategy attribute
+		"tau=0.4",      // query attribute
+		"reads=",       // per-span I/O
+		"pool: reads=", // pool totals line
+		"hitrate=",     // Stats.String now reports hit rate
+		"2 answers",    // tuples 0 (0.5) and 1 (0.9)
+		"prob=0.900000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellExplainPDRAndDSTQ(t *testing.T) {
+	out := run(t, []string{
+		"new pdr",
+		"insert 0:0.5,1:0.5",
+		"insert 2:1.0",
+		"explain topk 0:1.0 1",
+		"explain window 1:1.0 1 0.3",
+		"explain dstq 0:0.5,1:0.5 0.5 L1",
+	}, nil)
+	for _, want := range []string{
+		"explain.topk",
+		"pdrtree.topk",
+		"k=1",
+		"explain.window",
+		"explain.dstq",
+		"dist=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellExplainErrors(t *testing.T) {
+	run(t, []string{
+		"explain petq 0:1.0 0.4",  // 0: no relation yet
+		"new inverted",            // 1
+		"insert 0:1.0",            // 2
+		"explain",                 // 3: missing subcommand
+		"explain frobnicate",      // 4: unknown query
+		"explain petq 0:1.0",      // 5: missing tau
+		"explain petq 0:x 0.4",    // 6: bad UDA
+		"explain petq 0:1.0 nope", // 7: bad tau
+		"explain topk 0:1.0 zz",   // 8: bad k
+		"explain window 0:1.0 1",  // 9: missing tau
+		"explain dstq 0:1.0 0.5",  // 10: missing divergence
+	}, map[int]bool{0: true, 3: true, 4: true, 5: true, 6: true, 7: true, 8: true, 9: true, 10: true})
 }

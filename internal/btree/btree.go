@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"ucat/internal/obs"
 	"ucat/internal/pager"
 )
 
@@ -500,9 +501,11 @@ func (t *Tree) Scan(start Key, fn func(Key) bool) error {
 // concurrent read-only scans can each use a private buffer pool over the
 // shared store.
 func (t *Tree) ScanVia(v pager.View, start Key, fn func(Key) bool) error {
+	rec := obs.RecorderOf(v)
 	// Descend to the leaf containing start.
 	pid := t.root
 	for {
+		rec.Add("btree.nodes", 1)
 		pg, err := v.Fetch(pid)
 		if err != nil {
 			return err
@@ -515,8 +518,14 @@ func (t *Tree) ScanVia(v pager.View, start Key, fn func(Key) bool) error {
 		pg.Unpin(false)
 		pid = next
 	}
-	// Walk the sibling chain.
+	// Walk the sibling chain. The first leaf was already counted by the
+	// descent; each later iteration is one more node visit.
+	first := true
 	for pid != pager.InvalidPage {
+		if !first {
+			rec.Add("btree.nodes", 1)
+		}
+		first = false
 		pg, err := v.Fetch(pid)
 		if err != nil {
 			return err

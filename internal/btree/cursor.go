@@ -1,6 +1,9 @@
 package btree
 
-import "ucat/internal/pager"
+import (
+	"ucat/internal/obs"
+	"ucat/internal/pager"
+)
 
 // Cursor streams keys ≥ start in ascending order, one at a time. Unlike
 // Scan, a Cursor lets callers interleave several list scans — the
@@ -19,6 +22,7 @@ type Cursor struct {
 	started bool
 	start   Key
 	done    bool
+	rec     *obs.Recorder // nil unless the view is obs-instrumented
 }
 
 // NewCursor returns a cursor positioned before the first key ≥ start,
@@ -29,7 +33,7 @@ func (t *Tree) NewCursor(start Key) *Cursor { return t.NewCursorVia(t.pool, star
 // given view, so concurrent read-only scans can each use a private buffer
 // pool over the shared store.
 func (t *Tree) NewCursorVia(v pager.View, start Key) *Cursor {
-	return &Cursor{tree: t, view: v, start: start}
+	return &Cursor{tree: t, view: v, start: start, rec: obs.RecorderOf(v)}
 }
 
 // Next returns the next key in order. ok is false when the cursor is
@@ -59,6 +63,9 @@ func (c *Cursor) Next() (k Key, ok bool, err error) {
 		pg.Unpin(false)
 		c.pid = next
 		c.idx = 0
+		if next != pager.InvalidPage {
+			c.rec.Add("btree.nodes", 1) // stepped to the next leaf
+		}
 	}
 	c.done = true
 	return Key{}, false, nil
@@ -68,6 +75,7 @@ func (c *Cursor) Next() (k Key, ok bool, err error) {
 func (c *Cursor) seek() error {
 	pid := c.tree.root
 	for {
+		c.rec.Add("btree.nodes", 1)
 		pg, err := c.view.Fetch(pid)
 		if err != nil {
 			return err

@@ -12,18 +12,20 @@ package core
 import (
 	"fmt"
 
+	"ucat/internal/obs"
 	"ucat/internal/pager"
 	"ucat/internal/query"
 	"ucat/internal/uda"
 )
 
 // Reader answers read-only queries against the relation through a pool view.
-// A Reader is cheap (two words) and not safe for concurrent use; make one
+// A Reader is cheap (three words) and not safe for concurrent use; make one
 // per query or per worker. Readers must not be used across mutations of the
 // relation.
 type Reader struct {
 	rel  *Relation
 	view pager.View
+	rec  *obs.Recorder // nil unless the view is obs-instrumented
 }
 
 // Reader returns a read-only query handle whose page fetches go through v.
@@ -32,11 +34,13 @@ type Reader struct {
 //
 //	view := pager.NewPool(rel.Pool().Store(), rel.Pool().Frames())
 //	rd := rel.Reader(view)
+//
+// To trace a query, wrap the view first: obs.InstrumentView(view, rec).
 func (r *Relation) Reader(v pager.View) *Reader {
 	if v == nil {
 		v = r.pool
 	}
-	return &Reader{rel: r, view: v}
+	return &Reader{rel: r, view: v, rec: obs.RecorderOf(v)}
 }
 
 // Scan visits every live tuple in heap order through the reader's view.
@@ -88,8 +92,12 @@ func (rd *Reader) TopK(q uda.UDA, k int) ([]Match, error) {
 
 // scanPETQ is the index-less baseline: one pass over the base heap.
 func (rd *Reader) scanPETQ(q uda.UDA, tau float64) ([]Match, error) {
+	sp := rd.rec.StartSpan("core.scan.petq")
+	defer sp.End()
+	sp.AttrF("tau", tau)
 	var res []Match
 	err := rd.Scan(func(tid uint32, u uda.UDA) bool {
+		rd.rec.Add("scan.tuples", 1)
 		if p := uda.EqualityProb(q, u); p > tau {
 			res = append(res, Match{TID: tid, Prob: p})
 		}
@@ -103,8 +111,12 @@ func (rd *Reader) scanPETQ(q uda.UDA, tau float64) ([]Match, error) {
 }
 
 func (rd *Reader) scanTopK(q uda.UDA, k int) ([]Match, error) {
+	sp := rd.rec.StartSpan("core.scan.topk")
+	defer sp.End()
+	sp.AttrF("k", float64(k))
 	tk := query.NewTopK(k)
 	err := rd.Scan(func(tid uint32, u uda.UDA) bool {
+		rd.rec.Add("scan.tuples", 1)
 		tk.Offer(Match{TID: tid, Prob: uda.EqualityProb(q, u)})
 		return true
 	})

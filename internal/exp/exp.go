@@ -19,6 +19,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -30,6 +31,7 @@ import (
 	"ucat/internal/core"
 	"ucat/internal/dataset"
 	"ucat/internal/invidx"
+	"ucat/internal/obs"
 	"ucat/internal/pager"
 	"ucat/internal/uda"
 )
@@ -104,29 +106,42 @@ func (p Params) scaled(n int) int {
 }
 
 // Point is one measured data point: an x value (selectivity fraction,
-// dataset size, domain size, …) and the mean I/Os per query. Ns and Allocs
-// carry the wall-clock dimension (mean nanoseconds and heap allocations per
-// query); they are informational — figure output (CSV/table) renders only
-// the paper's I/O metric and is unaffected.
+// dataset size, domain size, …) and the mean I/Os per query. The remaining
+// fields carry the observability dimensions — mean wall-clock nanoseconds,
+// heap allocations, buffer hit-rate, and per-query latency percentiles —
+// and are informational: figure output (CSV/table) renders only the paper's
+// I/O metric and the determinism pins compare only X and IOs.
 type Point struct {
-	X      float64
-	IOs    float64
-	Ns     float64
-	Allocs float64
+	X       float64 `json:"x"`
+	IOs     float64 `json:"ios"`
+	Ns      float64 `json:"ns"`
+	Allocs  float64 `json:"allocs"`
+	HitRate float64 `json:"hit_rate"`
+	P50Ns   float64 `json:"p50_ns"`
+	P95Ns   float64 `json:"p95_ns"`
+	P99Ns   float64 `json:"p99_ns"`
 }
 
 // Series is one labelled line of a figure.
 type Series struct {
-	Label  string
-	Points []Point
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
 }
 
 // Figure is a reproduced table/figure: its paper identity and data series.
 type Figure struct {
-	ID     string // e.g. "fig4"
-	Title  string
-	XLabel string
-	Series []Series
+	ID     string   `json:"id"` // e.g. "fig4"
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	Series []Series `json:"series"`
+}
+
+// WriteJSON renders the figure — including the observability dimensions the
+// text formats omit (hit rate, latency percentiles) — as indented JSON.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
 }
 
 // WriteCSV renders the figure as CSV (header row, then one row per x
@@ -172,6 +187,22 @@ func (f *Figure) WriteTable(w io.Writer) error {
 		fmt.Fprintf(w, "%-14g", f.Series[0].Points[i].X)
 		for _, s := range f.Series {
 			fmt.Fprintf(w, " %22.1f", s.Points[i].IOs)
+		}
+		fmt.Fprintln(w)
+	}
+	// Buffer hit rate per point (hits/(hits+reads) under the per-query
+	// 100-frame pool). Deterministic like the I/O counts, and often the
+	// explanation for them: a flat I/O line with a rising hit rate means the
+	// working set fell under the pool size.
+	fmt.Fprintf(w, "# buffer hit rate\n%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %22s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(w, "%-14g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, " %22.3f", s.Points[i].HitRate)
 		}
 		fmt.Fprintln(w)
 	}
@@ -255,16 +286,38 @@ func buildRelation(d *dataset.Dataset, opts core.Options, buildFrames int) (*cor
 }
 
 // Measurement aggregates the per-query cost of one workload batch: the
-// paper's I/O metric plus the wall-clock dimension.
+// paper's I/O metric plus the observability dimensions (wall clock,
+// allocations, buffer hit rate, latency percentiles).
 type Measurement struct {
-	IOs    float64 // mean buffer-pool misses + write-backs per query
-	Ns     float64 // mean wall-clock nanoseconds per query
-	Allocs float64 // mean heap allocations per query (process-wide delta)
+	IOs     float64 // mean buffer-pool misses + write-backs per query
+	Ns      float64 // mean wall-clock nanoseconds per query
+	Allocs  float64 // mean heap allocations per query (process-wide delta)
+	HitRate float64 // pooled buffer hit rate hits/(hits+reads) over the batch
+	P50Ns   float64 // per-query wall-clock percentiles (nearest rank)
+	P95Ns   float64
+	P99Ns   float64
 }
 
 // point converts the measurement to a data point at x.
 func (m Measurement) point(x float64) Point {
-	return Point{X: x, IOs: m.IOs, Ns: m.Ns, Allocs: m.Allocs}
+	return Point{X: x, IOs: m.IOs, Ns: m.Ns, Allocs: m.Allocs,
+		HitRate: m.HitRate, P50Ns: m.P50Ns, P95Ns: m.P95Ns, P99Ns: m.P99Ns}
+}
+
+// percentileNs returns the p-th percentile (nearest rank, p in (0,100]) of
+// the sorted ascending ns values.
+func percentileNs(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1])
 }
 
 // measureEach runs fn once per workload query, each invocation against a
@@ -292,9 +345,11 @@ func measureEach(rel *core.Relation, w *workload, workers int, fn func(rd *core.
 	frames := rel.Pool().Frames()
 
 	type result struct {
-		ios uint64
-		ns  int64
-		err error
+		ios   uint64
+		reads uint64
+		hits  uint64
+		ns    int64
+		err   error
 	}
 	results := make([]result, n)
 	run := func(qi int) {
@@ -302,7 +357,9 @@ func measureEach(rel *core.Relation, w *workload, workers int, fn func(rd *core.
 		rd := rel.Reader(view)
 		t0 := time.Now()
 		err := fn(rd, qi)
-		results[qi] = result{ios: view.Stats().IOs(), ns: time.Since(t0).Nanoseconds(), err: err}
+		st := view.Stats()
+		results[qi] = result{ios: st.IOs(), reads: st.Reads, hits: st.Hits,
+			ns: time.Since(t0).Nanoseconds(), err: err}
 	}
 
 	var mem0, mem1 runtime.MemStats
@@ -329,20 +386,46 @@ func measureEach(rel *core.Relation, w *workload, workers int, fn func(rd *core.
 
 	// Merge in input order. Addition over uint64 is exact, so the sums (and
 	// hence the means) cannot depend on completion order.
-	var totalIOs uint64
+	var totalIOs, totalReads, totalHits uint64
 	var totalNs int64
+	nsSorted := make([]int64, 0, n)
 	for qi := range results {
 		if err := results[qi].err; err != nil {
 			return Measurement{}, err
 		}
 		totalIOs += results[qi].ios
+		totalReads += results[qi].reads
+		totalHits += results[qi].hits
 		totalNs += results[qi].ns
+		nsSorted = append(nsSorted, results[qi].ns)
 	}
-	return Measurement{
+	sort.Slice(nsSorted, func(i, j int) bool { return nsSorted[i] < nsSorted[j] })
+
+	// Feed the process-wide metrics registry so a live /metrics endpoint
+	// (ucatbench -debugaddr) shows query throughput, I/O and latency
+	// distributions as a run progresses.
+	obs.Default.Counter("ucat_queries_total").Add(uint64(n))
+	obs.Default.Counter("ucat_pager_reads_total").Add(totalReads)
+	obs.Default.Counter("ucat_pager_hits_total").Add(totalHits)
+	lat := obs.Default.Histogram("ucat_query_latency_ns")
+	ioh := obs.Default.Histogram("ucat_query_ios")
+	for qi := range results {
+		lat.Observe(uint64(results[qi].ns))
+		ioh.Observe(results[qi].ios)
+	}
+
+	m := Measurement{
 		IOs:    float64(totalIOs) / float64(n),
 		Ns:     float64(totalNs) / float64(n),
 		Allocs: float64(mem1.Mallocs-mem0.Mallocs) / float64(n),
-	}, nil
+		P50Ns:  percentileNs(nsSorted, 50),
+		P95Ns:  percentileNs(nsSorted, 95),
+		P99Ns:  percentileNs(nsSorted, 99),
+	}
+	if t := totalHits + totalReads; t > 0 {
+		m.HitRate = float64(totalHits) / float64(t)
+	}
+	return m, nil
 }
 
 // measure runs every workload query at the given selectivity and returns

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"ucat/internal/btree"
+	"ucat/internal/obs"
 	"ucat/internal/pager"
 	"ucat/internal/query"
 	"ucat/internal/tuplestore"
@@ -59,15 +60,18 @@ func New(pool *pager.Pool) *Index {
 type Reader struct {
 	ix   *Index
 	view pager.View
+	rec  *obs.Recorder // nil unless the view is obs-instrumented
 }
 
 // Reader returns a read-only query handle whose page fetches go through v.
-// A nil view reads through the index's own pool.
+// A nil view reads through the index's own pool. If the view carries a trace
+// recorder (obs.InstrumentView), query spans and hot-path events are
+// recorded; otherwise tracing calls are single-pointer-check no-ops.
 func (ix *Index) Reader(v pager.View) *Reader {
 	if v == nil {
 		v = ix.pool
 	}
-	return &Reader{ix: ix, view: v}
+	return &Reader{ix: ix, view: v, rec: obs.RecorderOf(v)}
 }
 
 // Len returns the number of indexed tuples.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ucat/internal/btree"
+	"ucat/internal/obs"
 	"ucat/internal/query"
 	"ucat/internal/uda"
 )
@@ -78,8 +79,16 @@ func (r *Reader) PETQ(q uda.UDA, tau float64, s Strategy) ([]query.Match, error)
 	if tau < 0 {
 		return nil, fmt.Errorf("invidx: negative threshold %g", tau)
 	}
-	if s == Auto {
+	auto := s == Auto
+	if auto {
 		s = r.chooseStrategy(q)
+	}
+	sp := r.rec.StartSpan("invidx.petq")
+	defer sp.End()
+	sp.Attr("strategy", s.String())
+	sp.AttrF("tau", tau)
+	if auto {
+		sp.Attr("auto", "true")
 	}
 	var res []query.Match
 	var err error
@@ -115,6 +124,10 @@ func (r *Reader) TopK(q uda.UDA, k int, s Strategy) ([]query.Match, error) {
 	if s == Auto {
 		s = r.chooseStrategy(q)
 	}
+	sp := r.rec.StartSpan("invidx.topk")
+	defer sp.End()
+	sp.Attr("strategy", s.String())
+	sp.AttrF("k", float64(k))
 	switch s {
 	case BruteForce:
 		return r.bruteForceTopK(q, k)
@@ -162,10 +175,14 @@ type listCursor struct {
 	prob float64 // frontier probability p'_j
 	tid  uint32
 	ok   bool
+	rec  *obs.Recorder // nil unless the query is traced
 }
 
 // advance moves the frontier to the next pair; ok goes false at list end.
+// Every advance is one "current pointer" step of the paper's frontier
+// searches; traced queries tally them as inv.advances.
 func (lc *listCursor) advance() error {
+	lc.rec.Add("inv.advances", 1)
 	k, ok, err := lc.cur.Next()
 	if err != nil {
 		return err
@@ -188,7 +205,7 @@ func (r *Reader) openCursors(q uda.UDA) ([]*listCursor, error) {
 		if !ok || tree.Len() == 0 {
 			continue
 		}
-		lc := &listCursor{item: p.Item, qp: p.Prob, cur: tree.NewCursorVia(r.view, btree.Key{})}
+		lc := &listCursor{item: p.Item, qp: p.Prob, cur: tree.NewCursorVia(r.view, btree.Key{}), rec: r.rec}
 		if err := lc.advance(); err != nil {
 			return nil, err
 		}
@@ -240,8 +257,10 @@ func (r *Reader) accumulate(q uda.UDA, keep func(qp float64) bool) (map[uint32]f
 		if !ok {
 			continue
 		}
+		r.rec.Add("inv.lists", 1)
 		qp := p.Prob
 		err := tree.ScanVia(r.view, btree.Key{}, func(k btree.Key) bool {
+			r.rec.Add("inv.entries", 1)
 			prob, tid := unpackKey(k)
 			scores[tid] += qp * prob
 			return true
@@ -304,6 +323,7 @@ func (r *Reader) highestProbFirst(q uda.UDA, tau float64) ([]query.Match, error)
 // verify performs the random access for a candidate and evaluates the exact
 // equality probability against the threshold.
 func (r *Reader) verify(q uda.UDA, tid uint32, tau float64) (query.Match, bool, error) {
+	r.rec.Add("inv.probes", 1)
 	u, err := r.ix.tuples.GetVia(r.view, tid)
 	if err != nil {
 		return query.Match{}, false, err
@@ -673,6 +693,8 @@ func (r *Reader) nraDrop(cs []*listCursor, cand map[uint32]*nraCandidate, refs [
 // (sound, slightly weaker) global residual Σ_live q_j·p'_j, keeping sweeps
 // linear in the candidate count.
 func (r *Reader) nraSweep(cs []*listCursor, cand map[uint32]*nraCandidate, done map[uint32]struct{}, refs []int, tau float64, strict bool) {
+	r.rec.Add("inv.sweeps", 1)
+	r.rec.Max("inv.candidates", int64(len(cand)))
 	exact := len(cand) <= 1024
 	var residual float64
 	for _, lc := range cs {

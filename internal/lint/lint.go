@@ -84,6 +84,7 @@ func AllChecks() []*Check {
 		GlobalRandCheck(),
 		PinleakCheck(),
 		PoolViewCheck(),
+		SpanEndCheck(),
 	}
 }
 

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// obsPath is the observability package whose span API this check guards.
+// The package itself is exempt: it manipulates span lifecycles internally.
+const obsPath = "ucat/internal/obs"
+
+// SpanEndCheck enforces the span-lifecycle discipline: every call to an
+// obs Start*Span function must bind its result to a variable and pair it
+// with a `defer sp.End()` in the same function. An unended span corrupts the
+// trace two ways: the recorder's current-span pointer stays parked on the
+// dead span, so all later I/O in the query is attributed to it, and its
+// duration is never stamped. The defer form is required — a plain End() call
+// on some paths leaks the span on every early return and panic unwind.
+//
+// Function literals are separate scopes: a span started in a closure must be
+// ended by a defer in that closure, not in the enclosing function (by the
+// time the closure's span would be deferred-End'ed by the outer function,
+// other spans may have opened and closed, interleaving the tree).
+func SpanEndCheck() *Check {
+	return &Check{
+		Name: "spanend",
+		Doc:  "require every obs.Start*Span result to be bound and defer-End()ed in the same function",
+		Run:  runSpanEnd,
+	}
+}
+
+func runSpanEnd(pkg *Package) []Diagnostic {
+	if pkg.Path == obsPath {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if isTestFile(pkg, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Each function literal is its own scope; collect them all (the
+			// declaration body is the root scope) and analyze separately.
+			for _, body := range functionScopes(fd.Body) {
+				diags = append(diags, spanEndScope(pkg, fd.Name.Name, body)...)
+			}
+		}
+	}
+	return diags
+}
+
+// functionScopes returns root plus the body of every function literal nested
+// anywhere inside it.
+func functionScopes(root *ast.BlockStmt) []*ast.BlockStmt {
+	scopes := []*ast.BlockStmt{root}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			scopes = append(scopes, fl.Body)
+		}
+		return true
+	})
+	return scopes
+}
+
+// startSpanCall reports whether the call invokes an obs Start*Span function.
+func startSpanCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return "", false
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Start") || !strings.HasSuffix(name, "Span") {
+		return "", false
+	}
+	return name, true
+}
+
+// spanEndScope checks one function scope: Start*Span results must be bound
+// to an identifier with a matching defer End() at this scope's level (not
+// inside a nested function literal).
+func spanEndScope(pkg *Package, funcName string, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+
+	type started struct {
+		obj  types.Object
+		name string // Start function name, for the message
+		pos  ast.Node
+	}
+	var spans []started
+	ended := make(map[types.Object]bool)
+
+	// walk visits nodes of this scope only, skipping nested FuncLit bodies.
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch node := m.(type) {
+			case *ast.FuncLit:
+				return false // separate scope
+			case *ast.DeferStmt:
+				// defer sp.End()
+				if sel, ok := ast.Unparen(node.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+					if ident, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						if obj := pkg.Info.Uses[ident]; obj != nil {
+							ended[obj] = true
+						}
+					}
+				}
+				return true
+			case *ast.AssignStmt:
+				if len(node.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(node.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := startSpanCall(pkg, call)
+				if !ok {
+					return true
+				}
+				ident, ok := node.Lhs[0].(*ast.Ident)
+				if !ok || ident.Name == "_" {
+					diags = append(diags, Diagnostic{
+						Pos:   pkg.Fset.Position(call.Pos()),
+						Check: "spanend",
+						Msg:   fmt.Sprintf("%s result discarded in %s; the span is never End()ed", name, funcName),
+					})
+					return true
+				}
+				obj := pkg.Info.Defs[ident]
+				if obj == nil {
+					obj = pkg.Info.Uses[ident]
+				}
+				if obj != nil {
+					spans = append(spans, started{obj: obj, name: name, pos: call})
+				}
+				return true
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(node.X).(*ast.CallExpr); ok {
+					if name, ok := startSpanCall(pkg, call); ok {
+						diags = append(diags, Diagnostic{
+							Pos:   pkg.Fset.Position(call.Pos()),
+							Check: "spanend",
+							Msg:   fmt.Sprintf("%s result discarded in %s; the span is never End()ed", name, funcName),
+						})
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body)
+
+	for _, s := range spans {
+		if ended[s.obj] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   pkg.Fset.Position(s.pos.Pos()),
+			Check: "spanend",
+			Msg: fmt.Sprintf("span from %s has no matching defer End() in %s; the trace tree stays open",
+				s.name, funcName),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,147 @@
+package lint
+
+import "testing"
+
+func TestSpanEndDeferredIsClean(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/obs"
+
+func ok(r *obs.Recorder) {
+	sp := r.StartSpan("q")
+	defer sp.End()
+	sp.Attr("k", "v")
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestSpanEndMissingDefer(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/obs"
+
+func bad(r *obs.Recorder) {
+	sp := r.StartSpan("q")
+	sp.Attr("k", "v")
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/x", src),
+		[]string{"no matching defer End()"})
+}
+
+func TestSpanEndPlainEndIsNotEnough(t *testing.T) {
+	// A non-deferred End() leaks the span on early returns and panics.
+	src := `package x
+
+import "ucat/internal/obs"
+
+func bad(r *obs.Recorder) {
+	sp := r.StartSpan("q")
+	sp.End()
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/x", src),
+		[]string{"no matching defer End()"})
+}
+
+func TestSpanEndDiscardedResult(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/obs"
+
+func bad1(r *obs.Recorder) {
+	r.StartSpan("q")
+}
+
+func bad2(r *obs.Recorder) {
+	_ = r.StartSpan("q")
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/x", src),
+		[]string{"result discarded in bad1", "result discarded in bad2"})
+}
+
+func TestSpanEndClosureIsSeparateScope(t *testing.T) {
+	// The closure starts its own span; a defer in the outer function does not
+	// satisfy it, and vice versa.
+	src := `package x
+
+import "ucat/internal/obs"
+
+func outer(r *obs.Recorder) {
+	sp := r.StartSpan("outer")
+	defer sp.End()
+	f := func() {
+		inner := r.StartSpan("inner")
+		_ = inner
+	}
+	f()
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/x", src),
+		[]string{"no matching defer End()"})
+}
+
+func TestSpanEndClosureDeferIsClean(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/obs"
+
+func outer(r *obs.Recorder) {
+	f := func() {
+		sp := r.StartSpan("inner")
+		defer sp.End()
+		sp.Attr("k", "v")
+	}
+	f()
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestSpanEndIgnoreDirective(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/obs"
+
+func tricky(r *obs.Recorder) *obs.Span {
+	//ucatlint:ignore spanend caller owns the span and ends it
+	sp := r.StartSpan("handoff")
+	return sp
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestSpanEndExemptsObsPackage(t *testing.T) {
+	src := `package obs
+
+type Recorder struct{}
+
+type Span struct{}
+
+func (r *Recorder) StartSpan(name string) *Span { return nil }
+func (s *Span) End()                            {}
+
+func internal(r *Recorder) {
+	sp := r.StartSpan("q")
+	_ = sp
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/obs", src), nil)
+}
+
+func TestSpanEndOtherObsCallsUnflagged(t *testing.T) {
+	// Only Start*Span calls participate; constructors and other helpers don't.
+	src := `package x
+
+import "ucat/internal/obs"
+
+func fine() *obs.Recorder {
+	rec := obs.NewRecorder()
+	return rec
+}
+`
+	expect(t, runOn(t, SpanEndCheck(), "ucat/internal/x", src), nil)
+}

@@ -45,6 +45,18 @@ func (p *Pool) NewPage() (*Page, error)         { return nil, nil }
 func (p *Pool) Store() *Store                   { return nil }
 func (p *Pool) FlushAll() error                 { return nil }
 `,
+	"ucat/internal/obs": `package obs
+
+type Recorder struct{}
+
+func NewRecorder() *Recorder { return &Recorder{} }
+
+type Span struct{}
+
+func (r *Recorder) StartSpan(name string) *Span { return nil }
+func (s *Span) End()                            {}
+func (s *Span) Attr(key, val string)            {}
+`,
 	"math/rand": `package rand
 
 type Source interface{ Int63() int64 }

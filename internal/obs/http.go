@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is a live debug endpoint: pprof, expvar and the metrics text
+// format on one listener.
+type DebugServer struct {
+	Addr string // actual listen address (useful with ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/metrics           the registry in text format
+//	/metrics.json      the registry as JSON
+//	/debug/vars        expvar (includes the registry via PublishExpvar)
+//	/debug/pprof/...   net/http/pprof profiles
+//
+// The server runs on its own goroutine until Close. A registry of nil uses
+// Default.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = Default
+	}
+	reg.PublishExpvar("ucat_metrics")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			// Headers are already gone; nothing useful to do but drop the conn.
+			return
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			return
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() {
+		// http.ErrServerClosed after Close is the normal shutdown path.
+		_ = ds.srv.Serve(ln)
+	}()
+	return ds, nil
+}
+
+// Close stops the debug server and releases its listener.
+func (ds *DebugServer) Close() error { return ds.srv.Close() }

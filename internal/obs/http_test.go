@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ucat_test_total").Add(9)
+	reg.Histogram("ucat_test_hist").Observe(4)
+
+	ds, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ds.Close() }()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "ucat_test_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if n, err := ParseText(strings.NewReader(body)); err != nil || n == 0 {
+		t.Errorf("/metrics not parseable: %d, %v", n, err)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK || !strings.Contains(body, "ucat_test_hist") {
+		t.Errorf("/metrics.json status %d body %q", code, body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "ucat_metrics") {
+		t.Errorf("/debug/vars status %d, missing published registry", code)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	if err := ds.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+package obs_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ucat/internal/core"
+	"ucat/internal/obs"
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// buildRelation fills a relation of the given kind with a deterministic mix
+// of distributions, flushes dirty pages, and returns it.
+func buildRelation(t *testing.T, kind core.Kind) *core.Relation {
+	t.Helper()
+	rel, err := core.NewRelation(core.Options{Kind: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		a := uint32(i % 17)
+		b := uint32((i + 5) % 17)
+		if a == b {
+			b = (b + 1) % 17
+		}
+		pa := 0.2 + float64(i%7)*0.1
+		u := uda.MustNew(uda.Pair{Item: a, Prob: pa}, uda.Pair{Item: b, Prob: 1 - pa})
+		if _, err := rel.Insert(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rel.Pool().FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// TestSpanReadsEqualPoolStatsDelta is the EXPLAIN accounting contract: the
+// page reads and hits summed over a query's span tree (plus any unattributed
+// orphan traffic) must exactly equal the buffer pool's Stats delta for that
+// query, for PETQ over both the inverted index and the PDR-tree. If this
+// drifts, EXPLAIN is lying about the I/O the paper's figures report.
+func TestSpanReadsEqualPoolStatsDelta(t *testing.T) {
+	query := uda.MustNew(uda.Pair{Item: 3, Prob: 0.6}, uda.Pair{Item: 8, Prob: 0.4})
+	for _, kind := range []core.Kind{core.InvertedIndex, core.PDRTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rel := buildRelation(t, kind)
+			// Fresh per-query pool over the shared store, exactly as the
+			// paper's harness and ucatshell EXPLAIN do.
+			view := pager.NewPool(rel.Pool().Store(), pager.DefaultPoolFrames)
+			rec := obs.NewRecorder()
+			rd := rel.Reader(obs.InstrumentView(view, rec))
+
+			before := view.Stats()
+			matches, err := rd.PETQ(query, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(matches) == 0 {
+				t.Fatalf("query matched nothing; test data is degenerate")
+			}
+			after := view.Stats()
+
+			reads, hits := rec.SumIO()
+			wantReads := after.Reads - before.Reads
+			wantHits := after.Hits - before.Hits
+			if reads != wantReads || hits != wantHits {
+				var b strings.Builder
+				_ = rec.WriteTree(&b)
+				t.Fatalf("span tree sums reads=%d hits=%d, pool delta reads=%d hits=%d\n%s",
+					reads, hits, wantReads, wantHits, b.String())
+			}
+			if reads == 0 {
+				t.Fatalf("query performed no reads; accounting test is vacuous")
+			}
+		})
+	}
+}
+
+// TestSpanReadsTopKAndRepeatQuery extends the accounting contract to TopK and
+// to a second query on a warm pool, where hits dominate.
+func TestSpanReadsTopKAndRepeatQuery(t *testing.T) {
+	query := uda.MustNew(uda.Pair{Item: 3, Prob: 0.6}, uda.Pair{Item: 8, Prob: 0.4})
+	for _, kind := range []core.Kind{core.InvertedIndex, core.PDRTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rel := buildRelation(t, kind)
+			view := pager.NewPool(rel.Pool().Store(), pager.DefaultPoolFrames)
+			rec := obs.NewRecorder()
+			rd := rel.Reader(obs.InstrumentView(view, rec))
+
+			for round := 0; round < 2; round++ {
+				before := view.Stats()
+				if _, err := rd.TopK(query, 5); err != nil {
+					t.Fatal(err)
+				}
+				after := view.Stats()
+				reads, hits := rec.SumIO()
+				if reads != after.Reads || hits != after.Hits {
+					t.Fatalf("round %d: cumulative span IO %d/%d != pool stats %d/%d",
+						round, reads, hits, after.Reads, after.Hits)
+				}
+				if round == 1 && after.Hits == before.Hits {
+					t.Fatalf("warm repeat produced no pool hits: %+v", after)
+				}
+			}
+		})
+	}
+}
+
+// TestSpanTreeNamesQueryStrategy checks that the root span of each access
+// method carries the attributes EXPLAIN prints.
+func TestSpanTreeNamesQueryStrategy(t *testing.T) {
+	query := uda.MustNew(uda.Pair{Item: 3, Prob: 0.6}, uda.Pair{Item: 8, Prob: 0.4})
+	want := map[core.Kind]string{
+		core.InvertedIndex: "invidx.petq",
+		core.PDRTree:       "pdrtree.petq",
+		core.ScanOnly:      "core.scan.petq",
+	}
+	for kind, name := range want {
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			rel := buildRelation(t, kind)
+			view := pager.NewPool(rel.Pool().Store(), pager.DefaultPoolFrames)
+			rec := obs.NewRecorder()
+			rd := rel.Reader(obs.InstrumentView(view, rec))
+			if _, err := rd.PETQ(query, 0.1); err != nil {
+				t.Fatal(err)
+			}
+			roots := rec.Roots()
+			if len(roots) != 1 || roots[0].Name != name {
+				t.Fatalf("roots = %v, want single %q", roots, name)
+			}
+			var b strings.Builder
+			if err := rec.WriteTree(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(b.String(), "tau=0.1") {
+				t.Errorf("tree missing tau attr:\n%s", b.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histSlots is the number of log₂ buckets: slot i holds values whose bit
+// length is i, i.e. slot 0 holds 0, slot i holds [2^(i-1), 2^i).
+const histSlots = 65
+
+// Histogram is a lock-free log₂-bucketed histogram for latencies and I/O
+// counts. Observations cost three atomic adds; quantiles are estimated at
+// the geometric midpoint of the containing bucket, which is exact enough to
+// separate p50 from p99 on the heavy-tailed distributions queries produce.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histSlots]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram: each field is
+// individually exact; with observations in flight the fields may be from
+// slightly different instants (same contract as pager.Stats).
+type HistSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Mean    float64           `json:"mean"`
+	P50     float64           `json:"p50"`
+	P95     float64           `json:"p95"`
+	P99     float64           `json:"p99"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"` // upper bound → count (non-empty slots only)
+}
+
+// Snapshot captures the histogram's current counts and quantile estimates.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [histSlots]uint64
+	snap := HistSnapshot{Buckets: make(map[string]uint64)}
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	snap.Count = h.count.Load()
+	snap.Sum = h.sum.Load()
+	if snap.Count > 0 {
+		snap.Mean = float64(snap.Sum) / float64(snap.Count)
+	}
+	// Quantiles over the snapshot of the buckets; total from the buckets so
+	// the walk is self-consistent even while observations race.
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	snap.P50 = histQuantile(counts, total, 0.50)
+	snap.P95 = histQuantile(counts, total, 0.95)
+	snap.P99 = histQuantile(counts, total, 0.99)
+	for i, c := range counts {
+		if c > 0 {
+			snap.Buckets[strconv.FormatUint(slotUpper(i), 10)] = c
+		}
+	}
+	return snap
+}
+
+// slotUpper returns the inclusive upper bound of slot i.
+func slotUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// histQuantile estimates the q-quantile by nearest rank over the buckets,
+// returning the geometric midpoint of the containing bucket.
+func histQuantile(counts [histSlots]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(i-1))
+			return lo * math.Sqrt2 // geometric midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return float64(slotUpper(histSlots - 1))
+}
+
+// metricName validates registry names: a conservative Prometheus-compatible
+// subset.
+var metricName = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// Registry is a named collection of counters, gauges and histograms.
+// Metric registration and lookup are mutex-guarded; the metrics themselves
+// are atomic, so recording never takes the registry lock.
+type Registry struct {
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	published bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the experiment harness and the debug
+// endpoints share.
+var Default = NewRegistry()
+
+func validName(name string) {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	validName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	validName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	validName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// snapshot collects every metric under sorted names.
+func (r *Registry) snapshot() (counters map[string]uint64, gauges map[string]int64, hists map[string]HistSnapshot) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	counters = make(map[string]uint64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	gauges = make(map[string]int64, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	hists = make(map[string]HistSnapshot, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h.Snapshot()
+	}
+	return counters, gauges, hists
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the registry in the Prometheus-flavoured text format
+// served at /metrics: `# TYPE` comments, `name value` samples, cumulative
+// `_bucket{le="..."}` lines and `_p50/_p95/_p99` quantile estimates for
+// histograms. ParseText accepts everything WriteText emits.
+func (r *Registry) WriteText(w io.Writer) error {
+	counters, gauges, hists := r.snapshot()
+	bw := bufio.NewWriter(w)
+	for _, n := range sortedKeys(counters) {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, counters[n])
+	}
+	for _, n := range sortedKeys(gauges) {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", n, n, gauges[n])
+	}
+	for _, n := range sortedKeys(hists) {
+		s := hists[n]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		fmt.Fprintf(bw, "%s_count %d\n", n, s.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, s.Sum)
+		var cum uint64
+		for _, ub := range sortedBucketBounds(s.Buckets) {
+			cum += s.Buckets[strconv.FormatUint(ub, 10)]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", n, ub, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, s.Count)
+		fmt.Fprintf(bw, "%s_p50 %g\n", n, s.P50)
+		fmt.Fprintf(bw, "%s_p95 %g\n", n, s.P95)
+		fmt.Fprintf(bw, "%s_p99 %g\n", n, s.P99)
+	}
+	return bw.Flush()
+}
+
+func sortedBucketBounds(buckets map[string]uint64) []uint64 {
+	out := make([]uint64, 0, len(buckets))
+	for k := range buckets {
+		ub, err := strconv.ParseUint(k, 10, 64)
+		if err != nil {
+			continue // impossible for snapshots we build; defensive
+		}
+		out = append(out, ub)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// jsonPayload is the JSON export shape (also what expvar publishes).
+type jsonPayload struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// WriteJSON renders the whole registry as one JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters, gauges, hists := r.snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonPayload{Counters: counters, Gauges: gauges, Histograms: hists})
+}
+
+// PublishExpvar exposes the registry as one expvar variable (a JSON object
+// under the given name) on the standard /debug/vars endpoint. Publishing
+// twice is a no-op; expvar forbids re-publishing a name.
+func (r *Registry) PublishExpvar(name string) {
+	r.mu.Lock()
+	already := r.published
+	r.published = true
+	r.mu.Unlock()
+	if already {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		counters, gauges, hists := r.snapshot()
+		return jsonPayload{Counters: counters, Gauges: gauges, Histograms: hists}
+	}))
+}
+
+// textSample matches one non-comment /metrics line:
+// `name value` or `name{label="x"} value`.
+var textSample = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"\})? [-+]?([0-9]*\.)?[0-9]+([eE][-+]?[0-9]+)?$`)
+
+// ParseText validates the /metrics text format, returning the number of
+// samples and an error naming the first malformed line. CI's `make metrics`
+// target uses it to keep the endpoint machine-readable.
+func ParseText(rd io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(rd)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !textSample.MatchString(text) {
+			return samples, fmt.Errorf("obs: metrics line %d not parseable: %q", line, text)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}

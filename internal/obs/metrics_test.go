@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if reg.Counter("reqs") != c {
+		t.Errorf("Counter not idempotent")
+	}
+	g := reg.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic for invalid name")
+		}
+	}()
+	NewRegistry().Counter("bad name!")
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	// 95 observations of 10, five of 100000: p50 lands in 10's bucket, the
+	// nearest-rank p95 and p99 (ranks 95 and 99 of 100) hit the outliers.
+	for i := 0; i < 95; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 95*10+5*100000 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if s.P50 < 8 || s.P50 > 16 {
+		t.Errorf("p50 = %g, want within 10's log2 bucket", s.P50)
+	}
+	if s.P99 < 65536 {
+		t.Errorf("p99 = %g, want in the outlier bucket", s.P99)
+	}
+	if s.Mean < 5000 || s.Mean > 5010 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	if len(s.Buckets) != 2 {
+		t.Errorf("buckets = %v, want 2 non-empty", s.Buckets)
+	}
+}
+
+func TestHistogramZeroAndEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	h.Observe(0)
+	s = h.Snapshot()
+	if s.Count != 1 || s.P50 != 0 {
+		t.Fatalf("zero observation snapshot: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestWriteTextRoundTripsThroughParseText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ucat_queries_total").Add(3)
+	reg.Gauge("ucat_pool_frames").Set(100)
+	h := reg.Histogram("ucat_query_ios")
+	h.Observe(5)
+	h.Observe(90)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ucat_queries_total counter",
+		"ucat_queries_total 3",
+		"# TYPE ucat_pool_frames gauge",
+		"ucat_pool_frames 100",
+		"# TYPE ucat_query_ios histogram",
+		"ucat_query_ios_count 2",
+		"ucat_query_ios_sum 95",
+		`ucat_query_ios_bucket{le="+Inf"} 2`,
+		"ucat_query_ios_p50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	n, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseText rejected own output: %v", err)
+	}
+	// 1 counter + 1 gauge + count+sum+2 buckets+Inf+3 quantiles = 10 samples.
+	if n != 10 {
+		t.Errorf("ParseText samples = %d, want 10", n)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		"1leading_digit 2",
+		`x{unclosed="} 1`,
+		"name 1 2 3",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText accepted %q", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	if n, err := ParseText(strings.NewReader("# HELP x\n\nx 1\n")); err != nil || n != 1 {
+		t.Errorf("ParseText = %d, %v", n, err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	reg.Histogram("h").Observe(7)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Counters   map[string]uint64       `json:"counters"`
+		Gauges     map[string]int64        `json:"gauges"`
+		Histograms map[string]HistSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if payload.Counters["c"] != 1 {
+		t.Errorf("counters = %v", payload.Counters)
+	}
+	if payload.Histograms["h"].Count != 1 {
+		t.Errorf("histograms = %v", payload.Histograms)
+	}
+}
+
+func TestSlotUpperBounds(t *testing.T) {
+	if slotUpper(0) != 0 {
+		t.Errorf("slotUpper(0) = %d", slotUpper(0))
+	}
+	if slotUpper(1) != 1 {
+		t.Errorf("slotUpper(1) = %d", slotUpper(1))
+	}
+	if slotUpper(4) != 15 {
+		t.Errorf("slotUpper(4) = %d", slotUpper(4))
+	}
+	if slotUpper(64) != math.MaxUint64 {
+		t.Errorf("slotUpper(64) = %d", slotUpper(64))
+	}
+}

@@ -1,0 +1,31 @@
+// Package obs is the observability layer: a stdlib-only metrics registry,
+// per-query trace spans, and an instrumented pager view that binds both to
+// any read-only query without code changes in the index packages.
+//
+// The paper's entire evaluation (§4) is an observability exercise — it
+// compares index structures by counting page I/Os per query — and this
+// package generalizes that instrument: every hot path (inverted-index
+// strategy selection and list advances, PDR-tree prune/descend decisions,
+// B-tree node visits, buffer-pool fetch/hit traffic) can report into a span
+// tree with per-span I/O attribution, and long-running processes export
+// counters, gauges and log₂-bucketed histograms over HTTP.
+//
+// # Zero overhead when disabled
+//
+// Everything in this package is nil-safe: a nil *Recorder and a nil *Span
+// accept every method call as a no-op, so instrumented code performs exactly
+// one pointer check (and zero allocations) per event when tracing is off.
+// That contract is pinned by TestDisabledPathZeroAllocs and the
+// BenchmarkDisabled* benchmarks, and enforced in CI by `make obs-smoke` —
+// the figure harness's bit-identical determinism guarantee depends on the
+// disabled path doing nothing at all.
+//
+// # Binding
+//
+// Tracing binds at the pager.View injection point introduced for the
+// parallel query harness: wrap any view with InstrumentView and hand it to
+// core.Relation.Reader / invidx.Index.Reader / pdrtree.Tree.Reader as usual.
+// Index code discovers the recorder with RecorderOf(view), which returns nil
+// for plain views — no configuration, no globals, no code changes at call
+// sites that do not trace.
+package obs

@@ -1,0 +1,66 @@
+package obs
+
+import "testing"
+
+// TestDisabledPathZeroAllocs pins the zero-overhead contract: every tracing
+// call on a nil recorder/span must allocate nothing. CI's obs-smoke job runs
+// this test; a regression here taxes every query in every benchmark, traced
+// or not.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var rec *Recorder
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := rec.StartSpan("q")
+		sp.Attr("strategy", "nra")
+		sp.AttrF("tau", 0.5)
+		sp.Add("steps", 1)
+		sp.Max("frontier", 3)
+		rec.Add("advances", 1)
+		rec.Max("candidates", 7)
+		sp.End()
+	}); allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledSpan measures the cost of the full per-query tracing call
+// pattern when tracing is off (nil recorder). Run with -benchmem: the
+// reported allocs/op must be 0.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartSpan("q")
+		sp.Attr("strategy", "nra")
+		sp.AttrF("tau", 0.5)
+		rec.Add("advances", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan is the enabled-path counterpart, for judging the
+// tracing tax when a query is actually being explained.
+func BenchmarkEnabledSpan(b *testing.B) {
+	rec := NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartSpan("q")
+		sp.Attr("strategy", "nra")
+		sp.AttrF("tau", 0.5)
+		rec.Add("advances", 1)
+		sp.End()
+		// Keep the trace from growing without bound across iterations.
+		if len(rec.roots) > 1024 {
+			rec.roots = rec.roots[:0]
+		}
+	}
+}
+
+// BenchmarkDisabledCounterAdd isolates the cheapest and hottest call — the
+// per-list-advance counter bump — on the disabled path.
+func BenchmarkDisabledCounterAdd(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Add("inv.advances", 1)
+	}
+}

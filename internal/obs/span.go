@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Recorder collects one query's trace: a tree of spans plus any events that
+// fire outside an open span. A Recorder is cheap, single-query scoped and
+// NOT safe for concurrent use — make one per query, exactly like the
+// per-query pool views it rides along with.
+//
+// All methods are nil-safe: calling them on a nil *Recorder is a no-op that
+// performs a single pointer check and never allocates, so instrumented hot
+// paths cost nothing when tracing is off.
+type Recorder struct {
+	roots  []*Span
+	cur    *Span
+	orphan counters // events recorded while no span was open
+}
+
+// NewRecorder returns an empty recorder ready to collect spans.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Span is one timed node of the trace tree. I/O fields are exclusive: each
+// page fetch is attributed to the innermost span open at the time, so
+// summing Reads over a whole tree equals the pager.Stats delta of the query
+// (the property TestSpanReadsEqualPoolStatsDelta pins).
+type Span struct {
+	Name     string
+	Children []*Span
+
+	// Pager traffic attributed to this span by an instrumented view.
+	Fetches uint64 // view.Fetch calls
+	Reads   uint64 // fetches that missed the pool (the paper's I/Os)
+	Hits    uint64 // fetches served inside the pool
+
+	attrs    []spanAttr
+	counters counters
+	start    time.Time
+	dur      time.Duration
+	rec      *Recorder
+	parent   *Span
+	ended    bool
+}
+
+// spanAttr is one key=value annotation. Values are either strings or
+// numbers; numbers are kept unformatted so recording them never allocates.
+type spanAttr struct {
+	key   string
+	str   string
+	num   float64
+	isNum bool
+}
+
+// counter is one named event tally on a span.
+type counter struct {
+	name string
+	val  int64
+	max  bool // value is a high-water mark, not a sum
+}
+
+type counters []counter
+
+func (cs *counters) add(name string, delta int64) {
+	for i := range *cs {
+		if (*cs)[i].name == name {
+			(*cs)[i].val += delta
+			return
+		}
+	}
+	*cs = append(*cs, counter{name: name, val: delta})
+}
+
+func (cs *counters) maxOf(name string, v int64) {
+	for i := range *cs {
+		if (*cs)[i].name == name {
+			if v > (*cs)[i].val {
+				(*cs)[i].val = v
+			}
+			return
+		}
+	}
+	*cs = append(*cs, counter{name: name, val: v, max: true})
+}
+
+// StartSpan opens a span as a child of the currently open span (or as a new
+// root) and makes it current. The caller must end it with a matching
+// `defer sp.End()` in the same function — the ucatlint `spanend` check
+// enforces exactly that pattern.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{Name: name, rec: r, parent: r.cur, start: time.Now()}
+	if r.cur != nil {
+		r.cur.Children = append(r.cur.Children, s)
+	} else {
+		r.roots = append(r.roots, s)
+	}
+	r.cur = s
+	return s
+}
+
+// End closes the span, fixing its duration and restoring its parent as the
+// recorder's current span. End on a nil or already-ended span is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	if s.rec != nil && s.rec.cur == s {
+		s.rec.cur = s.parent
+	}
+}
+
+// Attr annotates the span with a string key=value pair.
+func (s *Span) Attr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, spanAttr{key: key, str: val})
+}
+
+// AttrF annotates the span with a numeric key=value pair. The value is kept
+// as a float64 so the disabled path never formats (or allocates).
+func (s *Span) AttrF(key string, val float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, spanAttr{key: key, num: val, isNum: true})
+}
+
+// Add accumulates a named event counter on the span.
+func (s *Span) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.counters.add(name, delta)
+}
+
+// Max records a high-water mark (e.g. the largest frontier a traversal held).
+func (s *Span) Max(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.counters.maxOf(name, v)
+}
+
+// Duration returns how long the span was open (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Counter returns the value of a named counter (0 when absent).
+func (s *Span) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, c := range s.counters {
+		if c.name == name {
+			return c.val
+		}
+	}
+	return 0
+}
+
+// Add accumulates an event on the recorder's currently open span; events
+// fired while no span is open are kept separately and rendered as
+// "(outside spans)". This is the hook hot paths without their own span use
+// (B-tree cursors, list advances).
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	if r.cur != nil {
+		r.cur.counters.add(name, delta)
+		return
+	}
+	r.orphan.add(name, delta)
+}
+
+// Max records a high-water mark on the currently open span.
+func (r *Recorder) Max(name string, v int64) {
+	if r == nil {
+		return
+	}
+	if r.cur != nil {
+		r.cur.counters.maxOf(name, v)
+		return
+	}
+	r.orphan.maxOf(name, v)
+}
+
+// Current returns the innermost open span (nil when none, or on a nil
+// recorder).
+func (r *Recorder) Current() *Span {
+	if r == nil {
+		return nil
+	}
+	return r.cur
+}
+
+// Roots returns the top-level spans recorded so far.
+func (r *Recorder) Roots() []*Span {
+	if r == nil {
+		return nil
+	}
+	return r.roots
+}
+
+// addIO attributes one fetch outcome to the innermost open span. Called by
+// instrumented views only, which are never built over a nil recorder.
+func (r *Recorder) addIO(reads, hits uint64) {
+	s := r.cur
+	if s == nil {
+		// No span open: keep the traffic visible rather than dropping it.
+		r.orphan.add("unattributed.fetches", 1)
+		r.orphan.add("unattributed.reads", int64(reads))
+		r.orphan.add("unattributed.hits", int64(hits))
+		return
+	}
+	s.Fetches++
+	s.Reads += reads
+	s.Hits += hits
+}
+
+// SumIO walks the span tree and returns the total page reads and pool hits
+// attributed to it. Over a full recorder trace this equals the pager.Stats
+// delta of the traced query.
+func (s *Span) SumIO() (reads, hits uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	reads, hits = s.Reads, s.Hits
+	for _, c := range s.Children {
+		cr, ch := c.SumIO()
+		reads += cr
+		hits += ch
+	}
+	return reads, hits
+}
+
+// SumIO totals the page reads and pool hits across every span of the trace,
+// including traffic recorded outside any span.
+func (r *Recorder) SumIO() (reads, hits uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	for _, s := range r.roots {
+		sr, sh := s.SumIO()
+		reads += sr
+		hits += sh
+	}
+	for _, c := range r.orphan {
+		switch c.name {
+		case "unattributed.reads":
+			reads += uint64(c.val)
+		case "unattributed.hits":
+			hits += uint64(c.val)
+		}
+	}
+	return reads, hits
+}
+
+// WriteTree renders the recorder's span forest as an indented tree, one span
+// per line with its attributes, I/O attribution, duration and counters —
+// the payload of ucatshell's EXPLAIN.
+func (r *Recorder) WriteTree(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, s := range r.roots {
+		if err := writeSpan(w, s, 0); err != nil {
+			return err
+		}
+	}
+	if len(r.orphan) > 0 {
+		if _, err := fmt.Fprintf(w, "(outside spans)%s\n", formatCounters(r.orphan)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpan(w io.Writer, s *Span, depth int) error {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.Name)
+	for _, a := range s.attrs {
+		if a.isNum {
+			fmt.Fprintf(&b, " %s=%g", a.key, a.num)
+		} else {
+			fmt.Fprintf(&b, " %s=%s", a.key, a.str)
+		}
+	}
+	fmt.Fprintf(&b, "  reads=%d hits=%d fetches=%d t=%s", s.Reads, s.Hits, s.Fetches, s.dur.Round(time.Microsecond))
+	b.WriteString(formatCounters(s.counters))
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, c := range s.Children {
+		if err := writeSpan(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatCounters(cs counters) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("  [")
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if c.max {
+			fmt.Fprintf(&b, "%s≤%d", c.name, c.val)
+		} else {
+			fmt.Fprintf(&b, "%s=%d", c.name, c.val)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

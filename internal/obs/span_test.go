@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.StartSpan("root")
+	if rec.Current() != root {
+		t.Fatalf("Current() = %v, want root", rec.Current())
+	}
+	child := rec.StartSpan("child")
+	if rec.Current() != child {
+		t.Fatalf("Current() = %v, want child", rec.Current())
+	}
+	grand := rec.StartSpan("grand")
+	grand.End()
+	child.End()
+	if rec.Current() != root {
+		t.Fatalf("after child End, Current() = %v, want root", rec.Current())
+	}
+	sib := rec.StartSpan("sibling")
+	sib.End()
+	root.End()
+	if rec.Current() != nil {
+		t.Fatalf("after root End, Current() = %v, want nil", rec.Current())
+	}
+
+	roots := rec.Roots()
+	if len(roots) != 1 || roots[0] != root {
+		t.Fatalf("Roots() = %v, want [root]", roots)
+	}
+	if len(root.Children) != 2 || root.Children[0] != child || root.Children[1] != sib {
+		t.Fatalf("root children = %v", root.Children)
+	}
+	if len(child.Children) != 1 || child.Children[0] != grand {
+		t.Fatalf("child children = %v", child.Children)
+	}
+}
+
+func TestSpanEndIdempotentAndOrdered(t *testing.T) {
+	rec := NewRecorder()
+	a := rec.StartSpan("a")
+	b := rec.StartSpan("b")
+	a.End() // out of order: b is still current, a.End must not steal it
+	if rec.Current() != b {
+		t.Fatalf("Current() = %v, want b after out-of-order a.End", rec.Current())
+	}
+	b.End()
+	// a ended while b was current, so cur never returned to a's parent via a.
+	// b.End restores b.parent == a, but a is already ended; this is the
+	// documented cost of breaking LIFO order — the lint check prevents it.
+	a.End() // idempotent
+	b.End() // idempotent
+	if a.Duration() < 0 || b.Duration() < 0 {
+		t.Fatalf("negative durations")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *Recorder
+	sp := rec.StartSpan("x")
+	if sp != nil {
+		t.Fatalf("nil recorder StartSpan = %v, want nil", sp)
+	}
+	sp.End()
+	sp.Attr("k", "v")
+	sp.AttrF("n", 1)
+	sp.Add("c", 1)
+	sp.Max("m", 2)
+	if sp.Duration() != 0 || sp.Counter("c") != 0 {
+		t.Fatalf("nil span reported values")
+	}
+	rec.Add("c", 1)
+	rec.Max("m", 1)
+	if rec.Current() != nil || rec.Roots() != nil {
+		t.Fatalf("nil recorder exposes state")
+	}
+	if r, h := rec.SumIO(); r != 0 || h != 0 {
+		t.Fatalf("nil recorder SumIO = %d,%d", r, h)
+	}
+	if err := rec.WriteTree(nil); err != nil {
+		t.Fatalf("nil recorder WriteTree: %v", err)
+	}
+}
+
+func TestCountersAndMax(t *testing.T) {
+	rec := NewRecorder()
+	sp := rec.StartSpan("s")
+	rec.Add("steps", 2)
+	rec.Add("steps", 3)
+	rec.Max("frontier", 4)
+	rec.Max("frontier", 2) // lower; must not regress
+	sp.End()
+	if got := sp.Counter("steps"); got != 5 {
+		t.Errorf("steps = %d, want 5", got)
+	}
+	if got := sp.Counter("frontier"); got != 4 {
+		t.Errorf("frontier = %d, want 4", got)
+	}
+	// Events outside any span land in the orphan bucket and render.
+	rec.Add("late", 1)
+	var b strings.Builder
+	if err := rec.WriteTree(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"s  ", "steps=5", "frontier≤4", "(outside spans)", "late=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteTree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSumIOIncludesOrphans(t *testing.T) {
+	rec := NewRecorder()
+	sp := rec.StartSpan("q")
+	rec.addIO(1, 0)
+	rec.addIO(0, 1)
+	sp.End()
+	rec.addIO(1, 0) // outside any span
+	reads, hits := rec.SumIO()
+	if reads != 2 || hits != 1 {
+		t.Fatalf("SumIO = %d,%d want 2,1", reads, hits)
+	}
+	sr, sh := sp.SumIO()
+	if sr != 1 || sh != 1 {
+		t.Fatalf("span SumIO = %d,%d want 1,1", sr, sh)
+	}
+	if sp.Fetches != 2 {
+		t.Fatalf("Fetches = %d, want 2", sp.Fetches)
+	}
+}
+
+func TestWriteTreeAttrs(t *testing.T) {
+	rec := NewRecorder()
+	sp := rec.StartSpan("petq")
+	sp.Attr("strategy", "nra")
+	sp.AttrF("tau", 0.25)
+	sp.End()
+	var b strings.Builder
+	if err := rec.WriteTree(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"petq", "strategy=nra", "tau=0.25", "reads=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteTree missing %q in %q", want, out)
+		}
+	}
+}

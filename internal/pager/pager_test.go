@@ -2,6 +2,7 @@ package pager
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -326,6 +327,55 @@ func TestStatsArithmetic(t *testing.T) {
 	}
 	if a.String() == "" {
 		t.Errorf("String empty")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	if hr := (Stats{}).HitRate(); hr != 0 {
+		t.Errorf("empty HitRate = %g, want 0", hr)
+	}
+	s := Stats{Reads: 25, Hits: 75, Writes: 1000}
+	if hr := s.HitRate(); hr != 0.75 {
+		t.Errorf("HitRate = %g, want 0.75 (writes must not count)", hr)
+	}
+	if got := s.String(); !strings.Contains(got, "hitrate=0.750") {
+		t.Errorf("String() = %q, missing hitrate", got)
+	}
+}
+
+func TestPoolEvictionsCounter(t *testing.T) {
+	s := NewStore()
+	pool := NewPool(s, 2)
+	pids := make([]PageID, 4)
+	for i := range pids {
+		pids[i] = s.Allocate()
+	}
+	// Touch three distinct pages through a two-frame pool: the third fetch
+	// must displace one cached page.
+	for _, pid := range pids[:3] {
+		pg, err := pool.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Unpin(false)
+	}
+	if ev := pool.Evictions(); ev != 1 {
+		t.Errorf("Evictions = %d, want 1", ev)
+	}
+	// Evictions are deliberately NOT part of Stats: the paper's I/O figures
+	// count reads and write-backs only, and the determinism pins depend on it.
+	if st := pool.Stats(); st != (Stats{Reads: 3}) {
+		t.Errorf("Stats = %+v, want reads-only accounting", st)
+	}
+	// A fourth distinct page cannot be cached, so the full pool must evict
+	// again to admit it.
+	pg, err := pool.Fetch(pids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Unpin(false)
+	if ev := pool.Evictions(); ev != 2 {
+		t.Errorf("Evictions after fourth page = %d, want 2", ev)
 	}
 }
 

@@ -29,6 +29,18 @@ type Stats struct {
 // in the paper's evaluation.
 func (s Stats) IOs() uint64 { return s.Reads + s.Writes }
 
+// HitRate returns the fraction of fetches served inside the pool,
+// Hits/(Hits+Reads), or 0 when no fetch has happened. Writes are excluded:
+// the rate answers "how often did a fetch avoid the store", the buffer-pool
+// efficiency the paper's per-query 100-frame discipline is all about.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Reads
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Sub returns the difference s − t, used to attribute I/Os to one query.
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
@@ -40,7 +52,8 @@ func (s Stats) Add(t Stats) Stats {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("reads=%d writes=%d hits=%d io=%d", s.Reads, s.Writes, s.Hits, s.IOs())
+	return fmt.Sprintf("reads=%d writes=%d hits=%d io=%d hitrate=%.3f",
+		s.Reads, s.Writes, s.Hits, s.IOs(), s.HitRate())
 }
 
 // View is the read-side page-access capability a query executes through.
@@ -108,6 +121,10 @@ type Pool struct {
 	reads  atomic.Uint64
 	writes atomic.Uint64
 	hits   atomic.Uint64
+	// evictions counts cached pages displaced by the clock to make room for
+	// another page. It is observability-only (not part of Stats, so existing
+	// I/O accounting and its determinism pins are untouched).
+	evictions atomic.Uint64
 }
 
 // NewPool creates a pool with nframes frames (DefaultPoolFrames if
@@ -321,8 +338,15 @@ func (p *Pool) Stats() Stats {
 	return Stats{Reads: p.reads.Load(), Writes: p.writes.Load(), Hits: p.hits.Load()}
 }
 
+// Evictions reports how many cached pages the clock has displaced to make
+// room for others over the pool's lifetime. It is an observability counter,
+// deliberately outside Stats: the paper's I/O metric and its determinism
+// pins never depend on it.
+func (p *Pool) Evictions() uint64 { return p.evictions.Load() }
+
 // ResetStats zeroes the I/O counters (the pool contents are untouched, so a
 // query following a reset runs against a warm pool, as in the paper).
+// The eviction counter is lifetime-scoped and not reset.
 func (p *Pool) ResetStats() {
 	p.reads.Store(0)
 	p.writes.Store(0)
@@ -440,6 +464,7 @@ func (p *Pool) evict(sh *shard) (int, error) {
 		delete(sh.table, f.pid)
 		f.pid = InvalidPage
 		f.dirty = false
+		p.evictions.Add(1)
 		return idx, nil
 	}
 	return 0, ErrPoolExhausted

@@ -1,6 +1,7 @@
 package pdrtree
 
 import (
+	"ucat/internal/obs"
 	"ucat/internal/pager"
 	"ucat/internal/query"
 	"ucat/internal/uda"
@@ -16,15 +17,18 @@ import (
 type Reader struct {
 	t    *Tree
 	view pager.View
+	rec  *obs.Recorder // nil unless the view is obs-instrumented
 }
 
 // Reader returns a read-only query handle whose page fetches go through v.
-// A nil view reads through the tree's own pool.
+// A nil view reads through the tree's own pool. If the view carries a trace
+// recorder (obs.InstrumentView), query spans and prune/descend decisions are
+// recorded; otherwise tracing calls are single-pointer-check no-ops.
 func (t *Tree) Reader(v pager.View) *Reader {
 	if v == nil {
 		v = t.pool
 	}
-	return &Reader{t: t, view: v}
+	return &Reader{t: t, view: v, rec: obs.RecorderOf(v)}
 }
 
 // readNode fetches and decodes the page through the reader's view.

@@ -18,6 +18,9 @@ func (r *Reader) PETQ(q uda.UDA, tau float64) ([]query.Match, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("pdrtree: negative threshold %g", tau)
 	}
+	sp := r.rec.StartSpan("pdrtree.petq")
+	defer sp.End()
+	sp.AttrF("tau", tau)
 	var res []query.Match
 	err := r.petq(r.t.root, q, tau, &res)
 	if err != nil {
@@ -32,7 +35,9 @@ func (r *Reader) petq(pid pager.PageID, q uda.UDA, tau float64, res *[]query.Mat
 	if err != nil {
 		return err
 	}
+	r.rec.Add("pdr.nodes", 1)
 	if n.leaf {
+		r.rec.Add("pdr.leaves", 1)
 		for i, u := range n.udas {
 			if p := uda.EqualityProb(q, u); p > tau {
 				*res = append(*res, query.Match{TID: n.tids[i], Prob: p})
@@ -40,14 +45,21 @@ func (r *Reader) petq(pid pager.PageID, q uda.UDA, tau float64, res *[]query.Mat
 		}
 		return nil
 	}
+	// The live frontier of this node: children whose boundary dot product
+	// exceeds the threshold (Lemma 2 keeps them), versus pruned siblings.
+	live := int64(0)
 	for i := range n.children {
 		if r.t.cfg.queryDot(q, n.bounds[i]) <= tau {
+			r.rec.Add("pdr.pruned", 1)
 			continue
 		}
+		live++
+		r.rec.Add("pdr.descended", 1)
 		if err := r.petq(n.children[i], q, tau, res); err != nil {
 			return err
 		}
 	}
+	r.rec.Max("pdr.frontier", live)
 	return nil
 }
 
@@ -60,6 +72,9 @@ func (r *Reader) TopK(q uda.UDA, k int) ([]query.Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("pdrtree: non-positive k %d", k)
 	}
+	sp := r.rec.StartSpan("pdrtree.topk")
+	defer sp.End()
+	sp.AttrF("k", float64(k))
 	tk := query.NewTopK(k)
 	if err := r.topk(r.t.root, q, tk); err != nil {
 		return nil, err
@@ -72,7 +87,9 @@ func (r *Reader) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
 	if err != nil {
 		return err
 	}
+	r.rec.Add("pdr.nodes", 1)
 	if n.leaf {
+		r.rec.Add("pdr.leaves", 1)
 		for i, u := range n.udas {
 			tk.Offer(query.Match{TID: n.tids[i], Prob: uda.EqualityProb(q, u)})
 		}
@@ -87,19 +104,21 @@ func (r *Reader) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
 		order[i] = scored{child: n.children[i], dot: r.t.cfg.queryDot(q, n.bounds[i])}
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].dot > order[j].dot })
-	for _, s := range order {
+	live := int64(0)
+	for oi, s := range order {
 		// Children are in descending bound order: once one cannot beat the
 		// threshold, none of the rest can.
-		if tk.Full() && s.dot <= tk.Threshold() {
+		if (tk.Full() && s.dot <= tk.Threshold()) || s.dot <= 0 {
+			r.rec.Add("pdr.pruned", int64(len(order)-oi))
 			break
 		}
-		if s.dot <= 0 {
-			break
-		}
+		live++
+		r.rec.Add("pdr.descended", 1)
 		if err := r.topk(s.child, q, tk); err != nil {
 			return err
 		}
 	}
+	r.rec.Max("pdr.frontier", live)
 	return nil
 }
 
