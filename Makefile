@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint test test-short race cover bench bench-smoke bench-parallel obs-smoke metrics figures ablations fuzz clean
+.PHONY: all build lint test test-short race cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke obs-smoke metrics figures ablations fuzz clean
 
 all: build lint test
 
@@ -35,12 +35,26 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Tiny-scale single-iteration pass so benchmarks can't rot (used by CI).
+# Includes the allocation-regression benchmarks of the decode hot paths
+# (uda Decode vs DecodeInto, pdrtree cached vs uncached node load).
 bench-smoke:
 	UCAT_BENCH_SCALE=0.02 $(GO) test -bench=. -benchtime=1x -short .
+	$(GO) test -run - -bench 'BenchmarkDecode' -benchmem -benchtime=1000x ./internal/uda/
+	$(GO) test -run - -bench 'BenchmarkReadNode' -benchmem -benchtime=100x ./internal/pdrtree/
 
 # Sequential vs parallel wall-clock trajectory for full figure regeneration.
 bench-parallel:
 	$(GO) run ./cmd/ucatbench -scale 1 -queries 20 -workers 0 -benchparallel BENCH_parallel.json
+
+# Decoded-page cache A/B on the fig4 PETQ workload (CRM1, both indexes):
+# ns/q, allocs/q, cache hit rate, sequential vs parallel, plus the
+# cache-on/off I/O determinism cross-check. Writes BENCH_cache.json.
+bench-cache:
+	$(GO) run ./cmd/ucatbench -scale 1 -queries 20 -workers 0 -benchcache BENCH_cache.json
+
+# Tiny-scale bench-cache so the harness can't rot (used by CI).
+bench-cache-smoke:
+	$(GO) run ./cmd/ucatbench -scale 0.02 -queries 4 -workers 2 -benchcache /tmp/bench_cache_smoke.json
 
 # Zero-overhead contract for tracing (DESIGN.md §14): with no recorder
 # attached, the full per-query span pattern must allocate nothing. The

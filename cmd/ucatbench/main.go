@@ -86,6 +86,9 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "run the selected figures concurrently (order preserved in output)")
 		workers    = flag.Int("workers", defaultWorkers(), "goroutines per data point's query batch; 0 = GOMAXPROCS (default from UCAT_BENCH_WORKERS)")
 		benchPar   = flag.String("benchparallel", "", "time sequential vs parallel figure regeneration and write the trajectory to this JSON file")
+		decCache   = flag.Bool("decodecache", true, "enable the relation-wide decoded-page cache (never changes I/O counts; off is for A/B measurement)")
+		readahead  = flag.Bool("readahead", false, "enable sibling-leaf prefetch on inverted-list scans (prefetch reads are counted outside the I/O metric)")
+		benchCache = flag.String("benchcache", "", "measure the fig4 PETQ workload cache-off vs cache-on (ns/q, allocs/q, hit rate, seq vs parallel) and write the report to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		debugAddr  = flag.String("debugaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
@@ -121,7 +124,8 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	params := exp.Params{Scale: *scale, Queries: *queries, Seed: *seed, Workers: *workers}
+	params := exp.Params{Scale: *scale, Queries: *queries, Seed: *seed, Workers: *workers,
+		NoDecodeCache: !*decCache, Readahead: *readahead}
 	if *strategy != "" {
 		found := false
 		for _, s := range invidx.Strategies {
@@ -159,6 +163,16 @@ func main() {
 	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "ucatbench: no figure matched %q\n", *figs)
 		os.Exit(1)
+	}
+
+	if *benchCache != "" {
+		if err := runBenchCache(params, *benchCache); err != nil {
+			fmt.Fprintf(os.Stderr, "ucatbench: benchcache: %v\n", err)
+			os.Exit(1)
+		}
+		writeMetricsOut(*metricsOut)
+		writeMemProfile(*memprofile)
+		return
 	}
 
 	if *benchPar != "" {
@@ -311,6 +325,38 @@ func runBenchParallel(selected []exp.Runner, params exp.Params, path string) err
 		time.Duration(report.TotalSequentialNs).Round(time.Millisecond),
 		time.Duration(report.TotalParallelNs).Round(time.Millisecond),
 		report.Speedup, report.NumCPU, path)
+	return nil
+}
+
+// runBenchCache measures the decoded-page cache on the Figure-4 PETQ
+// workload and writes BENCH_cache.json. See exp.BenchCache.
+func runBenchCache(params exp.Params, path string) error {
+	report, err := exp.BenchCache(params)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		_ = f.Close() // the write error takes precedence over the close error
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, a := range report.Access {
+		// Printed as the signed change from cache-off to cache-on:
+		// negative = cache-on is cheaper.
+		fmt.Fprintf(os.Stderr, "[%s: allocs/q %+.1f%% | ns/q %+.1f%% | ios identical %v]\n",
+			a.Label, -a.AllocsReductionPct, -a.NsReductionPct, a.IOsIdentical)
+		for _, v := range a.Variants {
+			fmt.Fprintf(os.Stderr, "  %-14s %10.0f ns/q %10.0f allocs/q %8.1f ios/q  hit %.3f\n",
+				v.Label, v.NsPerQuery, v.AllocsPerQuery, v.IOsPerQuery, v.CacheHitRate)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[benchcache → %s]\n", path)
 	return nil
 }
 

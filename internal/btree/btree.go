@@ -18,7 +18,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
+	"ucat/internal/dcache"
 	"ucat/internal/obs"
 	"ucat/internal/pager"
 )
@@ -58,11 +60,97 @@ const (
 	MaxInnerKeys = (pager.PageSize - headerSize) / innerEntry
 )
 
-// Tree is a B+-tree handle. It is not safe for concurrent use.
+// Tree is a B+-tree handle. It is not safe for concurrent use by writers;
+// concurrent read-only scans go through ScanVia/NewCursorVia with private
+// views.
 type Tree struct {
 	pool *pager.Pool
 	root pager.PageID
 	size int // number of keys; maintained in memory
+	// cache, when non-nil, holds decoded leaf images keyed by (page, store
+	// version), consulted AFTER each fetch so scan I/O accounting is
+	// unchanged. Write paths work on raw page bytes through Unpin(true),
+	// which bumps the version — no explicit invalidation exists or is
+	// needed.
+	cache *dcache.Cache
+	// readahead, when true, issues a Prefetch hint for the right sibling as
+	// each leaf is decoded during scans/cursor walks. Off by default: a
+	// prefetch turns the next leaf's demand fetch into a pool hit, which
+	// (intentionally) changes the paper's I/O figures.
+	readahead bool
+}
+
+// SetCache attaches a decoded-leaf cache (typically shared relation-wide).
+// Nil disables cached decoding.
+func (t *Tree) SetCache(c *dcache.Cache) { t.cache = c }
+
+// SetReadahead enables or disables the sibling-leaf prefetch hint on scans.
+func (t *Tree) SetReadahead(on bool) { t.readahead = on }
+
+// Prefetcher is the optional view capability leaf readahead uses; *pager.Pool
+// implements it. Views without it simply never prefetch.
+type Prefetcher interface {
+	Prefetch(pid pager.PageID) error
+}
+
+// decodedLeaf is the cache value for one leaf page: its keys in order plus
+// the right-sibling link. Shared across queries; immutable once published.
+type decodedLeaf struct {
+	keys []Key
+	link pager.PageID
+}
+
+func (dl *decodedLeaf) memSize() int64 { return 64 + int64(len(dl.keys))*KeySize }
+
+// decodeLeaf parses a leaf page image into dst, reusing dst.keys capacity.
+func decodeLeaf(data []byte, dst *decodedLeaf) {
+	n := nodeCount(data)
+	if cap(dst.keys) < n {
+		dst.keys = make([]Key, n)
+	} else {
+		dst.keys = dst.keys[:n]
+	}
+	for i := range dst.keys {
+		dst.keys[i] = leafKey(data, i)
+	}
+	dst.link = nodeLink(data)
+}
+
+// searchKeys returns the position of the first key ≥ k in a decoded leaf.
+func searchKeys(keys []Key, k Key) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i].Compare(k) >= 0 })
+}
+
+// cachedLeaf fetches the leaf through v (the fetch is counted exactly as an
+// uncached access) and returns its decoded image from the cache, decoding
+// and inserting on a miss. Only call with t.cache != nil.
+func (t *Tree) cachedLeaf(v pager.View, pid pager.PageID) (*decodedLeaf, error) {
+	pg, err := v.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	ver := t.pool.Store().Version(pid)
+	if cv, ok := t.cache.Get(pid, ver); ok {
+		pg.Unpin(false)
+		return cv.(*decodedLeaf), nil
+	}
+	dl := &decodedLeaf{}
+	decodeLeaf(pg.Data, dl)
+	pg.Unpin(false)
+	t.cache.Put(pid, ver, dl, dl.memSize())
+	return dl, nil
+}
+
+// maybePrefetch issues the opt-in readahead hint for a leaf's right sibling.
+// It is best-effort: a view without the Prefetch capability, or a pool too
+// pinned to take the page, simply skips the hint.
+func (t *Tree) maybePrefetch(v pager.View, link pager.PageID) {
+	if !t.readahead || link == pager.InvalidPage {
+		return
+	}
+	if pf, ok := v.(Prefetcher); ok {
+		_ = pf.Prefetch(link) // a failed hint must never fail the scan
+	}
 }
 
 // New creates an empty tree whose root is a fresh leaf page.
@@ -519,27 +607,40 @@ func (t *Tree) ScanVia(v pager.View, start Key, fn func(Key) bool) error {
 		pid = next
 	}
 	// Walk the sibling chain. The first leaf was already counted by the
-	// descent; each later iteration is one more node visit.
+	// descent; each later iteration is one more node visit. Leaves are
+	// decoded once each — through the shared cache when attached, otherwise
+	// into a scan-local scratch image reused leaf to leaf.
+	var scratch decodedLeaf
 	first := true
 	for pid != pager.InvalidPage {
 		if !first {
 			rec.Add("btree.nodes", 1)
 		}
 		first = false
-		pg, err := v.Fetch(pid)
-		if err != nil {
-			return err
+		var keys []Key
+		var link pager.PageID
+		if t.cache != nil {
+			dl, err := t.cachedLeaf(v, pid)
+			if err != nil {
+				return err
+			}
+			keys, link = dl.keys, dl.link
+		} else {
+			pg, err := v.Fetch(pid)
+			if err != nil {
+				return err
+			}
+			decodeLeaf(pg.Data, &scratch)
+			pg.Unpin(false)
+			keys, link = scratch.keys, scratch.link
 		}
-		n := nodeCount(pg.Data)
-		for i := leafSearch(pg.Data, start); i < n; i++ {
-			if !fn(leafKey(pg.Data, i)) {
-				pg.Unpin(false)
+		t.maybePrefetch(v, link)
+		for i := searchKeys(keys, start); i < len(keys); i++ {
+			if !fn(keys[i]) {
 				return nil
 			}
 		}
-		next := nodeLink(pg.Data)
-		pg.Unpin(false)
-		pid = next
+		pid = link
 	}
 	return nil
 }

@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 
+	"ucat/internal/dcache"
 	"ucat/internal/invidx"
+	"ucat/internal/obs"
 	"ucat/internal/pager"
 	"ucat/internal/pdrtree"
 	"ucat/internal/query"
@@ -72,6 +74,21 @@ type Options struct {
 	// PDR configures the PDR-tree (divergence, insert/split policies,
 	// compression). The zero value is the paper's best combination.
 	PDR pdrtree.Config
+	// NoDecodeCache disables the relation-wide decoded-page cache. The zero
+	// value (cache ON) is the recommended configuration: the cache sits above
+	// the buffer pool and skips deserialization only — every page is still
+	// fetched through the pool, so the paper's I/O counts are bit-identical
+	// either way. Disabling it exists for A/B benchmarking (ucatbench
+	// -decodecache=false) and memory-constrained embedding.
+	NoDecodeCache bool
+	// DecodeCacheBytes bounds the decoded-page cache's memory;
+	// 0 means dcache.DefaultBytes.
+	DecodeCacheBytes int
+	// Readahead enables sibling-leaf prefetch on inverted-list B+-tree scans.
+	// Off by default: prefetch reads are counted outside the paper's I/O
+	// metric, but the default stays conservative so figure runs exercise the
+	// exact demand-fetch sequence of the paper unless explicitly opted in.
+	Readahead bool
 }
 
 // Relation is a single-uncertain-attribute relation with an optional index.
@@ -84,6 +101,7 @@ type Relation struct {
 	pdr     *pdrtree.Tree
 	nextTID uint32
 	sample  *reservoir // for selectivity estimation
+	cache   *dcache.Cache
 }
 
 // NewRelation creates an empty relation.
@@ -106,8 +124,37 @@ func NewRelation(opts Options) (*Relation, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown index kind %v", opts.Kind)
 	}
+	r.applyCacheOptions()
 	return r, nil
 }
+
+// applyCacheOptions creates the relation-wide decoded-page cache (unless
+// disabled) and injects it — plus the readahead setting — into every
+// component. One cache serves the whole relation: page ids are unique per
+// store, so heap pages, inverted-list leaves and PDR-tree nodes share the
+// budget without colliding. Cache counters are mirrored into the process
+// metrics registry (ucat_dcache_* on /metrics).
+func (r *Relation) applyCacheOptions() {
+	if !r.opts.NoDecodeCache {
+		r.cache = dcache.New(int64(r.opts.DecodeCacheBytes))
+		r.cache.Instrument(obs.Default)
+	}
+	switch r.opts.Kind {
+	case ScanOnly:
+		r.tuples.SetCache(r.cache)
+	case InvertedIndex:
+		r.inv.SetCache(r.cache) // covers the shared heap and every list
+		r.inv.SetReadahead(r.opts.Readahead)
+	case PDRTree:
+		r.tuples.SetCache(r.cache)
+		r.pdr.SetCache(r.cache)
+	}
+}
+
+// DecodeCache returns the relation's decoded-page cache, or nil when the
+// relation was created with NoDecodeCache. Its Stats expose hit/miss/evict
+// counts for benchmark reporting.
+func (r *Relation) DecodeCache() *dcache.Cache { return r.cache }
 
 // Kind returns the access method backing the relation.
 func (r *Relation) Kind() Kind { return r.opts.Kind }

@@ -154,6 +154,10 @@ func LoadRelation(rd io.Reader) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Loaded relations get a fresh decode cache under default options (the
+	// snapshot format predates the cache and carries no cache settings; a
+	// fresh cache is always coherent — it starts empty).
+	r.applyCacheOptions()
 	return r, nil
 }
 

@@ -1,0 +1,287 @@
+// Package dcache provides a size-bounded, sharded cache of decoded page
+// objects layered over the buffer pool. The paper's cost model counts disk
+// I/Os (pool misses), but wall-clock profiles show queries spend most of
+// their CPU re-deserializing the same hot pages on every traversal. The
+// decode cache removes that re-decode cost WITHOUT perturbing the I/O
+// figures: callers always Fetch the page through their pool view first (so
+// every read and hit is counted exactly as before) and only then consult the
+// cache to skip the deserialization step.
+//
+// Invalidation is by version, not by notification. Entries are keyed by
+// (PageID, store version); pager.Store gives every page a monotonic version
+// counter that Page.Unpin(dirty=true) bumps (see Store.BumpVersion). A
+// writer therefore needs no cache code at all: after any mutation the page's
+// version has moved, the old (pid, version) key can never be looked up
+// again, and the stale entry ages out through normal CLOCK eviction.
+// Versions never rewind — not even across Free/Allocate of a recycled page
+// id — so a hit is always a decode of the page's current bytes.
+//
+// Cached values are shared across queries and goroutines and MUST be treated
+// as immutable by all readers. Write paths that mutate decoded nodes in
+// place (for example pdrtree splits) must bypass the cache entirely.
+package dcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ucat/internal/obs"
+	"ucat/internal/pager"
+)
+
+// DefaultBytes is the default capacity: enough for the hot paths of the
+// paper's workloads (a few thousand decoded 8 KB pages) while staying small
+// next to the relation itself.
+const DefaultBytes = 8 << 20
+
+// shards is the number of lock stripes. Keys map to shards by a fixed hash
+// of the page id, mirroring pager.Pool's striping, so concurrent queries
+// touching different pages rarely contend.
+const shards = 8
+
+// Key identifies one decoded snapshot of a page: the page id plus the store
+// version current when the bytes were decoded.
+type Key struct {
+	PID pager.PageID
+	Ver uint64
+}
+
+type entry struct {
+	key  Key
+	val  any
+	size int64
+	ref  bool // CLOCK reference bit (second chance)
+	live bool
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries []entry
+	table   map[Key]int // key → entry index
+	freeIdx []int       // dead entry slots available for reuse
+	hand    int         // CLOCK hand
+	bytes   int64       // sum of live entry sizes
+	max     int64       // byte budget for this shard
+
+	_ [64]byte // keep shard mutexes on separate cache lines
+}
+
+// Stats is a snapshot of the cache counters. Hits/Misses/Evictions are
+// lifetime totals; Entries/Bytes are current occupancy.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded (PageID, version) → decoded-object cache with CLOCK
+// eviction and a byte budget. The zero value is not usable; call New. A nil
+// *Cache is valid and behaves as an always-miss, drop-on-put cache, so call
+// sites need no "is caching enabled" branches.
+//
+// Cache is safe for concurrent use.
+type Cache struct {
+	sh [shards]shard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	// Optional obs mirrors (set by Instrument); nil when not instrumented.
+	obsHits      *obs.Counter
+	obsMisses    *obs.Counter
+	obsEvictions *obs.Counter
+}
+
+// New creates a cache with the given byte budget (DefaultBytes if
+// maxBytes <= 0). The budget is split evenly across the lock stripes.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBytes
+	}
+	c := &Cache{}
+	per := maxBytes / shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.sh {
+		c.sh[i].table = make(map[Key]int)
+		c.sh[i].max = per
+	}
+	return c
+}
+
+// Instrument mirrors the cache's counters into the registry as
+// ucat_dcache_{hits,misses,evictions}_total, so they show up in /metrics
+// alongside the pager's I/O counters. Call once, before the cache is shared.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.obsHits = reg.Counter("ucat_dcache_hits_total")
+	c.obsMisses = reg.Counter("ucat_dcache_misses_total")
+	c.obsEvictions = reg.Counter("ucat_dcache_evictions_total")
+}
+
+func (c *Cache) shardFor(pid pager.PageID) *shard {
+	h := uint64(pid) * 0x9E3779B97F4A7C15
+	return &c.sh[(h>>32)%shards]
+}
+
+// Get returns the decoded object cached for (pid, ver), if present. The
+// returned value is shared: callers must not mutate it. A nil cache always
+// misses.
+func (c *Cache) Get(pid pager.PageID, ver uint64) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	k := Key{PID: pid, Ver: ver}
+	sh := c.shardFor(pid)
+	sh.mu.Lock()
+	idx, ok := sh.table[k]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		if c.obsMisses != nil {
+			c.obsMisses.Inc()
+		}
+		return nil, false
+	}
+	e := &sh.entries[idx]
+	e.ref = true
+	v := e.val
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	if c.obsHits != nil {
+		c.obsHits.Inc()
+	}
+	return v, true
+}
+
+// Put stores the decoded object for (pid, ver), charging it size bytes
+// against the budget and evicting older entries CLOCK-style as needed.
+// Objects larger than a shard's whole budget are not cached. Put on a nil
+// cache is a no-op. Re-putting an existing key refreshes its value.
+func (c *Cache) Put(pid pager.PageID, ver uint64, val any, size int64) {
+	if c == nil {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	k := Key{PID: pid, Ver: ver}
+	sh := c.shardFor(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if size > sh.max {
+		return // would evict the whole shard for one object
+	}
+	if idx, ok := sh.table[k]; ok {
+		e := &sh.entries[idx]
+		sh.bytes += size - e.size
+		e.val = val
+		e.size = size
+		e.ref = true
+		c.evictLocked(sh, k)
+		return
+	}
+	// Make room first so the new entry cannot be its own victim.
+	c.evictUntil(sh, sh.max-size)
+	idx := -1
+	if n := len(sh.freeIdx); n > 0 {
+		idx = sh.freeIdx[n-1]
+		sh.freeIdx = sh.freeIdx[:n-1]
+	} else {
+		sh.entries = append(sh.entries, entry{})
+		idx = len(sh.entries) - 1
+	}
+	sh.entries[idx] = entry{key: k, val: val, size: size, ref: true, live: true}
+	sh.table[k] = idx
+	sh.bytes += size
+}
+
+// evictLocked trims the shard back under budget, sparing keep. Must be
+// called with sh.mu held.
+func (c *Cache) evictLocked(sh *shard, keep Key) {
+	if sh.bytes <= sh.max {
+		return
+	}
+	c.evictUntilSparing(sh, sh.max, &keep)
+}
+
+// evictUntil evicts CLOCK-style until the shard's bytes are <= limit.
+// Must be called with sh.mu held.
+func (c *Cache) evictUntil(sh *shard, limit int64) {
+	c.evictUntilSparing(sh, limit, nil)
+}
+
+func (c *Cache) evictUntilSparing(sh *shard, limit int64, keep *Key) {
+	if limit < 0 {
+		limit = 0
+	}
+	n := len(sh.entries)
+	if n == 0 {
+		return
+	}
+	// Two full sweeps suffice: the first clears reference bits, the second
+	// takes every remaining candidate. Guard the loop anyway so a shard full
+	// of spared entries terminates.
+	for sweep := 0; sh.bytes > limit && sweep < 2*n; sweep++ {
+		if sh.hand >= len(sh.entries) {
+			sh.hand = 0
+		}
+		e := &sh.entries[sh.hand]
+		idx := sh.hand
+		sh.hand++
+		if !e.live {
+			continue
+		}
+		if keep != nil && e.key == *keep {
+			continue
+		}
+		if e.ref {
+			e.ref = false // second chance
+			continue
+		}
+		delete(sh.table, e.key)
+		sh.bytes -= e.size
+		*e = entry{}
+		sh.freeIdx = append(sh.freeIdx, idx)
+		c.evictions.Add(1)
+		if c.obsEvictions != nil {
+			c.obsEvictions.Inc()
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters and current occupancy. Counter
+// loads are atomic; occupancy is summed shard by shard under each lock.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.sh {
+		sh := &c.sh[i]
+		sh.mu.Lock()
+		st.Bytes += sh.bytes
+		st.Entries += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,154 @@
+package dcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ucat/internal/obs"
+	"ucat/internal/pager"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, 0, "decoded-1", 100)
+	v, ok := c.Get(1, 0)
+	if !ok || v.(string) != "decoded-1" {
+		t.Fatalf("Get(1,0) = %v,%v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", got)
+	}
+}
+
+// TestVersionInvalidation is the whole point of the design: after a writer
+// bumps the version, the old entry is unreachable and the new version
+// misses until re-decoded.
+func TestVersionInvalidation(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(7, 3, "old", 10)
+	if _, ok := c.Get(7, 4); ok {
+		t.Fatal("stale entry served for newer version")
+	}
+	if _, ok := c.Get(7, 3); !ok {
+		t.Fatal("entry for the decoded version should still hit")
+	}
+	c.Put(7, 4, "new", 10)
+	if v, _ := c.Get(7, 4); v.(string) != "new" {
+		t.Fatalf("Get(7,4) = %v", v)
+	}
+}
+
+func TestRePutRefreshes(t *testing.T) {
+	c := New(1 << 20)
+	c.Put(1, 1, "a", 10)
+	c.Put(1, 1, "b", 30)
+	v, ok := c.Get(1, 1)
+	if !ok || v.(string) != "b" {
+		t.Fatalf("Get = %v,%v, want b", v, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 30 {
+		t.Fatalf("stats after re-put: %+v", st)
+	}
+}
+
+// TestEvictionBounded fills one shard past its budget and checks CLOCK
+// eviction keeps bytes under the cap while the most recently touched
+// entries survive.
+func TestEvictionBounded(t *testing.T) {
+	c := New(8 * 100) // 100 bytes per shard
+	// All keys with the same pid land in one shard; use versions as the
+	// distinguishing key (pid fixed → one shard exercises the clock).
+	for v := uint64(0); v < 20; v++ {
+		c.Put(5, v, v, 30) // shard fits 3 at a time
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("bytes %d exceed shard budget 100", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	if st.Entries == 0 {
+		t.Fatal("cache emptied itself")
+	}
+	// The newest entry must have survived (it was just inserted).
+	if _, ok := c.Get(5, 19); !ok {
+		t.Fatal("most recent insert was evicted")
+	}
+}
+
+func TestOversizeObjectNotCached(t *testing.T) {
+	c := New(8 * 100)
+	c.Put(5, 0, "big", 1000)
+	if _, ok := c.Get(5, 0); ok {
+		t.Fatal("object larger than shard budget was cached")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after oversize put: %+v", st)
+	}
+}
+
+// TestNilCache pins the disabled path: a nil *Cache misses and drops
+// without branching at call sites.
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	c.Put(1, 0, "x", 10)
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("nil cache hit")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+	c.Instrument(obs.NewRegistry()) // must not panic
+}
+
+func TestInstrumentMirrorsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(1 << 20)
+	c.Instrument(reg)
+	c.Get(1, 0) // miss
+	c.Put(1, 0, "x", 10)
+	c.Get(1, 0) // hit
+	if got := reg.Counter("ucat_dcache_hits_total").Value(); got != 1 {
+		t.Fatalf("hits counter = %d, want 1", got)
+	}
+	if got := reg.Counter("ucat_dcache_misses_total").Value(); got != 1 {
+		t.Fatalf("misses counter = %d, want 1", got)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(64 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				pid := pager.PageID(i%37 + 1)
+				ver := uint64(i % 3)
+				if v, ok := c.Get(pid, ver); ok {
+					want := fmt.Sprintf("%d@%d", pid, ver)
+					if v.(string) != want {
+						t.Errorf("goroutine %d: Get(%d,%d) = %q, want %q", g, pid, ver, v, want)
+						return
+					}
+				} else {
+					c.Put(pid, ver, fmt.Sprintf("%d@%d", pid, ver), 64)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 64<<10 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+}

@@ -22,7 +22,7 @@ func AblationInvStrategies(p Params) (*Figure, error) {
 	fig := &Figure{ID: "ablation-inv", Title: "Inverted-index search strategies (CRM1)", XLabel: "selectivity %"}
 	w := newWorkload(d, p.Queries, p.Seed)
 	for _, s := range invidx.Strategies {
-		rel, err := buildRelation(d, core.Options{Kind: core.InvertedIndex, InvStrategy: s}, p.BuildFrames)
+		rel, err := buildRelation(d, core.Options{Kind: core.InvertedIndex, InvStrategy: s}, p)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +98,7 @@ func AblationBufferPool(p Params) (*Figure, error) {
 		{label: "Inv-Thres", opts: core.Options{Kind: core.InvertedIndex, InvStrategy: p.strategyOr(invidx.HighestProbFirst)}},
 		{label: "PDR-Thres", opts: core.Options{Kind: core.PDRTree}},
 	} {
-		rel, err := buildRelation(d, a.opts, p.BuildFrames)
+		rel, err := buildRelation(d, a.opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -129,11 +129,11 @@ func AblationDSTQ(p Params) (*Figure, error) {
 	p = p.withDefaults()
 	d := dataset.CRM1Like(p.Seed, p.scaled(dataset.CRMSize))
 	fig := &Figure{ID: "ablation-dstq", Title: "DSTQ pruning (CRM1)", XLabel: "distance thr"}
-	pdr, err := buildRelation(d, core.Options{Kind: core.PDRTree}, p.BuildFrames)
+	pdr, err := buildRelation(d, core.Options{Kind: core.PDRTree}, p)
 	if err != nil {
 		return nil, err
 	}
-	scan, err := buildRelation(d, core.Options{Kind: core.ScanOnly}, p.BuildFrames)
+	scan, err := buildRelation(d, core.Options{Kind: core.ScanOnly}, p)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +180,7 @@ func AblationJoin(p Params) (*Figure, error) {
 	n := p.scaled(dataset.SyntheticSize / 2)
 	left := dataset.CRM2Like(p.Seed, n)
 	right := dataset.CRM2Like(p.Seed+1, n)
-	lrel, err := buildRelation(left, core.Options{Kind: core.ScanOnly}, p.BuildFrames)
+	lrel, err := buildRelation(left, core.Options{Kind: core.ScanOnly}, p)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +191,7 @@ func AblationJoin(p Params) (*Figure, error) {
 		{label: "right-inverted", opts: core.Options{Kind: core.InvertedIndex, InvStrategy: p.strategyOr(invidx.NRA)}},
 		{label: "right-pdr", opts: core.Options{Kind: core.PDRTree}},
 	} {
-		rrel, err := buildRelation(right, a.opts, p.BuildFrames)
+		rrel, err := buildRelation(right, a.opts, p)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ucat/internal/core"
+	"ucat/internal/dataset"
+	"ucat/internal/invidx"
+)
+
+// benchcache.go measures what the decoded-page cache buys: the Figure-4
+// PETQ workload (CRM1, both index structures) is run with the cache off and
+// on, sequentially and with the parallel worker fan-out, and the CPU-side
+// dimensions (wall-clock ns/query, heap allocations/query, decode-cache hit
+// rate) are compared. The paper's metric — disk I/Os per query — must be
+// bit-identical across all four variants: the cache never skips a pool
+// fetch and readahead is off here, so any I/O difference is a bug (the
+// report records the cross-check).
+
+// CacheVariant is one (cache setting, worker count) measurement of the
+// workload.
+type CacheVariant struct {
+	Label          string  `json:"label"` // e.g. "cache-off/seq"
+	Cache          bool    `json:"cache"`
+	Workers        int     `json:"workers"`
+	NsPerQuery     float64 `json:"ns_per_query"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	IOsPerQuery    float64 `json:"ios_per_query"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	WallNs         int64   `json:"wall_ns"`
+}
+
+// CacheAccess is the cache-off/cache-on comparison for one access method.
+type CacheAccess struct {
+	Label    string         `json:"label"`
+	Variants []CacheVariant `json:"variants"`
+	// Sequential cache-on vs cache-off deltas (positive = cache wins).
+	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
+	NsReductionPct     float64 `json:"ns_reduction_pct"`
+	// IOsIdentical is the determinism cross-check: every variant must report
+	// exactly the same mean I/Os per query.
+	IOsIdentical bool `json:"ios_identical"`
+}
+
+// CacheBenchReport is the BENCH_cache.json payload.
+type CacheBenchReport struct {
+	Generated  string        `json:"generated"`
+	Scale      float64       `json:"scale"`
+	Queries    int           `json:"queries"`
+	Seed       int64         `json:"seed"`
+	Workers    int           `json:"workers"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Readahead  bool          `json:"readahead"`
+	Access     []CacheAccess `json:"access"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *CacheBenchReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// benchCacheVariant runs the PETQ sweep over every selectivity on rel and
+// aggregates the per-query means (equal query counts per point, so the mean
+// of means is the overall mean).
+func benchCacheVariant(rel *core.Relation, w *workload, workers int, label string, cacheOn bool) (CacheVariant, error) {
+	before := rel.DecodeCache().Stats() // nil-safe: zero Stats when cache off
+	t0 := time.Now()
+	var ns, allocs, ios float64
+	for _, sel := range Selectivities {
+		m, err := measure(rel, w, sel, false, workers)
+		if err != nil {
+			return CacheVariant{}, fmt.Errorf("%s sel %g: %w", label, sel, err)
+		}
+		ns += m.Ns
+		allocs += m.Allocs
+		ios += m.IOs
+	}
+	n := float64(len(Selectivities))
+	after := rel.DecodeCache().Stats()
+	v := CacheVariant{
+		Label:          label,
+		Cache:          cacheOn,
+		Workers:        workers,
+		NsPerQuery:     ns / n,
+		AllocsPerQuery: allocs / n,
+		IOsPerQuery:    ios / n,
+		CacheHits:      after.Hits - before.Hits,
+		CacheMisses:    after.Misses - before.Misses,
+		CacheEvictions: after.Evictions - before.Evictions,
+		WallNs:         time.Since(t0).Nanoseconds(),
+	}
+	if t := v.CacheHits + v.CacheMisses; t > 0 {
+		v.CacheHitRate = float64(v.CacheHits) / float64(t)
+	}
+	return v, nil
+}
+
+// BenchCache builds the Figure-4 workload (CRM1) under both index
+// structures and measures the PETQ sweep cache-off vs cache-on, each
+// sequentially and with p.Workers goroutines. p.NoDecodeCache is ignored
+// (both settings are always measured); p.Readahead is applied to BOTH sides
+// of each comparison and recorded in the report — unlike the cache, readahead
+// legitimately changes demand I/Os, so holding it equal is what keeps the
+// ios_identical cross-check meaningful.
+func BenchCache(p Params) (*CacheBenchReport, error) {
+	p = p.withDefaults()
+	d := dataset.CRM1Like(p.Seed, p.scaled(dataset.CRMSize))
+	w := newWorkload(d, p.Queries, p.Seed)
+
+	report := &CacheBenchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      p.Scale,
+		Queries:    p.Queries,
+		Seed:       p.Seed,
+		Workers:    p.Workers,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Readahead:  p.Readahead,
+	}
+
+	for _, a := range []access{
+		{label: "CRM1-Inv", opts: core.Options{Kind: core.InvertedIndex, InvStrategy: p.strategyOr(invidx.NRA)}},
+		{label: "CRM1-PDR", opts: core.Options{Kind: core.PDRTree}},
+	} {
+		// One relation per cache setting; both runs (seq then parallel) share
+		// it, so the cache-on parallel numbers reflect a warm cross-query
+		// cache — exactly the production shape.
+		pOff, pOn := p, p
+		pOff.NoDecodeCache = true
+		pOn.NoDecodeCache = false
+		relOff, err := buildRelation(d, a.opts, pOff)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.label, err)
+		}
+		relOn, err := buildRelation(d, a.opts, pOn)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.label, err)
+		}
+
+		ca := CacheAccess{Label: a.label}
+		type job struct {
+			rel     *core.Relation
+			workers int
+			label   string
+			cacheOn bool
+		}
+		jobs := []job{
+			{relOff, 1, "cache-off/seq", false},
+			{relOn, 1, "cache-on/seq", true},
+		}
+		if p.Workers > 1 {
+			jobs = append(jobs,
+				job{relOff, p.Workers, "cache-off/par", false},
+				job{relOn, p.Workers, "cache-on/par", true},
+			)
+		}
+		for _, j := range jobs {
+			v, err := benchCacheVariant(j.rel, w, j.workers, a.label+" "+j.label, j.cacheOn)
+			if err != nil {
+				return nil, err
+			}
+			ca.Variants = append(ca.Variants, v)
+		}
+
+		// Sequential on-vs-off deltas and the I/O determinism cross-check.
+		off, on := ca.Variants[0], ca.Variants[1]
+		if off.AllocsPerQuery > 0 {
+			ca.AllocsReductionPct = (off.AllocsPerQuery - on.AllocsPerQuery) / off.AllocsPerQuery * 100
+		}
+		if off.NsPerQuery > 0 {
+			ca.NsReductionPct = (off.NsPerQuery - on.NsPerQuery) / off.NsPerQuery * 100
+		}
+		ca.IOsIdentical = true
+		for _, v := range ca.Variants[1:] {
+			//ucatlint:ignore floatcmp exact cache-on/off I/O determinism is the property under test
+			if v.IOsPerQuery != ca.Variants[0].IOsPerQuery {
+				ca.IOsIdentical = false
+			}
+		}
+		report.Access = append(report.Access, ca)
+	}
+	return report, nil
+}

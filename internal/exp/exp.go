@@ -66,6 +66,17 @@ type Params struct {
 	// so the per-point I/O numbers are bit-for-bit identical for any worker
 	// count; only wall-clock time changes. 0 or 1 means sequential.
 	Workers int
+	// NoDecodeCache disables the relation-wide decoded-page cache for every
+	// relation the run builds. The cache never skips a pool fetch, so the
+	// figures' I/O counts are identical either way; this knob exists for the
+	// cache A/B benchmark (ns/q and allocs/q change, I/Os do not).
+	NoDecodeCache bool
+	// DecodeCacheBytes bounds each relation's decode cache; 0 = default.
+	DecodeCacheBytes int
+	// Readahead enables sibling-leaf prefetch on inverted-list scans.
+	// Prefetch reads are accounted outside pager.Stats, so I/O figures are
+	// again unchanged; off by default.
+	Readahead bool
 }
 
 func (p Params) withDefaults() Params {
@@ -267,9 +278,14 @@ type access struct {
 }
 
 // buildRelation loads the dataset into a fresh relation under a large build
-// pool, then shrinks the pool to the paper's 100 frames for querying.
-func buildRelation(d *dataset.Dataset, opts core.Options, buildFrames int) (*core.Relation, error) {
-	opts.PoolFrames = buildFrames
+// pool, then shrinks the pool to the paper's 100 frames for querying. The
+// run-wide cache/readahead knobs are applied here so every access method in
+// a figure is built under the same configuration.
+func buildRelation(d *dataset.Dataset, opts core.Options, p Params) (*core.Relation, error) {
+	opts.PoolFrames = p.BuildFrames
+	opts.NoDecodeCache = p.NoDecodeCache
+	opts.DecodeCacheBytes = p.DecodeCacheBytes
+	opts.Readahead = p.Readahead
 	rel, err := core.NewRelation(opts)
 	if err != nil {
 		return nil, err
@@ -445,7 +461,7 @@ func measure(rel *core.Relation, w *workload, sel float64, topk bool, workers in
 // selectivitySweep measures one access method across Selectivities,
 // producing the "<label>-Thres" and "<label>-TopK" series the paper plots.
 func selectivitySweep(d *dataset.Dataset, a access, p Params) ([]Series, error) {
-	rel, err := buildRelation(d, a.opts, p.BuildFrames)
+	rel, err := buildRelation(d, a.opts, p)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", a.label, err)
 	}

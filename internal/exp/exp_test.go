@@ -61,7 +61,7 @@ func TestTargetCountBounds(t *testing.T) {
 
 func TestMeasureCountsIO(t *testing.T) {
 	d := dataset.Uniform(5, 2000)
-	rel, err := buildRelation(d, core.Options{Kind: core.PDRTree}, 1024)
+	rel, err := buildRelation(d, core.Options{Kind: core.PDRTree}, Params{BuildFrames: 1024}.withDefaults())
 	if err != nil {
 		t.Fatalf("buildRelation: %v", err)
 	}

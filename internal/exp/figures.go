@@ -129,7 +129,7 @@ func Fig8(p Params) (*Figure, error) {
 			{opts: core.Options{Kind: core.InvertedIndex, InvStrategy: p.strategyOr(invidx.NRA)}},
 			{opts: core.Options{Kind: core.PDRTree}},
 		} {
-			rel, err := buildRelation(d, a.opts, p.BuildFrames)
+			rel, err := buildRelation(d, a.opts, p)
 			if err != nil {
 				return nil, err
 			}
@@ -170,7 +170,7 @@ func Fig9(p Params) (*Figure, error) {
 			{opts: core.Options{Kind: core.InvertedIndex, InvStrategy: p.strategyOr(invidx.BruteForce)}},
 			{opts: core.Options{Kind: core.PDRTree}},
 		} {
-			rel, err := buildRelation(d, a.opts, p.BuildFrames)
+			rel, err := buildRelation(d, a.opts, p)
 			if err != nil {
 				return nil, fmt.Errorf("fig9 domain %d: %w", domain, err)
 			}

@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"ucat/internal/btree"
+	"ucat/internal/dcache"
 	"ucat/internal/obs"
 	"ucat/internal/pager"
 	"ucat/internal/query"
@@ -34,11 +35,19 @@ import (
 )
 
 // Index is a probabilistic inverted index plus its tuple heap. It is not
-// safe for concurrent use.
+// safe for concurrent use by writers; concurrent read-only queries each use
+// their own Reader.
 type Index struct {
 	pool   *pager.Pool
 	dir    map[uint32]*btree.Tree
 	tuples *tuplestore.Store
+	// cache/readahead are inherited by every inverted list, including ones
+	// created lazily after the setters ran. The cache holds decoded list
+	// leaves and heap pages (page ids are unique per store, so one cache
+	// serves everything); readahead is the opt-in sibling prefetch on list
+	// scans.
+	cache     *dcache.Cache
+	readahead bool
 }
 
 // New creates an empty index performing all I/O through pool.
@@ -61,6 +70,9 @@ type Reader struct {
 	ix   *Index
 	view pager.View
 	rec  *obs.Recorder // nil unless the view is obs-instrumented
+	// arena backs verify()'s probe decodes (tuplestore.GetArena), reused
+	// probe after probe so warm probes allocate nothing after the first few.
+	arena []uda.Pair
 }
 
 // Reader returns a read-only query handle whose page fetches go through v.
@@ -149,7 +161,27 @@ func (ix *Index) Delete(tid uint32) error {
 	return ix.tuples.Delete(tid)
 }
 
-// list returns item's B-tree, creating it on first use.
+// SetCache attaches a decoded-object cache to the tuple heap and every
+// inverted list, present and future. Nil disables cached decoding.
+func (ix *Index) SetCache(c *dcache.Cache) {
+	ix.cache = c
+	ix.tuples.SetCache(c)
+	for _, t := range ix.dir {
+		t.SetCache(c)
+	}
+}
+
+// SetReadahead toggles the opt-in sibling-leaf prefetch on every inverted
+// list's scans, present and future.
+func (ix *Index) SetReadahead(on bool) {
+	ix.readahead = on
+	for _, t := range ix.dir {
+		t.SetReadahead(on)
+	}
+}
+
+// list returns item's B-tree, creating it on first use. New lists inherit
+// the index's cache and readahead settings.
 func (ix *Index) list(item uint32) (*btree.Tree, error) {
 	if t, ok := ix.dir[item]; ok {
 		return t, nil
@@ -158,6 +190,8 @@ func (ix *Index) list(item uint32) (*btree.Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.SetCache(ix.cache)
+	t.SetReadahead(ix.readahead)
 	ix.dir[item] = t
 	return t, nil
 }

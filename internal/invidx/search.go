@@ -197,15 +197,18 @@ func (lc *listCursor) advance() error {
 }
 
 // openCursors builds one positioned cursor per query item that has a
-// non-empty list.
+// non-empty list. The cursors are carved out of one bulk allocation (its
+// capacity is fixed up front, so the interior pointers stay valid).
 func (r *Reader) openCursors(q uda.UDA) ([]*listCursor, error) {
+	bulk := make([]listCursor, 0, q.Len())
 	var cs []*listCursor
 	for _, p := range q.Pairs() {
 		tree, ok := r.ix.dir[p.Item]
 		if !ok || tree.Len() == 0 {
 			continue
 		}
-		lc := &listCursor{item: p.Item, qp: p.Prob, cur: tree.NewCursorVia(r.view, btree.Key{}), rec: r.rec}
+		bulk = append(bulk, listCursor{item: p.Item, qp: p.Prob, cur: tree.NewCursorVia(r.view, btree.Key{}), rec: r.rec})
+		lc := &bulk[len(bulk)-1]
 		if err := lc.advance(); err != nil {
 			return nil, err
 		}
@@ -321,10 +324,13 @@ func (r *Reader) highestProbFirst(q uda.UDA, tau float64) ([]query.Match, error)
 }
 
 // verify performs the random access for a candidate and evaluates the exact
-// equality probability against the threshold.
+// equality probability against the threshold. The probe decodes into the
+// reader's reused arena (tuplestore.GetArena): the distribution is consumed
+// right here, so the buffer can be recycled probe after probe.
 func (r *Reader) verify(q uda.UDA, tid uint32, tau float64) (query.Match, bool, error) {
 	r.rec.Add("inv.probes", 1)
-	u, err := r.ix.tuples.GetVia(r.view, tid)
+	u, arena, err := r.ix.tuples.GetArena(r.view, tid, r.arena[:0])
+	r.arena = arena
 	if err != nil {
 		return query.Match{}, false, err
 	}

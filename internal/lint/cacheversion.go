@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CacheVersionCheck guards the decode cache's only coherence rule. Cached
+// decoded objects (tuplestore pages, B-tree leaves, PDR-tree nodes) are
+// keyed by (page id, store version), and the version is bumped exactly by
+// the dirty-unpin path: Page.Unpin(true). A function that writes a page's
+// bytes but only ever calls Unpin(false) publishes the mutation without the
+// bump — every decode cache over that page keeps serving the stale image
+// forever, silently corrupting query answers.
+//
+// The heuristic, per function in every package except pager (which owns the
+// protocol): detect direct page-byte writes — an index or slice assignment
+// through pg.Data (or a local alias of it), a copy/clear whose destination
+// is page data, or an encoding/binary Put* whose destination is page data —
+// and report when the function also calls Unpin on a page but every such
+// call passes the literal false. Functions whose Unpin argument is a
+// variable are not reported (the dirty path may exist dynamically), and
+// functions that write but never Unpin are out of scope: ownership of the
+// pin (and of the dirty decision) lies with their caller, which the
+// single-function heuristic cannot see.
+func CacheVersionCheck() *Check {
+	return &Check{
+		Name: "cacheversion",
+		Doc:  "flag functions that write page bytes but unpin with literal false only, skipping the version bump the decode cache relies on",
+		Run:  runCacheVersion,
+	}
+}
+
+func runCacheVersion(pkg *Package) []Diagnostic {
+	if pkg.Path == pagerPath {
+		// The pager implements the version protocol; its internal writes
+		// (write-back, snapshot restore) are deliberately outside it.
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if isTestFile(pkg, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, cacheVersionFunc(pkg, fd)...)
+		}
+	}
+	return diags
+}
+
+// isPageTyped reports whether the expression's static type is (a pointer
+// to) pager.Page.
+func isPageTyped(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	path, name, ok := namedOrPointerTo(tv.Type)
+	return ok && path == pagerPath && name == "Page"
+}
+
+// cacheVersionFunc analyzes one function declaration.
+func cacheVersionFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	// Aliases of page data: data := pg.Data (possibly resliced, possibly an
+	// alias of an alias — two passes reach fixpoint for chains of two, which
+	// is as deep as hand-written pager code goes).
+	aliases := make(map[types.Object]bool)
+
+	var isDataExpr func(e ast.Expr) bool
+	isDataExpr = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return x.Sel.Name == "Data" && isPageTyped(pkg, x.X)
+		case *ast.Ident:
+			obj := pkg.Info.Uses[x]
+			if obj == nil {
+				obj = pkg.Info.Defs[x]
+			}
+			return obj != nil && aliases[obj]
+		case *ast.IndexExpr:
+			return isDataExpr(x.X)
+		case *ast.SliceExpr:
+			return isDataExpr(x.X)
+		default:
+			return false
+		}
+	}
+
+	collectAliases := func() {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if !isDataExpr(rhs) {
+						continue
+					}
+					if ident, ok := st.Lhs[i].(*ast.Ident); ok {
+						obj := pkg.Info.Defs[ident]
+						if obj == nil {
+							obj = pkg.Info.Uses[ident]
+						}
+						if obj != nil {
+							aliases[obj] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range st.Values {
+					if i < len(st.Names) && isDataExpr(v) {
+						if obj := pkg.Info.Defs[st.Names[i]]; obj != nil {
+							aliases[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	collectAliases()
+	collectAliases() // second pass catches alias-of-alias chains
+
+	// Page-byte writes through the data expression.
+	var writes []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					if isDataExpr(l.X) {
+						writes = append(writes, lhs)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if len(st.Args) == 0 {
+				return true
+			}
+			if fun, ok := ast.Unparen(st.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); isBuiltin &&
+					(fun.Name == "copy" || fun.Name == "clear") && isDataExpr(st.Args[0]) {
+					writes = append(writes, st)
+				}
+				return true
+			}
+			if fn := calleeFunc(pkg, st); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "encoding/binary" &&
+				strings.HasPrefix(fn.Name(), "Put") && isDataExpr(st.Args[0]) {
+				writes = append(writes, st)
+			}
+		}
+		return true
+	})
+	if len(writes) == 0 {
+		return nil
+	}
+
+	// Unpin calls on page-typed receivers: every one must pass literal
+	// false for the function to be reportable.
+	sawUnpin := false
+	cleanOnly := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Unpin" || !isPageTyped(pkg, sel.X) {
+			return true
+		}
+		sawUnpin = true
+		if len(call.Args) != 1 {
+			return true
+		}
+		if ident, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if ident.Name == "false" {
+				return true // clean unpin; keep looking for a dirty one
+			}
+		}
+		cleanOnly = false // literal true, or a dynamic dirty flag
+		return true
+	})
+	if !sawUnpin || !cleanOnly {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos:   pkg.Fset.Position(writes[0].Pos()),
+		Check: "cacheversion",
+		Msg: fmt.Sprintf("%s writes page bytes but every Unpin passes false; Unpin(true) is what bumps the page version that invalidates decode-cache entries",
+			fd.Name.Name),
+	}}
+}

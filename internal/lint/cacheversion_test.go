@@ -1,0 +1,207 @@
+package lint
+
+import "testing"
+
+func TestCacheVersionDirtyUnpinIsClean(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/pager"
+
+func ok(p *pager.Pool, pid pager.PageID) error {
+	pg, err := p.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	pg.Data[0] = 7
+	pg.Unpin(true)
+	return nil
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestCacheVersionIndexWriteCleanUnpin(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/pager"
+
+func bad(p *pager.Pool, pid pager.PageID) error {
+	pg, err := p.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	pg.Data[0] = 7
+	pg.Unpin(false)
+	return nil
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src),
+		[]string{"every Unpin passes false"})
+}
+
+func TestCacheVersionBinaryPutThroughAlias(t *testing.T) {
+	src := `package x
+
+import (
+	"encoding/binary"
+
+	"ucat/internal/pager"
+)
+
+func bad(p *pager.Pool, pid pager.PageID) error {
+	pg, err := p.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	data := pg.Data
+	binary.LittleEndian.PutUint32(data[4:], 9)
+	pg.Unpin(false)
+	return nil
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src),
+		[]string{"every Unpin passes false"})
+}
+
+func TestCacheVersionCopyIntoPageData(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/pager"
+
+func bad(p *pager.Pool, pid pager.PageID, payload []byte) error {
+	pg, err := p.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	copy(pg.Data[2:], payload)
+	pg.Unpin(false)
+	return nil
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src),
+		[]string{"every Unpin passes false"})
+}
+
+func TestCacheVersionReadOnlyIsClean(t *testing.T) {
+	// Reads (index/slice on the RHS, binary.Uint32, copy FROM page data)
+	// with a clean unpin are the normal query path.
+	src := `package x
+
+import (
+	"encoding/binary"
+
+	"ucat/internal/pager"
+)
+
+func ok(p *pager.Pool, pid pager.PageID, dst []byte) (uint32, error) {
+	pg, err := p.Fetch(pid)
+	if err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(pg.Data[4:])
+	copy(dst, pg.Data)
+	pg.Unpin(false)
+	return v, nil
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestCacheVersionDynamicDirtyFlagIsClean(t *testing.T) {
+	// A variable dirty flag may be true at runtime; the static check must
+	// not cry wolf.
+	src := `package x
+
+import "ucat/internal/pager"
+
+func ok(p *pager.Pool, pid pager.PageID, dirty bool) error {
+	pg, err := p.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	pg.Data[0] = 7
+	pg.Unpin(dirty)
+	return nil
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestCacheVersionMixedUnpinsIsClean(t *testing.T) {
+	// One clean unpin on an error path plus a dirty unpin on the success
+	// path is the standard writer shape.
+	src := `package x
+
+import "ucat/internal/pager"
+
+func ok(p *pager.Pool, pid pager.PageID, fail bool) error {
+	pg, err := p.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	pg.Data[0] = 7
+	if fail {
+		pg.Unpin(false)
+		return nil
+	}
+	pg.Unpin(true)
+	return nil
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestCacheVersionNoUnpinIsOutOfScope(t *testing.T) {
+	// Writes without any Unpin: the pin (and the dirty decision) belongs to
+	// the caller; the single-function heuristic stays silent.
+	src := `package x
+
+import "ucat/internal/pager"
+
+func helper(pg *pager.Page) {
+	pg.Data[0] = 7
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestCacheVersionIgnoreDirective(t *testing.T) {
+	src := `package x
+
+import "ucat/internal/pager"
+
+func scrub(p *pager.Pool, pid pager.PageID) error {
+	pg, err := p.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	//ucatlint:ignore cacheversion in-memory scrub of a page no cache ever decodes
+	pg.Data[0] = 0
+	pg.Unpin(false)
+	return nil
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/x", src), nil)
+}
+
+func TestCacheVersionPagerPackageExempt(t *testing.T) {
+	// The pager owns the version protocol; its write-back path legitimately
+	// writes bytes around clean unpins.
+	src := `package pager
+
+type PageID uint32
+
+type Page struct {
+	ID   PageID
+	Data []byte
+}
+
+func (p *Page) Unpin(dirty bool) {}
+
+func scrub(pg *Page) {
+	pg.Data[0] = 0
+	pg.Unpin(false)
+}
+`
+	expect(t, runOn(t, CacheVersionCheck(), "ucat/internal/pager", src), nil)
+}

@@ -85,6 +85,7 @@ func AllChecks() []*Check {
 		PinleakCheck(),
 		PoolViewCheck(),
 		SpanEndCheck(),
+		CacheVersionCheck(),
 	}
 }
 

@@ -57,6 +57,20 @@ func (r *Recorder) StartSpan(name string) *Span { return nil }
 func (s *Span) End()                            {}
 func (s *Span) Attr(key, val string)            {}
 `,
+	"encoding/binary": `package binary
+
+type byteOrder struct{}
+
+func (byteOrder) Uint16(b []byte) uint16            { return 0 }
+func (byteOrder) Uint32(b []byte) uint32            { return 0 }
+func (byteOrder) Uint64(b []byte) uint64            { return 0 }
+func (byteOrder) PutUint16(b []byte, v uint16)      {}
+func (byteOrder) PutUint32(b []byte, v uint32)      {}
+func (byteOrder) PutUint64(b []byte, v uint64)      {}
+
+var LittleEndian byteOrder
+var BigEndian byteOrder
+`,
 	"math/rand": `package rand
 
 type Source interface{ Int63() int64 }

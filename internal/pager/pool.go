@@ -125,6 +125,13 @@ type Pool struct {
 	// another page. It is observability-only (not part of Stats, so existing
 	// I/O accounting and its determinism pins are untouched).
 	evictions atomic.Uint64
+	// prefetches counts pages loaded by Prefetch. Like evictions it lives
+	// outside Stats: a prefetch is a speculative transfer issued by the
+	// opt-in readahead path, and keeping it out of Reads means the paper's
+	// I/O figures are a function of demand fetches only (a later Fetch of a
+	// prefetched page counts as a Hit — which is exactly the behavioural
+	// change readahead exists to cause, and why it is off by default).
+	prefetches atomic.Uint64
 }
 
 // NewPool creates a pool with nframes frames (DefaultPoolFrames if
@@ -241,6 +248,44 @@ func (p *Pool) Fetch(pid PageID) (*Page, error) {
 	return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, nil
 }
 
+// Prefetch loads the page into the pool without pinning it and without
+// counting a demand read: the transfer is recorded in the Prefetches()
+// counter, not in Stats.Reads. Prefetching a page already in the pool is a
+// no-op (no counter moves, reference bits untouched). The frame is installed
+// unpinned with its reference bit set, so it survives one clock sweep — long
+// enough for the imminent demand Fetch the caller is hinting at, which will
+// then count as a Hit. Used by the opt-in B+-tree leaf readahead
+// (DESIGN.md §15); never called on the default path.
+func (p *Pool) Prefetch(pid PageID) error {
+	sh := p.shardFor(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.table[pid]; ok {
+		return nil
+	}
+	idx, err := p.evict(sh)
+	if err != nil {
+		return err
+	}
+	f := &sh.frames[idx]
+	if err := p.store.ReadAt(pid, f.data); err != nil {
+		// Same recovery as Fetch: leave the shard as if nothing happened.
+		delete(sh.table, pid)
+		f.pid = InvalidPage
+		f.pins = 0
+		f.ref = false
+		f.dirty = false
+		return err
+	}
+	p.prefetches.Add(1)
+	f.pid = pid
+	f.pins = 0
+	f.ref = true
+	f.dirty = false
+	sh.table[pid] = idx
+	return nil
+}
+
 // NewPage allocates a fresh zeroed page in the store and pins it without a
 // store read (materializing a brand-new page costs no input I/O; it will
 // cost a write when evicted or flushed).
@@ -269,19 +314,25 @@ func (p *Pool) NewPage() (*Page, error) {
 }
 
 // Unpin releases one pin on the page. If dirty is true the frame is marked
-// for write-back on eviction. Unpinning an unpinned page panics: it is a
+// for write-back on eviction and the page's store version is bumped, which
+// invalidates any decoded-object cache entry for the page (see
+// Store.BumpVersion). Unpinning an unpinned page panics: it is a
 // use-after-release bug in the caller.
 func (pg *Page) Unpin(dirty bool) {
 	sh := pg.sh
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	f := &sh.frames[pg.idx]
 	if f.pid != pg.ID || f.pins <= 0 {
+		sh.mu.Unlock()
 		panic(fmt.Sprintf("pager: unpin of page %d not pinned in frame %d", pg.ID, pg.idx))
 	}
 	f.pins--
 	if dirty {
 		f.dirty = true
+	}
+	sh.mu.Unlock()
+	if dirty {
+		pg.pool.store.BumpVersion(pg.ID)
 	}
 }
 
@@ -319,7 +370,7 @@ func (p *Pool) FlushAll() error {
 				sh.mu.Unlock()
 				return fmt.Errorf("pager: flush with page %d still pinned", f.pid)
 			}
-			if err := p.store.WriteAt(f.pid, f.data); err != nil {
+			if err := p.store.writeBack(f.pid, f.data); err != nil {
 				sh.mu.Unlock()
 				return err
 			}
@@ -343,6 +394,10 @@ func (p *Pool) Stats() Stats {
 // deliberately outside Stats: the paper's I/O metric and its determinism
 // pins never depend on it.
 func (p *Pool) Evictions() uint64 { return p.evictions.Load() }
+
+// Prefetches reports how many pages Prefetch has loaded over the pool's
+// lifetime. Observability-only, outside Stats (see Prefetch).
+func (p *Pool) Prefetches() uint64 { return p.prefetches.Load() }
 
 // ResetStats zeroes the I/O counters (the pool contents are untouched, so a
 // query following a reset runs against a warm pool, as in the paper).
@@ -376,9 +431,19 @@ func (p *Pool) Clear() error {
 // to build an index under a large pool and then query it under the paper's
 // 100-frame pool. The stripe count is preserved (clamped to the new frame
 // count). Resize must not race with any other pool use.
+//
+// Resizing while any page is pinned is refused up front, before any shard is
+// touched: a pinned Page aliases a frame that Resize would reallocate, and
+// Clear's per-shard error path would otherwise leave earlier stripes emptied
+// (their clock hands reset) while later ones still hold pages — a silently
+// half-cleared pool. The up-front check makes failure atomic: on error the
+// pool is exactly as it was.
 func (p *Pool) Resize(nframes int) error {
 	if nframes <= 0 {
 		nframes = DefaultPoolFrames
+	}
+	if pinned := p.PinnedPages(); pinned > 0 {
+		return fmt.Errorf("pager: resize with %d page(s) still pinned", pinned)
 	}
 	if err := p.Clear(); err != nil {
 		return err
@@ -404,7 +469,7 @@ func (p *Pool) clearShard(sh *shard) error {
 			return fmt.Errorf("pager: clear with page %d still pinned", f.pid)
 		}
 		if f.dirty {
-			if err := p.store.WriteAt(f.pid, f.data); err != nil {
+			if err := p.store.writeBack(f.pid, f.data); err != nil {
 				return err
 			}
 			p.writes.Add(1)
@@ -456,7 +521,7 @@ func (p *Pool) evict(sh *shard) (int, error) {
 			continue
 		}
 		if f.dirty {
-			if err := p.store.WriteAt(f.pid, f.data); err != nil {
+			if err := p.store.writeBack(f.pid, f.data); err != nil {
 				return 0, err
 			}
 			p.writes.Add(1)

@@ -53,5 +53,8 @@ func RestoreStore(pages [][]byte, free []PageID) (*Store, error) {
 		s.pages[i] = cp
 	}
 	s.free = append([]PageID(nil), free...)
+	// Versions restart at zero: a restored store has no live pool or decode
+	// cache over it yet, so no stale (PageID, version) keys can exist.
+	s.versions = make([]uint64, len(pages))
 	return s, nil
 }

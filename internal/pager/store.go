@@ -43,6 +43,14 @@ type Store struct {
 	mu    sync.RWMutex
 	pages [][]byte // index pid-1; nil entries are freed pages
 	free  []PageID
+	// versions holds a monotonic per-slot modification counter (index pid-1).
+	// It is bumped whenever a page's logical contents may have changed:
+	// on Page.Unpin(dirty=true), on Free, on Allocate of a recycled id, and
+	// on a direct WriteAt from outside the pool. Versions never reset, even
+	// across Free/Allocate of the same id, so a (PageID, version) pair is
+	// unique for the store's lifetime — the decode cache's invalidation key
+	// (see internal/dcache and DESIGN.md §15).
+	versions []uint64
 }
 
 // NewStore returns an empty store.
@@ -56,9 +64,11 @@ func (s *Store) Allocate() PageID {
 		pid := s.free[n-1]
 		s.free = s.free[:n-1]
 		s.pages[pid-1] = make([]byte, PageSize)
+		s.versions[pid-1]++ // recycled id: zeroed contents are a new version
 		return pid
 	}
 	s.pages = append(s.pages, make([]byte, PageSize))
+	s.versions = append(s.versions, 0)
 	return PageID(len(s.pages))
 }
 
@@ -72,7 +82,35 @@ func (s *Store) Free(pid PageID) error {
 	}
 	s.pages[pid-1] = nil
 	s.free = append(s.free, pid)
+	s.versions[pid-1]++ // the old contents are gone; invalidate decoded copies
 	return nil
+}
+
+// Version returns the page's current modification counter. Stale cache
+// entries are detected by comparing the version captured at decode time with
+// the current one; see BumpVersion for when it advances. Out-of-range ids
+// return 0 (the caller's Fetch will fail anyway).
+func (s *Store) Version(pid PageID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if pid == InvalidPage || int(pid) > len(s.versions) {
+		return 0
+	}
+	return s.versions[pid-1]
+}
+
+// BumpVersion advances the page's modification counter, invalidating any
+// decoded-object cache entry keyed to the previous version. Page.Unpin(true)
+// calls it automatically, which is the only cache-coherence duty a writer
+// has (the "writers need no cache code" contract). Bumping an out-of-range
+// id is a no-op.
+func (s *Store) BumpVersion(pid PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pid == InvalidPage || int(pid) > len(s.versions) {
+		return
+	}
+	s.versions[pid-1]++
 }
 
 // ReadAt copies the page's contents into dst, which must be PageSize bytes.
@@ -91,10 +129,30 @@ func (s *Store) ReadAt(pid PageID, dst []byte) error {
 }
 
 // WriteAt overwrites the page's contents from src, which must be PageSize
-// bytes.
+// bytes. The page's version is bumped: a direct store write bypasses the
+// pool's Unpin(dirty) protocol, so it must invalidate decoded copies itself.
 func (s *Store) WriteAt(pid PageID, src []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writeAt(pid, src); err != nil {
+		return err
+	}
+	s.versions[pid-1]++
+	return nil
+}
+
+// writeBack is the pool's write-back path. It does not bump the version: the
+// frame being written back was already bumped when it was unpinned dirty, and
+// its bytes have not changed since, so decoded copies made after that bump
+// are still valid.
+func (s *Store) writeBack(pid PageID, src []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeAt(pid, src)
+}
+
+// writeAt must be called with s.mu held.
+func (s *Store) writeAt(pid PageID, src []byte) error {
 	if err := s.check(pid); err != nil {
 		return err
 	}

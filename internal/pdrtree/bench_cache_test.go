@@ -1,0 +1,130 @@
+package pdrtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"ucat/internal/dcache"
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// Benchmarks and allocation pins for the node-load hot path: uncached
+// (decode on every read, leaf pages into reader scratch) versus cached
+// (decode once per (page, version), then serve the shared immutable node).
+// These run under `make bench-smoke`, so a regression in either path shows
+// up in CI as changed allocs/op.
+
+// benchTreeLeaf builds a small tree and returns it plus the page id of its
+// leftmost leaf (the node kind whose decode cost dominates queries).
+func benchTreeLeaf(b *testing.B) (*Tree, pager.PageID) {
+	b.Helper()
+	tr, err := New(pager.NewPool(pager.NewStore(), 4096), Config{})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(uint32(i), uda.Random(r, 64, 4)); err != nil {
+			b.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	pid := tr.root
+	for {
+		n, err := tr.readNodeVia(tr.pool, pid)
+		if err != nil {
+			b.Fatalf("readNodeVia(%d): %v", pid, err)
+		}
+		if n.leaf {
+			return tr, pid
+		}
+		pid = n.children[0]
+	}
+}
+
+// BenchmarkReadNodeUncached is the no-cache leaf load: one pool fetch plus a
+// full decode into reader-local scratch. The scratch/arena reuse keeps the
+// warm path at exactly 1 alloc/op — the *pager.Page pin handle every honest
+// fetch returns; the decode itself adds zero. If this benchmark reports
+// more, the scratch path regressed — fix the regression, do not accept the
+// new number.
+func BenchmarkReadNodeUncached(b *testing.B) {
+	tr, leaf := benchTreeLeaf(b)
+	rd := tr.Reader(nil)
+	if _, err := rd.readNode(leaf); err != nil { // warm scratch + arena
+		b.Fatalf("readNode: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.readNode(leaf); err != nil {
+			b.Fatalf("readNode: %v", err)
+		}
+	}
+}
+
+// BenchmarkReadNodeCached is the decode-cache leaf load: the same pool fetch
+// (the I/O metric must not move), then a cache hit instead of a decode. Warm
+// hits allocate only the fetch's pin handle (1 alloc/op) and skip the decode
+// entirely; if this reports more, the hit path regressed.
+func BenchmarkReadNodeCached(b *testing.B) {
+	tr, leaf := benchTreeLeaf(b)
+	tr.SetCache(dcache.New(0))
+	rd := tr.Reader(nil)
+	if _, err := rd.readNode(leaf); err != nil { // populate the cache entry
+		b.Fatalf("readNode: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.readNode(leaf); err != nil {
+			b.Fatalf("readNode: %v", err)
+		}
+	}
+}
+
+// TestReadNodeWarmAllocs pins both paths' warm allocation counts to exactly
+// one — the *pager.Page handle returned by the fetch the I/O accounting
+// requires; the decode contributes zero (DESIGN.md §15). A failure means a
+// decode or cache-hit path started allocating; fix the regression, do not
+// relax the pin.
+func TestReadNodeWarmAllocs(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		tr, err := New(pager.NewPool(pager.NewStore(), 4096), Config{})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 500; i++ {
+			if err := tr.Insert(uint32(i), uda.Random(r, 64, 4)); err != nil {
+				t.Fatalf("Insert(%d): %v", i, err)
+			}
+		}
+		if cached {
+			tr.SetCache(dcache.New(0))
+		}
+		pid := tr.root
+		for {
+			n, err := tr.readNodeVia(tr.pool, pid)
+			if err != nil {
+				t.Fatalf("readNodeVia: %v", err)
+			}
+			if n.leaf {
+				break
+			}
+			pid = n.children[0]
+		}
+		rd := tr.Reader(nil)
+		if _, err := rd.readNode(pid); err != nil { // warm
+			t.Fatalf("readNode: %v", err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := rd.readNode(pid); err != nil {
+				t.Fatalf("readNode: %v", err)
+			}
+		})
+		if allocs > 1 {
+			t.Errorf("cached=%v: warm readNode allocates %.1f allocs/op, want ≤1 (the fetch's page handle)", cached, allocs)
+		}
+	}
+}

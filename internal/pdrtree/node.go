@@ -72,55 +72,94 @@ func (n *node) encodedSize(cfg Config) int {
 	return s
 }
 
-// readNode fetches and decodes the page through the tree's own pool.
+// readNode fetches and decodes the page through the tree's own pool. This is
+// the WRITE-SIDE read path: it always returns a freshly decoded node the
+// caller may mutate in place (Insert/Delete/split do exactly that), so it
+// must never serve from the decode cache, whose nodes are shared and
+// immutable.
 func (t *Tree) readNode(pid pager.PageID) (*node, error) {
 	return t.readNodeVia(t.pool, pid)
 }
 
-// readNodeVia fetches and decodes the page through the given pool view.
+// readNodeVia fetches and decodes the page through the given pool view. The
+// returned node is freshly allocated and owned by the caller.
 func (t *Tree) readNodeVia(v pager.View, pid pager.PageID) (*node, error) {
 	pg, err := v.Fetch(pid)
 	if err != nil {
 		return nil, err
 	}
-	defer pg.Unpin(false)
-	data := pg.Data
-	count := int(binary.LittleEndian.Uint16(data[2:]))
 	n := &node{}
+	_, err = t.decodeNode(pid, pg.Data, n, nil)
+	pg.Unpin(false)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// decodeNode decodes a page image into n, reusing n's slice capacity (the
+// reader's leaf scratch path) and appending leaf pair data to arena
+// (uda.DecodeInto); the possibly grown arena is returned. A nil arena simply
+// grows from empty, giving a caller-owned node whose UDAs share one backing
+// array instead of one allocation per tuple.
+func (t *Tree) decodeNode(pid pager.PageID, data []byte, n *node, arena []uda.Pair) ([]uda.Pair, error) {
+	count := int(binary.LittleEndian.Uint16(data[2:]))
+	n.leaf = false
+	n.tids = n.tids[:0]
+	n.udas = n.udas[:0]
+	n.children = n.children[:0]
+	n.bounds = n.bounds[:0]
 	off := headerSize
 	switch data[0] {
 	case leafKind:
 		n.leaf = true
-		n.tids = make([]uint32, 0, count)
-		n.udas = make([]uda.UDA, 0, count)
 		for i := 0; i < count; i++ {
 			tid := binary.LittleEndian.Uint32(data[off:])
-			u, sz, err := uda.Decode(data[off+4:])
+			var u uda.UDA
+			var sz int
+			var err error
+			u, arena, sz, err = uda.DecodeInto(data[off+4:], arena)
 			if err != nil {
-				return nil, fmt.Errorf("pdrtree: leaf %d record %d: %w", pid, i, err)
+				return arena, fmt.Errorf("pdrtree: leaf %d record %d: %w", pid, i, err)
 			}
 			n.tids = append(n.tids, tid)
 			n.udas = append(n.udas, u)
 			off += 4 + sz
 		}
 	case innerKind:
-		n.children = make([]pager.PageID, 0, count)
-		n.bounds = make([]uda.Vector, 0, count)
 		for i := 0; i < count; i++ {
 			child := pager.PageID(binary.LittleEndian.Uint32(data[off:]))
 			blen := int(binary.LittleEndian.Uint16(data[off+4:]))
 			b, err := decodeBoundary(data[off+6:off+6+blen], t.cfg)
 			if err != nil {
-				return nil, fmt.Errorf("pdrtree: inner %d entry %d: %w", pid, i, err)
+				return arena, fmt.Errorf("pdrtree: inner %d entry %d: %w", pid, i, err)
 			}
 			n.children = append(n.children, child)
 			n.bounds = append(n.bounds, b)
 			off += 6 + blen
 		}
 	default:
-		return nil, fmt.Errorf("pdrtree: page %d has unknown kind %d", pid, data[0])
+		return arena, fmt.Errorf("pdrtree: page %d has unknown kind %d", pid, data[0])
 	}
-	return n, nil
+	return arena, nil
+}
+
+// memSize estimates the node's in-memory footprint for the decode cache's
+// byte budget: slice headers plus element payloads (uda.Pair is 16 bytes).
+func (n *node) memSize() int64 {
+	const base = 96 // node struct + slice headers, roughly
+	s := int64(base)
+	if n.leaf {
+		s += int64(len(n.tids)) * 4
+		for _, u := range n.udas {
+			s += 24 + int64(u.Len())*16
+		}
+		return s
+	}
+	for _, b := range n.bounds {
+		s += 4 + 24 + int64(len(b))*16
+	}
+	return s
 }
 
 // writeNode encodes the node onto its page. It returns errNodeTooBig without

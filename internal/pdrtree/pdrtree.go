@@ -5,18 +5,32 @@ import (
 	"fmt"
 	"sort"
 
+	"ucat/internal/dcache"
 	"ucat/internal/pager"
 	"ucat/internal/uda"
 )
 
 // Tree is a Probabilistic Distribution R-tree. It is not safe for concurrent
-// use.
+// use by writers; concurrent read-only queries each use their own Reader.
 type Tree struct {
 	pool *pager.Pool
 	cfg  Config
 	root pager.PageID
 	size int
+	// cache, when non-nil, holds decoded nodes keyed by (page id, store
+	// version) and is consulted by Reader traversals AFTER the page fetch,
+	// so the paper's I/O accounting is unchanged. Write paths always decode
+	// fresh (readNode) because they mutate nodes in place; their only cache
+	// duty is the version bump Page.Unpin(true) already performs.
+	cache *dcache.Cache
 }
+
+// SetCache attaches a decoded-node cache, typically shared with the
+// relation's other access methods (page ids are unique per store, so one
+// cache serves all of them). A nil cache disables cached decoding; Readers
+// then fall back to reader-local scratch decoding. Set it before queries
+// run; swapping caches mid-query is not supported.
+func (t *Tree) SetCache(c *dcache.Cache) { t.cache = c }
 
 // New creates an empty tree whose root is a fresh leaf page.
 func New(pool *pager.Pool, cfg Config) (*Tree, error) {

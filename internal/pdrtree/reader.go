@@ -1,6 +1,7 @@
 package pdrtree
 
 import (
+	"ucat/internal/dcache"
 	"ucat/internal/obs"
 	"ucat/internal/pager"
 	"ucat/internal/query"
@@ -11,13 +12,25 @@ import (
 // node fetch goes through the view instead of the tree's construction pool.
 // Handing each concurrent query a Reader over a private 100-frame pool
 // reproduces the paper's per-query buffer-manager accounting (§4) while N
-// queries run in parallel over the same store. A Reader is cheap (two words)
-// and not safe for concurrent use; make one per query. Readers must not be
-// used across tree mutations.
+// queries run in parallel over the same store. A Reader is cheap and not
+// safe for concurrent use; make one per query. Readers must not be used
+// across tree mutations.
+//
+// Node decoding is layered over the fetch (never instead of it — the I/O
+// figures must not move): with a decode cache attached to the tree, readNode
+// serves shared immutable nodes keyed by (page, store version); without one,
+// leaf pages are decoded into reader-local scratch (zero allocations on a
+// warm reader), which is safe because every traversal fully consumes a leaf
+// before reading the next node, and inner nodes — which stay live across the
+// recursion into their children — are still allocated fresh.
 type Reader struct {
 	t    *Tree
 	view pager.View
 	rec  *obs.Recorder // nil unless the view is obs-instrumented
+
+	// Scratch for the cache-disabled leaf decode path.
+	scratch node
+	arena   []uda.Pair
 }
 
 // Reader returns a read-only query handle whose page fetches go through v.
@@ -31,8 +44,72 @@ func (t *Tree) Reader(v pager.View) *Reader {
 	return &Reader{t: t, view: v, rec: obs.RecorderOf(v)}
 }
 
-// readNode fetches and decodes the page through the reader's view.
+// readNode fetches the page through the reader's view (always — the fetch
+// IS the I/O accounting) and returns its decoded image. The returned node
+// must be treated as read-only and, on the scratch path, is only valid until
+// the next readNode call; every traversal in this package consumes leaves
+// immediately, which is what makes the scratch reuse safe.
 func (r *Reader) readNode(pid pager.PageID) (*node, error) {
+	if c := r.t.cache; c != nil {
+		return r.readNodeCached(pid, c)
+	}
+	pg, err := r.view.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	if pg.Data[0] == leafKind {
+		// Hot path: decode into reader-local scratch, zero allocations once
+		// the scratch slices and pair arena have warmed up.
+		r.arena, err = r.t.decodeNode(pid, pg.Data, &r.scratch, r.arena[:0])
+		pg.Unpin(false)
+		if err != nil {
+			return nil, err
+		}
+		return &r.scratch, nil
+	}
+	// Inner nodes stay live across the recursion into their children (the
+	// child reads would clobber scratch), so they are decoded fresh.
+	n := &node{}
+	_, err = r.t.decodeNode(pid, pg.Data, n, nil)
+	pg.Unpin(false)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// readNodeCached is the decode-cache path: fetch first (I/O counted exactly
+// as without the cache), then key the cache by the page's current store
+// version. A writer's dirty unpin bumped the version, so stale entries can
+// never be looked up again — no invalidation traffic exists.
+func (r *Reader) readNodeCached(pid pager.PageID, c *dcache.Cache) (*node, error) {
+	pg, err := r.view.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	ver := r.t.pool.Store().Version(pid)
+	if v, ok := c.Get(pid, ver); ok {
+		pg.Unpin(false)
+		return v.(*node), nil
+	}
+	n := &node{}
+	_, err = r.t.decodeNode(pid, pg.Data, n, nil)
+	pg.Unpin(false)
+	if err != nil {
+		return nil, err
+	}
+	c.Put(pid, ver, n, n.memSize())
+	return n, nil
+}
+
+// readNodeOwned is readNode for callers that hand node contents to code that
+// may retain them past the next read (Scan's callback): cached nodes are
+// shared-but-immutable and safe to retain; otherwise a fresh node is
+// decoded, never scratch.
+func (r *Reader) readNodeOwned(pid pager.PageID) (*node, error) {
+	if c := r.t.cache; c != nil {
+		return r.readNodeCached(pid, c)
+	}
 	return r.t.readNodeVia(r.view, pid)
 }
 

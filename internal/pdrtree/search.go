@@ -124,6 +124,8 @@ func (r *Reader) topk(pid pager.PageID, q uda.UDA, tk *query.TopK) error {
 
 // Scan visits every (tid, UDA) in the tree in depth-first page order; fn
 // returns false to stop. Useful for verification and for rebuilding.
+// fn may retain the UDAs it is handed, so Scan reads owned (or cached,
+// shared-immutable) nodes, never reader scratch.
 func (r *Reader) Scan(fn func(tid uint32, u uda.UDA) bool) error {
 	stop := false
 	var walk func(pid pager.PageID) error
@@ -131,7 +133,7 @@ func (r *Reader) Scan(fn func(tid uint32, u uda.UDA) bool) error {
 		if stop {
 			return nil
 		}
-		n, err := r.readNode(pid)
+		n, err := r.readNodeOwned(pid)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"container/heap"
 	"math/rand"
 	"sort"
 	"testing"
@@ -90,4 +91,117 @@ func TestNewNearestKPanicsOnBadK(t *testing.T) {
 		}
 	}()
 	NewNearestK(0)
+}
+
+func TestNewNearestKPanicsOnNegativeK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewNearestK(-3) did not panic")
+		}
+	}()
+	NewNearestK(-3)
+}
+
+// TestNearestKFull covers the Full transition: not full while fewer than k
+// neighbors are held, full exactly at k, and still full (not over-full)
+// after further offers.
+func TestNearestKFull(t *testing.T) {
+	nk := NewNearestK(2)
+	if nk.Full() {
+		t.Errorf("empty NearestK reports Full")
+	}
+	nk.Offer(Neighbor{TID: 1, Dist: 0.3})
+	if nk.Full() {
+		t.Errorf("NearestK with 1/2 reports Full")
+	}
+	nk.Offer(Neighbor{TID: 2, Dist: 0.6})
+	if !nk.Full() {
+		t.Errorf("NearestK with 2/2 does not report Full")
+	}
+	nk.Offer(Neighbor{TID: 3, Dist: 0.1})
+	if !nk.Full() || len(nk.h) != 2 {
+		t.Errorf("NearestK grew past k: len=%d Full=%v", len(nk.h), nk.Full())
+	}
+}
+
+// TestNearestKRejectsWorse covers Offer's rejection branch: a candidate no
+// better than the current worst — strictly farther, or equidistant with a
+// larger tid — must leave the retained set untouched.
+func TestNearestKRejectsWorse(t *testing.T) {
+	nk := NewNearestK(2)
+	nk.Offer(Neighbor{TID: 1, Dist: 0.2})
+	nk.Offer(Neighbor{TID: 2, Dist: 0.4})
+	nk.Offer(Neighbor{TID: 3, Dist: 0.9}) // strictly worse
+	nk.Offer(Neighbor{TID: 9, Dist: 0.4}) // tie on distance, larger tid
+	got := nk.Results()
+	want := []Neighbor{{1, 0.2}, {2, 0.4}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Results = %v, want %v", got, want)
+	}
+}
+
+// TestNeighborHeapPop exercises the heap.Interface Pop method (NearestK
+// itself only replaces the root, so Pop is otherwise reachable only through
+// container/heap clients).
+func TestNeighborHeapPop(t *testing.T) {
+	h := neighborHeap{}
+	heap.Init(&h)
+	for _, n := range []Neighbor{{1, 0.2}, {2, 0.8}, {3, 0.5}, {4, 0.8}} {
+		heap.Push(&h, n)
+	}
+	// Max-heap on distance, ties by larger tid first: pops arrive worst
+	// first.
+	want := []Neighbor{{4, 0.8}, {2, 0.8}, {3, 0.5}, {1, 0.2}}
+	for i, w := range want {
+		got := heap.Pop(&h).(Neighbor)
+		if got != w {
+			t.Fatalf("pop %d = %v, want %v", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Errorf("heap not drained: %d left", h.Len())
+	}
+}
+
+// TestNearestKOrderedDomainWindow drives NearestK with the distances an
+// ordered-domain window query produces — |q − t| over a line of item codes —
+// and checks the pruning threshold tightens monotonically to the kth-nearest
+// window offset. This is the access pattern of DSTopK on ordered domains
+// (window relaxation, §2): the bound lets the scan skip tuples whose whole
+// window lies beyond the current kth distance.
+func TestNearestKOrderedDomainWindow(t *testing.T) {
+	const q, k = 50, 3
+	nk := NewNearestK(k)
+	prev := -1.0
+	full := false
+	// Items arrive in domain order, so distances first shrink toward q then
+	// grow; the threshold must never loosen once the heap is full.
+	for item := 0; item <= 100; item++ {
+		d := float64(item - q)
+		if d < 0 {
+			d = -d
+		}
+		nk.Offer(Neighbor{TID: uint32(item), Dist: d})
+		if thr, ok := nk.Threshold(); ok {
+			if full && thr > prev {
+				t.Fatalf("threshold loosened: %g after %g (item %d)", thr, prev, item)
+			}
+			prev, full = thr, true
+		}
+	}
+	got := nk.Results()
+	// Nearest three positions to 50 are 50 (d=0), then 49 and 51 (d=1); the
+	// d=1 tie resolves to the smaller tid first in the canonical order.
+	want := []Neighbor{{50, 0}, {49, 1}, {51, 1}}
+	if len(got) != k {
+		t.Fatalf("Results len = %d, want %d", len(got), k)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Results[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if thr, ok := nk.Threshold(); !ok || thr != 1 {
+		t.Errorf("final Threshold = (%g, %v), want (1, true)", thr, ok)
+	}
 }

@@ -20,7 +20,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
+	"ucat/internal/dcache"
 	"ucat/internal/pager"
 	"ucat/internal/uda"
 )
@@ -37,13 +39,97 @@ type location struct {
 	off uint16
 }
 
-// Store is a tid → UDA heap file. It is not safe for concurrent use.
+// Store is a tid → UDA heap file. It is not safe for concurrent writers;
+// concurrent read-only queries may call GetVia/ScanVia through private pool
+// views.
 type Store struct {
 	pool  *pager.Pool
 	loc   map[uint32]location
 	pages []pager.PageID // data pages in append order
 	used  int            // bytes used in the last page (including header)
 	dead  map[uint32]struct{}
+	// cache, when non-nil, holds whole decoded heap pages keyed by (page,
+	// store version), consulted AFTER the fetch so probe I/O accounting is
+	// unchanged. The verify-heavy inverted-index strategies probe the same
+	// hot pages many times per query; one decode then serves them all.
+	cache *dcache.Cache
+}
+
+// SetCache attaches a decoded-page cache (typically shared relation-wide).
+// Nil disables cached decoding.
+func (s *Store) SetCache(c *dcache.Cache) { s.cache = c }
+
+// decodedPage is the cache value for one heap page: every record on the
+// page, dead or alive (tombstones are in-memory state, filtered by the
+// callers), in offset order. Shared across queries; immutable.
+type decodedPage struct {
+	offs []uint16
+	tids []uint32
+	udas []uda.UDA
+}
+
+func (dp *decodedPage) memSize() int64 {
+	s := int64(96 + len(dp.offs)*2 + len(dp.tids)*4)
+	for _, u := range dp.udas {
+		s += 24 + int64(u.Len())*16
+	}
+	return s
+}
+
+// decodePage decodes every record on the page into one arena-backed image.
+// The page header's used-count is authoritative (appendRecord maintains it
+// on every append, under the same dirty-unpin that bumps the version).
+func decodePage(pid pager.PageID, data []byte) (*decodedPage, error) {
+	end := int(binary.LittleEndian.Uint16(data))
+	dp := &decodedPage{}
+	var arena []uda.Pair
+	off := pageHeader
+	for off < end {
+		tid := binary.LittleEndian.Uint32(data[off:])
+		var u uda.UDA
+		var n int
+		var err error
+		u, arena, n, err = uda.DecodeInto(data[off+4:], arena)
+		if err != nil {
+			return nil, fmt.Errorf("tuplestore: page %d offset %d: %w", pid, off, err)
+		}
+		dp.offs = append(dp.offs, uint16(off))
+		dp.tids = append(dp.tids, tid)
+		dp.udas = append(dp.udas, u)
+		off += 4 + n
+	}
+	return dp, nil
+}
+
+// find returns the record at byte offset off, or -1.
+func (dp *decodedPage) find(off uint16) int {
+	i := sort.Search(len(dp.offs), func(i int) bool { return dp.offs[i] >= off })
+	if i < len(dp.offs) && dp.offs[i] == off {
+		return i
+	}
+	return -1
+}
+
+// cachedPage fetches pid through v (counting the I/O exactly as an uncached
+// access would) and returns its decoded image from the cache, decoding and
+// inserting on miss.
+func (s *Store) cachedPage(v pager.View, pid pager.PageID) (*decodedPage, error) {
+	pg, err := v.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	ver := s.pool.Store().Version(pid)
+	if cv, ok := s.cache.Get(pid, ver); ok {
+		pg.Unpin(false)
+		return cv.(*decodedPage), nil
+	}
+	dp, err := decodePage(pid, pg.Data)
+	pg.Unpin(false)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(pid, ver, dp, dp.memSize())
+	return dp, nil
 }
 
 // New creates an empty store on the given pool.
@@ -93,6 +179,18 @@ func (s *Store) GetVia(v pager.View, tid uint32) (uda.UDA, error) {
 	if !ok {
 		return uda.UDA{}, fmt.Errorf("%w: %d", ErrNotFound, tid)
 	}
+	if s.cache != nil {
+		dp, err := s.cachedPage(v, l.pid)
+		if err != nil {
+			return uda.UDA{}, err
+		}
+		i := dp.find(l.off)
+		if i < 0 || dp.tids[i] != tid {
+			return uda.UDA{}, fmt.Errorf("tuplestore: page %d offset %d does not hold tuple %d",
+				l.pid, l.off, tid)
+		}
+		return dp.udas[i], nil
+	}
 	pg, err := v.Fetch(l.pid)
 	if err != nil {
 		return uda.UDA{}, err
@@ -105,6 +203,35 @@ func (s *Store) GetVia(v pager.View, tid uint32) (uda.UDA, error) {
 	}
 	u, _, err := uda.Decode(pg.Data[l.off+4:])
 	return u, err
+}
+
+// GetArena is GetVia with the decode allocation lifted out: on the uncached
+// path the pairs are appended to the caller's arena (uda.DecodeInto), so a
+// probe-heavy caller that keeps one arena per query performs zero decode
+// allocations after warm-up. The returned UDA is valid only until the caller
+// reuses the arena; on the cached path it is the shared cached copy and the
+// arena is returned untouched.
+func (s *Store) GetArena(v pager.View, tid uint32, arena []uda.Pair) (uda.UDA, []uda.Pair, error) {
+	if s.cache != nil {
+		u, err := s.GetVia(v, tid)
+		return u, arena, err
+	}
+	l, ok := s.loc[tid]
+	if !ok {
+		return uda.UDA{}, arena, fmt.Errorf("%w: %d", ErrNotFound, tid)
+	}
+	pg, err := v.Fetch(l.pid)
+	if err != nil {
+		return uda.UDA{}, arena, err
+	}
+	defer pg.Unpin(false)
+	gotTID := binary.LittleEndian.Uint32(pg.Data[l.off:])
+	if gotTID != tid {
+		return uda.UDA{}, arena, fmt.Errorf("tuplestore: page %d offset %d holds tuple %d, want %d",
+			l.pid, l.off, gotTID, tid)
+	}
+	u, arena, _, err := uda.DecodeInto(pg.Data[l.off+4:], arena)
+	return u, arena, err
 }
 
 // Has reports whether the tuple id is live, without I/O.
@@ -131,6 +258,23 @@ func (s *Store) Scan(fn func(tid uint32, u uda.UDA) bool) error {
 
 // ScanVia is Scan with page fetches routed through the given pool view.
 func (s *Store) ScanVia(v pager.View, fn func(tid uint32, u uda.UDA) bool) error {
+	if s.cache != nil {
+		for _, pid := range s.pages {
+			dp, err := s.cachedPage(v, pid)
+			if err != nil {
+				return err
+			}
+			for i, tid := range dp.tids {
+				if _, gone := s.dead[tid]; gone {
+					continue
+				}
+				if !fn(tid, dp.udas[i]) {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
 	for i, pid := range s.pages {
 		pg, err := v.Fetch(pid)
 		if err != nil {

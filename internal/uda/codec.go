@@ -74,3 +74,39 @@ func Decode(buf []byte) (UDA, int, error) {
 	}
 	return u, need, nil
 }
+
+// DecodeInto parses one encoded UDA from the front of buf like Decode, but
+// appends the decoded pairs to arena instead of allocating a fresh slice.
+// The returned UDA aliases the appended region of the returned arena, so it
+// is valid as long as the arena's backing memory is: callers decode a batch
+// (for example, every tuple on one page) into one arena and reuse
+// arena[:0] for the next batch once those UDAs are no longer referenced.
+// If a mid-batch append grows the arena, earlier UDAs keep aliasing the old
+// backing array, which still holds their pairs — they stay valid.
+//
+// With a warm arena (capacity from previous batches), the hot decode path
+// performs zero allocations; see BenchmarkDecodeInto, which pins that.
+// Validation is identical to Decode.
+func DecodeInto(buf []byte, arena []Pair) (u UDA, newArena []Pair, consumed int, err error) {
+	if len(buf) < 2 {
+		return UDA{}, arena, 0, fmt.Errorf("uda: short buffer (%d bytes) decoding count", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	need := 2 + pairSize*n
+	if len(buf) < need {
+		return UDA{}, arena, 0, fmt.Errorf("uda: short buffer (%d bytes) decoding %d pairs", len(buf), n)
+	}
+	start := len(arena)
+	off := 2
+	for i := 0; i < n; i++ {
+		item := binary.LittleEndian.Uint32(buf[off:])
+		prob := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		arena = append(arena, Pair{Item: item, Prob: prob})
+		off += pairSize
+	}
+	u = UDA{pairs: arena[start : start+n : start+n]}
+	if err := u.Validate(); err != nil {
+		return UDA{}, arena[:start], 0, fmt.Errorf("uda: corrupt encoding: %w", err)
+	}
+	return u, arena, need, nil
+}

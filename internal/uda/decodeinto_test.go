@@ -1,0 +1,147 @@
+package uda
+
+import "testing"
+
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	u := MustNew(Pair{1, 0.2}, Pair{5, 0.3}, Pair{9, 0.5})
+	buf, err := AppendEncode(nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arena []Pair
+	got, arena, n, err := DecodeInto(buf, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+	}
+	if !got.Equal(u) {
+		t.Fatalf("DecodeInto = %v, want %v", got, u)
+	}
+	if len(arena) != u.Len() {
+		t.Fatalf("arena holds %d pairs, want %d", len(arena), u.Len())
+	}
+}
+
+// TestDecodeIntoBatch decodes several UDAs into one arena, the way a page
+// decode does, and checks earlier results survive arena growth.
+func TestDecodeIntoBatch(t *testing.T) {
+	us := []UDA{
+		MustNew(Pair{1, 0.5}, Pair{2, 0.5}),
+		MustNew(Pair{3, 1}),
+		MustNew(Pair{4, 0.25}, Pair{5, 0.25}, Pair{6, 0.5}),
+	}
+	var buf []byte
+	var err error
+	for _, u := range us {
+		if buf, err = AppendEncode(buf, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	arena := make([]Pair, 0, 1) // deliberately tiny: force mid-batch growth
+	var got []UDA
+	off := 0
+	for off < len(buf) {
+		var u UDA
+		var n int
+		u, arena, n, err = DecodeInto(buf[off:], arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		got = append(got, u)
+	}
+	if len(got) != len(us) {
+		t.Fatalf("decoded %d UDAs, want %d", len(got), len(us))
+	}
+	for i := range us {
+		if !got[i].Equal(us[i]) {
+			t.Fatalf("UDA %d: got %v, want %v (stale alias after arena growth?)", i, got[i], us[i])
+		}
+	}
+}
+
+func TestDecodeIntoErrors(t *testing.T) {
+	arena := make([]Pair, 0, 8)
+	if _, _, _, err := DecodeInto(nil, arena); err == nil {
+		t.Fatal("nil buffer decoded")
+	}
+	if _, _, _, err := DecodeInto([]byte{5, 0}, arena); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+	// Corrupt payload (unsorted items) must fail validation AND roll the
+	// arena back so the caller's batch is not polluted.
+	u1 := MustNew(Pair{9, 0.5}, Pair{10, 0.5})
+	buf, err := AppendEncode(nil, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[2], buf[2+12] = buf[2+12], buf[2] // swap low bytes of the two items
+	_, arena2, _, err := DecodeInto(buf, arena[:0])
+	if err == nil {
+		t.Fatal("corrupt payload decoded")
+	}
+	if len(arena2) != 0 {
+		t.Fatalf("arena not rolled back on error: %d pairs left", len(arena2))
+	}
+}
+
+// TestDecodeIntoZeroAllocs is the fail-fast pin behind BenchmarkDecodeInto:
+// decoding into a warm arena must not allocate at all. If this fails, the
+// zero-alloc decode path has regressed and every per-tuple decode in the
+// pdrtree leaf scan pays an allocation again — fix the regression, do not
+// relax the pin.
+func TestDecodeIntoZeroAllocs(t *testing.T) {
+	u := MustNew(Pair{1, 0.25}, Pair{2, 0.25}, Pair{3, 0.5})
+	buf, err := AppendEncode(nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := make([]Pair, 0, 16)
+	allocs := testing.AllocsPerRun(200, func() {
+		_, _, _, err := DecodeInto(buf, arena[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeInto with warm arena: %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDecode vs BenchmarkDecodeInto make the satellite comparison
+// visible in `make bench-smoke`: Decode allocates one []Pair per call;
+// DecodeInto amortizes to zero with a reused arena. If DecodeInto's
+// allocs/op climbs above 0 the TestDecodeIntoZeroAllocs pin above fails the
+// build — these benchmarks are the numbers behind that pin.
+func BenchmarkDecode(b *testing.B) {
+	u := MustNew(Pair{1, 0.25}, Pair{2, 0.25}, Pair{3, 0.5})
+	buf, err := AppendEncode(nil, u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeInto(b *testing.B) {
+	u := MustNew(Pair{1, 0.25}, Pair{2, 0.25}, Pair{3, 0.5})
+	buf, err := AppendEncode(nil, u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := make([]Pair, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := DecodeInto(buf, arena[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
