@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint test test-short race cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke obs-smoke metrics figures ablations fuzz clean
+.PHONY: all build lint test test-short race cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke obs-smoke serve-smoke bench-serve metrics figures ablations fuzz clean
 
 all: build lint test
 
@@ -55,6 +55,20 @@ bench-cache:
 # Tiny-scale bench-cache so the harness can't rot (used by CI).
 bench-cache-smoke:
 	$(GO) run ./cmd/ucatbench -scale 0.02 -queries 4 -workers 2 -benchcache /tmp/bench_cache_smoke.json
+
+# Execute the README serving quickstart verbatim: the command block between
+# the serve-quickstart markers in README.md is extracted and run
+# (ucatgen -save → ucatd → curl → graceful drain), so the documented
+# quickstart cannot rot (used by CI).
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
+# Serving-layer benchmark: closed-loop and open-loop sweeps through a live
+# ucatd (micro-batcher on) plus the served-vs-direct determinism check.
+# Writes BENCH_serve.json; OPERATIONS.md explains how to read it. Tunables:
+# UCAT_SERVE_{N,DUR,CLIENTS,RATES,OUT}; CI runs a tiny-scale variant.
+bench-serve:
+	bash scripts/bench_serve.sh
 
 # Zero-overhead contract for tracing (DESIGN.md §14): with no recorder
 # attached, the full per-query span pattern must allocate nothing. The

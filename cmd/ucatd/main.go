@@ -1,0 +1,123 @@
+// Command ucatd serves a persisted uncertain relation over HTTP: the paper's
+// probabilistic queries (PETQ, top-k, window equality, DSTQ, nearest
+// neighbor) as a JSON API with admission control, per-request deadlines,
+// optional PETQ micro-batching and graceful drain.
+//
+//	$ ucatgen -n 50000 -index pdr -save rel.ucat
+//	$ ucatd -load rel.ucat -addr :8080
+//	$ curl -s localhost:8080/v1/query -d '{"kind":"petq","query":"3:0.6,9:0.4","tau":0.3}'
+//
+// OPERATIONS.md is the operator's manual: every flag, every endpoint, and
+// how to read the numbers the server exposes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ucat/internal/core"
+	"ucat/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		load        = flag.String("load", "", "relation snapshot to serve (required; see ucatgen -save)")
+		addr        = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		addrFile    = flag.String("addrfile", "", "write the actual listen address to this file once ready (readiness signal for scripts)")
+		workers     = flag.Int("workers", 0, "query worker goroutines, each with a private buffer-pool view (0 = GOMAXPROCS)")
+		frames      = flag.Int("frames", 0, "buffer-pool frames per worker view (0 = the paper's 100)")
+		queue       = flag.Int("queue", 0, "admission queue depth; overflow answers 429 (0 = 64)")
+		timeout     = flag.Duration("timeout", 0, "default per-query deadline when the request sets none (0 = 2s)")
+		maxTimeout  = flag.Duration("maxtimeout", 0, "cap on client-requested deadlines (0 = 30s)")
+		batchWindow = flag.Duration("batchwindow", 0, "PETQ micro-batching window; 0 disables batching")
+		batchMax    = flag.Int("batchmax", 0, "max probes coalesced into one traversal (0 = 16)")
+		retryAfter  = flag.Duration("retryafter", 0, "Retry-After hint on 429 responses (0 = 1s)")
+		drain       = flag.Duration("drain", 15*time.Second, "grace period for in-flight queries on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+	if *load == "" {
+		return errors.New("-load is required (create a snapshot with ucatgen -save)")
+	}
+
+	rel, err := core.LoadRelationFile(*load)
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		Relation:       rel,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		PoolFrames:     *frames,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+		RetryAfter:     *retryAfter,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		// Written only after Listen succeeds, so a script that waits for this
+		// file never races the socket.
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("writing -addrfile: %w", err)
+		}
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+
+	fmt.Printf("ucatd: serving %s relation (%d tuples) on %s\n",
+		rel.Kind(), rel.Len(), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process immediately
+
+	fmt.Printf("ucatd: draining (up to %s)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatd: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		_ = httpSrv.Close()
+	}
+	fmt.Println("ucatd: stopped")
+	return nil
+}

@@ -1,11 +1,14 @@
 // Command ucatgen generates the paper's datasets and prints summary
 // statistics (and optionally sample tuples), for inspecting the workloads
-// the benchmarks run on.
+// the benchmarks run on. With -save it also builds an indexed relation over
+// the dataset and writes a snapshot that ucatd, ucatquery and ucatshell can
+// load.
 //
 // Usage:
 //
 //	ucatgen -dataset crm1 -n 1000
 //	ucatgen -dataset gen3 -domain 200 -n 5000 -sample 3
+//	ucatgen -dataset uniform -n 20000 -index pdr -save rel.ucat
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"ucat/internal/core"
 	"ucat/internal/dataset"
 )
 
@@ -24,6 +28,8 @@ func main() {
 		domain = flag.Int("domain", 50, "domain size (gen3 only)")
 		seed   = flag.Int64("seed", 1, "PRNG seed")
 		sample = flag.Int("sample", 0, "print this many sample tuples")
+		index  = flag.String("index", "pdr", "index for -save: scan | inverted | pdr")
+		save   = flag.String("save", "", "build a relation over the dataset and write its snapshot here")
 	)
 	flag.Parse()
 
@@ -31,6 +37,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ucatgen: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *save != "" {
+		if err := buildAndSave(d, *index, *save); err != nil {
+			fmt.Fprintf(os.Stderr, "ucatgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved:          %s (%s index)\n", *save, *index)
 	}
 
 	var totalPairs int
@@ -90,6 +104,32 @@ func main() {
 	for i := 0; i < *sample && i < nT; i++ {
 		fmt.Printf("tuple %d: %v\n", i, d.Tuples[i])
 	}
+}
+
+// buildAndSave loads the dataset into a fresh relation under the chosen
+// index and writes its snapshot to path.
+func buildAndSave(d *dataset.Dataset, index, path string) error {
+	var kind core.Kind
+	switch index {
+	case "scan":
+		kind = core.ScanOnly
+	case "inverted":
+		kind = core.InvertedIndex
+	case "pdr":
+		kind = core.PDRTree
+	default:
+		return fmt.Errorf("unknown index %q (want scan|inverted|pdr)", index)
+	}
+	rel, err := core.NewRelation(core.Options{Kind: kind, PoolFrames: 4096})
+	if err != nil {
+		return err
+	}
+	for _, u := range d.Tuples {
+		if _, err := rel.Insert(u); err != nil {
+			return err
+		}
+	}
+	return rel.SaveFile(path)
 }
 
 func generate(name string, n, domain int, seed int64) (*dataset.Dataset, error) {

@@ -1,0 +1,424 @@
+// Command ucatload drives load at a running ucatd and writes a
+// figures-grade benchmark document, BENCH_serve.json, recording throughput,
+// client-observed latency quantiles and rejection rate at each offered-load
+// level. It runs two sweeps:
+//
+//   - closed loop (-clients): N clients issue queries back-to-back, the
+//     classic throughput/latency trade-off as concurrency grows;
+//   - open loop (-rates): queries arrive on a fixed schedule regardless of
+//     how the server keeps up, which is what exposes admission control —
+//     past saturation the rejection rate climbs instead of the queue.
+//
+// With -load it also replays a deterministic PETQ workload both through the
+// server and directly against the same snapshot in-process, and fails if a
+// single answer differs — the serving layer must never change a result.
+//
+//	$ ucatload -addr localhost:8080 -clients 1,4,16 -rates 200,800,3200 \
+//	      -dur 5s -load rel.ucat -out BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ucat/internal/core"
+	"ucat/internal/uda"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// params collects the parsed command line.
+type params struct {
+	addr    string
+	clients []int
+	rates   []int
+	dur     time.Duration
+	domain  int
+	items   int
+	tau     float64
+	seed    int64
+	load    string
+	check   int
+	out     string
+	timeout time.Duration
+}
+
+func run() error {
+	var p params
+	var clients, rates string
+	flag.StringVar(&p.addr, "addr", "localhost:8080", "ucatd address (host:port)")
+	flag.StringVar(&clients, "clients", "1,4,16", "closed-loop client counts, comma separated (empty = skip)")
+	flag.StringVar(&rates, "rates", "", "open-loop offered rates in queries/sec, comma separated (empty = skip)")
+	flag.DurationVar(&p.dur, "dur", 5*time.Second, "measurement duration per load level")
+	flag.IntVar(&p.domain, "domain", 50, "item domain the generated queries draw from (match the dataset)")
+	flag.IntVar(&p.items, "items", 3, "non-zero items per generated query distribution")
+	flag.Float64Var(&p.tau, "tau", 0.1, "PETQ threshold for generated queries")
+	flag.Int64Var(&p.seed, "seed", 1, "workload PRNG seed")
+	flag.StringVar(&p.load, "load", "", "relation snapshot for the determinism check (empty = skip)")
+	flag.IntVar(&p.check, "check", 50, "determinism-check query count (with -load)")
+	flag.StringVar(&p.out, "out", "BENCH_serve.json", "output document path (empty = stdout only)")
+	flag.DurationVar(&p.timeout, "timeout", 10*time.Second, "client-side HTTP timeout")
+	flag.Parse()
+
+	var err error
+	if p.clients, err = parseInts(clients); err != nil {
+		return fmt.Errorf("-clients: %w", err)
+	}
+	if p.rates, err = parseInts(rates); err != nil {
+		return fmt.Errorf("-rates: %w", err)
+	}
+
+	doc := benchDoc{
+		Addr:     p.addr,
+		Duration: p.dur.String(),
+		Seed:     p.seed,
+		When:     time.Now().UTC().Format(time.RFC3339),
+	}
+	client := &http.Client{
+		Timeout: p.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+
+	for _, n := range p.clients {
+		lvl := runClosed(client, &p, n)
+		doc.Closed = append(doc.Closed, lvl)
+		fmt.Printf("closed %3d clients: %s\n", n, lvl)
+	}
+	for _, r := range p.rates {
+		lvl := runOpen(client, &p, r)
+		doc.Open = append(doc.Open, lvl)
+		fmt.Printf("open %6d q/s:    %s\n", r, lvl)
+	}
+
+	if p.load != "" {
+		chk, err := runCheck(client, &p)
+		if err != nil {
+			return err
+		}
+		doc.Determinism = chk
+		fmt.Printf("determinism: %d queries, %d mismatches\n", chk.Queries, chk.Mismatches)
+		if chk.Mismatches != 0 {
+			writeDoc(&doc, p.out)
+			return fmt.Errorf("served answers diverged from direct execution")
+		}
+	}
+
+	return writeDoc(&doc, p.out)
+}
+
+// benchDoc is the BENCH_serve.json schema.
+type benchDoc struct {
+	Addr        string    `json:"addr"`
+	Duration    string    `json:"duration_per_level"`
+	Seed        int64     `json:"seed"`
+	When        string    `json:"when"`
+	Closed      []level   `json:"closed_loop,omitempty"`
+	Open        []level   `json:"open_loop,omitempty"`
+	Determinism *checkDoc `json:"determinism,omitempty"`
+}
+
+// level is one offered-load measurement.
+type level struct {
+	Clients       int     `json:"clients,omitempty"`
+	OfferedQPS    int     `json:"offered_qps,omitempty"`
+	Sent          uint64  `json:"sent"`
+	Completed     uint64  `json:"completed"`
+	Rejected      uint64  `json:"rejected"`
+	Timeouts      uint64  `json:"timeouts"`
+	Errors        uint64  `json:"errors"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	RejectionRate float64 `json:"rejection_rate"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+// String renders a level as a one-line summary for the terminal.
+func (l level) String() string {
+	return fmt.Sprintf("%8.1f q/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  rejected %5.1f%%",
+		l.ThroughputQPS, l.P50MS, l.P95MS, l.P99MS, 100*l.RejectionRate)
+}
+
+// checkDoc records the served-vs-direct determinism comparison.
+type checkDoc struct {
+	Queries    int `json:"queries"`
+	Mismatches int `json:"mismatches"`
+}
+
+// counters accumulates per-level outcomes across client goroutines.
+type counters struct {
+	sent, completed, rejected, timeouts, errors atomic.Uint64
+
+	mu   sync.Mutex
+	lats []float64 // milliseconds, completed queries only
+}
+
+func (c *counters) observe(ms float64) {
+	c.mu.Lock()
+	c.lats = append(c.lats, ms)
+	c.mu.Unlock()
+}
+
+// finish folds the counters into a level document.
+func (c *counters) finish(elapsed time.Duration) level {
+	sort.Float64s(c.lats)
+	q := func(p float64) float64 {
+		if len(c.lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(c.lats)))
+		if i >= len(c.lats) {
+			i = len(c.lats) - 1
+		}
+		return c.lats[i]
+	}
+	sent := c.sent.Load()
+	lvl := level{
+		Sent:          sent,
+		Completed:     c.completed.Load(),
+		Rejected:      c.rejected.Load(),
+		Timeouts:      c.timeouts.Load(),
+		Errors:        c.errors.Load(),
+		ThroughputQPS: float64(c.completed.Load()) / elapsed.Seconds(),
+		P50MS:         q(0.50),
+		P95MS:         q(0.95),
+		P99MS:         q(0.99),
+	}
+	if sent > 0 {
+		lvl.RejectionRate = float64(lvl.Rejected) / float64(sent)
+	}
+	return lvl
+}
+
+// runClosed measures one closed-loop level: n clients in lockstep with the
+// server, each issuing its next query as soon as the previous one answers.
+func runClosed(client *http.Client, p *params, n int) level {
+	var c counters
+	deadline := time.Now().Add(p.dur)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.seed + int64(id)))
+			for time.Now().Before(deadline) {
+				issue(client, p, rng, &c)
+			}
+		}(i)
+	}
+	start := time.Now()
+	wg.Wait()
+	return levelWithClients(c.finish(time.Since(start)), n, 0)
+}
+
+// runOpen measures one open-loop level: queries depart on a fixed schedule
+// whether or not earlier ones have answered, so a saturated server shows up
+// as rejections rather than coordinated slowdown.
+func runOpen(client *http.Client, p *params, qps int) level {
+	var c counters
+	interval := time.Second / time.Duration(qps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	rng := rand.New(rand.NewSource(p.seed))
+	var wg sync.WaitGroup
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for time.Since(start) < p.dur {
+		<-tick.C
+		body := genBody(p, rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post(client, p, body, &c)
+		}()
+	}
+	wg.Wait()
+	return levelWithClients(c.finish(time.Since(start)), 0, qps)
+}
+
+// levelWithClients stamps the load descriptor onto a finished level.
+func levelWithClients(lvl level, clients, qps int) level {
+	lvl.Clients = clients
+	lvl.OfferedQPS = qps
+	return lvl
+}
+
+// genQuery draws one random query distribution over the configured domain.
+func genQuery(p *params, rng *rand.Rand) uda.UDA {
+	items := make(map[uint32]float64, p.items)
+	for len(items) < p.items {
+		items[uint32(rng.Intn(p.domain))] = 0
+	}
+	rest := 1.0
+	pairs := make([]uda.Pair, 0, len(items))
+	for it := range items {
+		pr := rest * (0.3 + 0.5*rng.Float64())
+		rest -= pr
+		pairs = append(pairs, uda.Pair{Item: it, Prob: pr})
+	}
+	u, err := uda.New(pairs...)
+	if err != nil {
+		panic(err) // generated mass is always in (0,1]
+	}
+	return u
+}
+
+// queryString renders a distribution in the item:prob wire notation.
+func queryString(q uda.UDA) string {
+	var b strings.Builder
+	for i, pr := range q.Pairs() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%g", pr.Item, pr.Prob)
+	}
+	return b.String()
+}
+
+// genBody renders one random PETQ request body.
+func genBody(p *params, rng *rand.Rand) []byte {
+	req := map[string]any{"kind": "petq", "query": queryString(genQuery(p, rng)), "tau": p.tau}
+	b, _ := json.Marshal(req)
+	return b
+}
+
+// issue generates and posts one query, charging the outcome to c.
+func issue(client *http.Client, p *params, rng *rand.Rand, c *counters) {
+	post(client, p, genBody(p, rng), c)
+}
+
+// post sends one request body and classifies the response.
+func post(client *http.Client, p *params, body []byte, c *counters) {
+	c.sent.Add(1)
+	start := time.Now()
+	resp, err := client.Post("http://"+p.addr+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		c.completed.Add(1)
+		c.observe(float64(time.Since(start).Microseconds()) / 1000)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		c.rejected.Add(1)
+	case http.StatusRequestTimeout:
+		c.timeouts.Add(1)
+	default:
+		c.errors.Add(1)
+	}
+}
+
+// runCheck replays a deterministic PETQ workload through the server and
+// directly against the same snapshot, comparing every answer bit for bit.
+func runCheck(client *http.Client, p *params) (*checkDoc, error) {
+	rel, err := core.LoadRelationFile(p.load)
+	if err != nil {
+		return nil, fmt.Errorf("determinism check: %w", err)
+	}
+	rng := rand.New(rand.NewSource(p.seed + 7919))
+	chk := &checkDoc{Queries: p.check}
+	for i := 0; i < p.check; i++ {
+		q := genQuery(p, rng)
+		want, err := rel.PETQ(q, p.tau)
+		if err != nil {
+			return nil, fmt.Errorf("direct PETQ: %w", err)
+		}
+
+		body, _ := json.Marshal(map[string]any{
+			"kind": "petq", "query": queryString(q), "tau": p.tau,
+			"limit": len(want) + 1,
+		})
+		resp, err := client.Post("http://"+p.addr+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("served PETQ: %w", err)
+		}
+		var qr struct {
+			Count   int `json:"count"`
+			Matches []struct {
+				TID  uint32  `json:"tid"`
+				Prob float64 `json:"prob"`
+			} `json:"matches"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&qr)
+		_ = resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("served PETQ: status %d, decode err %v", resp.StatusCode, err)
+		}
+
+		same := qr.Count == len(want) && len(qr.Matches) == len(want)
+		if same {
+			for j, m := range qr.Matches {
+				//ucatlint:ignore floatcmp the determinism check demands bit-identical served and direct answers
+				if m.TID != want[j].TID || m.Prob != want[j].Prob {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			chk.Mismatches++
+		}
+	}
+	return chk, nil
+}
+
+// writeDoc renders the benchmark document to path (and always to stdout as
+// a final summary line).
+func writeDoc(doc *benchDoc, path string) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path != "" {
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("non-positive value %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ucat/internal/cliutil"
 	"ucat/internal/core"
@@ -41,6 +43,7 @@ func main() {
 		save     = flag.String("save", "", "save the built relation to this file")
 		load     = flag.String("load", "", "load a relation from this file instead of building one")
 		stats    = flag.Bool("stats", false, "print index statistics")
+		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none); a query past it stops at the next page access")
 		debug    = flag.String("debugaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -60,6 +63,7 @@ func main() {
 		index: *index, strategy: *strategy, queryStr: *queryStr,
 		tau: *tau, k: *k, window: uint32(*window), dstq: *dstq, div: *div,
 		limit: *limit, save: *save, load: *load, stats: *stats,
+		timeout: *timeout,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "ucatquery: %v\n", err)
 		os.Exit(1)
@@ -79,6 +83,7 @@ type params struct {
 	limit           int
 	save, load      string
 	stats           bool
+	timeout         time.Duration
 }
 
 func run(p params) error {
@@ -119,13 +124,22 @@ func run(p params) error {
 	}
 	rel.Pool().ResetStats()
 
+	// All query kinds run through one Reader; -timeout bounds them with a
+	// context so runaway scans stop at the next page access.
+	rd := rel.Reader(nil)
+	if p.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+		defer cancel()
+		rd = rd.WithContext(ctx)
+	}
+
 	switch {
 	case p.dstq >= 0:
 		dv, err := cliutil.ParseDivergence(p.div)
 		if err != nil {
 			return err
 		}
-		ns, err := rel.DSTQ(q, p.dstq, dv)
+		ns, err := rd.DSTQ(q, p.dstq, dv)
 		if err != nil {
 			return err
 		}
@@ -138,28 +152,28 @@ func run(p params) error {
 			fmt.Printf("  tid=%-8d dist=%.6f\n", m.TID, m.Dist)
 		}
 	case p.k > 0 && p.window > 0:
-		ms, err := rel.WindowTopK(q, p.window, p.k)
+		ms, err := rd.WindowTopK(q, p.window, p.k)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("Window-top-%d(%v, c=%d): %d answers\n", p.k, q, p.window, len(ms))
 		printMatches(ms, p.limit)
 	case p.k > 0:
-		ms, err := rel.TopK(q, p.k)
+		ms, err := rd.TopK(q, p.k)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("PETQ-top-%d(%v): %d answers\n", p.k, q, len(ms))
 		printMatches(ms, p.limit)
 	case p.window > 0:
-		ms, err := rel.WindowPETQ(q, p.window, p.tau)
+		ms, err := rd.WindowPETQ(q, p.window, p.tau)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("WindowPETQ(%v, c=%d, %g): %d answers\n", q, p.window, p.tau, len(ms))
 		printMatches(ms, p.limit)
 	default:
-		ms, err := rel.PETQ(q, p.tau)
+		ms, err := rd.PETQ(q, p.tau)
 		if err != nil {
 			return err
 		}

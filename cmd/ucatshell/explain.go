@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -32,6 +33,11 @@ func (sh *shell) cmdExplain(args []string) error {
 	view := pager.NewPool(sh.rel.Pool().Store(), pager.DefaultPoolFrames)
 	rec := obs.NewRecorder()
 	rd := sh.rel.Reader(obs.InstrumentView(view, rec))
+	if sh.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), sh.timeout)
+		defer cancel()
+		rd = rd.WithContext(ctx)
+	}
 
 	sub, rest := args[0], args[1:]
 	var ms []core.Match

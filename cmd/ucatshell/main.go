@@ -15,13 +15,17 @@ package main
 import (
 	"bufio"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 )
 
 func main() {
-	sh := &shell{out: os.Stdout}
+	timeout := flag.Duration("timeout", 0,
+		"per-query deadline (0 = none); a query past it stops at the next page access")
+	flag.Parse()
+	sh := &shell{out: os.Stdout, timeout: *timeout}
 	in := bufio.NewScanner(os.Stdin)
 	interactive := isTerminal()
 	if interactive {

@@ -1,19 +1,34 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"ucat/internal/cliutil"
 	"ucat/internal/core"
 )
 
-// shell holds the interactive session state: one current relation.
+// shell holds the interactive session state: one current relation plus the
+// optional per-query deadline set by the -timeout flag.
 type shell struct {
-	rel *core.Relation
-	out io.Writer
+	rel     *core.Relation
+	out     io.Writer
+	timeout time.Duration
+}
+
+// queryReader returns a Reader for one query, bounded by the shell's
+// -timeout deadline when one is set, plus the cancel the caller must defer.
+func (sh *shell) queryReader() (*core.Reader, context.CancelFunc) {
+	rd := sh.rel.Reader(nil)
+	if sh.timeout <= 0 {
+		return rd, func() {}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), sh.timeout)
+	return rd.WithContext(ctx), cancel
 }
 
 // execute runs one command line; it returns io.EOF for "quit".
@@ -191,7 +206,9 @@ func (sh *shell) cmdPETQ(args []string) error {
 	if err != nil {
 		return err
 	}
-	ms, err := sh.rel.PETQ(q, tau)
+	rd, cancel := sh.queryReader()
+	defer cancel()
+	ms, err := rd.PETQ(q, tau)
 	if err != nil {
 		return err
 	}
@@ -214,7 +231,9 @@ func (sh *shell) cmdTopK(args []string) error {
 	if err != nil {
 		return err
 	}
-	ms, err := sh.rel.TopK(q, k)
+	rd, cancel := sh.queryReader()
+	defer cancel()
+	ms, err := rd.TopK(q, k)
 	if err != nil {
 		return err
 	}
@@ -241,7 +260,9 @@ func (sh *shell) cmdWindow(args []string) error {
 	if err != nil {
 		return err
 	}
-	ms, err := sh.rel.WindowPETQ(q, uint32(c), tau)
+	rd, cancel := sh.queryReader()
+	defer cancel()
+	ms, err := rd.WindowPETQ(q, uint32(c), tau)
 	if err != nil {
 		return err
 	}
@@ -268,7 +289,9 @@ func (sh *shell) cmdDSTQ(args []string) error {
 	if err != nil {
 		return err
 	}
-	ns, err := sh.rel.DSTQ(q, td, div)
+	rd, cancel := sh.queryReader()
+	defer cancel()
+	ns, err := rd.DSTQ(q, td, div)
 	if err != nil {
 		return err
 	}

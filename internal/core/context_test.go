@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// buildCtxRelation fills a relation with enough tuples to span many heap
+// pages, flushes it, and returns a fresh read view over the shared store.
+func buildCtxRelation(t *testing.T, kind Kind) (*Relation, *pager.Pool) {
+	t.Helper()
+	rel, err := NewRelation(Options{Kind: kind, PoolFrames: 256})
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	// A small domain over many tuples gives long inverted lists and broad
+	// PDR-tree subtrees, so a low-tau PETQ touches many pages under every
+	// access method.
+	for i := 0; i < 4000; i++ {
+		u := uda.MustNew(
+			uda.Pair{Item: uint32(i % 8), Prob: 0.6},
+			uda.Pair{Item: uint32(i%8) + 1, Prob: 0.4},
+		)
+		if _, err := rel.Insert(u); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := rel.Pool().FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	return rel, pager.NewPool(rel.Pool().Store(), pager.DefaultPoolFrames)
+}
+
+// countingView counts fetches and cancels the bound context after a set
+// number of them, simulating a deadline firing mid-scan.
+type countingView struct {
+	v       pager.View
+	fetches int
+	after   int
+	cancel  context.CancelFunc
+}
+
+func (cv *countingView) Fetch(pid pager.PageID) (*pager.Page, error) {
+	cv.fetches++
+	if cv.fetches == cv.after {
+		cv.cancel()
+	}
+	return cv.v.Fetch(pid)
+}
+
+func TestCancelledContextFailsBeforeAnyFetch(t *testing.T) {
+	rel, view := buildCtxRelation(t, ScanOnly)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := uda.MustNew(uda.Pair{Item: 3, Prob: 1})
+	_, err := rel.Reader(view).WithContext(ctx).PETQ(q, 0.1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PETQ with cancelled context: err = %v, want context.Canceled", err)
+	}
+	if st := view.Stats(); st.Reads != 0 {
+		t.Fatalf("cancelled query still read %d pages from the store", st.Reads)
+	}
+}
+
+func TestCancelMidScanStopsEarly(t *testing.T) {
+	for _, kind := range []Kind{ScanOnly, InvertedIndex, PDRTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rel, view := buildCtxRelation(t, kind)
+
+			// Full-scan baseline: how many fetches does the query cost?
+			q := uda.MustNew(uda.Pair{Item: 3, Prob: 1})
+			base := &countingView{v: view, after: -1, cancel: func() {}}
+			if _, err := rel.Reader(base).PETQ(q, 0.01); err != nil {
+				t.Fatalf("baseline PETQ: %v", err)
+			}
+			if base.fetches < 4 {
+				t.Skipf("query touches only %d pages; too small to observe early stop", base.fetches)
+			}
+
+			// Cancel after two fetches: the query must stop well short.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			cv := &countingView{v: view, after: 2, cancel: cancel}
+			_, err := rel.Reader(cv).WithContext(ctx).PETQ(q, 0.01)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("PETQ after mid-scan cancel: err = %v, want context.Canceled", err)
+			}
+			if cv.fetches >= base.fetches {
+				t.Fatalf("cancelled query fetched %d pages; baseline is %d (did not stop early)",
+					cv.fetches, base.fetches)
+			}
+		})
+	}
+}
+
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	rel, view := buildCtxRelation(t, ScanOnly)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	q := uda.MustNew(uda.Pair{Item: 3, Prob: 1})
+	_, err := rel.Reader(view).WithContext(ctx).PETQ(q, 0.1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("PETQ past deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestWithContextBackgroundIsIdentity(t *testing.T) {
+	rel, view := buildCtxRelation(t, ScanOnly)
+	rd := rel.Reader(view)
+	if got := rd.WithContext(context.Background()); got != rd {
+		t.Fatalf("WithContext(Background) returned a new Reader; want the same one")
+	}
+	if got := rd.WithContext(nil); got != rd { //nolint — deliberate nil ctx contract check
+		t.Fatalf("WithContext(nil) returned a new Reader; want the same one")
+	}
+}

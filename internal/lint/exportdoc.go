@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// exportDocPackages is the closed set of packages whose exported godoc
+// surface the exportdoc check audits. These are the packages other code (and
+// operators reading OPERATIONS.md) program against: the serving layer, the
+// observability toolkit, and the decoded-page cache. Packages are opted in
+// deliberately — a repo-wide doc mandate would bury the signal in noise from
+// experiment scaffolding.
+var exportDocPackages = map[string]bool{
+	"ucat/internal/server": true,
+	"ucat/internal/obs":    true,
+	"ucat/internal/dcache": true,
+}
+
+// ExportDocCheck enforces a complete godoc surface on the audited packages:
+// the package itself and every exported top-level declaration — functions,
+// types, methods on exported types, and const/var specs — must carry a doc
+// comment. A doc comment on a grouped const/var declaration covers every
+// name in the group.
+//
+// The check exists because these packages are the repo's operational API:
+// ucatd wires server, every tool wires obs, and OPERATIONS.md links straight
+// into their godoc. An undocumented exported name there is a hole in the
+// operator's manual, not a style nit.
+func ExportDocCheck() *Check {
+	return &Check{
+		Name: "exportdoc",
+		Doc:  "require doc comments on the package and every exported identifier in audited packages",
+		Run:  runExportDoc,
+	}
+}
+
+func runExportDoc(pkg *Package) []Diagnostic {
+	if !exportDocPackages[pkg.Path] {
+		return nil
+	}
+	var diags []Diagnostic
+	pkgDocumented := false
+	for _, f := range pkg.Files {
+		if isTestFile(pkg, f) {
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			pkgDocumented = true
+		}
+		for _, decl := range f.Decls {
+			diags = append(diags, exportDocDecl(pkg, decl)...)
+		}
+	}
+	if !pkgDocumented {
+		// Position the finding on the first non-test file's package clause.
+		for _, f := range pkg.Files {
+			if isTestFile(pkg, f) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   pkg.Fset.Position(f.Name.Pos()),
+				Check: "exportdoc",
+				Msg:   fmt.Sprintf("package %s has no package doc comment", pkg.Types.Name()),
+			})
+			break
+		}
+	}
+	return diags
+}
+
+// exportDocDecl audits one top-level declaration.
+func exportDocDecl(pkg *Package, decl ast.Decl) []Diagnostic {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		return exportDocFunc(pkg, d)
+	case *ast.GenDecl:
+		return exportDocGen(pkg, d)
+	}
+	return nil
+}
+
+// exportDocFunc audits a function or method declaration. Methods count only
+// when both the method and its receiver type are exported — a method on an
+// unexported type is invisible in godoc.
+func exportDocFunc(pkg *Package, d *ast.FuncDecl) []Diagnostic {
+	if !d.Name.IsExported() {
+		return nil
+	}
+	what := "function"
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		recv := receiverTypeName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return nil
+		}
+		what = "method (*" + recv + ")"
+	}
+	if hasDoc(d.Doc) {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos:   pkg.Fset.Position(d.Name.Pos()),
+		Check: "exportdoc",
+		Msg:   fmt.Sprintf("exported %s %s has no doc comment", what, d.Name.Name),
+	}}
+}
+
+// exportDocGen audits a const, var or type declaration. A doc comment on the
+// declaration group covers all of its specs; otherwise each exported spec
+// needs its own.
+func exportDocGen(pkg *Package, d *ast.GenDecl) []Diagnostic {
+	groupDocumented := hasDoc(d.Doc)
+	var diags []Diagnostic
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if groupDocumented || hasDoc(s.Doc) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   pkg.Fset.Position(s.Name.Pos()),
+				Check: "exportdoc",
+				Msg:   fmt.Sprintf("exported type %s has no doc comment", s.Name.Name),
+			})
+		case *ast.ValueSpec:
+			if groupDocumented || hasDoc(s.Doc) || hasDoc(s.Comment) {
+				continue
+			}
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				kind := "var"
+				if d.Tok.String() == "const" {
+					kind = "const"
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   pkg.Fset.Position(name.Pos()),
+					Check: "exportdoc",
+					Msg:   fmt.Sprintf("exported %s %s has no doc comment", kind, name.Name),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// receiverTypeName unwraps a method receiver type expression ("T", "*T",
+// "T[P]") to the bare type name.
+func receiverTypeName(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	}
+	return ""
+}
+
+// hasDoc reports whether a comment group carries actual text.
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}

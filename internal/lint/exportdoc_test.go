@@ -1,0 +1,99 @@
+package lint
+
+import "testing"
+
+func TestExportDocFlagsUndocumentedExports(t *testing.T) {
+	src := `// Package server is documented.
+package server
+
+type Config struct{}
+
+func New(c Config) error { return nil }
+
+const QueueDepth = 64
+
+var Default = Config{}
+`
+	diags := runOn(t, ExportDocCheck(), "ucat/internal/server", src)
+	expect(t, diags, []string{
+		"exported type Config has no doc comment",
+		"exported function New has no doc comment",
+		"exported const QueueDepth has no doc comment",
+		"exported var Default has no doc comment",
+	})
+}
+
+func TestExportDocRequiresPackageComment(t *testing.T) {
+	src := `package server
+
+// Documented is documented.
+type Documented struct{}
+`
+	diags := runOn(t, ExportDocCheck(), "ucat/internal/server", src)
+	expect(t, diags, []string{"package server has no package doc comment"})
+}
+
+func TestExportDocMethodsOnExportedTypes(t *testing.T) {
+	src := `// Package server is documented.
+package server
+
+// Pool is documented.
+type Pool struct{}
+
+func (p *Pool) Fetch() error { return nil }
+
+// internalPool is unexported; its methods are invisible in godoc.
+type internalPool struct{}
+
+func (p *internalPool) Fetch() error { return nil }
+
+// unexported helpers need no docs either.
+func helper() {}
+`
+	diags := runOn(t, ExportDocCheck(), "ucat/internal/server", src)
+	expect(t, diags, []string{"exported method (*Pool) Fetch has no doc comment"})
+}
+
+func TestExportDocGroupDocCoversSpecs(t *testing.T) {
+	src := `// Package server is documented.
+package server
+
+// Queue sizing defaults.
+const (
+	DefaultQueueDepth = 64
+	DefaultWorkers    = 4
+)
+
+var (
+	MaxBody  = 1 << 20 // trailing comments also count
+	MaxBatch = 16
+)
+`
+	diags := runOn(t, ExportDocCheck(), "ucat/internal/server", src)
+	expect(t, diags, []string{
+		"exported var MaxBatch has no doc comment",
+	})
+}
+
+func TestExportDocScopedToAuditedPackages(t *testing.T) {
+	src := `package core
+
+type Undocumented struct{}
+`
+	diags := runOn(t, ExportDocCheck(), "ucat/internal/core", src)
+	expect(t, diags, nil)
+}
+
+func TestExportDocCleanPackagePasses(t *testing.T) {
+	src := `// Package server is documented.
+package server
+
+// Config is documented.
+type Config struct{}
+
+// New is documented.
+func New(c Config) error { return nil }
+`
+	diags := runOn(t, ExportDocCheck(), "ucat/internal/server", src)
+	expect(t, diags, nil)
+}

@@ -19,6 +19,10 @@
 //     and read-only query entry points must accept an injected pager.View so
 //     parallel workers keep private, exactly-reproducible I/O accounting
 //     (poolview).
+//   - Documentation: the operational packages — the serving layer, the
+//     observability toolkit and the decoded-page cache — must keep a
+//     complete godoc surface, since OPERATIONS.md links operators straight
+//     into it (exportdoc).
 //
 // A diagnostic can be suppressed with a directive comment on the same line or
 // on the line immediately above:
@@ -86,6 +90,7 @@ func AllChecks() []*Check {
 		PoolViewCheck(),
 		SpanEndCheck(),
 		CacheVersionCheck(),
+		ExportDocCheck(),
 	}
 }
 

@@ -16,21 +16,21 @@ type DebugServer struct {
 	ln   net.Listener
 }
 
-// ServeDebug starts an HTTP server on addr exposing:
+// RegisterDebug mounts the debug endpoints on an existing mux:
 //
 //	/metrics           the registry in text format
 //	/metrics.json      the registry as JSON
 //	/debug/vars        expvar (includes the registry via PublishExpvar)
 //	/debug/pprof/...   net/http/pprof profiles
 //
-// The server runs on its own goroutine until Close. A registry of nil uses
-// Default.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// It is the composable half of ServeDebug, for servers (ucatd) that want the
+// debug surface on their own listener next to their own routes. A registry of
+// nil uses Default.
+func RegisterDebug(mux *http.ServeMux, reg *Registry) {
 	if reg == nil {
 		reg = Default
 	}
 	reg.PublishExpvar("ucat_metrics")
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WriteText(w); err != nil {
@@ -50,6 +50,14 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeDebug starts an HTTP server on addr exposing the RegisterDebug
+// endpoints. The server runs on its own goroutine until Close. A registry of
+// nil uses Default.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

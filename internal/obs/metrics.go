@@ -317,15 +317,25 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(jsonPayload{Counters: counters, Gauges: gauges, Histograms: hists})
 }
 
+// expvarNames guards the process-global expvar namespace: expvar panics on
+// a duplicate Publish, and distinct registries (servers in tests, say) may
+// reasonably ask for the same exported name. First publisher wins; later
+// calls under the same name are no-ops.
+var expvarNames sync.Map
+
 // PublishExpvar exposes the registry as one expvar variable (a JSON object
 // under the given name) on the standard /debug/vars endpoint. Publishing
-// twice is a no-op; expvar forbids re-publishing a name.
+// twice — from this registry or any other — is a no-op; expvar forbids
+// re-publishing a name, and the first publisher keeps it.
 func (r *Registry) PublishExpvar(name string) {
 	r.mu.Lock()
 	already := r.published
 	r.published = true
 	r.mu.Unlock()
 	if already {
+		return
+	}
+	if _, taken := expvarNames.LoadOrStore(name, r); taken {
 		return
 	}
 	expvar.Publish(name, expvar.Func(func() any {

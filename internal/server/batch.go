@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// batcher coalesces compatible PETQ probes into one index traversal. Two
+// probes are compatible when they carry the same query distribution (after
+// uda.New's canonical item ordering); their thresholds may differ. The
+// batcher holds an open batch per distribution for at most the configured
+// window, then flushes it onto the admission queue as a single task. The
+// leader traversal runs at the minimum tau across its waiters, and every
+// waiter receives the prefix of the descending-probability answer that
+// clears its own threshold — bit-identical to what a direct PETQ returns.
+type batcher struct {
+	s      *Server
+	window time.Duration
+	max    int
+
+	mu   sync.Mutex
+	open map[string]*batch
+}
+
+// batch is one coalesced traversal in the making: the shared query
+// distribution plus every request waiting on its answer.
+type batch struct {
+	key     string
+	q       uda.UDA
+	waiters []*request
+}
+
+// newBatcher returns a batcher bound to s with the given coalescing window
+// and maximum batch size.
+func newBatcher(s *Server, window time.Duration, max int) *batcher {
+	return &batcher{
+		s:      s,
+		window: window,
+		max:    max,
+		open:   make(map[string]*batch),
+	}
+}
+
+// submit adds req to the open batch for its distribution, creating one (and
+// arming its flush timer) if none is open. A batch that reaches the maximum
+// size flushes immediately rather than waiting out the window.
+func (b *batcher) submit(req *request) {
+	b.mu.Lock()
+	bt, ok := b.open[req.key]
+	if ok {
+		bt.waiters = append(bt.waiters, req)
+		full := len(bt.waiters) >= b.max
+		if full {
+			delete(b.open, req.key)
+		}
+		b.mu.Unlock()
+		b.s.met.batchJoined.Inc()
+		if full {
+			b.dispatch(bt)
+		}
+		return
+	}
+	bt = &batch{key: req.key, q: req.q, waiters: []*request{req}}
+	b.open[req.key] = bt
+	b.mu.Unlock()
+
+	time.AfterFunc(b.window, func() { b.flush(req.key, bt) })
+}
+
+// flush closes the window on bt: if it is still the open batch for its key
+// it is removed from the table and dispatched. A batch already flushed by
+// the size trigger is left alone (the pointer comparison guards against a
+// newer batch reusing the key).
+func (b *batcher) flush(key string, bt *batch) {
+	b.mu.Lock()
+	cur, ok := b.open[key]
+	if !ok || cur != bt {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.open, key)
+	b.mu.Unlock()
+	b.dispatch(bt)
+}
+
+// dispatch hands a closed batch to the admission queue. If the server is
+// draining or the queue is full, every waiter is rejected the same way a
+// direct enqueue overflow would have been.
+func (b *batcher) dispatch(bt *batch) {
+	b.s.met.batchLeaders.Inc()
+	if b.s.draining.Load() || !b.s.enqueue(&task{batch: bt}) {
+		for _, w := range bt.waiters {
+			b.s.reject(w)
+		}
+	}
+}
+
+// executeBatch runs one coalesced PETQ traversal on a worker's private view
+// and fans the answer out to every waiter.
+func (s *Server) executeBatch(view *pager.Pool, bt *batch) {
+	now := time.Now()
+	minTau := bt.waiters[0].tau
+	var deadline time.Time
+	for _, w := range bt.waiters {
+		s.met.queueWait.Observe(uint64(now.Sub(w.enq)))
+		if w.tau < minTau {
+			minTau = w.tau
+		}
+		if d, ok := w.ctx.Deadline(); ok && d.After(deadline) {
+			deadline = d
+		}
+	}
+
+	// The traversal context is detached from any single waiter: one client
+	// cancelling must not kill the shared work. The latest waiter deadline
+	// still bounds it.
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if !deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+	}
+	defer cancel()
+
+	rd := s.rel.Reader(view).WithContext(ctx)
+	before := view.Stats()
+	matches, err := rd.PETQ(bt.q, minTau)
+	elapsed := time.Since(now)
+	delta := view.Stats().Sub(before)
+	s.met.readIOs.Add(delta.Reads)
+	s.met.poolHits.Add(delta.Hits)
+
+	if err != nil {
+		for _, w := range bt.waiters {
+			w.deliver(failure(w.kind, err))
+		}
+		return
+	}
+
+	// Matches come back sorted descending by probability, so each waiter's
+	// answer is the prefix that clears its own tau.
+	for _, w := range bt.waiters {
+		cut := len(matches)
+		for i, m := range matches {
+			if !(m.Prob > w.tau) {
+				cut = i
+				break
+			}
+		}
+		mine := matches[:cut]
+		wire, truncated := truncMatches(mine, w.limit)
+		w.deliver(result{status: http.StatusOK, body: QueryResponse{
+			Kind:      w.kind,
+			Count:     len(mine),
+			Truncated: truncated,
+			Matches:   wire,
+			IO:        wireIO(delta),
+			ElapsedNS: elapsed.Nanoseconds(),
+			Batched:   true,
+			BatchSize: len(bt.waiters),
+		}})
+	}
+}

@@ -1,0 +1,71 @@
+package server
+
+import "ucat/internal/obs"
+
+// metrics holds direct pointers into the registry for every counter the hot
+// path touches, so recording a request never takes the registry's lookup
+// lock. The names below are the server's /metrics contract; OPERATIONS.md
+// documents each one.
+type metrics struct {
+	// Request accounting on POST /v1/query.
+	requests     *obs.Counter // ucat_serve_requests_total — every query request received
+	completed    *obs.Counter // ucat_serve_completed_total — answered 200
+	rejected     *obs.Counter // ucat_serve_rejected_total — admission queue full (429)
+	timeouts     *obs.Counter // ucat_serve_timeouts_total — deadline hit (408)
+	badRequests  *obs.Counter // ucat_serve_bad_requests_total — malformed / invalid (400)
+	errors       *obs.Counter // ucat_serve_errors_total — execution failures (500)
+	drainRejects *obs.Counter // ucat_serve_draining_rejects_total — refused while draining (503)
+
+	// Live load.
+	inflight *obs.Gauge // ucat_serve_inflight — admitted, not yet answered
+	queued   *obs.Gauge // ucat_serve_queued — sitting in the admission queue
+
+	// Batcher.
+	batchLeaders *obs.Counter // ucat_serve_batch_leaders_total — coalesced traversals executed
+	batchJoined  *obs.Counter // ucat_serve_batch_joined_total — probes that rode along
+
+	// Per-request I/O attributed from each worker's private view.
+	readIOs  *obs.Counter // ucat_serve_read_ios_total — store reads across all queries
+	poolHits *obs.Counter // ucat_serve_pool_hits_total — fetches served inside worker pools
+
+	// Latency (nanoseconds, log₂ histograms).
+	latency   *obs.Histogram // ucat_serve_latency_ns — admission to answer
+	queueWait *obs.Histogram // ucat_serve_queue_wait_ns — admission to worker pickup
+	perKind   map[string]*obs.Histogram
+
+	// Other endpoints.
+	httpHealthz *obs.Counter // ucat_serve_http_healthz_total
+	httpStats   *obs.Counter // ucat_serve_http_stats_total
+}
+
+// queryKinds is the closed set of query kinds the API accepts, shared by the
+// parser and the per-kind latency histograms.
+var queryKinds = []string{"petq", "topk", "window", "windowtopk", "dstq", "neighbor"}
+
+// newMetrics registers (or re-binds) the server's metrics in reg.
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		requests:     reg.Counter("ucat_serve_requests_total"),
+		completed:    reg.Counter("ucat_serve_completed_total"),
+		rejected:     reg.Counter("ucat_serve_rejected_total"),
+		timeouts:     reg.Counter("ucat_serve_timeouts_total"),
+		badRequests:  reg.Counter("ucat_serve_bad_requests_total"),
+		errors:       reg.Counter("ucat_serve_errors_total"),
+		drainRejects: reg.Counter("ucat_serve_draining_rejects_total"),
+		inflight:     reg.Gauge("ucat_serve_inflight"),
+		queued:       reg.Gauge("ucat_serve_queued"),
+		batchLeaders: reg.Counter("ucat_serve_batch_leaders_total"),
+		batchJoined:  reg.Counter("ucat_serve_batch_joined_total"),
+		readIOs:      reg.Counter("ucat_serve_read_ios_total"),
+		poolHits:     reg.Counter("ucat_serve_pool_hits_total"),
+		latency:      reg.Histogram("ucat_serve_latency_ns"),
+		queueWait:    reg.Histogram("ucat_serve_queue_wait_ns"),
+		perKind:      make(map[string]*obs.Histogram, len(queryKinds)),
+		httpHealthz:  reg.Counter("ucat_serve_http_healthz_total"),
+		httpStats:    reg.Counter("ucat_serve_http_stats_total"),
+	}
+	for _, kind := range queryKinds {
+		m.perKind[kind] = reg.Histogram("ucat_serve_latency_ns_" + kind)
+	}
+	return m
+}

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"ucat/internal/cliutil"
+	"ucat/internal/core"
+	"ucat/internal/obs"
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// QueryRequest is the wire format of POST /v1/query. Kind selects the query
+// and decides which other fields are read:
+//
+//	petq        query, tau            — equality threshold (Definition 4)
+//	topk        query, k              — k most probable equals
+//	window      query, c, tau         — relaxed window equality (ordered domains)
+//	windowtopk  query, c, k           — window top-k
+//	dstq        query, td, div        — distributional similarity threshold
+//	neighbor    query, k, div         — k distributionally nearest tuples
+//
+// Query uses the item:prob,item:prob,... notation shared with the CLI tools.
+// TimeoutMS bounds the request (capped by the server's -maxtimeout); Limit
+// caps the answers returned (count still reports the full answer size);
+// Explain adds the query's trace span tree to the response.
+type QueryRequest struct {
+	Kind      string  `json:"kind"`
+	Query     string  `json:"query"`
+	Tau       float64 `json:"tau"`
+	K         int     `json:"k"`
+	C         uint32  `json:"c"`
+	TD        float64 `json:"td"`
+	Div       string  `json:"div"`
+	Limit     int     `json:"limit"`
+	TimeoutMS int64   `json:"timeout_ms"`
+	Explain   bool    `json:"explain"`
+}
+
+// WireMatch is one equality-query answer on the wire.
+type WireMatch struct {
+	TID  uint32  `json:"tid"`
+	Prob float64 `json:"prob"`
+}
+
+// WireNeighbor is one similarity-query answer on the wire.
+type WireNeighbor struct {
+	TID  uint32  `json:"tid"`
+	Dist float64 `json:"dist"`
+}
+
+// WireIO is the per-request I/O attribution, measured as a stats delta on
+// the private pool view the request ran against. For batched requests it is
+// the cost of the shared traversal, reported to every rider.
+type WireIO struct {
+	Reads   uint64  `json:"reads"`
+	Hits    uint64  `json:"hits"`
+	IOs     uint64  `json:"ios"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// QueryResponse is the wire format of a /v1/query answer. Matches is set for
+// the equality kinds, Neighbors for dstq and neighbor. Count is the full
+// answer size even when Limit truncated the returned slice.
+type QueryResponse struct {
+	Kind      string         `json:"kind"`
+	Count     int            `json:"count"`
+	Truncated bool           `json:"truncated,omitempty"`
+	Matches   []WireMatch    `json:"matches,omitempty"`
+	Neighbors []WireNeighbor `json:"neighbors,omitempty"`
+	IO        *WireIO        `json:"io,omitempty"`
+	ElapsedNS int64          `json:"elapsed_ns"`
+	Batched   bool           `json:"batched,omitempty"`
+	BatchSize int            `json:"batch_size,omitempty"`
+	Explain   string         `json:"explain,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// request is one admitted query: the parsed parameters plus the plumbing the
+// worker needs to answer it.
+type request struct {
+	kind    string
+	q       uda.UDA
+	tau     float64
+	k       int
+	c       uint32
+	td      float64
+	div     uda.Divergence
+	limit   int
+	explain bool
+	key     string // batch-compatibility key (petq only)
+
+	ctx  context.Context
+	done chan result // buffered; exactly one result is ever delivered
+	enq  time.Time
+}
+
+// result is what a worker (or the admission path) delivers back to the
+// waiting handler.
+type result struct {
+	status int
+	body   QueryResponse
+}
+
+// deliver hands the result to the waiting handler without ever blocking.
+func (req *request) deliver(res result) {
+	select {
+	case req.done <- res:
+	default:
+	}
+}
+
+// task is one unit of worker work: either a single request or a coalesced
+// PETQ batch (exactly one of the fields is set). gate is a test-only hook:
+// a worker that receives a gated task parks on the channel, which lets the
+// admission tests fill the queue and exercise overflow deterministically.
+type task struct {
+	req   *request
+	batch *batch
+	gate  chan struct{}
+}
+
+// defaultAnswerLimit caps the answers returned when the request does not
+// choose its own limit — a network API should not stream an unbounded array
+// by accident.
+const defaultAnswerLimit = 1000
+
+// maxBodyBytes bounds the request document.
+const maxBodyBytes = 1 << 20
+
+// handleQuery is POST /v1/query: decode, validate, admit, wait.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Inc()
+	if r.Method != http.MethodPost {
+		s.met.badRequests.Inc()
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var qr QueryRequest
+	if err := dec.Decode(&qr); err != nil {
+		s.met.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	req, err := parseRequest(&qr)
+	if err != nil {
+		s.met.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if qr.TimeoutMS > 0 {
+		timeout = time.Duration(qr.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	req.ctx = ctx
+	req.done = make(chan result, 1)
+	req.enq = time.Now()
+
+	// The gate reference is held until this handler returns; Shutdown
+	// waits for all of them before stopping the workers.
+	if !s.gate.enter() {
+		s.met.drainRejects.Inc()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.gate.leave()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	if s.batcher != nil && req.kind == "petq" && !req.explain {
+		s.batcher.submit(req)
+	} else if !s.enqueue(&task{req: req}) {
+		s.reject(req)
+	}
+
+	select {
+	case res := <-req.done:
+		s.writeResult(w, req, res)
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.met.timeouts.Inc()
+			writeError(w, http.StatusRequestTimeout,
+				fmt.Sprintf("deadline exceeded after %s (queued or executing)", timeout))
+		}
+		// Client cancellation: nothing useful to write; the worker aborts
+		// the query at its next page access.
+	}
+}
+
+// writeResult renders a delivered result, attributing it to the right
+// metrics by status.
+func (s *Server) writeResult(w http.ResponseWriter, req *request, res result) {
+	switch res.status {
+	case http.StatusOK:
+		total := time.Since(req.enq)
+		s.met.completed.Inc()
+		s.met.latency.Observe(uint64(total))
+		if h := s.met.perKind[req.kind]; h != nil {
+			h.Observe(uint64(total))
+		}
+	case http.StatusTooManyRequests:
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", retryAfterHeader(s.cfg.RetryAfter))
+	case http.StatusRequestTimeout:
+		s.met.timeouts.Inc()
+	default:
+		s.met.errors.Inc()
+	}
+	writeJSON(w, res.status, res.body)
+}
+
+// reject delivers the admission-queue-overflow answer.
+func (s *Server) reject(req *request) {
+	req.deliver(result{
+		status: http.StatusTooManyRequests,
+		body:   QueryResponse{Kind: req.kind, Error: "admission queue full; retry later"},
+	})
+}
+
+// enqueue admits a task if the bounded queue has room.
+func (s *Server) enqueue(t *task) bool {
+	select {
+	case s.queue <- t:
+		s.met.queued.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// parseRequest validates the wire request into an executable one.
+func parseRequest(qr *QueryRequest) (*request, error) {
+	q, err := cliutil.ParseUDA(qr.Query)
+	if err != nil {
+		return nil, fmt.Errorf("bad query distribution: %v", err)
+	}
+	req := &request{kind: qr.Kind, q: q, tau: qr.Tau, k: qr.K, c: qr.C, td: qr.TD,
+		limit: qr.Limit, explain: qr.Explain}
+	if req.limit == 0 {
+		req.limit = defaultAnswerLimit
+	}
+	if req.limit < 0 {
+		return nil, fmt.Errorf("negative limit %d", req.limit)
+	}
+	needDiv := func() error {
+		div := qr.Div
+		if div == "" {
+			div = "L1"
+		}
+		d, err := cliutil.ParseDivergence(div)
+		if err != nil {
+			return err
+		}
+		req.div = d
+		return nil
+	}
+	switch qr.Kind {
+	case "petq":
+		if qr.Tau < 0 || qr.Tau > 1 {
+			return nil, fmt.Errorf("petq: tau %g outside [0,1]", qr.Tau)
+		}
+		req.key = batchKey(q)
+	case "topk":
+		if qr.K <= 0 {
+			return nil, fmt.Errorf("topk: k must be positive, got %d", qr.K)
+		}
+	case "window":
+		if qr.C == 0 {
+			return nil, fmt.Errorf("window: c must be positive (c=0 is plain petq)")
+		}
+		if qr.Tau < 0 || qr.Tau > 1 {
+			return nil, fmt.Errorf("window: tau %g outside [0,1]", qr.Tau)
+		}
+	case "windowtopk":
+		if qr.C == 0 {
+			return nil, fmt.Errorf("windowtopk: c must be positive")
+		}
+		if qr.K <= 0 {
+			return nil, fmt.Errorf("windowtopk: k must be positive, got %d", qr.K)
+		}
+	case "dstq":
+		if qr.TD < 0 {
+			return nil, fmt.Errorf("dstq: negative distance threshold %g", qr.TD)
+		}
+		if err := needDiv(); err != nil {
+			return nil, err
+		}
+	case "neighbor":
+		if qr.K <= 0 {
+			return nil, fmt.Errorf("neighbor: k must be positive, got %d", qr.K)
+		}
+		if err := needDiv(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown query kind %q (want %s)",
+			qr.Kind, strings.Join(queryKinds, "|"))
+	}
+	return req, nil
+}
+
+// batchKey is the micro-batcher's compatibility key: two PETQ probes with
+// bit-identical distributions may share one traversal (uda.New keeps pairs
+// sorted by item, so the rendering is canonical).
+func batchKey(q uda.UDA) string {
+	var b strings.Builder
+	for _, p := range q.Pairs() {
+		fmt.Fprintf(&b, "%d:%x;", p.Item, math.Float64bits(p.Prob))
+	}
+	return b.String()
+}
+
+// worker is one query executor: it owns a private buffer-pool view over the
+// relation's store and drains the admission queue until Shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	view := pager.NewPool(s.rel.Pool().Store(), s.cfg.PoolFrames)
+	for {
+		select {
+		case t := <-s.queue:
+			s.met.queued.Add(-1)
+			if t.gate != nil {
+				<-t.gate
+			} else if t.batch != nil {
+				s.executeBatch(view, t.batch)
+			} else {
+				s.executeOne(view, t.req)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// executeOne runs a single request against the worker's view and delivers
+// its result.
+func (s *Server) executeOne(view *pager.Pool, req *request) {
+	s.met.queueWait.Observe(uint64(time.Since(req.enq)))
+	if err := req.ctx.Err(); err != nil {
+		req.deliver(failure(req.kind, err))
+		return
+	}
+	var rec *obs.Recorder
+	v := pager.View(view)
+	if req.explain {
+		rec = obs.NewRecorder()
+		v = obs.InstrumentView(view, rec)
+	}
+	rd := s.rel.Reader(v).WithContext(req.ctx)
+	before := view.Stats()
+	start := time.Now()
+	ms, ns, err := runKind(rd, rec, req)
+	elapsed := time.Since(start)
+	delta := view.Stats().Sub(before)
+	s.met.readIOs.Add(delta.Reads)
+	s.met.poolHits.Add(delta.Hits)
+	if err != nil {
+		req.deliver(failure(req.kind, err))
+		return
+	}
+	body := QueryResponse{Kind: req.kind, ElapsedNS: elapsed.Nanoseconds(), IO: wireIO(delta)}
+	if req.kind == "dstq" || req.kind == "neighbor" {
+		body.Count = len(ns)
+		body.Neighbors, body.Truncated = truncNeighbors(ns, req.limit)
+	} else {
+		body.Count = len(ms)
+		body.Matches, body.Truncated = truncMatches(ms, req.limit)
+	}
+	if rec != nil {
+		var sb strings.Builder
+		if err := rec.WriteTree(&sb); err == nil {
+			body.Explain = sb.String()
+		}
+	}
+	req.deliver(result{status: http.StatusOK, body: body})
+}
+
+// runKind dispatches to the Reader method for the request's kind, under an
+// explain root span when tracing is on (rec non-nil; StartSpan is nil-safe).
+func runKind(rd *core.Reader, rec *obs.Recorder, req *request) ([]core.Match, []core.Neighbor, error) {
+	sp := rec.StartSpan("serve." + req.kind)
+	defer sp.End()
+	switch req.kind {
+	case "petq":
+		ms, err := rd.PETQ(req.q, req.tau)
+		return ms, nil, err
+	case "topk":
+		ms, err := rd.TopK(req.q, req.k)
+		return ms, nil, err
+	case "window":
+		ms, err := rd.WindowPETQ(req.q, req.c, req.tau)
+		return ms, nil, err
+	case "windowtopk":
+		ms, err := rd.WindowTopK(req.q, req.c, req.k)
+		return ms, nil, err
+	case "dstq":
+		ns, err := rd.DSTQ(req.q, req.td, req.div)
+		return nil, ns, err
+	case "neighbor":
+		ns, err := rd.DSTopK(req.q, req.k, req.div)
+		return nil, ns, err
+	default:
+		return nil, nil, fmt.Errorf("unreachable: kind %q passed validation", req.kind)
+	}
+}
+
+// failure classifies an execution error into a result.
+func failure(kind string, err error) result {
+	status := http.StatusInternalServerError
+	msg := err.Error()
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusRequestTimeout
+		msg = "deadline exceeded during execution"
+	case errors.Is(err, context.Canceled):
+		// The client went away; the handler is no longer listening, but a
+		// consistent result keeps the accounting simple.
+		status = http.StatusRequestTimeout
+		msg = "request cancelled"
+	}
+	return result{status: status, body: QueryResponse{Kind: kind, Error: msg}}
+}
+
+// wireIO renders a stats delta for the response document.
+func wireIO(d pager.Stats) *WireIO {
+	return &WireIO{Reads: d.Reads, Hits: d.Hits, IOs: d.IOs(), HitRate: d.HitRate()}
+}
+
+// truncMatches converts and bounds an answer list.
+func truncMatches(ms []core.Match, limit int) ([]WireMatch, bool) {
+	truncated := false
+	if len(ms) > limit {
+		ms = ms[:limit]
+		truncated = true
+	}
+	out := make([]WireMatch, len(ms))
+	for i, m := range ms {
+		out[i] = WireMatch{TID: m.TID, Prob: m.Prob}
+	}
+	return out, truncated
+}
+
+// truncNeighbors converts and bounds a similarity answer list.
+func truncNeighbors(ns []core.Neighbor, limit int) ([]WireNeighbor, bool) {
+	truncated := false
+	if len(ns) > limit {
+		ns = ns[:limit]
+		truncated = true
+	}
+	out := make([]WireNeighbor, len(ns))
+	for i, n := range ns {
+		out[i] = WireNeighbor{TID: n.TID, Dist: n.Dist}
+	}
+	return out, truncated
+}

@@ -1,0 +1,422 @@
+// Package server is ucat's network serving layer: a stdlib-only HTTP front
+// end (cmd/ucatd) that carries the paper's probabilistic queries — PETQ,
+// top-k, window equality, DSTQ and nearest-neighbor — to concurrent clients
+// over a relation loaded read-only from a snapshot.
+//
+// The design composes the machinery earlier PRs built for the experiment
+// harness into a production request path:
+//
+//	request → admission queue → (optional PETQ micro-batcher) → worker
+//	        → per-worker pager.View → core.Reader.WithContext → answer
+//
+// Every worker owns a private buffer-pool view over the shared page store
+// (the PR-2 concurrency boundary), so queries never contend on a shared
+// cache, per-request I/O is accounted exactly (a stats delta on a view only
+// one goroutine touches), and worker count is a flag. Production concerns
+// the CLI tools never needed live here:
+//
+//   - admission control: a bounded queue; overflow is rejected immediately
+//     with 429 and a Retry-After hint instead of queueing without bound;
+//   - deadlines: every request runs under a context deadline; cancellation
+//     is checked at each page access, so a runaway scan stops at the next
+//     fetch and the client gets 408;
+//   - micro-batching: compatible PETQ probes (same distribution, any
+//     threshold) arriving within a small window coalesce into one index
+//     traversal at the minimum threshold, each waiter receiving its own
+//     filtered answer;
+//   - graceful drain: Shutdown stops admitting, finishes every in-flight
+//     request, then stops the workers;
+//   - observability: per-endpoint latency, inflight, queue-wait and
+//     rejection metrics in the obs registry, the obs debug endpoints
+//     (/metrics, /debug/pprof, …) on the same listener, and optional
+//     per-request EXPLAIN span trees.
+//
+// The relation is strictly read-only: the server never mutates it, so the
+// counted-fetch-before-cache invariant (DESIGN.md §15) holds per request
+// exactly as in the sequential harness.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ucat/internal/core"
+	"ucat/internal/obs"
+	"ucat/internal/pager"
+)
+
+// Config configures a Server. The zero value of every field except Relation
+// picks a sensible default, documented per field.
+type Config struct {
+	// Relation is the read-only relation to serve. Required. The server
+	// never mutates it; callers must not mutate it while the server runs.
+	Relation *core.Relation
+
+	// Workers is the number of query-executor goroutines, each owning a
+	// private buffer-pool view over the relation's page store.
+	// 0 means GOMAXPROCS.
+	Workers int
+
+	// QueueDepth bounds the admission queue. A request arriving when the
+	// queue is full is rejected with 429 and a Retry-After hint.
+	// 0 means 64.
+	QueueDepth int
+
+	// PoolFrames sizes each worker's private buffer-pool view.
+	// 0 means pager.DefaultPoolFrames (the paper's 100 frames).
+	PoolFrames int
+
+	// DefaultTimeout bounds requests that carry no timeout_ms of their own.
+	// 0 means 2s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps client-requested deadlines. 0 means 30s.
+	MaxTimeout time.Duration
+
+	// BatchWindow is the PETQ micro-batching window: compatible probes
+	// arriving within it coalesce into one index traversal. 0 disables the
+	// batcher (the default — batching trades a little latency for
+	// throughput and should be an explicit choice).
+	BatchWindow time.Duration
+
+	// BatchMax caps how many probes one traversal may serve. 0 means 16.
+	BatchMax int
+
+	// RetryAfter is the hint attached to 429 responses. 0 means 1s.
+	RetryAfter time.Duration
+
+	// Registry receives the server's metrics and backs the mounted debug
+	// endpoints. nil means obs.Default.
+	Registry *obs.Registry
+}
+
+// withDefaults returns cfg with every zero field replaced by its default.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.PoolFrames <= 0 {
+		cfg.PoolFrames = pager.DefaultPoolFrames
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 16
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	return cfg
+}
+
+// Server is the HTTP query server. Create one with New, mount it (it
+// implements http.Handler), and stop it with Shutdown. All exported methods
+// are safe for concurrent use.
+type Server struct {
+	cfg      Config
+	rel      *core.Relation
+	mux      *http.ServeMux
+	queue    chan *task
+	quit     chan struct{} // closed after drain; releases the workers
+	batcher  *batcher      // nil when BatchWindow is 0
+	met      *metrics
+	start    time.Time
+	draining atomic.Bool
+	gate     *drainGate // tracks admitted requests not yet answered
+	workers  sync.WaitGroup
+	shutdown sync.Once
+	done     chan struct{} // closed when every worker has exited
+}
+
+// New builds a Server over a read-only relation and starts its worker pool.
+// The returned server is ready to serve; callers typically hand it to
+// http.Server as the handler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Relation == nil {
+		return nil, fmt.Errorf("server: Config.Relation is required")
+	}
+	cfg = cfg.withDefaults()
+	// Dirty construction-pool pages must reach the store before worker
+	// views read it (same discipline as EXPLAIN's fresh view).
+	if err := cfg.Relation.Pool().FlushAll(); err != nil {
+		return nil, fmt.Errorf("server: flushing relation before serving: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		rel:   cfg.Relation,
+		mux:   http.NewServeMux(),
+		queue: make(chan *task, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		gate:  newDrainGate(),
+		met:   newMetrics(cfg.Registry),
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMax)
+	}
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	obs.RegisterDebug(s.mux, cfg.Registry)
+
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	go func() {
+		s.workers.Wait()
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether the server has begun shutting down (new queries
+// are being refused with 503).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: it stops admitting queries (503), waits for
+// every in-flight request to complete, then stops the worker pool. It
+// returns ctx.Err() if the context expires first; the drain keeps making
+// progress in the background regardless. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdown.Do(func() {
+		s.draining.Store(true)
+		go func() {
+			// Every admitted request holds a gate reference until its
+			// handler returns, and the gate refuses new entries once
+			// closed — so after drain nothing new reaches the queue and
+			// the workers can be released. The queue channel itself is
+			// never closed: a straggling batch-timer flush may still
+			// attempt a send, which must fail cleanly (draining check)
+			// rather than panic on a closed channel.
+			s.gate.drain()
+			close(s.quit)
+		}()
+	})
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handleHealthz answers liveness probes: 200 while serving, 503 once
+// draining so load balancers stop routing here during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.httpHealthz.Inc()
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":    state,
+		"kind":      s.rel.Kind().String(),
+		"tuples":    s.rel.Len(),
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// statsPayload is the /v1/stats response document.
+type statsPayload struct {
+	UptimeMS int64         `json:"uptime_ms"`
+	Relation relationStats `json:"relation"`
+	Config   configStats   `json:"config"`
+	Live     liveStats     `json:"live"`
+	Totals   totalStats    `json:"totals"`
+	Latency  latencyStats  `json:"latency"`
+}
+
+// relationStats describes the served relation.
+type relationStats struct {
+	Kind   string `json:"kind"`
+	Tuples int    `json:"tuples"`
+}
+
+// configStats echoes the effective serving configuration.
+type configStats struct {
+	Workers          int   `json:"workers"`
+	QueueDepth       int   `json:"queue_depth"`
+	PoolFrames       int   `json:"pool_frames"`
+	DefaultTimeoutMS int64 `json:"default_timeout_ms"`
+	MaxTimeoutMS     int64 `json:"max_timeout_ms"`
+	BatchWindowUS    int64 `json:"batch_window_us"`
+	BatchMax         int   `json:"batch_max"`
+}
+
+// liveStats is the instantaneous load picture.
+type liveStats struct {
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Draining bool  `json:"draining"`
+}
+
+// totalStats is the monotonic request accounting since boot.
+type totalStats struct {
+	Requests     uint64 `json:"requests"`
+	Completed    uint64 `json:"completed"`
+	Rejected     uint64 `json:"rejected"`
+	Timeouts     uint64 `json:"timeouts"`
+	BadRequests  uint64 `json:"bad_requests"`
+	Errors       uint64 `json:"errors"`
+	Draining     uint64 `json:"draining_rejects"`
+	BatchLeaders uint64 `json:"batch_leaders"`
+	BatchJoined  uint64 `json:"batch_joined"`
+	ReadIOs      uint64 `json:"read_ios"`
+	PoolHits     uint64 `json:"pool_hits"`
+}
+
+// latencyStats carries the nearest-rank quantile estimates of the server's
+// log₂ latency histograms, in nanoseconds.
+type latencyStats struct {
+	Query     obs.HistSnapshot            `json:"query_ns"`
+	QueueWait obs.HistSnapshot            `json:"queue_wait_ns"`
+	PerKind   map[string]obs.HistSnapshot `json:"per_kind_ns"`
+}
+
+// handleStats serves the JSON operational snapshot at /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.met.httpStats.Inc()
+	perKind := make(map[string]obs.HistSnapshot, len(s.met.perKind))
+	for kind, h := range s.met.perKind {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			perKind[kind] = snap
+		}
+	}
+	writeJSON(w, http.StatusOK, statsPayload{
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Relation: relationStats{Kind: s.rel.Kind().String(), Tuples: s.rel.Len()},
+		Config: configStats{
+			Workers:          s.cfg.Workers,
+			QueueDepth:       s.cfg.QueueDepth,
+			PoolFrames:       s.cfg.PoolFrames,
+			DefaultTimeoutMS: s.cfg.DefaultTimeout.Milliseconds(),
+			MaxTimeoutMS:     s.cfg.MaxTimeout.Milliseconds(),
+			BatchWindowUS:    s.cfg.BatchWindow.Microseconds(),
+			BatchMax:         s.cfg.BatchMax,
+		},
+		Live: liveStats{
+			Inflight: s.met.inflight.Value(),
+			Queued:   s.met.queued.Value(),
+			Draining: s.draining.Load(),
+		},
+		Totals: totalStats{
+			Requests:     s.met.requests.Value(),
+			Completed:    s.met.completed.Value(),
+			Rejected:     s.met.rejected.Value(),
+			Timeouts:     s.met.timeouts.Value(),
+			BadRequests:  s.met.badRequests.Value(),
+			Errors:       s.met.errors.Value(),
+			Draining:     s.met.drainRejects.Value(),
+			BatchLeaders: s.met.batchLeaders.Value(),
+			BatchJoined:  s.met.batchJoined.Value(),
+			ReadIOs:      s.met.readIOs.Value(),
+			PoolHits:     s.met.poolHits.Value(),
+		},
+		Latency: latencyStats{
+			Query:     s.met.latency.Snapshot(),
+			QueueWait: s.met.queueWait.Snapshot(),
+			PerKind:   perKind,
+		},
+	})
+}
+
+// drainGate counts admitted requests and lets Shutdown wait for all of them
+// while refusing newcomers — the Add/Wait protocol a bare WaitGroup cannot
+// express racelessly when entries and the drain overlap.
+type drainGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int  // requests currently inside
+	closed bool // no further entries
+}
+
+// newDrainGate returns an open gate.
+func newDrainGate() *drainGate {
+	g := &drainGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// enter admits the caller unless the gate has closed. Every successful enter
+// must be paired with leave.
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.n++
+	return true
+}
+
+// leave releases one admission.
+func (g *drainGate) leave() {
+	g.mu.Lock()
+	g.n--
+	if g.n == 0 && g.closed {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// drain closes the gate and blocks until everyone inside has left.
+func (g *drainGate) drain() {
+	g.mu.Lock()
+	g.closed = true
+	for g.n > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// writeJSON writes one JSON document with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already out; an encode error here means the client
+	// went away, which the next request-level read would surface anyway.
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform error document {"error": msg}.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// retryAfterHeader formats the Retry-After hint in whole seconds, rounding
+// up so "1ns" never becomes "0".
+func retryAfterHeader(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench_serve.sh — the serving-layer benchmark behind `make bench-serve`.
+#
+# Builds a gen3 snapshot, starts ucatd (with the PETQ micro-batcher enabled
+# so the coalescing path is exercised under load), sweeps closed-loop client
+# counts and open-loop offered rates with ucatload, runs the served-vs-direct
+# determinism check, and writes BENCH_serve.json. OPERATIONS.md §8 explains
+# how to read the document.
+#
+# Tunables (environment):
+#   UCAT_SERVE_N        tuples in the served relation   (default 20000)
+#   UCAT_SERVE_DUR      measurement duration per level  (default 3s)
+#   UCAT_SERVE_CLIENTS  closed-loop sweep               (default 1,4,16)
+#   UCAT_SERVE_RATES    open-loop sweep, queries/sec    (default 500,2000,8000)
+#   UCAT_SERVE_OUT      output path                     (default BENCH_serve.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=${UCAT_SERVE_N:-20000}
+DUR=${UCAT_SERVE_DUR:-3s}
+CLIENTS=${UCAT_SERVE_CLIENTS:-1,4,16}
+RATES=${UCAT_SERVE_RATES:-500,2000,8000}
+OUT=${UCAT_SERVE_OUT:-BENCH_serve.json}
+DOMAIN=50
+
+work=$(mktemp -d)
+PID=""
+trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null; rm -rf "$work"' EXIT
+
+go build -o "$work/" ./cmd/ucatgen ./cmd/ucatd ./cmd/ucatload
+
+"$work/ucatgen" -dataset gen3 -n "$N" -domain "$DOMAIN" -index inverted \
+    -save "$work/rel.ucat" >/dev/null
+
+"$work/ucatd" -load "$work/rel.ucat" -addr 127.0.0.1:0 -addrfile "$work/addr" \
+    -batchwindow 200us >"$work/ucatd.log" 2>&1 &
+PID=$!
+for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
+[ -s "$work/addr" ] || { echo "bench_serve: ucatd never became ready" >&2; cat "$work/ucatd.log" >&2; exit 1; }
+ADDR=$(cat "$work/addr")
+
+"$work/ucatload" -addr "$ADDR" -clients "$CLIENTS" -rates "$RATES" -dur "$DUR" \
+    -domain "$DOMAIN" -load "$work/rel.ucat" -check 50 -out "$OUT"
+
+kill -TERM "$PID"
+wait "$PID" || true
+PID=""
+echo "bench-serve: wrote $OUT"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — execute the README serving quickstart verbatim.
+#
+# The commands are extracted from README.md (the block between the
+# `serve-quickstart:begin/end` markers), not duplicated here, so the
+# documented quickstart cannot rot: if the README drifts from reality this
+# script — and CI's serve-smoke job — fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rm -rf /tmp/ucat-quickstart
+mkdir -p /tmp/ucat-quickstart
+
+block=$(awk '/<!-- serve-quickstart:begin -->/{f=1;next} /<!-- serve-quickstart:end -->/{f=0} f' README.md | sed '/^```/d')
+if [ -z "$block" ]; then
+    echo "serve_smoke: no serve-quickstart block found in README.md" >&2
+    exit 1
+fi
+
+echo "--- executing README serving quickstart:"
+printf '%s\n' "$block"
+echo "---"
+bash -euo pipefail -c "$block"
+echo "serve-smoke OK"
