@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint test test-short race cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke obs-smoke serve-smoke bench-serve metrics figures ablations fuzz clean
+.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke obs-smoke serve-smoke bench-serve metrics figures ablations fuzz clean
 
 all: build lint test
 
@@ -17,6 +17,12 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/ucatlint ./...
 
+# Full lint sweep in machine-readable form, filtered through the committed
+# baseline: exits non-zero only on *new* error-severity findings, so a new
+# check can land before the tree is clean. CI's lint-full job runs this.
+lint-full:
+	$(GO) run ./cmd/ucatlint -format json -baseline .ucatlint-baseline.json ./...
+
 test:
 	$(GO) test ./...
 
@@ -25,6 +31,10 @@ test-short:
 
 race:
 	$(GO) test -race -short ./...
+
+# Unabridged race sweep (no -short): slow; CI runs it nightly.
+race-full:
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...

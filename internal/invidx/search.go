@@ -75,6 +75,8 @@ var Strategies = []Strategy{BruteForce, HighestProbFirst, RowPruning, ColumnPrun
 // all tuples t with Pr(q = t) > tau, with their exact probabilities, in
 // descending probability order. tau must be non-negative; PETQ(q, 0) is the
 // plain probabilistic equality query PEQ (Definition 3).
+//
+//ucatlint:hotpath
 func (r *Reader) PETQ(q uda.UDA, tau float64, s Strategy) ([]query.Match, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("invidx: negative threshold %g", tau)
@@ -117,6 +119,8 @@ func (r *Reader) PETQ(q uda.UDA, tau float64, s Strategy) ([]query.Match, error)
 // q (ties at the kth position broken arbitrarily), implemented as a
 // threshold query whose threshold rises dynamically to the kth best
 // probability seen, per §2 of the paper.
+//
+//ucatlint:hotpath
 func (r *Reader) TopK(q uda.UDA, k int, s Strategy) ([]query.Match, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("invidx: non-positive k %d", k)
@@ -262,6 +266,7 @@ func (r *Reader) accumulate(q uda.UDA, keep func(qp float64) bool) (map[uint32]f
 		}
 		r.rec.Add("inv.lists", 1)
 		qp := p.Prob
+		//ucatlint:ignore hotalloc one callback per posting list (not per entry); captured accumulator state is the point
 		err := tree.ScanVia(r.view, btree.Key{}, func(k btree.Key) bool {
 			r.rec.Add("inv.entries", 1)
 			prob, tid := unpackKey(k)
@@ -392,6 +397,7 @@ func (r *Reader) rowPruningTopK(q uda.UDA, k int) ([]query.Match, error) {
 			continue
 		}
 		var verr error
+		//ucatlint:ignore hotalloc one callback per posting list (not per entry); captured accumulator state is the point
 		err := tree.ScanVia(r.view, btree.Key{}, func(key btree.Key) bool {
 			_, tid := unpackKey(key)
 			if _, dup := seen[tid]; dup {
@@ -429,6 +435,7 @@ func (r *Reader) columnPruning(q uda.UDA, tau float64) ([]query.Match, error) {
 			continue
 		}
 		var verr error
+		//ucatlint:ignore hotalloc one callback per posting list (not per entry); captured accumulator state is the point
 		err := tree.ScanVia(r.view, btree.Key{}, func(key btree.Key) bool {
 			prob, tid := unpackKey(key)
 			if prob <= tau {

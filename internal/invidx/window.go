@@ -26,6 +26,7 @@ func (r *Reader) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]query.Match, er
 			continue
 		}
 		weight := p.Prob
+		//ucatlint:ignore hotalloc one callback per posting list (not per entry); captured accumulator state is the point
 		err := tree.ScanVia(r.view, btree.Key{}, func(k btree.Key) bool {
 			prob, tid := unpackKey(k)
 			scores[tid] += weight * prob

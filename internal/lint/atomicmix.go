@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMixCheck flags fields and package variables that are accessed through
+// sync/atomic in one place and by plain reads or writes in another. Mixing
+// the two is a data race the race detector only catches when both sides
+// actually interleave under test; statically, one atomic use of a location is
+// a declaration that *every* access must be atomic:
+//
+//	atomic.AddUint64(&s.hits, 1)   // here it is a shared counter…
+//	if s.hits > limit { … }        // …and here is the unsynchronized read
+//
+// The analysis is program-wide, not per-package: because the Loader gives all
+// packages one FileSet and importer, a field's *types.Var is the same object
+// everywhere, so an atomic access in obs and a plain access in server meet in
+// one table. Pass one collects every location whose address is passed to a
+// sync/atomic operation (Add*, Load*, Store*, Swap*, CompareAndSwap*); pass
+// two reports every plain use of those locations. Composite-literal
+// initialization is exempt — construction happens-before sharing — and so are
+// accesses that only take the location's address (&x.f is how the atomic
+// functions themselves receive it).
+//
+// The typed atomic wrappers (atomic.Uint64, atomic.Bool, …) make this whole
+// class of bug unrepresentable and are the preferred fix; this check exists
+// for the pointer-function style that predates them and for third-party
+// idioms that creep in through review.
+func AtomicMixCheck() *Check {
+	return &Check{
+		Name:       "atomicmix",
+		Doc:        "fields accessed via sync/atomic must never be read or written plainly elsewhere",
+		Severity:   SeverityError,
+		RunProgram: runAtomicMix,
+	}
+}
+
+func runAtomicMix(prog *Program) []Diagnostic {
+	// Pass 1: locations used atomically, with one representative position
+	// (for the diagnostic's "declared atomic at" note).
+	atomicUse := make(map[*types.Var]token.Position)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			if isTestFile(pkg, f) {
+				continue
+			}
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if !isAtomicOpName(fn.Name()) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if v := varOfExpr(pkg, un.X); v != nil {
+						if _, seen := atomicUse[v]; !seen {
+							atomicUse[v] = pkg.Fset.Position(un.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicUse) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses of those locations.
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			if isTestFile(pkg, f) {
+				continue
+			}
+			v := &plainAccessVisitor{pkg: pkg, atomicUse: atomicUse, diags: &diags}
+			ast.Walk(v, f)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return posLess(diags[i].Pos, diags[j].Pos) })
+	return diags
+}
+
+// isAtomicOpName reports whether name is a sync/atomic function that reads
+// or writes through a pointer argument.
+func isAtomicOpName(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// varOfExpr resolves an expression to the field or package-level variable it
+// denotes, or nil for locals and anything more complex. Locals are excluded:
+// a stack variable whose address goes to sync/atomic is almost always a
+// test fixture, and cross-function aliasing of locals is beyond this
+// analysis.
+func varOfExpr(pkg *Package, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			return v // pkgname.Var qualified reference
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// plainAccessVisitor reports uses of atomically-accessed locations outside
+// sync/atomic calls. It tracks address-taking and composite-literal contexts
+// during descent so that `&s.hits` (an atomic operand or an aliased pointer)
+// and `S{hits: 0}` (construction) are not flagged.
+type plainAccessVisitor struct {
+	pkg       *Package
+	atomicUse map[*types.Var]token.Position
+	diags     *[]Diagnostic
+}
+
+func (v *plainAccessVisitor) Visit(node ast.Node) ast.Visitor {
+	switch n := node.(type) {
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			// Address-of: not itself a read or write. Whatever the pointer
+			// is used for, the access happens elsewhere (and if it goes to
+			// sync/atomic, pass 1 already classified it).
+			if varOfAccess(v.pkg, n.X) != nil {
+				return nil
+			}
+		}
+	case *ast.CompositeLit:
+		// Construction: `pool{stats: 0}` happens-before sharing. Keys and
+		// values may still contain reads of *other* atomic locations, so
+		// only the key identifiers are skipped, which varOfAccess handles
+		// by construction (keys are not Uses of fields in go/types — they
+		// are recorded in Info.Uses too, so skip the whole literal's keys).
+		for _, elt := range n.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				ast.Walk(v, kv.Value)
+			} else {
+				ast.Walk(v, elt)
+			}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if fv := varOfAccess(v.pkg, n); fv != nil {
+			if declPos, hot := v.atomicUse[fv]; hot {
+				v.report(n, fv, declPos)
+			}
+			ast.Walk(v, n.X) // the receiver expression may itself contain accesses
+			return nil
+		}
+	case *ast.Ident:
+		if fv := varOfAccess(v.pkg, n); fv != nil {
+			if declPos, hot := v.atomicUse[fv]; hot {
+				v.report(n, fv, declPos)
+			}
+		}
+	}
+	return v
+}
+
+func (v *plainAccessVisitor) report(at ast.Node, fv *types.Var, declPos token.Position) {
+	*v.diags = append(*v.diags, Diagnostic{
+		Pos:   v.pkg.Fset.Position(at.Pos()),
+		Check: "atomicmix",
+		Msg: fmt.Sprintf("plain access of %s, which is accessed atomically at %s:%d: use sync/atomic for every access or switch to a typed atomic",
+			fv.Name(), declPos.Filename, declPos.Line),
+	})
+}
+
+// varOfAccess is varOfExpr for pass 2: it resolves selector and identifier
+// expressions to tracked locations.
+func varOfAccess(pkg *Package, e ast.Expr) *types.Var {
+	return varOfExpr(pkg, e)
+}

@@ -1,0 +1,137 @@
+package lint
+
+import "testing"
+
+func TestAtomicMixFlagsPlainFieldAccess(t *testing.T) {
+	diags := runOn(t, AtomicMixCheck(), "snip/mix", `package mix
+
+import "sync/atomic"
+
+type stats struct{ hits uint64 }
+
+func (s *stats) inc() { atomic.AddUint64(&s.hits, 1) }
+
+func (s *stats) snapshot() uint64 {
+	return s.hits // plain read of an atomically-written field
+}
+`)
+	expect(t, diags, []string{
+		"plain access of hits, which is accessed atomically at",
+	})
+}
+
+func TestAtomicMixFlagsPlainWrite(t *testing.T) {
+	diags := runOn(t, AtomicMixCheck(), "snip/mixw", `package mixw
+
+import "sync/atomic"
+
+type stats struct{ hits uint64 }
+
+func (s *stats) load() uint64 { return atomic.LoadUint64(&s.hits) }
+
+func (s *stats) reset() {
+	s.hits = 0 // plain write
+}
+`)
+	expect(t, diags, []string{
+		"plain access of hits, which is accessed atomically at",
+	})
+}
+
+func TestAtomicMixAllAtomicIsClean(t *testing.T) {
+	diags := runOn(t, AtomicMixCheck(), "snip/okmix", `package okmix
+
+import "sync/atomic"
+
+type stats struct{ hits uint64 }
+
+func (s *stats) inc() uint64  { return atomic.AddUint64(&s.hits, 1) }
+func (s *stats) load() uint64 { return atomic.LoadUint64(&s.hits) }
+func (s *stats) clear()       { atomic.StoreUint64(&s.hits, 0) }
+`)
+	expect(t, diags, nil)
+}
+
+func TestAtomicMixCompositeLiteralExempt(t *testing.T) {
+	// Construction happens-before sharing: initializing the field in a
+	// literal is not a racy access.
+	diags := runOn(t, AtomicMixCheck(), "snip/lit", `package lit
+
+import "sync/atomic"
+
+type stats struct{ hits uint64 }
+
+func newStats() *stats { return &stats{hits: 0} }
+
+func (s *stats) inc() { atomic.AddUint64(&s.hits, 1) }
+`)
+	expect(t, diags, nil)
+}
+
+func TestAtomicMixPackageVar(t *testing.T) {
+	diags := runOn(t, AtomicMixCheck(), "snip/gvar", `package gvar
+
+import "sync/atomic"
+
+var requests uint64
+
+func inc() { atomic.AddUint64(&requests, 1) }
+
+func current() uint64 { return requests } // plain read
+`)
+	expect(t, diags, []string{
+		"plain access of requests, which is accessed atomically at",
+	})
+}
+
+func TestAtomicMixCrossFileWithinPackage(t *testing.T) {
+	// The atomic use and the plain access live in different files; the
+	// location table is keyed by the field object, which both files share.
+	pkg := loadSnippet(t, "snip/xfile", map[string]string{
+		"a.go": `package xfile
+
+import "sync/atomic"
+
+type gauge struct{ v int64 }
+
+func (g *gauge) add(d int64) { atomic.AddInt64(&g.v, d) }
+`,
+		"b.go": `package xfile
+
+func (g *gauge) read() int64 { return g.v }
+`,
+	})
+	diags := Run([]*Package{pkg}, []*Check{AtomicMixCheck()})
+	expect(t, diags, []string{
+		"plain access of v, which is accessed atomically at",
+	})
+}
+
+func TestAtomicMixTypedAtomicsUnaffected(t *testing.T) {
+	// The typed wrappers never expose the raw word, so there is nothing to
+	// cross-check — and their method calls must not confuse the analysis.
+	diags := runOn(t, AtomicMixCheck(), "snip/typed", `package typed
+
+import "sync/atomic"
+
+type stats struct{ hits atomic.Uint64 }
+
+func (s *stats) inc() uint64  { return s.hits.Add(1) }
+func (s *stats) load() uint64 { return s.hits.Load() }
+`)
+	expect(t, diags, nil)
+}
+
+func TestAtomicMixLocalsIgnored(t *testing.T) {
+	diags := runOn(t, AtomicMixCheck(), "snip/local", `package local
+
+import "sync/atomic"
+
+func scratch() uint64 {
+	var n uint64
+	atomic.AddUint64(&n, 1)
+	return n
+}
+`)
+	expect(t, diags, nil)
+}

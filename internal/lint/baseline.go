@@ -1,0 +1,148 @@
+// Machine-readable output and the baseline workflow.
+//
+// The JSON rendering gives CI a stable schema to diff; the baseline file
+// lets a new check land before the tree is clean: `ucatlint -baseline
+// .ucatlint-baseline.json -writebaseline` records today's findings, CI runs
+// with `-baseline` and fails only on findings not in the file, and the
+// baseline shrinks as entries are fixed (a baseline entry that no longer
+// matches anything is reported so it cannot linger).
+//
+// Baseline entries match on (check, file, message) — deliberately not on
+// line numbers, so unrelated edits above a known finding do not resurrect
+// it. Matching is multiset-style: one entry absorbs one finding, so a second
+// identical regression in the same file is still new.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// JSONDiagnostic is the wire form of one finding (-format json).
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Msg      string `json:"msg"`
+}
+
+// ToJSON converts diagnostics to their wire form, with filenames made
+// root-relative (slash-separated) when they live under root.
+func ToJSON(diags []Diagnostic, root string) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, len(diags))
+	for i, d := range diags {
+		sev := d.Severity
+		if sev == "" {
+			sev = SeverityError
+		}
+		out[i] = JSONDiagnostic{
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Check:    d.Check,
+			Severity: string(sev),
+			Msg:      d.Msg,
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the diagnostics as one indented JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(diags, root))
+}
+
+// relPath maps filename under root to a slash-relative path; files outside
+// root (or when root is empty) keep their original name.
+func relPath(root, filename string) string {
+	if root == "" {
+		return filename
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// BaselineEntry is one accepted finding: check + root-relative file + exact
+// message, no line number.
+type BaselineEntry struct {
+	Check string `json:"check"`
+	File  string `json:"file"`
+	Msg   string `json:"msg"`
+}
+
+// Baseline is a checked-in set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// NewBaseline records every given diagnostic as accepted.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Check: d.Check,
+			File:  relPath(root, d.Pos.Filename),
+			Msg:   d.Msg,
+		})
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: passing
+// -baseline is a claim that the file exists, and a typo'd path silently
+// matching nothing would fail CI with every baselined finding.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as indented JSON, entries in their given order.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diagnostics into the ones not covered by the baseline (new
+// findings) and reports how many baseline entries went unused (stale — their
+// finding has been fixed and the entry should be deleted). Each entry
+// absorbs at most one matching finding.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh []Diagnostic, matched, stale int) {
+	budget := make(map[BaselineEntry]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[e]++
+	}
+	for _, d := range diags {
+		key := BaselineEntry{Check: d.Check, File: relPath(root, d.Pos.Filename), Msg: d.Msg}
+		if budget[key] > 0 {
+			budget[key]--
+			matched++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, left := range budget {
+		stale += left
+	}
+	return fresh, matched, stale
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkdiag(file string, line int, check, msg string, sev Severity) Diagnostic {
+	d := Diagnostic{Check: check, Msg: msg, Severity: sev}
+	d.Pos.Filename = file
+	d.Pos.Line = line
+	d.Pos.Column = 1
+	return d
+}
+
+func TestBaselineRoundTripAndFilter(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, ".ucatlint-baseline.json")
+	accepted := []Diagnostic{
+		mkdiag(filepath.Join(root, "a.go"), 10, "hotalloc", "closure in loop", SeverityWarn),
+		mkdiag(filepath.Join(root, "b.go"), 20, "lockorder", "inversion", SeverityError),
+	}
+	if err := NewBaseline(accepted, root).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Entries) != 2 {
+		t.Fatalf("baseline has %d entries, want 2", len(base.Entries))
+	}
+
+	// Same findings on different lines still match (line-independent), a
+	// new finding does not, and the fixed lockorder entry is stale.
+	current := []Diagnostic{
+		mkdiag(filepath.Join(root, "a.go"), 99, "hotalloc", "closure in loop", SeverityWarn),
+		mkdiag(filepath.Join(root, "c.go"), 5, "atomicmix", "plain access", SeverityError),
+	}
+	fresh, matched, stale := base.Filter(current, root)
+	if matched != 1 || stale != 1 {
+		t.Errorf("matched=%d stale=%d, want 1 and 1", matched, stale)
+	}
+	if len(fresh) != 1 || fresh[0].Check != "atomicmix" {
+		t.Errorf("fresh = %v, want the one atomicmix finding", fresh)
+	}
+}
+
+func TestBaselineMatchingIsMultiset(t *testing.T) {
+	root := t.TempDir()
+	d := mkdiag(filepath.Join(root, "a.go"), 10, "hotalloc", "closure in loop", SeverityWarn)
+	base := NewBaseline([]Diagnostic{d}, root)
+
+	// Two identical findings against one entry: the second is new.
+	dup := d
+	dup.Pos.Line = 42
+	fresh, matched, stale := base.Filter([]Diagnostic{d, dup}, root)
+	if matched != 1 || stale != 0 || len(fresh) != 1 {
+		t.Errorf("matched=%d stale=%d fresh=%d, want 1, 0, 1", matched, stale, len(fresh))
+	}
+}
+
+func TestBaselineLoadErrors(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("loading a missing baseline succeeded, want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Error("loading malformed JSON succeeded, want error")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{
+		mkdiag(filepath.Join(root, "sub", "a.go"), 3, "ctxflow", "dropped ctx", ""),
+		mkdiag("/elsewhere/b.go", 7, "hotalloc", "closure", SeverityWarn),
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, diags, root); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONDiagnostic
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got))
+	}
+	if got[0].File != "sub/a.go" {
+		t.Errorf("File = %q, want root-relative slash path", got[0].File)
+	}
+	if got[0].Severity != "error" {
+		t.Errorf("empty severity rendered as %q, want the error default", got[0].Severity)
+	}
+	if got[1].File != "/elsewhere/b.go" || got[1].Severity != "warn" {
+		t.Errorf("entry outside root = %+v, want original path and warn", got[1])
+	}
+
+	// An empty diagnostic list must still be a JSON array, not null: CI
+	// parsers index into the result unconditionally.
+	sb.Reset()
+	if err := WriteJSON(&sb, nil, root); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(sb.String()); s != "[]" {
+		t.Errorf("empty output = %q, want []", s)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,285 @@
+// Interprocedural layer: a module-wide static call graph.
+//
+// The single-function checks ucatlint started with cannot see the properties
+// the concurrent serving path now depends on — lock acquisition orderings
+// that only deadlock across a call chain, a context dropped two frames above
+// the page fetch it was supposed to bound, an allocation introduced three
+// calls below an annotated hot loop. This file gives checks a whole-module
+// view: every function declaration becomes a node, every call expression a
+// site with its possible callees resolved.
+//
+// Resolution is deliberately conservative (a may-call analysis):
+//
+//   - direct calls and method calls on concrete receivers resolve to exactly
+//     the declared function;
+//   - interface method calls resolve to every module method with the same
+//     name whose receiver type satisfies the interface (type-set matching
+//     via types.Implements);
+//   - calls through function values resolve to every address-taken module
+//     function with an identical signature — a function whose identifier is
+//     only ever mentioned in call position can never hide behind a value;
+//   - function literals are not graph nodes: their bodies belong to the
+//     enclosing declaration, so call sites inside a closure are attributed
+//     to the function that syntactically contains it. This over-approximates
+//     (the closure may run later, elsewhere) but never misses an edge from
+//     the code that created the closure.
+//
+// Soundness caveats (DESIGN.md §17): calls made by package-level variable
+// initializers have no enclosing declaration and carry no edges; calls that
+// leave the module (stdlib callbacks like sort.Slice) re-enter only through
+// the function-literal attribution above; reflection is invisible. Every
+// caveat widens or narrows the graph in the conservative direction for the
+// shipped checks, which all treat "no edge" as "nothing to report".
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Program is the whole-module view handed to interprocedural checks: every
+// loaded package plus the call graph spanning them.
+type Program struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+}
+
+// NewProgram builds the call graph over the given packages. The packages
+// must share one token.FileSet and importer (as the Loader guarantees), so
+// type objects are identical across package boundaries.
+func NewProgram(pkgs []*Package) *Program {
+	return &Program{Pkgs: pkgs, Graph: buildCallGraph(pkgs)}
+}
+
+// FuncNode is one declared function or method in the module.
+type FuncNode struct {
+	Fn   *types.Func   // the declared object
+	Decl *ast.FuncDecl // its syntax, Body possibly nil (external linkname stubs)
+	Pkg  *Package      // the package declaring it
+
+	// Sites are the call expressions inside Decl (including inside function
+	// literals it contains), in source order.
+	Sites []*CallSite
+
+	// Callers lists every node with at least one site that may call this
+	// one, deduplicated, in deterministic build order.
+	Callers []*FuncNode
+}
+
+// Name returns the node's diagnostic-friendly name, qualified by receiver
+// for methods ("(*Pool).Fetch") and bare for functions ("batchKey").
+func (n *FuncNode) Name() string {
+	if sig, ok := n.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, tn, ok := namedOrPointerTo(sig.Recv().Type()); ok {
+			return "(" + tn + ")." + n.Fn.Name()
+		}
+	}
+	return n.Fn.Name()
+}
+
+// CallSite is one call expression and its resolved module-internal callees.
+// Calls that leave the module (stdlib, builtins, conversions) have no
+// candidates; checks that care about them inspect the syntax directly.
+type CallSite struct {
+	Call    *ast.CallExpr
+	Callees []*FuncNode // possible targets, deterministic order
+}
+
+// CallGraph is the module-wide may-call relation.
+type CallGraph struct {
+	nodes  []*FuncNode // deterministic (package, file, declaration) order
+	byFunc map[*types.Func]*FuncNode
+	siteOf map[*ast.CallExpr]*CallSite
+}
+
+// Nodes returns every function in deterministic order.
+func (g *CallGraph) Nodes() []*FuncNode { return g.nodes }
+
+// NodeOf returns the node for fn, or nil when fn is not declared in the
+// module (stdlib, interface methods without bodies).
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode { return g.byFunc[fn] }
+
+// SiteOf returns the call site for a call expression inside a module
+// function, or nil for calls the graph does not track (package-level
+// initializer expressions).
+func (g *CallGraph) SiteOf(call *ast.CallExpr) *CallSite { return g.siteOf[call] }
+
+// buildCallGraph runs the two construction passes: node discovery plus
+// address-taken marking, then edge resolution.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		byFunc: make(map[*types.Func]*FuncNode),
+		siteOf: make(map[*ast.CallExpr]*CallSite),
+	}
+	// Pass 1: one node per function declaration, in deterministic order.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if isTestFile(pkg, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				g.nodes = append(g.nodes, n)
+				g.byFunc[fn] = n
+			}
+		}
+	}
+	addrTaken := g.collectAddressTaken(pkgs)
+	// Pass 2: resolve every call site inside every node.
+	for _, n := range g.nodes {
+		if n.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			site := &CallSite{Call: call, Callees: g.resolve(n.Pkg, call, addrTaken)}
+			n.Sites = append(n.Sites, site)
+			g.siteOf[call] = site
+			return true
+		})
+	}
+	// Reverse edges, deduplicated.
+	seen := make(map[[2]*FuncNode]bool)
+	for _, caller := range g.nodes {
+		for _, site := range caller.Sites {
+			for _, callee := range site.Callees {
+				if k := [2]*FuncNode{caller, callee}; !seen[k] {
+					seen[k] = true
+					callee.Callers = append(callee.Callers, caller)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// collectAddressTaken returns the module functions whose identifier appears
+// outside call position — passed as a value, assigned, or captured as a
+// method value — and which a call through a function value could therefore
+// reach.
+func (g *CallGraph) collectAddressTaken(pkgs []*Package) map[*FuncNode]bool {
+	taken := make(map[*FuncNode]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if isTestFile(pkg, f) {
+				continue
+			}
+			// Idents in call position: Fun itself or the Sel of a selector Fun.
+			inCallPos := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					inCallPos[fun] = true
+				case *ast.SelectorExpr:
+					inCallPos[fun.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(node ast.Node) bool {
+				id, ok := node.(*ast.Ident)
+				if !ok || inCallPos[id] {
+					return true
+				}
+				if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+					if n := g.byFunc[fn]; n != nil {
+						taken[n] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return taken
+}
+
+// resolve returns the possible module-internal targets of one call.
+func (g *CallGraph) resolve(pkg *Package, call *ast.CallExpr, addrTaken map[*FuncNode]bool) []*FuncNode {
+	// Conversions are not calls.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil
+	}
+	if fn := calleeFunc(pkg, call); fn != nil {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+				return g.implementationsOf(fn.Name(), iface)
+			}
+		}
+		if n := g.byFunc[fn]; n != nil {
+			return []*FuncNode{n}
+		}
+		return nil // external (stdlib) function
+	}
+	// Not a named function: a builtin, a function literal invoked in place
+	// (its body is walked as part of the enclosing function anyway), or a
+	// call through a function value.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := pkg.Info.Uses[fun].(*types.Builtin); ok {
+			return nil
+		}
+	case *ast.FuncLit:
+		_ = fun
+		return nil
+	}
+	sig, ok := pkg.Info.TypeOf(call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*FuncNode
+	for _, n := range g.nodes {
+		if addrTaken[n] && identicalCallSig(n.Fn.Type().(*types.Signature), sig) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// implementationsOf returns every module method named name whose receiver
+// type satisfies iface — the conservative type-set resolution of an
+// interface method call.
+func (g *CallGraph) implementationsOf(name string, iface *types.Interface) []*FuncNode {
+	var out []*FuncNode
+	for _, n := range g.nodes {
+		if n.Fn.Name() != name {
+			continue
+		}
+		sig, ok := n.Fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		recv := sig.Recv().Type()
+		if types.Implements(recv, iface) {
+			out = append(out, n)
+			continue
+		}
+		if _, isPtr := recv.(*types.Pointer); !isPtr && types.Implements(types.NewPointer(recv), iface) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// identicalCallSig reports whether two signatures describe the same call
+// shape, ignoring receivers (a method value's type already excludes its
+// receiver).
+func identicalCallSig(a, b *types.Signature) bool {
+	return a.Variadic() == b.Variadic() &&
+		types.Identical(a.Params(), b.Params()) &&
+		types.Identical(a.Results(), b.Results())
+}

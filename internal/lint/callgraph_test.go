@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"testing"
+)
+
+// findNode locates a node by its diagnostic name ("f" or "(*T).m").
+func findNode(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q; have %v", name, nodeNames(g))
+	return nil
+}
+
+func nodeNames(g *CallGraph) []string {
+	var out []string
+	for _, n := range g.Nodes() {
+		out = append(out, n.Name())
+	}
+	return out
+}
+
+// calleeNames flattens a node's resolved callees.
+func calleeNames(n *FuncNode) map[string]bool {
+	out := make(map[string]bool)
+	for _, site := range n.Sites {
+		for _, c := range site.Callees {
+			out[c.Name()] = true
+		}
+	}
+	return out
+}
+
+func TestCallGraphStaticAndMethodCalls(t *testing.T) {
+	pkg := loadSnippet(t, "snip/cg", map[string]string{"cg.go": `package cg
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+func helper() {}
+
+func root() {
+	helper()
+	var c counter
+	c.bump()
+}
+`})
+	g := NewProgram([]*Package{pkg}).Graph
+	root := findNode(t, g, "root")
+	callees := calleeNames(root)
+	if !callees["helper"] || !callees["(counter).bump"] {
+		t.Errorf("root callees = %v, want helper and (counter).bump", callees)
+	}
+	helper := findNode(t, g, "helper")
+	if len(helper.Callers) != 1 || helper.Callers[0] != root {
+		t.Errorf("helper.Callers = %v, want [root]", helper.Callers)
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	pkg := loadSnippet(t, "snip/iface", map[string]string{"iface.go": `package iface
+
+type closer interface{ Close() error }
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+
+type conn struct{}
+
+func (c conn) Close() error { return nil }
+
+type unrelated struct{}
+
+// Close has the right name but the wrong signature, so unrelated does not
+// satisfy closer and must not appear as a callee.
+func (u unrelated) Close() {}
+
+func shutdown(c closer) { _ = c.Close() }
+`})
+	g := NewProgram([]*Package{pkg}).Graph
+	callees := calleeNames(findNode(t, g, "shutdown"))
+	if !callees["(file).Close"] || !callees["(conn).Close"] {
+		t.Errorf("shutdown callees = %v, want both Close implementations", callees)
+	}
+	if callees["(unrelated).Close"] {
+		t.Errorf("shutdown callees include (unrelated).Close, which does not satisfy the interface")
+	}
+}
+
+func TestCallGraphFunctionValues(t *testing.T) {
+	pkg := loadSnippet(t, "snip/fv", map[string]string{"fv.go": `package fv
+
+func double(x int) int { return 2 * x }
+
+// onlyCalled is never mentioned outside call position, so a function value
+// of its type can never reach it.
+func onlyCalled(x int) int { return x }
+
+func apply(f func(int) int, x int) int { return f(x) }
+
+func root() int {
+	_ = onlyCalled(1)
+	return apply(double, 2)
+}
+`})
+	g := NewProgram([]*Package{pkg}).Graph
+	callees := calleeNames(findNode(t, g, "apply"))
+	if !callees["double"] {
+		t.Errorf("apply callees = %v, want double (address-taken, matching signature)", callees)
+	}
+	if callees["onlyCalled"] {
+		t.Errorf("apply callees include onlyCalled, which is never address-taken")
+	}
+}
+
+func TestCallGraphClosureAttribution(t *testing.T) {
+	pkg := loadSnippet(t, "snip/clo", map[string]string{"clo.go": `package clo
+
+func leaf() {}
+
+func root() {
+	f := func() { leaf() }
+	f()
+}
+`})
+	g := NewProgram([]*Package{pkg}).Graph
+	callees := calleeNames(findNode(t, g, "root"))
+	if !callees["leaf"] {
+		t.Errorf("root callees = %v, want leaf (closure bodies attribute to the enclosing decl)", callees)
+	}
+}
+
+func TestReachabilityHelpers(t *testing.T) {
+	pkg := loadSnippet(t, "snip/reach", map[string]string{"reach.go": `package reach
+
+func sink() {}
+
+func mid() { sink() }
+
+func top() { mid() }
+
+func island() {}
+`})
+	g := NewProgram([]*Package{pkg}).Graph
+	top, mid, sink, island := findNode(t, g, "top"), findNode(t, g, "mid"), findNode(t, g, "sink"), findNode(t, g, "island")
+
+	down := g.ReachableFrom([]*FuncNode{top})
+	if !down[top] || !down[mid] || !down[sink] || down[island] {
+		t.Errorf("ReachableFrom(top) = {top:%v mid:%v sink:%v island:%v}, want true,true,true,false",
+			down[top], down[mid], down[sink], down[island])
+	}
+
+	up := g.ReachesAny(func(n *FuncNode) bool { return n == sink })
+	if !up[top] || !up[mid] || !up[sink] || up[island] {
+		t.Errorf("ReachesAny(sink) = {top:%v mid:%v sink:%v island:%v}, want true,true,true,false",
+			up[top], up[mid], up[sink], up[island])
+	}
+}
+
+func TestCallGraphRecursionTerminates(t *testing.T) {
+	pkg := loadSnippet(t, "snip/rec", map[string]string{"rec.go": `package rec
+
+func ping(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int { return ping(n) }
+`})
+	g := NewProgram([]*Package{pkg}).Graph
+	// A bottom-up pass over mutually recursive nodes must reach a fixed point.
+	reaches := g.ReachesAny(func(n *FuncNode) bool { return n.Fn.Name() == "ping" })
+	if !reaches[findNode(t, g, "pong")] {
+		t.Errorf("pong should reach ping through the recursive cycle")
+	}
+}
+
+// Interface satisfaction through pointer receivers must use the pointer
+// type-set (a value-receiver method set never includes pointer methods).
+func TestImplementationsOfPointerReceiver(t *testing.T) {
+	pkg := loadSnippet(t, "snip/ptr", map[string]string{"ptr.go": `package ptr
+
+type doer interface{ Do() }
+
+type impl struct{}
+
+func (i *impl) Do() {}
+
+func run(d doer) { d.Do() }
+`})
+	g := NewProgram([]*Package{pkg}).Graph
+	callees := calleeNames(findNode(t, g, "run"))
+	if !callees["(impl).Do"] {
+		t.Errorf("run callees = %v, want (impl).Do via pointer-receiver satisfaction", callees)
+	}
+}

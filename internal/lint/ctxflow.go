@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowCheck enforces the cancellation contract the serving layer depends
+// on: a function that accepts a context.Context and whose call chain reaches
+// a pager page fetch must actually thread that context down. The two ways to
+// break the contract silently are
+//
+//	func (r *Reader) Lookup(ctx context.Context, k Key) { r.fetch(k) }
+//	                                              // ctx never mentioned
+//	func (r *Reader) Lookup(ctx context.Context, k Key) {
+//	        r.fetchCtx(context.Background(), k)   // fresh root substituted
+//	}
+//
+// Either way the caller's deadline and cancellation stop at this frame while
+// the expensive work — disk reads under the pool's stripe mutexes —
+// continues below it, unbounded.
+//
+// The "reaches a fetch" bit is a BottomUp dataflow over the call graph: the
+// seed is any call to a method named Fetch whose receiver type lives in the
+// pager package (Pool and the View interface both count, so the bit
+// propagates through views), and the bit flows from callee to caller. Within
+// the flagged set the check then reports
+//
+//   - a context parameter that is never used at all (not read, not passed,
+//     not even stored) — severity error;
+//   - a call argument that is a direct context.Background() or context.TODO()
+//     call inside a function that has a context parameter it could have
+//     passed instead — severity error.
+//
+// Functions without a context parameter are out of scope even when they
+// reach a fetch: detaching from the caller by design (the batcher's
+// executeBatch owns its own deadline) is expressed by not accepting a
+// context, which this check deliberately leaves legal. A blank parameter
+// (`_ context.Context`) is also skipped: discarding the context visibly in
+// the signature is an explicit statement, not an accident.
+func CtxFlowCheck() *Check {
+	return &Check{
+		Name:       "ctxflow",
+		Doc:        "context.Context parameters on fetch-reaching call chains must flow down, not be dropped or replaced",
+		Severity:   SeverityError,
+		RunProgram: runCtxFlow,
+	}
+}
+
+func runCtxFlow(prog *Program) []Diagnostic {
+	g := prog.Graph
+
+	reaches := g.ReachesAny(func(n *FuncNode) bool {
+		if n.Decl.Body == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPagerFetch(n.Pkg, call) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	})
+
+	var diags []Diagnostic
+	for _, n := range g.Nodes() {
+		if !reaches[n] || n.Decl.Body == nil {
+			continue
+		}
+		ctxParam := contextParam(n)
+		if ctxParam == nil {
+			continue
+		}
+		if !identUsed(n, ctxParam) {
+			diags = append(diags, Diagnostic{
+				Pos:   n.Pkg.Fset.Position(n.Decl.Name.Pos()),
+				Check: "ctxflow",
+				Msg: fmt.Sprintf("%s receives a context.Context but its call chain reaches pager Fetch without it: pass %s down or drop the parameter",
+					n.Name(), ctxParam.Name()),
+			})
+		}
+		diags = append(diags, freshRootArgs(n, ctxParam)...)
+	}
+	return diags
+}
+
+// isPagerFetch reports whether call invokes a method named Fetch declared on
+// a type (or interface) in the pager package.
+func isPagerFetch(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Name() != "Fetch" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if _, ok := recv.Underlying().(*types.Interface); ok {
+		// Interface method: classify by the interface's defining package.
+		return fn.Pkg() != nil && fn.Pkg().Path() == pagerPath
+	}
+	path, _, ok := namedOrPointerTo(recv)
+	return ok && path == pagerPath
+}
+
+// contextParam returns the *types.Var for the function's first named
+// context.Context parameter, or nil when there is none (or it is blank).
+func contextParam(n *FuncNode) *types.Var {
+	sig, ok := n.Fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if p.Name() == "" || p.Name() == "_" {
+			continue
+		}
+		if path, name, ok := namedOrPointerTo(p.Type()); ok && path == "context" && name == "Context" {
+			return p
+		}
+	}
+	return nil
+}
+
+// identUsed reports whether the parameter is referenced anywhere in the
+// function body. Any use — passing it on, deriving a child context, storing
+// it, even just reading it in a comparison — counts: the check's job is to
+// catch contexts that vanish, not to audit what they are used for.
+func identUsed(n *FuncNode, param *types.Var) bool {
+	used := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if ok && n.Pkg.Info.Uses[id] == param {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// freshRootArgs flags call arguments that are direct context.Background() or
+// context.TODO() calls, severing the chain from ctxParam which was available
+// in scope.
+func freshRootArgs(n *FuncNode, ctxParam *types.Var) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := calleeFunc(n.Pkg, inner)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				continue
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   n.Pkg.Fset.Position(inner.Pos()),
+				Check: "ctxflow",
+				Msg: fmt.Sprintf("context.%s() passed down while %s has %s in scope: this detaches the callee from the caller's deadline and cancellation",
+					fn.Name(), n.Name(), ctxParam.Name()),
+			})
+		}
+		return true
+	})
+	return diags
+}

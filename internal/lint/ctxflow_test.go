@@ -1,0 +1,152 @@
+package lint
+
+import "testing"
+
+func TestCtxFlowDroppedContextChain(t *testing.T) {
+	// The seeded true positive from the issue: Lookup receives a context and
+	// reaches pager Fetch two frames down, but the context stops at Lookup's
+	// signature. Neither Lookup nor get mentions Fetch directly — only the
+	// call graph connects them.
+	diags := runOn(t, CtxFlowCheck(), "snip/drop", `package drop
+
+import (
+	"context"
+
+	"ucat/internal/pager"
+)
+
+type reader struct{ pool *pager.Pool }
+
+func (r *reader) get(pid pager.PageID) error {
+	p, err := r.pool.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	p.Unpin(false)
+	return nil
+}
+
+func (r *reader) Lookup(ctx context.Context, pid pager.PageID) error {
+	return r.get(pid)
+}
+`)
+	expect(t, diags, []string{
+		"(reader).Lookup receives a context.Context but its call chain reaches pager Fetch without it",
+	})
+}
+
+func TestCtxFlowBackgroundSubstitution(t *testing.T) {
+	diags := runOn(t, CtxFlowCheck(), "snip/bg", `package bg
+
+import (
+	"context"
+
+	"ucat/internal/pager"
+)
+
+type reader struct{ pool *pager.Pool }
+
+func (r *reader) getCtx(ctx context.Context, pid pager.PageID) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	_, err := r.pool.Fetch(pid)
+	return err
+}
+
+func (r *reader) Lookup(ctx context.Context, pid pager.PageID) error {
+	_ = ctx.Err() // the parameter is "used", but not where it matters
+	return r.getCtx(context.Background(), pid)
+}
+`)
+	expect(t, diags, []string{
+		"context.Background() passed down while (reader).Lookup has ctx in scope",
+	})
+}
+
+func TestCtxFlowCorrectThreadingIsClean(t *testing.T) {
+	diags := runOn(t, CtxFlowCheck(), "snip/okctx", `package okctx
+
+import (
+	"context"
+
+	"ucat/internal/pager"
+)
+
+type reader struct{ pool *pager.Pool }
+
+func (r *reader) getCtx(ctx context.Context, pid pager.PageID) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	_, err := r.pool.Fetch(pid)
+	return err
+}
+
+func (r *reader) Lookup(ctx context.Context, pid pager.PageID) error {
+	return r.getCtx(ctx, pid)
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestCtxFlowNoContextParamIsOutOfScope(t *testing.T) {
+	// Detaching by design is expressed by not accepting a context at all:
+	// a function without the parameter may root its own context even on a
+	// fetch-reaching chain (the batcher's executeBatch pattern).
+	diags := runOn(t, CtxFlowCheck(), "snip/detach", `package detach
+
+import (
+	"context"
+
+	"ucat/internal/pager"
+)
+
+type runner struct{ pool *pager.Pool }
+
+func (r *runner) executeBatch(pid pager.PageID) error {
+	ctx := context.Background()
+	_ = ctx
+	_, err := r.pool.Fetch(pid)
+	return err
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestCtxFlowUnrelatedFunctionsIgnored(t *testing.T) {
+	// A context dropped on a chain that never reaches a fetch is not this
+	// check's business.
+	diags := runOn(t, CtxFlowCheck(), "snip/nofetch", `package nofetch
+
+import "context"
+
+func format(ctx context.Context, x int) int { return x * 2 }
+`)
+	expect(t, diags, nil)
+}
+
+func TestCtxFlowViewInterfaceCounts(t *testing.T) {
+	// Fetch through the pager.View interface seeds the analysis the same as
+	// the concrete pool: views are how workers hold the pool.
+	diags := runOn(t, CtxFlowCheck(), "snip/view", `package view
+
+import (
+	"context"
+
+	"ucat/internal/pager"
+)
+
+func scan(ctx context.Context, v pager.View, pid pager.PageID) error {
+	_, err := v.Fetch(pid)
+	return err
+}
+`)
+	expect(t, diags, []string{
+		"scan receives a context.Context but its call chain reaches pager Fetch without it",
+	})
+}

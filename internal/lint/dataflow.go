@@ -1,0 +1,122 @@
+// Dataflow driver: fixed-point propagation of per-function facts over the
+// call graph.
+//
+// The interprocedural checks all reduce to the same engine: attach a fact to
+// every function (a lockset summary, a "reaches a page fetch" bit, a "on a
+// hot path" bit), then propagate along call edges until nothing changes.
+// Facts must grow monotonically (sets that only gain members, booleans that
+// only flip one way) so the worklist terminates even on recursive call
+// chains; with that discipline the fixed point is the least solution and
+// independent of visit order.
+package lint
+
+// Direction selects which way facts flow along call edges.
+type Direction int
+
+const (
+	// TopDown propagates facts from callers to callees: when a function's
+	// fact changes, its callees are revisited. Used for reachability from
+	// entry points (hotalloc's "is this function on an annotated hot
+	// path?").
+	TopDown Direction = iota
+
+	// BottomUp propagates facts from callees to callers: when a function's
+	// fact changes, its callers are revisited. Used for summaries (lockorder's
+	// "which locks may this call chain acquire?", ctxflow's "does this chain
+	// reach a page fetch?").
+	BottomUp
+)
+
+// Fixpoint runs update over every function until a fixed point: update
+// returns true when it changed the node's fact, which re-queues the node's
+// dependents (callers for BottomUp, callees for TopDown). update must be
+// monotone — once a fact element is added it stays — or the loop may not
+// terminate.
+func (g *CallGraph) Fixpoint(dir Direction, update func(n *FuncNode) bool) {
+	queued := make(map[*FuncNode]bool, len(g.nodes))
+	queue := make([]*FuncNode, 0, len(g.nodes))
+	push := func(n *FuncNode) {
+		if !queued[n] {
+			queued[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for _, n := range g.nodes {
+		push(n)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		queued[n] = false
+		if !update(n) {
+			continue
+		}
+		switch dir {
+		case BottomUp:
+			for _, c := range n.Callers {
+				push(c)
+			}
+		case TopDown:
+			for _, site := range n.Sites {
+				for _, c := range site.Callees {
+					push(c)
+				}
+			}
+		}
+	}
+}
+
+// ReachableFrom returns every function reachable from the roots by following
+// call edges forward (the roots themselves included) — a TopDown boolean
+// dataflow.
+func (g *CallGraph) ReachableFrom(roots []*FuncNode) map[*FuncNode]bool {
+	reach := make(map[*FuncNode]bool, len(roots))
+	for _, r := range roots {
+		reach[r] = true
+	}
+	g.Fixpoint(TopDown, func(n *FuncNode) bool {
+		if !reach[n] {
+			return false
+		}
+		changed := false
+		for _, site := range n.Sites {
+			for _, c := range site.Callees {
+				if !reach[c] {
+					reach[c] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	})
+	return reach
+}
+
+// ReachesAny returns every function from which a seed function is reachable
+// (seeds included): seed marks the functions of interest, and the bit
+// propagates BottomUp to every transitive caller.
+func (g *CallGraph) ReachesAny(seed func(n *FuncNode) bool) map[*FuncNode]bool {
+	reaches := make(map[*FuncNode]bool)
+	g.Fixpoint(BottomUp, func(n *FuncNode) bool {
+		if reaches[n] {
+			return false
+		}
+		hit := seed(n)
+		if !hit {
+		sites:
+			for _, site := range n.Sites {
+				for _, c := range site.Callees {
+					if reaches[c] {
+						hit = true
+						break sites
+					}
+				}
+			}
+		}
+		if hit {
+			reaches[n] = true
+		}
+		return hit
+	})
+	return reaches
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function declaration as a query-path entry point
+// whose transitive callees hotalloc audits.
+const hotpathDirective = "//ucatlint:hotpath"
+
+// HotAllocCheck locks in the zero-alloc discipline of the decode and query
+// paths. PR 4 bought a −36.7% allocs/query win by hand; this check keeps it
+// from eroding one convenient fmt.Sprintf at a time.
+//
+// Entry points are opt-in: a `//ucatlint:hotpath` directive on a function
+// declaration marks it as a query-path root. Everything reachable from a
+// root through the call graph (a TopDown dataflow) is a hot function, and
+// inside hot functions the check flags the known allocation sources when
+// they appear inside a loop body — a once-per-call allocation on a query
+// path is noise; a per-element one is the regression this guards against:
+//
+//   - any call into the fmt package (fmt always allocates: its verbs box
+//     their operands and its output is a fresh string or written buffer);
+//   - make() for slices and maps without a capacity hint — growth inside a
+//     loop reallocates repeatedly (make with an explicit size/capacity
+//     argument is deliberate and allowed);
+//   - function literals — a closure that captures variables allocates its
+//     environment on the heap each time the expression is evaluated;
+//   - interface boxing: a non-pointer, non-interface concrete argument
+//     passed to an interface-typed parameter allocates to box the value
+//     (`error` parameters excluded — error paths exit the loop anyway).
+//
+// Loop bodies include the bodies of function literals passed as arguments
+// inside a loop (a per-element callback runs per element, wherever its body
+// text sits). Branches that terminate the loop — an if-body whose last
+// statement is a return, break, goto or panic — are exempt: an allocation
+// there happens at most once per call, which is exactly the error-path
+// fmt.Errorf idiom. The check is severity warn: allocation is a performance
+// property, not a correctness one, and the right fix is sometimes "accept
+// it" — record those in the baseline or annotate with an ignore directive
+// naming the measurement.
+func HotAllocCheck() *Check {
+	return &Check{
+		Name:       "hotalloc",
+		Doc:        "flag allocation sources in loops of functions reachable from //ucatlint:hotpath entry points",
+		Severity:   SeverityWarn,
+		RunProgram: runHotAlloc,
+	}
+}
+
+func runHotAlloc(prog *Program) []Diagnostic {
+	g := prog.Graph
+
+	var roots []*FuncNode
+	for _, n := range g.Nodes() {
+		if hasHotpathDirective(n) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	hot := g.ReachableFrom(roots)
+
+	var diags []Diagnostic
+	for _, n := range g.Nodes() {
+		if !hot[n] || n.Decl.Body == nil {
+			continue
+		}
+		diags = append(diags, hotAllocInFunc(n)...)
+	}
+	return diags
+}
+
+// hasHotpathDirective reports whether the function's doc comment (or a
+// directive comment directly above it) carries //ucatlint:hotpath.
+func hasHotpathDirective(n *FuncNode) bool {
+	if n.Decl.Doc == nil {
+		return false
+	}
+	for _, c := range n.Decl.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// hotAllocInFunc walks one hot function and flags allocation sources inside
+// its loop bodies.
+func hotAllocInFunc(n *FuncNode) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos ast.Node, what string) {
+		diags = append(diags, Diagnostic{
+			Pos:   n.Pkg.Fset.Position(pos.Pos()),
+			Check: "hotalloc",
+			Msg:   fmt.Sprintf("%s in a loop on a hot path (reachable from a //ucatlint:hotpath entry point)", what),
+		})
+	}
+	// Collect every loop body in the function (closures included), plus the
+	// loop-terminating if-bodies that the audit treats as cold.
+	var loopBodies []ast.Node
+	cold := make(map[ast.Node]bool)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.ForStmt:
+			loopBodies = append(loopBodies, s.Body)
+		case *ast.RangeStmt:
+			loopBodies = append(loopBodies, s.Body)
+		case *ast.IfStmt:
+			if terminalBlock(s.Body) {
+				cold[s.Body] = true
+			}
+		}
+		return true
+	})
+	inspected := make(map[ast.Node]bool)
+	for i := 0; i < len(loopBodies); i++ {
+		body := loopBodies[i]
+		if inspected[body] {
+			continue
+		}
+		inspected[body] = true
+		ast.Inspect(body, func(node ast.Node) bool {
+			switch e := node.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return false // its body has its own loopBodies entry
+			case *ast.BlockStmt:
+				if cold[e] {
+					return false // terminating branch: at most one allocation per call
+				}
+			case *ast.CallExpr:
+				checkHotCall(n.Pkg, e, report)
+				// A function literal passed as an argument is a per-element
+				// callback: audit its body as part of the loop.
+				for _, arg := range e.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						loopBodies = append(loopBodies, lit.Body)
+					}
+				}
+			case *ast.FuncLit:
+				report(e, "function literal (closure environment allocation)")
+				return false // its body was or will be queued if it is a callback
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// terminalBlock reports whether the block's last statement unconditionally
+// leaves the enclosing loop or function: return, break, goto, or panic.
+func terminalBlock(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// isConstZero reports whether the expression is a compile-time constant
+// zero.
+func isConstZero(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// checkHotCall flags one call expression inside a hot loop.
+func checkHotCall(pkg *Package, call *ast.CallExpr, report func(ast.Node, string)) {
+	// fmt.* calls.
+	if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call, "call to fmt."+fn.Name()+" (always allocates)")
+		return
+	}
+	// make without a capacity hint: make(map[K]V) / make(chan T) with no
+	// size, or make([]T, 0) with no separate capacity — all of which grow by
+	// reallocation under per-element appends/inserts.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+			switch {
+			case len(call.Args) == 1:
+				report(call, "make without a size hint (grows by reallocation)")
+				return
+			case len(call.Args) == 2 && isConstZero(pkg, call.Args[1]):
+				report(call, "make with zero length and no capacity (grows by reallocation)")
+				return
+			}
+		}
+	}
+	// Interface boxing at the call boundary.
+	ft := pkg.Info.TypeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param *types.Var
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			param = sig.Params().At(sig.Params().Len() - 1)
+		case i < sig.Params().Len():
+			param = sig.Params().At(i)
+		default:
+			continue
+		}
+		pt := param.Type()
+		if sig.Variadic() && param == sig.Params().At(sig.Params().Len()-1) {
+			if slice, ok := pt.(*types.Slice); ok {
+				pt = slice.Elem()
+			}
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pkg.Info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Interface, *types.Pointer:
+			continue // already boxed, or a pointer (fits in the iface word)
+		case *types.Basic:
+			if at.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+				continue
+			}
+		}
+		// Error-path style arguments are excluded via the error interface
+		// check: passing into an `error` parameter means an exit path.
+		if named, ok := pt.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			continue
+		}
+		report(arg, fmt.Sprintf("argument boxes %s into interface %s", at, param.Type()))
+	}
+}

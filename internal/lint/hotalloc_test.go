@@ -1,0 +1,196 @@
+package lint
+
+import "testing"
+
+func TestHotAllocFlagsLoopAllocations(t *testing.T) {
+	diags := runOn(t, HotAllocCheck(), "snip/hot", `package hot
+
+import "fmt"
+
+//ucatlint:hotpath
+func Query(keys []int) []string {
+	out := make([]string, 0, len(keys)) // sized, outside any loop: fine
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%d", k))
+	}
+	return out
+}
+`)
+	expect(t, diags, []string{
+		"call to fmt.Sprintf (always allocates) in a loop on a hot path",
+	})
+}
+
+func TestHotAllocReachesTransitiveCallees(t *testing.T) {
+	// The allocation sits two calls below the annotated entry point; only
+	// call-graph reachability connects them.
+	diags := runOn(t, HotAllocCheck(), "snip/deep", `package deep
+
+//ucatlint:hotpath
+func Query(keys []int) int {
+	return total(keys)
+}
+
+func total(keys []int) int {
+	return len(expand(keys))
+}
+
+func expand(keys []int) []int {
+	var out []int
+	for _, k := range keys {
+		chunk := make([]int, 0) // zero length, no capacity: grows per append
+		chunk = append(chunk, k, k)
+		out = append(out, chunk...)
+	}
+	return out
+}
+`)
+	expect(t, diags, []string{
+		"make with zero length and no capacity (grows by reallocation) in a loop on a hot path",
+	})
+}
+
+func TestHotAllocUnannotatedCodeIgnored(t *testing.T) {
+	// Same allocation pattern, no hotpath root anywhere: nothing to report.
+	diags := runOn(t, HotAllocCheck(), "snip/cold", `package cold
+
+import "fmt"
+
+func Query(keys []int) []string {
+	var out []string
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%d", k))
+	}
+	return out
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestHotAllocErrorPathOutsideLoopIsClean(t *testing.T) {
+	// A once-per-call fmt.Errorf on the exit path is not a per-element
+	// allocation; only loop bodies are audited.
+	diags := runOn(t, HotAllocCheck(), "snip/errpath", `package errpath
+
+import "fmt"
+
+//ucatlint:hotpath
+func Query(keys []int) (int, error) {
+	if len(keys) == 0 {
+		return 0, fmt.Errorf("empty key set")
+	}
+	n := 0
+	for _, k := range keys {
+		n += k
+	}
+	return n, nil
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestHotAllocLoopExitBranchIsCold(t *testing.T) {
+	// fmt.Errorf inside `if err != nil { return ... }` allocates at most
+	// once per call — the branch leaves the loop — so it is exempt even
+	// though it sits inside the loop body. The same fmt call on a
+	// non-terminating branch stays flagged.
+	diags := runOn(t, HotAllocCheck(), "snip/exit", `package exit
+
+import "fmt"
+
+func decode(k int) (int, error) { return k, nil }
+
+//ucatlint:hotpath
+func Query(keys []int) (int, error) {
+	n := 0
+	for _, k := range keys {
+		v, err := decode(k)
+		if err != nil {
+			return 0, fmt.Errorf("decode %d: %v", k, err) // cold: exits the loop
+		}
+		if v < 0 {
+			fmt.Println("negative", v) // hot: the loop keeps going
+		}
+		n += v
+	}
+	return n, nil
+}
+`)
+	expect(t, diags, []string{
+		"call to fmt.Println (always allocates) in a loop on a hot path",
+	})
+}
+
+func TestHotAllocNestedLoopReportedOnce(t *testing.T) {
+	diags := runOn(t, HotAllocCheck(), "snip/nest", `package nest
+
+import "fmt"
+
+//ucatlint:hotpath
+func Query(rows [][]int) {
+	for _, row := range rows {
+		for _, v := range row {
+			fmt.Println(v)
+		}
+	}
+}
+`)
+	expect(t, diags, []string{
+		"call to fmt.Println (always allocates) in a loop on a hot path",
+	})
+}
+
+func TestHotAllocClosureInLoop(t *testing.T) {
+	diags := runOn(t, HotAllocCheck(), "snip/clos2", `package clos2
+
+//ucatlint:hotpath
+func Query(keys []int, apply func(func() int) int) int {
+	n := 0
+	for _, k := range keys {
+		k := k
+		n += apply(func() int { return k })
+	}
+	return n
+}
+`)
+	expect(t, diags, []string{
+		"function literal (closure environment allocation) in a loop on a hot path",
+	})
+}
+
+func TestHotAllocInterfaceBoxing(t *testing.T) {
+	diags := runOn(t, HotAllocCheck(), "snip/box", `package box
+
+type sink interface{ push(v any) }
+
+//ucatlint:hotpath
+func Query(s sink, keys []int) {
+	for _, k := range keys {
+		s.push(k) // k boxes into any
+	}
+}
+`)
+	expect(t, diags, []string{
+		"argument boxes int into interface any in a loop on a hot path",
+	})
+}
+
+func TestHotAllocIgnoreDirectiveApplies(t *testing.T) {
+	// Measured-and-accepted allocations are annotated in place like any
+	// other finding.
+	diags := runOn(t, HotAllocCheck(), "snip/meas", `package meas
+
+import "fmt"
+
+//ucatlint:hotpath
+func Query(keys []int) []string {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		//ucatlint:ignore hotalloc rendering path, measured at 0.1% of query time
+		out = append(out, fmt.Sprintf("%d", k))
+	}
+	return out
+}
+`)
+	expect(t, diags, nil)
+}

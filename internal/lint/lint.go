@@ -42,17 +42,36 @@ import (
 	"strings"
 )
 
+// Severity tiers a diagnostic. Errors fail the build (exit 1); warnings are
+// reported but do not, which lets a new check land warn-first and be
+// tightened once the tree is clean (see the baseline workflow in README).
+type Severity string
+
+const (
+	// SeverityError marks findings that must be fixed or explicitly ignored.
+	SeverityError Severity = "error"
+	// SeverityWarn marks advisory findings (heuristic checks, new checks
+	// landing warn-first).
+	SeverityWarn Severity = "warn"
+)
+
 // Diagnostic is a single finding, positioned at file:line:col.
 type Diagnostic struct {
-	Pos   token.Position
-	Check string
-	Msg   string
+	Pos      token.Position
+	Check    string
+	Msg      string
+	Severity Severity // filled by the runner from the check when empty
 }
 
 // String renders the diagnostic in the conventional file:line:col form used
-// by go vet and compilers, so editors can jump to it.
+// by go vet and compilers, so editors can jump to it. Warnings carry a
+// trailing marker; errors (the default tier) stay in the classic format.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg, d.Check)
+	s := fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg, d.Check)
+	if d.Severity == SeverityWarn {
+		s += " (warn)"
+	}
+	return s
 }
 
 // Package is one type-checked package as seen by the checks: its syntax
@@ -66,20 +85,25 @@ type Package struct {
 	Info  *types.Info
 }
 
-// A Check is one analyzer pass. Run inspects a single package and returns
-// its raw diagnostics; suppression via ignore directives is handled by the
-// runner, not by the check.
+// A Check is one analyzer pass. Exactly one of Run and RunProgram is set:
+// Run inspects a single package at a time, RunProgram gets the whole module
+// (all packages plus the call graph) for interprocedural analyses.
+// Suppression via ignore directives is handled by the runner, not by the
+// check; Severity defaults to SeverityError when empty.
 type Check struct {
-	Name string
-	Doc  string
-	Run  func(pkg *Package) []Diagnostic
+	Name       string
+	Doc        string
+	Severity   Severity
+	Run        func(pkg *Package) []Diagnostic
+	RunProgram func(prog *Program) []Diagnostic
 }
 
 // DirectiveCheck is the name under which malformed //ucatlint:ignore
 // comments are reported.
 const DirectiveCheck = "directive"
 
-// AllChecks returns every registered check, in stable order.
+// AllChecks returns every registered check, in stable order: the original
+// single-package passes first, then the interprocedural ones (DESIGN.md §17).
 func AllChecks() []*Check {
 	return []*Check{
 		FloatcmpCheck(),
@@ -91,11 +115,16 @@ func AllChecks() []*Check {
 		SpanEndCheck(),
 		CacheVersionCheck(),
 		ExportDocCheck(),
+		LockOrderCheck(),
+		CtxFlowCheck(),
+		HotAllocCheck(),
+		AtomicMixCheck(),
 	}
 }
 
 // SelectChecks resolves a comma-separated list of check names ("" or "all"
-// selects every check).
+// selects every check). An unknown name errors with the full list of valid
+// names, plus a closest-match suggestion when one is near.
 func SelectChecks(names string) ([]*Check, error) {
 	all := AllChecks()
 	if names == "" || names == "all" {
@@ -113,7 +142,14 @@ func SelectChecks(names string) ([]*Check, error) {
 		}
 		c, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown check %q (have %s)", n, strings.Join(checkNames(all), ", "))
+			valid := checkNames(all)
+			sort.Strings(valid)
+			hint := ""
+			if s := closestName(n, valid); s != "" {
+				hint = fmt.Sprintf(" (did you mean %q?)", s)
+			}
+			return nil, fmt.Errorf("lint: unknown check %q%s; valid checks: %s",
+				n, hint, strings.Join(valid, ", "))
 		}
 		out = append(out, c)
 	}
@@ -131,9 +167,47 @@ func checkNames(cs []*Check) []string {
 	return names
 }
 
+// closestName returns the candidate within edit distance 2 of name that is
+// closest to it, or "" when nothing is near enough to suggest.
+func closestName(name string, candidates []string) string {
+	best, bestDist := "", 3
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short ASCII-ish
+// strings, O(len(a)·len(b)) with a single rolling row.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
 // Run executes the checks over every package, applies ignore directives,
 // validates the directives themselves, and returns the surviving diagnostics
-// sorted by position.
+// sorted by position. Per-package checks run package by package;
+// interprocedural checks (RunProgram) run once over the whole set, against a
+// call graph built on demand. Findings in generated files (files opening
+// with the standard "// Code generated ... DO NOT EDIT." comment) are
+// dropped: generated code answers to its generator, not to hand-edits.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 	valid := make(map[string]bool)
 	for _, c := range AllChecks() {
@@ -141,18 +215,50 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 	}
 	valid[DirectiveCheck] = true
 
+	// Suppressions are keyed by filename, so one global table collected from
+	// every package serves per-package and whole-program checks alike.
+	sup := make(suppressions)
+	generated := make(map[string]bool)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		sup, dirDiags := collectDirectives(pkg, valid)
-		for _, c := range checks {
-			for _, d := range c.Run(pkg) {
-				if sup.suppressed(d) {
-					continue
-				}
-				out = append(out, d)
+		dirDiags := collectDirectives(pkg, valid, sup)
+		out = append(out, dirDiags...)
+		for _, f := range pkg.Files {
+			if isGeneratedFile(f) {
+				generated[pkg.Fset.Position(f.Pos()).Filename] = true
 			}
 		}
-		out = append(out, dirDiags...)
+	}
+	var progChecks []*Check
+	for _, c := range checks {
+		if c.RunProgram != nil {
+			progChecks = append(progChecks, c)
+		}
+	}
+	raw := make([]Diagnostic, 0)
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			if c.Run == nil {
+				continue
+			}
+			for _, d := range c.Run(pkg) {
+				raw = append(raw, fillSeverity(d, c))
+			}
+		}
+	}
+	if len(progChecks) > 0 {
+		prog := NewProgram(pkgs)
+		for _, c := range progChecks {
+			for _, d := range c.RunProgram(prog) {
+				raw = append(raw, fillSeverity(d, c))
+			}
+		}
+	}
+	for _, d := range raw {
+		if sup.suppressed(d) || generated[d.Pos.Filename] {
+			continue
+		}
+		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -168,6 +274,37 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 		return a.Check < b.Check
 	})
 	return out
+}
+
+// fillSeverity defaults a diagnostic's severity from its check (error when
+// the check declares none); a check may still tier individual findings by
+// setting Severity itself.
+func fillSeverity(d Diagnostic, c *Check) Diagnostic {
+	if d.Severity == "" {
+		d.Severity = c.Severity
+	}
+	if d.Severity == "" {
+		d.Severity = SeverityError
+	}
+	return d
+}
+
+// isGeneratedFile reports whether the file carries the standard generated-
+// code marker (golang.org/s/generatedcode): a "// Code generated ... DO NOT
+// EDIT." line comment before the package clause.
+func isGeneratedFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") &&
+				strings.HasSuffix(c.Text, " DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // suppressions records, per file and line, which checks are ignored there.
@@ -205,10 +342,11 @@ func (s suppressions) suppressed(d Diagnostic) bool {
 const directivePrefix = "ucatlint:ignore"
 
 // collectDirectives scans every comment in the package for ignore
-// directives, building the suppression table and reporting malformed
-// directives (missing reason, unknown check name).
-func collectDirectives(pkg *Package, valid map[string]bool) (suppressions, []Diagnostic) {
-	sup := make(suppressions)
+// directives, adding them to the shared suppression table and reporting
+// malformed directives (missing reason, unknown check name). A directive
+// naming a check that is valid but not selected for this run is fine: the
+// suppression simply never matches anything.
+func collectDirectives(pkg *Package, valid map[string]bool, sup suppressions) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -220,18 +358,18 @@ func collectDirectives(pkg *Package, valid map[string]bool) (suppressions, []Dia
 				pos := pkg.Fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) == 0 {
-					diags = append(diags, Diagnostic{Pos: pos, Check: DirectiveCheck,
+					diags = append(diags, Diagnostic{Pos: pos, Check: DirectiveCheck, Severity: SeverityError,
 						Msg: "ucatlint:ignore directive needs a check name and a reason"})
 					continue
 				}
 				check := fields[0]
 				if check != "all" && !valid[check] {
-					diags = append(diags, Diagnostic{Pos: pos, Check: DirectiveCheck,
+					diags = append(diags, Diagnostic{Pos: pos, Check: DirectiveCheck, Severity: SeverityError,
 						Msg: fmt.Sprintf("ucatlint:ignore names unknown check %q", check)})
 					continue
 				}
 				if len(fields) < 2 {
-					diags = append(diags, Diagnostic{Pos: pos, Check: DirectiveCheck,
+					diags = append(diags, Diagnostic{Pos: pos, Check: DirectiveCheck, Severity: SeverityError,
 						Msg: fmt.Sprintf("ucatlint:ignore %s needs a reason", check)})
 					continue
 				}
@@ -239,7 +377,7 @@ func collectDirectives(pkg *Package, valid map[string]bool) (suppressions, []Dia
 			}
 		}
 	}
-	return sup, diags
+	return diags
 }
 
 // directiveText extracts the payload of a //ucatlint:ignore comment, or

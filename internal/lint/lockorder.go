@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrderCheck guards against the deadlock class the shared-pool refactor
+// invites: two call chains that acquire the same pair of mutexes in opposite
+// orders. The striped pager (one mutex per shard), the server's drainGate
+// and the PETQ batcher each own sync.Mutex/RWMutex state, and a function
+// that calls into another package while holding one of them silently commits
+// the whole module to an acquisition order no single file shows.
+//
+// The analysis is interprocedural, built on the call graph and the BottomUp
+// dataflow driver (DESIGN.md §17):
+//
+//  1. Every mutex is classified by *where it lives*, not which instance it
+//     is: a field "mu" of type shard in package pager is the class
+//     "ucat/internal/pager.shard.mu", whether the shard is the first stripe
+//     or the tenth. Package-level mutexes classify by variable name;
+//     function-local mutexes are ignored (they cannot participate in a
+//     cross-function cycle). Promoted embedded mutexes classify by the
+//     embedding type's field.
+//  2. A BottomUp fixed point computes each function's lockset summary: the
+//     classes it — or anything it may transitively call — may acquire.
+//  3. A source-order walk of each body tracks the held set (Lock/RLock add,
+//     Unlock/RUnlock remove, deferred unlocks hold to function exit) and
+//     records an ordered pair (held, acquired) for every direct acquisition
+//     and, via the callee summaries, for every call made while holding a
+//     lock. Function literals are walked as their own scopes: a closure
+//     runs on its own goroutine's stack, so it does not inherit the
+//     creating function's held set.
+//  4. Two ordered pairs (a, b) and (b, a) between distinct classes are an
+//     inversion: both acquisition sites are reported. Acquiring a class
+//     that is already held (directly or through a callee that may acquire
+//     it) is reported as a potential self-deadlock — Go mutexes are not
+//     reentrant.
+//
+// The walk is linear in source order, so a branch that unlocks on one arm
+// only is approximated; RLock and Lock share a class (a read lock inverted
+// against a write lock still deadlocks once a writer queues up). These
+// approximations and the call graph's conservative dynamic resolution can
+// produce findings on orders that never interleave at run time — suppress
+// those with an ignore directive naming the external ordering argument.
+func LockOrderCheck() *Check {
+	return &Check{
+		Name:       "lockorder",
+		Doc:        "flag inconsistent mutex acquisition orders across call chains (interprocedural)",
+		Severity:   SeverityError,
+		RunProgram: runLockOrder,
+	}
+}
+
+// lockPair is one observed ordered acquisition: inner acquired (directly or
+// via a call) while outer was held.
+type lockPair struct {
+	outer, inner string
+	pos          token.Position
+	via          string // callee name when the acquisition is call-mediated
+}
+
+func runLockOrder(prog *Program) []Diagnostic {
+	g := prog.Graph
+
+	// Fact: the set of lock classes each function may (transitively) acquire.
+	acquires := make(map[*FuncNode]map[string]bool)
+	g.Fixpoint(BottomUp, func(n *FuncNode) bool {
+		set := acquires[n]
+		if set == nil {
+			set = directLockClasses(n)
+			acquires[n] = set
+		}
+		before := len(set)
+		for _, site := range n.Sites {
+			for _, callee := range site.Callees {
+				for c := range acquires[callee] {
+					set[c] = true
+				}
+			}
+		}
+		return len(set) != before
+	})
+
+	var pairs []lockPair
+	var diags []Diagnostic
+	for _, n := range g.Nodes() {
+		if n.Decl.Body == nil {
+			continue
+		}
+		w := &lockWalker{pkg: n.Pkg, graph: g, acquires: acquires, pairs: &pairs, diags: &diags}
+		w.walkScope(n.Decl.Body)
+	}
+
+	// Inversions: (a, b) and (b, a) both observed, a ≠ b. Report the first
+	// site of each direction, deterministically.
+	byDir := make(map[[2]string]lockPair)
+	for _, p := range pairs {
+		k := [2]string{p.outer, p.inner}
+		if prev, ok := byDir[k]; !ok || posLess(p.pos, prev.pos) {
+			byDir[k] = p
+		}
+	}
+	keys := make([][2]string, 0, len(byDir))
+	for k := range byDir {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rev := [2]string{k[1], k[0]}
+		other, inverted := byDir[rev]
+		if !inverted || k[0] >= k[1] { // report each unordered pair once, from its lexicographic side
+			continue
+		}
+		p := byDir[k]
+		diags = append(diags,
+			lockDiag(p, other),
+			lockDiag(other, p))
+	}
+	return diags
+}
+
+// lockDiag renders one side of an inversion.
+func lockDiag(here, there lockPair) Diagnostic {
+	msg := fmt.Sprintf("lock order inversion: %s acquired while holding %s", here.inner, here.outer)
+	if here.via != "" {
+		msg += fmt.Sprintf(" (via call to %s)", here.via)
+	}
+	msg += fmt.Sprintf(", but the opposite order occurs at %s:%d", there.pos.Filename, there.pos.Line)
+	return Diagnostic{Pos: here.pos, Check: "lockorder", Msg: msg}
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// directLockClasses returns the classes a function's own body (closures
+// included — they still acquire the class, whenever they run) may lock.
+func directLockClasses(n *FuncNode) map[string]bool {
+	set := make(map[string]bool)
+	if n.Decl.Body == nil {
+		return set
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if class, op, ok := lockOp(n.Pkg, call); ok && (op == "Lock" || op == "RLock") {
+			set[class] = true
+		}
+		return true
+	})
+	return set
+}
+
+// lockOp recognizes a call as a mutex operation and classifies its lock.
+// It returns the lock class, the operation name (Lock, RLock, Unlock,
+// RUnlock) and whether the call is a classified mutex operation at all.
+func lockOp(pkg *Package, call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	path, name, named := namedOrPointerTo(sig.Recv().Type())
+	if !named || path != "sync" || (name != "Mutex" && name != "RWMutex") {
+		return "", "", false
+	}
+	class, ok = lockClassOf(pkg, sel)
+	if !ok {
+		return "", "", false
+	}
+	return class, fn.Name(), true
+}
+
+// lockClassOf names the lock a mutex-method selector operates on:
+//
+//	sh.mu.Lock()   → "<pkg>.shard.mu"   (field of a named struct)
+//	poolMu.Lock()  → "<pkg>.poolMu"     (package-level variable)
+//	t.Lock()       → "<pkg>.T.Mutex"    (promoted embedded mutex)
+//
+// Locals and unclassifiable expressions return ok=false: a function-local
+// mutex cannot be acquired by two call chains in different orders.
+func lockClassOf(pkg *Package, sel *ast.SelectorExpr) (string, bool) {
+	// Promotion: the selection's receiver is the embedding type, and the
+	// first index step names the embedded mutex field.
+	if s, ok := pkg.Info.Selections[sel]; ok && len(s.Index()) > 1 {
+		if path, name, named := namedOrPointerTo(s.Recv()); named {
+			if st, ok := deref(s.Recv()).Underlying().(*types.Struct); ok {
+				return path + "." + name + "." + st.Field(s.Index()[0]).Name(), true
+			}
+		}
+		return "", false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		fieldObj, ok := pkg.Info.Uses[x.Sel].(*types.Var)
+		if !ok || !fieldObj.IsField() {
+			return "", false
+		}
+		if path, name, named := namedOrPointerTo(pkg.Info.TypeOf(x.X)); named {
+			return path + "." + name + "." + fieldObj.Name(), true
+		}
+	case *ast.Ident:
+		v, ok := pkg.Info.Uses[x].(*types.Var)
+		if !ok || v.IsField() {
+			return "", false
+		}
+		if v.Parent() == v.Pkg().Scope() { // package-level
+			return v.Pkg().Path() + "." + v.Name(), true
+		}
+	}
+	return "", false
+}
+
+// deref strips one pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// lockWalker tracks the held set through one function scope in source
+// order, recording ordered pairs and self-deadlock diagnostics.
+type lockWalker struct {
+	pkg      *Package
+	graph    *CallGraph
+	acquires map[*FuncNode]map[string]bool
+	held     []string
+	pairs    *[]lockPair
+	diags    *[]Diagnostic
+}
+
+// walkScope walks one function or closure body.
+func (w *lockWalker) walkScope(body ast.Node) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.FuncLit:
+			// A closure runs with its own (empty) held set. Its lock classes
+			// still reach the enclosing function's acquire summary via
+			// directLockClasses, which inspects the whole body.
+			inner := &lockWalker{pkg: w.pkg, graph: w.graph, acquires: w.acquires,
+				pairs: w.pairs, diags: w.diags}
+			inner.walkScope(n.Body)
+			return false
+		case *ast.DeferStmt:
+			if _, op, ok := lockOp(w.pkg, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				return false // deferred unlock: the lock is held to function exit
+			}
+			return true
+		case *ast.CallExpr:
+			w.call(n)
+			return true
+		}
+		return true
+	})
+}
+
+// call processes one call expression against the current held set.
+func (w *lockWalker) call(call *ast.CallExpr) {
+	pos := w.pkg.Fset.Position(call.Pos())
+	if class, op, ok := lockOp(w.pkg, call); ok {
+		switch op {
+		case "Lock", "RLock":
+			for _, h := range w.held {
+				if h == class {
+					*w.diags = append(*w.diags, Diagnostic{Pos: pos, Check: "lockorder",
+						Msg: fmt.Sprintf("%s of %s while already holding it: Go mutexes are not reentrant", op, class)})
+					continue
+				}
+				*w.pairs = append(*w.pairs, lockPair{outer: h, inner: class, pos: pos})
+			}
+			w.held = append(w.held, class)
+		case "Unlock", "RUnlock":
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i] == class {
+					w.held = append(w.held[:i], w.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if len(w.held) == 0 {
+		return
+	}
+	site := w.graph.SiteOf(call)
+	if site == nil {
+		return
+	}
+	// Call made while holding locks: everything the callee may acquire is
+	// ordered after everything currently held.
+	merged := make(map[string]*FuncNode)
+	for _, callee := range site.Callees {
+		for c := range w.acquires[callee] {
+			if _, ok := merged[c]; !ok {
+				merged[c] = callee
+			}
+		}
+	}
+	classes := make([]string, 0, len(merged))
+	for c := range merged {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		via := merged[c].Name()
+		for _, h := range w.held {
+			if h == c {
+				*w.diags = append(*w.diags, Diagnostic{Pos: pos, Check: "lockorder",
+					Msg: fmt.Sprintf("call to %s may re-acquire %s, which is already held here: Go mutexes are not reentrant", via, c)})
+				continue
+			}
+			*w.pairs = append(*w.pairs, lockPair{outer: h, inner: c, pos: pos, via: via})
+		}
+	}
+}

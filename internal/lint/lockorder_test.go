@@ -1,0 +1,267 @@
+package lint
+
+import "testing"
+
+func TestLockOrderTwoFunctionInversion(t *testing.T) {
+	// The seeded true positive from the issue: flushAll holds the shard
+	// mutex and calls into the registry (which locks its own mutex), while
+	// reregister takes them in the opposite order. Neither function is wrong
+	// in isolation; only the call graph sees the cycle.
+	diags := runOn(t, LockOrderCheck(), "snip/inv", `package inv
+
+import "sync"
+
+type shard struct{ mu sync.Mutex }
+type registry struct{ mu sync.Mutex }
+
+var sh shard
+var reg registry
+
+func (r *registry) note() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+func flushAll() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reg.note() // acquires registry.mu while shard.mu is held
+}
+
+func reregister() {
+	reg.mu.Lock()
+	sh.mu.Lock() // opposite order
+	sh.mu.Unlock()
+	reg.mu.Unlock()
+}
+`)
+	expect(t, diags, []string{
+		"lock order inversion: snip/inv.registry.mu acquired while holding snip/inv.shard.mu (via call to (registry).note)",
+		"lock order inversion: snip/inv.shard.mu acquired while holding snip/inv.registry.mu",
+	})
+}
+
+func TestLockOrderConsistentOrderIsClean(t *testing.T) {
+	diags := runOn(t, LockOrderCheck(), "snip/ok", `package ok
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+var ga a
+var gb b
+
+func one() {
+	ga.mu.Lock()
+	gb.mu.Lock()
+	gb.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+func two() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	gb.mu.Lock()
+	defer gb.mu.Unlock()
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestLockOrderSelfDeadlock(t *testing.T) {
+	diags := runOn(t, LockOrderCheck(), "snip/self", `package self
+
+import "sync"
+
+type box struct{ mu sync.Mutex }
+
+var gbox box
+
+func (b *box) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return 0
+}
+
+func double() int {
+	gbox.mu.Lock()
+	defer gbox.mu.Unlock()
+	return gbox.get() + 1 // re-enters b.mu: deadlock
+}
+`)
+	expect(t, diags, []string{
+		"call to (box).get may re-acquire snip/self.box.mu, which is already held here",
+	})
+}
+
+func TestLockOrderDirectReacquire(t *testing.T) {
+	diags := runOn(t, LockOrderCheck(), "snip/re", `package re
+
+import "sync"
+
+var mu sync.Mutex
+
+func oops() {
+	mu.Lock()
+	mu.Lock() // second acquire before release
+	mu.Unlock()
+	mu.Unlock()
+}
+`)
+	expect(t, diags, []string{
+		"Lock of snip/re.mu while already holding it",
+	})
+}
+
+func TestLockOrderUnlockReleasesHeldSet(t *testing.T) {
+	// Explicit unlock before the second acquisition: the orders (a then b)
+	// and (b then a) never overlap because nothing is held at the second
+	// Lock.
+	diags := runOn(t, LockOrderCheck(), "snip/rel", `package rel
+
+import "sync"
+
+var amu, bmu sync.Mutex
+
+func one() {
+	amu.Lock()
+	amu.Unlock()
+	bmu.Lock()
+	bmu.Unlock()
+}
+
+func two() {
+	bmu.Lock()
+	bmu.Unlock()
+	amu.Lock()
+	amu.Unlock()
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestLockOrderClosureDoesNotInheritHeldSet(t *testing.T) {
+	// The closure is handed elsewhere and runs on another goroutine's stack:
+	// its Lock must not be treated as nested under the creator's held set.
+	diags := runOn(t, LockOrderCheck(), "snip/clos", `package clos
+
+import "sync"
+
+var amu, bmu sync.Mutex
+
+var hook func()
+
+func install() {
+	amu.Lock()
+	defer amu.Unlock()
+	hook = func() {
+		bmu.Lock()
+		defer bmu.Unlock()
+	}
+}
+
+func other() {
+	bmu.Lock()
+	amu.Lock()
+	amu.Unlock()
+	bmu.Unlock()
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestLockOrderLocalMutexIgnored(t *testing.T) {
+	diags := runOn(t, LockOrderCheck(), "snip/loc", `package loc
+
+import "sync"
+
+var gmu sync.Mutex
+
+func scratch() {
+	var local sync.Mutex
+	gmu.Lock()
+	local.Lock()
+	local.Unlock()
+	gmu.Unlock()
+}
+
+func scratch2() {
+	var local sync.Mutex
+	local.Lock()
+	gmu.Lock()
+	gmu.Unlock()
+	local.Unlock()
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestLockOrderEmbeddedMutexPromotion(t *testing.T) {
+	diags := runOn(t, LockOrderCheck(), "snip/emb", `package emb
+
+import "sync"
+
+type table struct {
+	sync.Mutex
+	n int
+}
+
+type index struct{ mu sync.Mutex }
+
+var tab table
+var idx index
+
+func one() {
+	tab.Lock() // promoted: class is emb.table.Mutex
+	idx.mu.Lock()
+	idx.mu.Unlock()
+	tab.Unlock()
+}
+
+func two() {
+	idx.mu.Lock()
+	tab.Lock()
+	tab.Unlock()
+	idx.mu.Unlock()
+}
+`)
+	expect(t, diags, []string{
+		"lock order inversion: snip/emb.index.mu acquired while holding snip/emb.table.Mutex",
+		"lock order inversion: snip/emb.table.Mutex acquired while holding snip/emb.index.mu",
+	})
+}
+
+func TestLockOrderRWLockSharesClass(t *testing.T) {
+	// RLock and Lock of the same RWMutex are one class: a read-side
+	// acquisition inverted against the write side still deadlocks once a
+	// writer queues between them.
+	diags := runOn(t, LockOrderCheck(), "snip/rw", `package rw
+
+import "sync"
+
+type store struct{ mu sync.RWMutex }
+type cache struct{ mu sync.Mutex }
+
+var st store
+var ca cache
+
+func read() {
+	st.mu.RLock()
+	ca.mu.Lock()
+	ca.mu.Unlock()
+	st.mu.RUnlock()
+}
+
+func write() {
+	ca.mu.Lock()
+	st.mu.Lock()
+	st.mu.Unlock()
+	ca.mu.Unlock()
+}
+`)
+	expect(t, diags, []string{
+		"lock order inversion: snip/rw.cache.mu acquired while holding snip/rw.store.mu",
+		"lock order inversion: snip/rw.store.mu acquired while holding snip/rw.cache.mu",
+	})
+}

@@ -71,6 +71,71 @@ func (byteOrder) PutUint64(b []byte, v uint64)      {}
 var LittleEndian byteOrder
 var BigEndian byteOrder
 `,
+	"context": `package context
+
+import "time"
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+	Deadline() (deadline time.Time, ok bool)
+	Value(key any) any
+}
+
+func Background() Context { return nil }
+func TODO() Context       { return nil }
+
+type CancelFunc func()
+
+func WithCancel(parent Context) (Context, CancelFunc) { return parent, nil }
+func WithDeadline(parent Context, d time.Time) (Context, CancelFunc) {
+	return parent, nil
+}
+`,
+	"time": `package time
+
+type Time struct{}
+type Duration int64
+
+func Now() Time                  { return Time{} }
+func (t Time) Add(d Duration) Time { return t }
+`,
+	"sync": `package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+`,
+	"sync/atomic": `package atomic
+
+func AddUint64(addr *uint64, delta uint64) uint64 { return 0 }
+func LoadUint64(addr *uint64) uint64              { return 0 }
+func StoreUint64(addr *uint64, val uint64)        {}
+func AddInt64(addr *int64, delta int64) int64     { return 0 }
+func LoadInt64(addr *int64) int64                 { return 0 }
+func CompareAndSwapUint64(addr *uint64, old, new uint64) bool { return false }
+
+type Uint64 struct{ v uint64 }
+
+func (x *Uint64) Load() uint64       { return 0 }
+func (x *Uint64) Store(val uint64)   {}
+func (x *Uint64) Add(d uint64) uint64 { return 0 }
+`,
+	"fmt": `package fmt
+
+func Sprintf(format string, a ...any) string        { return "" }
+func Errorf(format string, a ...any) error          { return nil }
+func Println(a ...any) (n int, err error)           { return 0, nil }
+func Fprintf(w any, format string, a ...any) (int, error) { return 0, nil }
+`,
 	"math/rand": `package rand
 
 type Source interface{ Int63() int64 }
