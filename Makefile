@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke obs-smoke serve-smoke bench-serve metrics figures ablations fuzz clean
+.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke bench-pool bench-pool-smoke obs-smoke serve-smoke bench-serve metrics figures ablations fuzz clean
 
 all: build lint test
 
@@ -51,6 +51,7 @@ bench-smoke:
 	UCAT_BENCH_SCALE=0.02 $(GO) test -bench=. -benchtime=1x -short .
 	$(GO) test -run - -bench 'BenchmarkDecode' -benchmem -benchtime=1000x ./internal/uda/
 	$(GO) test -run - -bench 'BenchmarkReadNode' -benchmem -benchtime=100x ./internal/pdrtree/
+	$(GO) test -race -run TestSharedPoolContentionDeterminism -count=1 ./internal/server/
 
 # Sequential vs parallel wall-clock trajectory for full figure regeneration.
 bench-parallel:
@@ -65,6 +66,17 @@ bench-cache:
 # Tiny-scale bench-cache so the harness can't rot (used by CI).
 bench-cache-smoke:
 	$(GO) run ./cmd/ucatbench -scale 0.02 -queries 4 -workers 2 -benchcache /tmp/bench_cache_smoke.json
+
+# Shared serving-pool sweep: eviction policy (clock/lru/gdsf) x stripes x
+# total frames on a zipf-ish PETQ mix, against per-worker private pools at
+# equal total memory, with the answers-identical cross-check. Writes
+# BENCH_pool.json; on a single-CPU host read the hit rates, not wall-clock.
+bench-pool:
+	$(GO) run ./cmd/ucatbench -scale 0.5 -queries 16 -workers 4 -benchpool BENCH_pool.json
+
+# Tiny-scale bench-pool so the harness can't rot (used by CI).
+bench-pool-smoke:
+	$(GO) run ./cmd/ucatbench -scale 0.02 -queries 4 -workers 2 -benchpool /tmp/bench_pool_smoke.json
 
 # Execute the README serving quickstart verbatim: the command block between
 # the serve-quickstart markers in README.md is extracted and run

@@ -9,6 +9,7 @@
 //	ucatbench -scale 0.1 -queries 10 -seed 42
 //	ucatbench -workers 4           # per-point queries on 4 goroutines
 //	ucatbench -benchparallel BENCH_parallel.json
+//	ucatbench -benchpool BENCH_pool.json
 //
 // Full scale builds 100k-tuple CRM datasets; use -scale to iterate quickly.
 //
@@ -21,6 +22,12 @@
 // -benchparallel times full figure regeneration sequentially (workers=1) and
 // in parallel (-workers), verifies the two runs' I/O series are identical,
 // and appends the wall-clock trajectory to the given JSON file.
+//
+// -benchpool measures the serving layer's ONE shared striped buffer pool
+// (DESIGN.md §18) on a zipf-ish PETQ mix: eviction policy (clock/lru/gdsf)
+// x stripe count x total frames, against the pre-refactor per-worker
+// private pools at equal total memory, cross-checking that every variant's
+// answers are bit-identical to direct execution.
 package main
 
 import (
@@ -89,6 +96,7 @@ func main() {
 		decCache   = flag.Bool("decodecache", true, "enable the relation-wide decoded-page cache (never changes I/O counts; off is for A/B measurement)")
 		readahead  = flag.Bool("readahead", false, "enable sibling-leaf prefetch on inverted-list scans (prefetch reads are counted outside the I/O metric)")
 		benchCache = flag.String("benchcache", "", "measure the fig4 PETQ workload cache-off vs cache-on (ns/q, allocs/q, hit rate, seq vs parallel) and write the report to this JSON file")
+		benchPool  = flag.String("benchpool", "", "sweep the shared serving pool (eviction policy x stripes x frames vs per-worker private pools at equal total memory) and write the report to this JSON file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		debugAddr  = flag.String("debugaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
@@ -168,6 +176,16 @@ func main() {
 	if *benchCache != "" {
 		if err := runBenchCache(params, *benchCache); err != nil {
 			fmt.Fprintf(os.Stderr, "ucatbench: benchcache: %v\n", err)
+			os.Exit(1)
+		}
+		writeMetricsOut(*metricsOut)
+		writeMemProfile(*memprofile)
+		return
+	}
+
+	if *benchPool != "" {
+		if err := runBenchPool(params, *benchPool); err != nil {
+			fmt.Fprintf(os.Stderr, "ucatbench: benchpool: %v\n", err)
 			os.Exit(1)
 		}
 		writeMetricsOut(*metricsOut)
@@ -400,4 +418,36 @@ func writeMemProfile(path string) {
 		fmt.Fprintf(os.Stderr, "ucatbench: memprofile: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runBenchPool runs the shared-pool sweep and writes BENCH_pool.json,
+// echoing a human-readable summary (hit rate is the headline on a
+// single-CPU host; wall-clock is recorded but contended).
+func runBenchPool(params exp.Params, path string) error {
+	report, err := exp.BenchPool(params)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		_ = f.Close() // the write error takes precedence over the close error
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, b := range report.Baselines {
+		fmt.Fprintf(os.Stderr, "[baseline private x%d @ %3d frames/worker: hit %.3f  reads %d  mismatches %d]\n",
+			b.Workers, b.FramesPerWorker, b.HitRate, b.Reads, b.Mismatches)
+	}
+	for _, v := range report.Variants {
+		fmt.Fprintf(os.Stderr, "  %-5s stripes=%d frames=%-4d hit %.3f  reads %6d  evictions %6d  mismatches %d\n",
+			v.Policy, v.Stripes, v.Frames, v.HitRate, v.Reads, v.Evictions, v.Mismatches)
+	}
+	fmt.Fprintf(os.Stderr, "[answers identical across all runs: %v]\n", report.AllAnswersIdentical)
+	fmt.Fprintf(os.Stderr, "[benchpool → %s]\n", path)
+	return nil
 }

@@ -39,8 +39,10 @@ func run() error {
 		load        = flag.String("load", "", "relation snapshot to serve (required; see ucatgen -save)")
 		addr        = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 		addrFile    = flag.String("addrfile", "", "write the actual listen address to this file once ready (readiness signal for scripts)")
-		workers     = flag.Int("workers", 0, "query worker goroutines, each with a private buffer-pool view (0 = GOMAXPROCS)")
-		frames      = flag.Int("frames", 0, "buffer-pool frames per worker view (0 = the paper's 100)")
+		workers     = flag.Int("workers", 0, "query worker goroutines, all sharing one buffer pool (0 = GOMAXPROCS)")
+		frames      = flag.Int("frames", 0, "TOTAL shared buffer-pool frames across all workers — per-worker before the shared-pool refactor, see OPERATIONS.md §8 (0 = workers × 100)")
+		stripes     = flag.Int("stripes", 0, "shared-pool lock stripes (0 = 2 × workers, capped at 16)")
+		policy      = flag.String("policy", "", "shared-pool eviction policy: clock | lru | gdsf (default clock)")
 		queue       = flag.Int("queue", 0, "admission queue depth; overflow answers 429 (0 = 64)")
 		timeout     = flag.Duration("timeout", 0, "default per-query deadline when the request sets none (0 = 2s)")
 		maxTimeout  = flag.Duration("maxtimeout", 0, "cap on client-requested deadlines (0 = 30s)")
@@ -64,6 +66,8 @@ func run() error {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		PoolFrames:     *frames,
+		PoolStripes:    *stripes,
+		PoolPolicy:     *policy,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		BatchWindow:    *batchWindow,
@@ -88,8 +92,8 @@ func run() error {
 	}
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
 
-	fmt.Printf("ucatd: serving %s relation (%d tuples) on %s\n",
-		rel.Kind(), rel.Len(), ln.Addr())
+	fmt.Printf("ucatd: serving %s relation (%d tuples) on %s (pool: %s)\n",
+		rel.Kind(), rel.Len(), ln.Addr(), srv.PoolDescription())
 
 	errc := make(chan error, 1)
 	go func() {

@@ -110,6 +110,14 @@ func run() error {
 		fmt.Printf("open %6d q/s:    %s\n", r, lvl)
 	}
 
+	if pool, err := fetchPoolStats(client, &p); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatload: /v1/stats pool snapshot unavailable: %v\n", err)
+	} else {
+		doc.Pool = pool
+		fmt.Printf("server pool: %s, %d frames, %d stripes, hit rate %.3f\n",
+			pool.Policy, pool.Frames, pool.Stripes, pool.HitRate)
+	}
+
 	if p.load != "" {
 		chk, err := runCheck(client, &p)
 		if err != nil {
@@ -135,6 +143,21 @@ type benchDoc struct {
 	Closed      []level   `json:"closed_loop,omitempty"`
 	Open        []level   `json:"open_loop,omitempty"`
 	Determinism *checkDoc `json:"determinism,omitempty"`
+	Pool        *poolDoc  `json:"server_pool,omitempty"`
+}
+
+// poolDoc mirrors the shared-pool section of ucatd's /v1/stats, captured
+// after the sweeps so the document records the pool configuration and
+// lifetime hit rate behind the latency numbers.
+type poolDoc struct {
+	Policy    string  `json:"policy"`
+	Frames    int     `json:"frames"`
+	Stripes   int     `json:"stripes"`
+	Occupancy int     `json:"occupancy"`
+	Reads     uint64  `json:"reads"`
+	Hits      uint64  `json:"hits"`
+	HitRate   float64 `json:"hit_rate"`
+	Evictions uint64  `json:"evictions"`
 }
 
 // level is one offered-load measurement.
@@ -331,6 +354,25 @@ func post(client *http.Client, p *params, body []byte, c *counters) {
 	default:
 		c.errors.Add(1)
 	}
+}
+
+// fetchPoolStats grabs the shared-pool section from ucatd's /v1/stats.
+func fetchPoolStats(client *http.Client, p *params) (*poolDoc, error) {
+	resp, err := client.Get("http://" + p.addr + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var payload struct {
+		Pool poolDoc `json:"pool"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, err
+	}
+	return &payload.Pool, nil
 }
 
 // runCheck replays a deterministic PETQ workload through the server and

@@ -159,6 +159,31 @@ func (r *Relation) DecodeCache() *dcache.Cache { return r.cache }
 // Kind returns the access method backing the relation.
 func (r *Relation) Kind() Kind { return r.opts.Kind }
 
+// indexPageCost is the GDSF re-materialization cost of an index page
+// relative to a heap page's 1. The ratio is a heuristic from the decode
+// profiles behind BENCH_cache.json: materializing a B+-tree/PDR-tree node
+// (boundary vectors, fanout entries, probability tables) costs several times
+// a heap page's flat row decode. GDSF only needs the ordering to be roughly
+// right — index pages should outlive heap pages at equal recency — not the
+// constant to be exact.
+const indexPageCost = 4
+
+// PageCostFunc returns a decode-cost estimator for the relation's pages,
+// suitable for pager.Pool.SetCostFunc on a GDSF shared pool: heap data
+// pages cost 1, everything else in the store (B+-tree and PDR-tree nodes,
+// posting pages) costs indexPageCost. The heap-page set is snapshotted at
+// call time, which is exact for the read-only serving path; call it again
+// after ingesting tuples.
+func (r *Relation) PageCostFunc() pager.CostFunc {
+	heap := r.tuples.DataPageSet()
+	return func(pid pager.PageID, data []byte) float64 {
+		if _, ok := heap[pid]; ok {
+			return 1
+		}
+		return indexPageCost
+	}
+}
+
 // Pool returns the relation's buffer pool, whose Stats give the disk I/O
 // counts of the queries run so far.
 func (r *Relation) Pool() *pager.Pool { return r.pool }

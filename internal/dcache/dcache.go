@@ -122,6 +122,64 @@ func New(maxBytes int64) *Cache {
 	return c
 }
 
+// SizeForFrames returns the decode-cache budget coherent with a buffer pool
+// of the given frame count: one decoded object per resident page (decoded
+// nodes are about the size of the 8 KB page they came from), with
+// DefaultBytes as the floor so small pools keep the decode cache useful.
+// The serving layer uses it to grow the relation's cache alongside the
+// shared pool — a pool that keeps thousands of pages hot is wasted if their
+// decoded forms still thrash an 8 MB cache.
+func SizeForFrames(frames int) int64 {
+	b := int64(frames) * pager.PageSize
+	if b < DefaultBytes {
+		return DefaultBytes
+	}
+	return b
+}
+
+// MaxBytes returns the cache's configured byte budget (summed over the lock
+// stripes, so it may round down from the New/Resize argument by up to
+// shards-1 bytes). A nil cache has no budget.
+func (c *Cache) MaxBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.sh {
+		sh := &c.sh[i]
+		sh.mu.Lock()
+		total += sh.max
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Resize changes the cache's byte budget, re-splitting it evenly across the
+// lock stripes and evicting CLOCK-style until each stripe fits its new
+// budget. Growing never evicts. Resize on a nil cache is a no-op. Safe for
+// concurrent use with Get/Put (stripes are resized one at a time).
+func (c *Cache) Resize(maxBytes int64) {
+	if c == nil {
+		return
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultBytes
+	}
+	per := maxBytes / shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.sh {
+		sh := &c.sh[i]
+		sh.mu.Lock()
+		sh.max = per
+		if sh.bytes > sh.max {
+			c.evictUntil(sh, sh.max)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Instrument mirrors the cache's counters into the registry as
 // ucat_dcache_{hits,misses,evictions}_total, so they show up in /metrics
 // alongside the pager's I/O counters. Call once, before the cache is shared.

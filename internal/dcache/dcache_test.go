@@ -152,3 +152,50 @@ func TestConcurrent(t *testing.T) {
 		t.Fatalf("budget exceeded: %+v", st)
 	}
 }
+
+// TestResize: shrinking evicts down to the new budget, growing never evicts,
+// and SizeForFrames keeps its floor.
+func TestResize(t *testing.T) {
+	c := New(shards * 1000) // 1000 bytes per stripe
+	// Ten 400-byte objects spread across stripes.
+	for pid := pager.PageID(1); pid <= 10; pid++ {
+		c.Put(pid, 0, "v", 400)
+	}
+	before := c.Stats()
+	c.Resize(shards * 100) // 100 bytes per stripe: every 400-byte entry must go
+	st := c.Stats()
+	if st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("after shrink below entry size: %+v, want empty", st)
+	}
+	if st.Evictions != before.Evictions+uint64(before.Entries) {
+		t.Errorf("evictions = %d, want %d", st.Evictions, before.Evictions+uint64(before.Entries))
+	}
+	if got := c.MaxBytes(); got != shards*100 {
+		t.Errorf("MaxBytes() = %d, want %d", got, shards*100)
+	}
+	// Growing re-admits without evicting.
+	c.Resize(shards * 1000)
+	c.Put(1, 0, "v", 400)
+	c.Put(2, 0, "v", 400)
+	ev := c.Stats().Evictions
+	c.Resize(shards * 4000)
+	if got := c.Stats(); got.Entries != 2 || got.Evictions != ev {
+		t.Errorf("grow evicted: %+v (evictions before %d)", got, ev)
+	}
+	var nilc *Cache
+	nilc.Resize(1 << 20) // must not panic
+	if nilc.MaxBytes() != 0 {
+		t.Error("nil cache MaxBytes != 0")
+	}
+}
+
+// TestSizeForFrames: page-coherent sizing with the DefaultBytes floor.
+func TestSizeForFrames(t *testing.T) {
+	if got := SizeForFrames(100); got != DefaultBytes {
+		t.Errorf("SizeForFrames(100) = %d, want floor %d", got, DefaultBytes)
+	}
+	want := int64(4096) * pager.PageSize
+	if got := SizeForFrames(4096); got != want {
+		t.Errorf("SizeForFrames(4096) = %d, want %d", got, want)
+	}
+}

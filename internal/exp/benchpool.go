@@ -1,0 +1,294 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"ucat/internal/core"
+	"ucat/internal/dataset"
+	"ucat/internal/pager"
+	"ucat/internal/uda"
+)
+
+// benchpool.go measures the serving layer's shared buffer pool: a CRM1-like
+// PETQ workload with zipf-ish query repetition (half the traffic concentrated
+// on a few hot distributions, the shape micro-batched serving sees) runs
+// through ONE shared striped pool under a worker fan-out, sweeping eviction
+// policy × stripe count × total frames. A per-worker-private-pools baseline
+// at equal TOTAL memory — the pre-refactor serving configuration — anchors
+// the comparison. Every variant's answers are cross-checked bit-identically
+// against direct sequential execution; on a single-CPU host the number that
+// matters is the hit rate (each hot page resident once instead of once per
+// worker), not wall-clock speedup.
+
+// PoolVariant is one (policy, stripes, frames) measurement of the shared
+// pool under the concurrent workload.
+type PoolVariant struct {
+	Policy    string  `json:"policy"`
+	Frames    int     `json:"frames"` // TOTAL frames across all workers
+	Stripes   int     `json:"stripes"`
+	Workers   int     `json:"workers"`
+	WallNs    int64   `json:"wall_ns"`
+	Reads     uint64  `json:"reads"`
+	Hits      uint64  `json:"hits"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	// Mismatches counts requests whose answer differed from direct
+	// execution. Must be 0: the pool layer cannot change answers.
+	Mismatches int `json:"mismatches"`
+}
+
+// PoolBaseline is the pre-refactor configuration at equal total memory:
+// each worker owns a private CLOCK pool of Frames/Workers frames.
+type PoolBaseline struct {
+	Frames          int     `json:"frames"` // total across workers
+	FramesPerWorker int     `json:"frames_per_worker"`
+	Workers         int     `json:"workers"`
+	WallNs          int64   `json:"wall_ns"`
+	Reads           uint64  `json:"reads"`
+	Hits            uint64  `json:"hits"`
+	HitRate         float64 `json:"hit_rate"`
+	Mismatches      int     `json:"mismatches"`
+}
+
+// PoolBenchReport is the BENCH_pool.json payload.
+type PoolBenchReport struct {
+	Generated  string         `json:"generated"`
+	Scale      float64        `json:"scale"`
+	Queries    int            `json:"queries"`  // distinct query distributions
+	Requests   int            `json:"requests"` // total requests in the sequence
+	HotQueries int            `json:"hot_queries"`
+	Seed       int64          `json:"seed"`
+	Workers    int            `json:"workers"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Variants   []PoolVariant  `json:"variants"`
+	Baselines  []PoolBaseline `json:"baselines"`
+	// AllAnswersIdentical is the determinism cross-check over every variant
+	// and baseline.
+	AllAnswersIdentical bool `json:"all_answers_identical"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *PoolBenchReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// poolSweepFrames and poolSweepStripes define the sweep grid. Frames are
+// deliberately undersized relative to the relation so replacement runs
+// constantly; 256 total at 4 workers is less memory than the old per-worker
+// default (4 × 100).
+var (
+	poolSweepFrames  = []int{16, 64, 256}
+	poolSweepStripes = []int{1, 2, 4}
+)
+
+// poolRequestsPerQuery sizes the request sequence relative to the distinct
+// query count.
+const poolRequestsPerQuery = 4
+
+// benchPoolRun executes the request sequence under the worker fan-out, each
+// worker fetching through the view newView hands it, and compares every
+// answer against want. It returns wall time and the mismatch count.
+func benchPoolRun(rel *core.Relation, queries []workloadQuery, reqs []int,
+	want [][]core.Match, workers int, newView func(worker int) pager.View) (int64, int, error) {
+	var wg sync.WaitGroup
+	mismatches := make([]int, workers)
+	errs := make([]error, workers)
+	t0 := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rd := rel.Reader(newView(g))
+			for i := g; i < len(reqs); i += workers {
+				qi := reqs[i]
+				got, err := rd.PETQ(queries[qi].q, queries[qi].tau)
+				if err != nil {
+					errs[g] = fmt.Errorf("request %d (query %d): %w", i, qi, err)
+					return
+				}
+				if !matchesEqual(got, want[qi]) {
+					mismatches[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(t0).Nanoseconds()
+	var bad int
+	for g := 0; g < workers; g++ {
+		if errs[g] != nil {
+			return 0, 0, errs[g]
+		}
+		bad += mismatches[g]
+	}
+	return wall, bad, nil
+}
+
+// workloadQuery pairs a query distribution with its calibrated threshold.
+type workloadQuery struct {
+	q   uda.UDA
+	tau float64
+}
+
+// matchesEqual reports whether two answer slices are bit-identical.
+func matchesEqual(a, b []core.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//ucatlint:ignore floatcmp bit-identical answers are the property under test
+		if a[i].TID != b[i].TID || a[i].Prob != b[i].Prob {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchPool builds the CRM1 PDR-tree relation, derives a zipf-ish request
+// sequence over the calibrated PETQ workload, and sweeps the shared pool's
+// policy × stripes × frames grid against the per-worker-private-pool
+// baseline at equal total memory. See the file comment for what each number
+// means.
+func BenchPool(p Params) (*PoolBenchReport, error) {
+	p = p.withDefaults()
+	if p.Workers <= 1 {
+		p.Workers = 4 // contention is the point of this benchmark
+	}
+	d := dataset.CRM1Like(p.Seed, p.scaled(dataset.CRMSize))
+	w := newWorkload(d, p.Queries, p.Seed)
+	rel, err := buildRelation(d, core.Options{Kind: core.PDRTree}, p)
+	if err != nil {
+		return nil, fmt.Errorf("benchpool: %w", err)
+	}
+	if err := rel.Pool().FlushAll(); err != nil {
+		return nil, fmt.Errorf("benchpool: flush: %w", err)
+	}
+
+	// Calibrate each query at the 1% selectivity point and take direct
+	// answers through the relation's own pool — the reference every
+	// concurrent run must reproduce exactly.
+	const sel = 0.01
+	queries := make([]workloadQuery, p.Queries)
+	want := make([][]core.Match, p.Queries)
+	for qi := 0; qi < p.Queries; qi++ {
+		queries[qi] = workloadQuery{q: w.queries[qi], tau: w.tau(qi, sel)}
+		m, err := rel.PETQ(w.queries[qi], queries[qi].tau)
+		if err != nil {
+			return nil, fmt.Errorf("benchpool: direct query %d: %w", qi, err)
+		}
+		want[qi] = m
+	}
+
+	// Zipf-ish request sequence: half the traffic lands on a few hot
+	// queries, the rest is uniform. Deterministic in the seed.
+	hot := 4
+	if hot > p.Queries {
+		hot = p.Queries
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	reqs := make([]int, p.Queries*poolRequestsPerQuery)
+	for i := range reqs {
+		if rng.Intn(2) == 0 {
+			reqs[i] = rng.Intn(hot)
+		} else {
+			reqs[i] = rng.Intn(p.Queries)
+		}
+	}
+
+	report := &PoolBenchReport{
+		Generated:           time.Now().UTC().Format(time.RFC3339),
+		Scale:               p.Scale,
+		Queries:             p.Queries,
+		Requests:            len(reqs),
+		HotQueries:          hot,
+		Seed:                p.Seed,
+		Workers:             p.Workers,
+		NumCPU:              runtime.NumCPU(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		AllAnswersIdentical: true,
+	}
+	store := rel.Pool().Store()
+
+	for _, frames := range poolSweepFrames {
+		// Baseline: the pre-refactor regime, one private CLOCK pool per
+		// worker at frames/Workers each — same total memory as the shared
+		// variants below.
+		per := frames / p.Workers
+		if per < 8 {
+			per = 8
+		}
+		views := make([]*pager.Pool, p.Workers)
+		newPrivate := func(g int) pager.View {
+			views[g] = pager.NewPool(store, per)
+			return views[g]
+		}
+		wall, bad, err := benchPoolRun(rel, queries, reqs, want, p.Workers, newPrivate)
+		if err != nil {
+			return nil, fmt.Errorf("benchpool: baseline frames=%d: %w", frames, err)
+		}
+		base := PoolBaseline{
+			Frames:          per * p.Workers,
+			FramesPerWorker: per,
+			Workers:         p.Workers,
+			WallNs:          wall,
+			Mismatches:      bad,
+		}
+		for _, v := range views {
+			st := v.Stats()
+			base.Reads += st.Reads
+			base.Hits += st.Hits
+		}
+		if t := base.Reads + base.Hits; t > 0 {
+			base.HitRate = float64(base.Hits) / float64(t)
+		}
+		report.Baselines = append(report.Baselines, base)
+		if bad > 0 {
+			report.AllAnswersIdentical = false
+		}
+
+		for _, stripes := range poolSweepStripes {
+			for _, pol := range pager.Policies {
+				pool := pager.NewSharedPool(store, frames, stripes, pol)
+				if pol == pager.GDSF {
+					pool.SetCostFunc(rel.PageCostFunc())
+				}
+				newShared := func(g int) pager.View { return pool.Session() }
+				wall, bad, err := benchPoolRun(rel, queries, reqs, want, p.Workers, newShared)
+				if err != nil {
+					return nil, fmt.Errorf("benchpool: %s/%d/%d: %w", pol, stripes, frames, err)
+				}
+				st := pool.Stats()
+				v := PoolVariant{
+					Policy:     pol.String(),
+					Frames:     frames,
+					Stripes:    stripes,
+					Workers:    p.Workers,
+					WallNs:     wall,
+					Reads:      st.Reads,
+					Hits:       st.Hits,
+					Evictions:  pool.Evictions(),
+					HitRate:    st.HitRate(),
+					Mismatches: bad,
+				}
+				report.Variants = append(report.Variants, v)
+				if bad > 0 {
+					report.AllAnswersIdentical = false
+				}
+			}
+		}
+	}
+	return report, nil
+}

@@ -112,6 +112,7 @@ func AllChecks() []*Check {
 		GlobalRandCheck(),
 		PinleakCheck(),
 		PoolViewCheck(),
+		SharedPoolCheck(),
 		SpanEndCheck(),
 		CacheVersionCheck(),
 		ExportDocCheck(),

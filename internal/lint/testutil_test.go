@@ -44,6 +44,21 @@ func (p *Pool) Fetch(pid PageID) (*Page, error) { return nil, nil }
 func (p *Pool) NewPage() (*Page, error)         { return nil, nil }
 func (p *Pool) Store() *Store                   { return nil }
 func (p *Pool) FlushAll() error                 { return nil }
+
+type Policy int
+
+const CLOCK Policy = 0
+
+func NewPool(store *Store, nframes int) *Pool                 { return nil }
+func NewStripedPool(store *Store, nframes, nshards int) *Pool { return nil }
+func NewSharedPool(store *Store, nframes, nshards int, policy Policy) *Pool {
+	return nil
+}
+
+type Session struct{}
+
+func (p *Pool) Session() *Session               { return nil }
+func (s *Session) Fetch(pid PageID) (*Page, error) { return nil, nil }
 `,
 	"ucat/internal/obs": `package obs
 

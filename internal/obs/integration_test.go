@@ -3,6 +3,8 @@ package obs_test
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ucat/internal/core"
@@ -137,6 +139,65 @@ func TestSpanTreeNamesQueryStrategy(t *testing.T) {
 			}
 			if !strings.Contains(b.String(), "tau=0.1") {
 				t.Errorf("tree missing tau attr:\n%s", b.String())
+			}
+		})
+	}
+}
+
+// TestSpanReadsSharedPoolSessions extends the accounting contract to the
+// serving configuration: many goroutines querying concurrently through
+// per-goroutine Sessions over ONE shared striped pool. Each goroutine's span
+// tree must sum to its own Session's Stats delta (exact even under
+// contention, because the tally is session-local), and the sessions together
+// must account for every fetch the shared pool saw.
+func TestSpanReadsSharedPoolSessions(t *testing.T) {
+	query := uda.MustNew(uda.Pair{Item: 3, Prob: 0.6}, uda.Pair{Item: 8, Prob: 0.4})
+	for _, kind := range []core.Kind{core.InvertedIndex, core.PDRTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rel := buildRelation(t, kind)
+			// Undersized and striped, like the server's pool: evictions and
+			// cross-stripe traffic happen while sessions hold pins.
+			pool := pager.NewSharedPool(rel.Pool().Store(), 24, 2, pager.LRU)
+			before := pool.Stats()
+
+			const goroutines = 6
+			var wg sync.WaitGroup
+			var sumReads, sumHits atomic.Uint64
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sess := pool.Session()
+					rec := obs.NewRecorder()
+					rd := rel.Reader(obs.InstrumentView(sess, rec))
+					if _, err := rd.PETQ(query, 0.1); err != nil {
+						t.Error(err)
+						return
+					}
+					reads, hits := rec.SumIO()
+					delta := sess.Stats()
+					if reads != delta.Reads || hits != delta.Hits {
+						t.Errorf("span tree sums reads=%d hits=%d, session delta reads=%d hits=%d",
+							reads, hits, delta.Reads, delta.Hits)
+					}
+					sumReads.Add(delta.Reads)
+					sumHits.Add(delta.Hits)
+				}()
+			}
+			wg.Wait()
+
+			after := pool.Stats()
+			if got, want := sumReads.Load(), after.Reads-before.Reads; got != want {
+				t.Fatalf("sessions sum %d reads, pool delta %d", got, want)
+			}
+			if got, want := sumHits.Load(), after.Hits-before.Hits; got != want {
+				t.Fatalf("sessions sum %d hits, pool delta %d", got, want)
+			}
+			if sumReads.Load() == 0 {
+				t.Fatalf("no reads performed; accounting test is vacuous")
+			}
+			if pool.Pins() != 0 {
+				t.Fatalf("%d pins leaked", pool.Pins())
 			}
 		})
 	}

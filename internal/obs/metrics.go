@@ -155,14 +155,23 @@ type Registry struct {
 	gauges    map[string]*Gauge
 	hists     map[string]*Histogram
 	published bool
+
+	// Func-backed metrics: read on every scrape instead of being pushed to.
+	// They exist for values some other subsystem already maintains (the
+	// shared buffer pool's occupancy and eviction counters, say) — mirroring
+	// those into push-style counters would mean a second copy that can skew.
+	counterFns map[string]func() uint64
+	gaugeFns   map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		counterFns: make(map[string]func() uint64),
+		gaugeFns:   make(map[string]func() int64),
 	}
 }
 
@@ -187,6 +196,9 @@ func (r *Registry) Counter(name string) *Counter {
 	validName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if _, clash := r.counterFns[name]; clash {
+		panic(fmt.Sprintf("obs: counter name %q already a func-backed counter", name))
+	}
 	if c = r.counters[name]; c == nil {
 		c = &Counter{}
 		r.counters[name] = c
@@ -205,6 +217,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	validName(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if _, clash := r.gaugeFns[name]; clash {
+		panic(fmt.Sprintf("obs: gauge name %q already a func-backed gauge", name))
+	}
 	if g = r.gauges[name]; g == nil {
 		g = &Gauge{}
 		r.gauges[name] = g
@@ -230,17 +245,54 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// snapshot collects every metric under sorted names.
+// CounterFunc registers a read-on-scrape counter backed by fn, which must be
+// fast, concurrency-safe and monotonic. Registering a name again replaces
+// the function (a restarted server re-binds its metrics, like Counter does
+// by returning the existing instance). The name must not collide with a
+// push-style counter.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	validName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, clash := r.counters[name]; clash {
+		panic(fmt.Sprintf("obs: CounterFunc name %q already a push counter", name))
+	}
+	r.counterFns[name] = fn
+}
+
+// GaugeFunc registers a read-on-scrape gauge backed by fn, which must be
+// fast and concurrency-safe. Same replacement and collision rules as
+// CounterFunc.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	validName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, clash := r.gauges[name]; clash {
+		panic(fmt.Sprintf("obs: GaugeFunc name %q already a push gauge", name))
+	}
+	r.gaugeFns[name] = fn
+}
+
+// snapshot collects every metric under sorted names. Func-backed metrics are
+// evaluated here, under the read lock — registration (the write lock) cannot
+// race them, but the functions themselves must tolerate concurrent snapshot
+// callers.
 func (r *Registry) snapshot() (counters map[string]uint64, gauges map[string]int64, hists map[string]HistSnapshot) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	counters = make(map[string]uint64, len(r.counters))
+	counters = make(map[string]uint64, len(r.counters)+len(r.counterFns))
 	for n, c := range r.counters {
 		counters[n] = c.Value()
 	}
-	gauges = make(map[string]int64, len(r.gauges))
+	for n, fn := range r.counterFns {
+		counters[n] = fn()
+	}
+	gauges = make(map[string]int64, len(r.gauges)+len(r.gaugeFns))
 	for n, g := range r.gauges {
 		gauges[n] = g.Value()
+	}
+	for n, fn := range r.gaugeFns {
+		gauges[n] = fn()
 	}
 	hists = make(map[string]HistSnapshot, len(r.hists))
 	for n, h := range r.hists {

@@ -72,6 +72,14 @@ type frame struct {
 	pins  int
 	ref   bool // clock reference bit (second chance)
 	dirty bool
+
+	// Replacement-policy metadata, maintained under the stripe lock on every
+	// admission and touch. CLOCK ignores all of it, so pools built by
+	// NewPool/NewStripedPool behave exactly as before these fields existed.
+	stamp uint64  // stripe tick at last touch (LRU order; GDSF tie-break)
+	freq  uint64  // touches since admission (GDSF)
+	cost  float64 // re-materialization cost estimate at admission (GDSF)
+	prio  float64 // GDSF priority H = inflate + freq×cost at last touch
 }
 
 // shard is one lock stripe of a Pool: a private mutex, frame set, page table
@@ -82,6 +90,9 @@ type shard struct {
 	frames []frame
 	table  map[PageID]int // pid → frame index within this shard
 	hand   int            // clock hand, local to the shard
+
+	tick    uint64  // logical clock for LRU stamps, local to the shard
+	inflate float64 // GDSF inflation value L: priority of the last victim
 
 	// Pad shards apart so their mutexes do not share a cache line.
 	_ [64]byte
@@ -117,6 +128,15 @@ type Pool struct {
 	store   *Store
 	shards  []shard
 	nframes int
+	policy  Policy
+	costFn  CostFunc // nil means every page costs 1 (GDSF degenerates to LFU-with-aging)
+
+	// pins is the number of outstanding Page pins across all stripes,
+	// maintained atomically on the Fetch/NewPage/Unpin hot path. It exists so
+	// Resize and Clear can refuse deterministically while any page is pinned
+	// without sweeping every stripe (see Resize), and so tests can assert
+	// pin balance cheaply under contention.
+	pins atomic.Int64
 
 	reads  atomic.Uint64
 	writes atomic.Uint64
@@ -159,6 +179,41 @@ func NewStripedPool(store *Store, nframes, nshards int) *Pool {
 	p := &Pool{store: store, shards: make([]shard, nshards), nframes: nframes}
 	p.initShards()
 	return p
+}
+
+// NewSharedPool creates a pool meant to be shared by many concurrent
+// requests — the serving layer's one big hot-page cache — with the given
+// replacement policy. Frame count and stripe count are clamped exactly as in
+// NewStripedPool. The policy is fixed for the pool's lifetime; for GDSF,
+// install a cost estimator with SetCostFunc before sharing the pool.
+//
+// A shared pool differs from the figures path's per-query pools only in
+// policy: pin-safety, striping and I/O accounting are identical. Per-request
+// I/O attribution over a shared pool uses Session views (see Session), since
+// a Stats() delta on the pool itself would interleave all requests.
+func NewSharedPool(store *Store, nframes, nshards int, policy Policy) *Pool {
+	p := NewStripedPool(store, nframes, nshards)
+	p.policy = policy
+	return p
+}
+
+// Policy returns the pool's replacement policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// SetCostFunc installs the GDSF cost estimator. It must be called before the
+// pool is shared (it is not synchronized with concurrent fetches); pools
+// under other policies ignore it. A nil CostFunc means every page costs 1.
+func (p *Pool) SetCostFunc(fn CostFunc) { p.costFn = fn }
+
+// pageCost evaluates the cost function for a freshly admitted page.
+func (p *Pool) pageCost(pid PageID, data []byte) float64 {
+	if p.costFn == nil {
+		return 1
+	}
+	if c := p.costFn(pid, data); c > 0 {
+		return c
+	}
+	return 1
 }
 
 // initShards distributes p.nframes frames across the shard slice and resets
@@ -213,6 +268,14 @@ type Page struct {
 
 // Fetch pins the page in the pool, reading it from the store on a miss.
 func (p *Pool) Fetch(pid PageID) (*Page, error) {
+	pg, _, err := p.fetch(pid)
+	return pg, err
+}
+
+// fetch is Fetch plus a hit indicator, so Session views can tally
+// per-request I/O locally instead of diffing the pool's shared counters
+// (which interleave all concurrent requests).
+func (p *Pool) fetch(pid PageID) (*Page, bool, error) {
 	sh := p.shardFor(pid)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -220,12 +283,14 @@ func (p *Pool) Fetch(pid PageID) (*Page, error) {
 		f := &sh.frames[idx]
 		f.pins++
 		f.ref = true
+		p.touchLocked(sh, f)
+		p.pins.Add(1)
 		p.hits.Add(1)
-		return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, nil
+		return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, true, nil
 	}
 	idx, err := p.evict(sh)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	f := &sh.frames[idx]
 	if err := p.store.ReadAt(pid, f.data); err != nil {
@@ -237,15 +302,49 @@ func (p *Pool) Fetch(pid PageID) (*Page, error) {
 		f.pins = 0
 		f.ref = false
 		f.dirty = false
-		return nil, err
+		return nil, false, err
 	}
 	p.reads.Add(1)
 	f.pid = pid
 	f.pins = 1
 	f.ref = true
 	f.dirty = false
+	p.admitLocked(sh, f)
+	p.pins.Add(1)
 	sh.table[pid] = idx
-	return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, nil
+	return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, false, nil
+}
+
+// touchLocked updates replacement metadata on a frame hit. Must be called
+// with sh.mu held. CLOCK is handled entirely by the caller's f.ref = true —
+// the exact pre-policy code path, so figure pools stay bit-identical.
+func (p *Pool) touchLocked(sh *shard, f *frame) {
+	switch p.policy {
+	case LRU:
+		sh.tick++
+		f.stamp = sh.tick
+	case GDSF:
+		sh.tick++
+		f.stamp = sh.tick
+		f.freq++
+		f.prio = sh.inflate + float64(f.freq)*f.cost
+	}
+}
+
+// admitLocked initializes replacement metadata for a freshly installed
+// frame (pid and data must already be set). Must be called with sh.mu held.
+func (p *Pool) admitLocked(sh *shard, f *frame) {
+	switch p.policy {
+	case LRU:
+		sh.tick++
+		f.stamp = sh.tick
+	case GDSF:
+		sh.tick++
+		f.stamp = sh.tick
+		f.freq = 1
+		f.cost = p.pageCost(f.pid, f.data)
+		f.prio = sh.inflate + f.cost
+	}
 }
 
 // Prefetch loads the page into the pool without pinning it and without
@@ -282,6 +381,7 @@ func (p *Pool) Prefetch(pid PageID) error {
 	f.pins = 0
 	f.ref = true
 	f.dirty = false
+	p.admitLocked(sh, f)
 	sh.table[pid] = idx
 	return nil
 }
@@ -309,6 +409,8 @@ func (p *Pool) NewPage() (*Page, error) {
 	f.pins = 1
 	f.ref = true
 	f.dirty = true
+	p.admitLocked(sh, f)
+	p.pins.Add(1)
 	sh.table[pid] = idx
 	return &Page{ID: pid, Data: f.data, pool: p, sh: sh, idx: idx}, nil
 }
@@ -327,6 +429,7 @@ func (pg *Page) Unpin(dirty bool) {
 		panic(fmt.Sprintf("pager: unpin of page %d not pinned in frame %d", pg.ID, pg.idx))
 	}
 	f.pins--
+	pg.pool.pins.Add(-1)
 	if dirty {
 		f.dirty = true
 	}
@@ -412,9 +515,15 @@ func (p *Pool) ResetStats() {
 // subsequent fetches run against a cold cache. The paper's evaluation
 // allocates a buffer pool "to each query"; the experiment harness models that
 // by clearing the pool between queries (or, equivalently, giving each query a
-// fresh pool view). Clearing fails if any page is pinned. Shards are cleared
-// one at a time; Clear must not race with writers.
+// fresh pool view). Clearing fails if any page is pinned: refusal is checked
+// up front on the atomic pin counter — so a pin held across the whole call
+// fails it deterministically, even under concurrency — and again per frame
+// under each stripe lock, which catches pins taken after the first check.
+// Shards are cleared one at a time; Clear must not race with writers.
 func (p *Pool) Clear() error {
+	if pins := p.pins.Load(); pins > 0 {
+		return fmt.Errorf("pager: clear with %d pin(s) outstanding (pinned pages must be released first)", pins)
+	}
 	for si := range p.shards {
 		sh := &p.shards[si]
 		sh.mu.Lock()
@@ -436,14 +545,19 @@ func (p *Pool) Clear() error {
 // touched: a pinned Page aliases a frame that Resize would reallocate, and
 // Clear's per-shard error path would otherwise leave earlier stripes emptied
 // (their clock hands reset) while later ones still hold pages — a silently
-// half-cleared pool. The up-front check makes failure atomic: on error the
-// pool is exactly as it was.
+// half-cleared pool. The check reads the atomic pin counter, not a stripe
+// sweep, so the refusal is deterministic even while other goroutines hold
+// pins: a pin acquired before Resize and released after it is guaranteed to
+// be observed, and on error the pool is exactly as it was. A pin taken
+// concurrently with the check may land either side of it; the per-frame
+// checks inside Clear still refuse before any frame is dropped, so a pinned
+// frame is never reallocated under its holder.
 func (p *Pool) Resize(nframes int) error {
 	if nframes <= 0 {
 		nframes = DefaultPoolFrames
 	}
-	if pinned := p.PinnedPages(); pinned > 0 {
-		return fmt.Errorf("pager: resize with %d page(s) still pinned", pinned)
+	if pins := p.pins.Load(); pins > 0 {
+		return fmt.Errorf("pager: resize with %d pin(s) outstanding (pinned pages must be released first)", pins)
 	}
 	if err := p.Clear(); err != nil {
 		return err
@@ -499,10 +613,42 @@ func (p *Pool) PinnedPages() int {
 	return n
 }
 
-// evict selects a victim frame in the shard using the clock algorithm,
-// writing it back if dirty, and returns its index with the frame detached
-// from the shard's page table. Must be called with sh.mu held.
+// Pins reports the number of outstanding page pins across all stripes, from
+// the atomic counter the hot path maintains (no stripe locks taken).
+func (p *Pool) Pins() int64 { return p.pins.Load() }
+
+// CachedPages reports how many pages are currently resident across all
+// stripes — the pool's occupancy, for the serving layer's gauges. Stripes
+// are counted one at a time, so the total is exact only when no fetch is in
+// flight (the same contract as Stats).
+func (p *Pool) CachedPages() int {
+	n := 0
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		n += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// evict selects a victim frame in the shard under the pool's replacement
+// policy, writing it back if dirty, and returns its index with the frame
+// detached from the shard's page table. A pinned frame is never selected,
+// whatever the policy: the pin check happens under the same stripe lock
+// every Fetch pins under, so a frame observed unpinned here cannot gain a
+// pin before the caller overwrites it. Must be called with sh.mu held.
 func (p *Pool) evict(sh *shard) (int, error) {
+	if p.policy == CLOCK {
+		return p.evictClock(sh)
+	}
+	return p.evictScan(sh)
+}
+
+// evictClock is the paper-era clock (second chance) victim selection,
+// byte-for-byte the pre-policy algorithm: the figures' I/O counts depend on
+// its exact sweep order. Must be called with sh.mu held.
+func (p *Pool) evictClock(sh *shard) (int, error) {
 	// An empty frame is free to take without a sweep.
 	// The clock makes at most two full sweeps: the first clears reference
 	// bits, the second takes the first unpinned frame.
@@ -533,4 +679,58 @@ func (p *Pool) evict(sh *shard) (int, error) {
 		return idx, nil
 	}
 	return 0, ErrPoolExhausted
+}
+
+// evictScan is victim selection for the scan policies (LRU, GDSF): a free
+// frame if one exists, otherwise the unpinned frame with the lowest stamp
+// (LRU) or priority (GDSF, stamp-tie-broken so selection is deterministic
+// for a given access history). On a GDSF eviction the stripe's inflation
+// value is raised to the victim's priority — the greedy-dual aging step that
+// lets newly admitted pages compete with old high-cost residents. Must be
+// called with sh.mu held.
+func (p *Pool) evictScan(sh *shard) (int, error) {
+	victim := -1
+	for i := range sh.frames {
+		f := &sh.frames[i]
+		if f.pid == InvalidPage {
+			return i, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if victim < 0 || p.worseThan(f, &sh.frames[victim]) {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return 0, ErrPoolExhausted
+	}
+	f := &sh.frames[victim]
+	if p.policy == GDSF && f.prio > sh.inflate {
+		sh.inflate = f.prio
+	}
+	if f.dirty {
+		if err := p.store.writeBack(f.pid, f.data); err != nil {
+			return 0, err
+		}
+		p.writes.Add(1)
+	}
+	delete(sh.table, f.pid)
+	f.pid = InvalidPage
+	f.dirty = false
+	f.ref = false
+	p.evictions.Add(1)
+	return victim, nil
+}
+
+// worseThan reports whether frame f is a better eviction victim than g
+// under the pool's scan policy (lower stamp/priority loses its frame).
+func (p *Pool) worseThan(f, g *frame) bool {
+	if p.policy == GDSF {
+		//ucatlint:ignore floatcmp equal priorities must fall through to the stamp tie-break; both operands are exact sums of the same admission arithmetic
+		if f.prio != g.prio {
+			return f.prio < g.prio
+		}
+	}
+	return f.stamp < g.stamp
 }

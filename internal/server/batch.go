@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"ucat/internal/pager"
 	"ucat/internal/uda"
 )
 
@@ -100,9 +99,9 @@ func (b *batcher) dispatch(bt *batch) {
 	}
 }
 
-// executeBatch runs one coalesced PETQ traversal on a worker's private view
-// and fans the answer out to every waiter.
-func (s *Server) executeBatch(view *pager.Pool, bt *batch) {
+// executeBatch runs one coalesced PETQ traversal through a fresh Session
+// over the shared pool and fans the answer out to every waiter.
+func (s *Server) executeBatch(bt *batch) {
 	now := time.Now()
 	minTau := bt.waiters[0].tau
 	var deadline time.Time
@@ -126,11 +125,11 @@ func (s *Server) executeBatch(view *pager.Pool, bt *batch) {
 	}
 	defer cancel()
 
-	rd := s.rel.Reader(view).WithContext(ctx)
-	before := view.Stats()
+	sess := s.pool.Session()
+	rd := s.rel.Reader(sess).WithContext(ctx)
 	matches, err := rd.PETQ(bt.q, minTau)
 	elapsed := time.Since(now)
-	delta := view.Stats().Sub(before)
+	delta := sess.Stats()
 	s.met.readIOs.Add(delta.Reads)
 	s.met.poolHits.Add(delta.Hits)
 

@@ -1,6 +1,9 @@
 package server
 
-import "ucat/internal/obs"
+import (
+	"ucat/internal/obs"
+	"ucat/internal/pager"
+)
 
 // metrics holds direct pointers into the registry for every counter the hot
 // path touches, so recording a request never takes the registry's lookup
@@ -24,9 +27,13 @@ type metrics struct {
 	batchLeaders *obs.Counter // ucat_serve_batch_leaders_total — coalesced traversals executed
 	batchJoined  *obs.Counter // ucat_serve_batch_joined_total — probes that rode along
 
-	// Per-request I/O attributed from each worker's private view.
+	// Per-request I/O, summed from each request's Session tally as it
+	// finishes. The raw shared-pool lifetime totals live under
+	// ucat_serve_sharedpool_* (see registerPoolMetrics); every serving fetch
+	// flows through a Session, so the two views agree up to scrape timing
+	// (a request mid-flight has moved the pool counters but not yet these).
 	readIOs  *obs.Counter // ucat_serve_read_ios_total — store reads across all queries
-	poolHits *obs.Counter // ucat_serve_pool_hits_total — fetches served inside worker pools
+	poolHits *obs.Counter // ucat_serve_pool_hits_total — fetches served by the shared pool
 
 	// Latency (nanoseconds, log₂ histograms).
 	latency   *obs.Histogram // ucat_serve_latency_ns — admission to answer
@@ -68,4 +75,39 @@ func newMetrics(reg *obs.Registry) *metrics {
 		m.perKind[kind] = reg.Histogram("ucat_serve_latency_ns_" + kind)
 	}
 	return m
+}
+
+// registerPoolMetrics exposes the shared buffer pool on /metrics as
+// read-on-scrape metrics — the pool already maintains these values
+// atomically, so mirroring them into push counters would just add a second
+// copy that can skew:
+//
+//	ucat_serve_sharedpool_frames / _stripes     — configured geometry
+//	ucat_serve_sharedpool_occupancy / _pinned   — instantaneous residency
+//	ucat_serve_sharedpool_reads_total / _hits_total / _writes_total
+//	ucat_serve_sharedpool_hit_rate_permille     — lifetime Hits/(Hits+Reads) × 1000
+//	ucat_serve_sharedpool_evictions_total_<policy>
+//
+// The eviction counter is per policy, name-suffixed like the per-kind
+// latency histograms; all three policies are always registered so
+// dashboards keep a stable contract, with the inactive ones pinned at 0.
+func registerPoolMetrics(reg *obs.Registry, pool *pager.Pool) {
+	reg.GaugeFunc("ucat_serve_sharedpool_frames", func() int64 { return int64(pool.Frames()) })
+	reg.GaugeFunc("ucat_serve_sharedpool_stripes", func() int64 { return int64(pool.Shards()) })
+	reg.GaugeFunc("ucat_serve_sharedpool_occupancy", func() int64 { return int64(pool.CachedPages()) })
+	reg.GaugeFunc("ucat_serve_sharedpool_pinned", pool.Pins)
+	reg.CounterFunc("ucat_serve_sharedpool_reads_total", func() uint64 { return pool.Stats().Reads })
+	reg.CounterFunc("ucat_serve_sharedpool_hits_total", func() uint64 { return pool.Stats().Hits })
+	reg.CounterFunc("ucat_serve_sharedpool_writes_total", func() uint64 { return pool.Stats().Writes })
+	reg.GaugeFunc("ucat_serve_sharedpool_hit_rate_permille", func() int64 {
+		return int64(pool.Stats().HitRate() * 1000)
+	})
+	for _, pol := range pager.Policies {
+		name := "ucat_serve_sharedpool_evictions_total_" + pol.String()
+		if pol == pool.Policy() {
+			reg.CounterFunc(name, pool.Evictions)
+		} else {
+			reg.CounterFunc(name, func() uint64 { return 0 })
+		}
+	}
 }

@@ -56,9 +56,10 @@ type WireNeighbor struct {
 	Dist float64 `json:"dist"`
 }
 
-// WireIO is the per-request I/O attribution, measured as a stats delta on
-// the private pool view the request ran against. For batched requests it is
-// the cost of the shared traversal, reported to every rider.
+// WireIO is the per-request I/O attribution: the local tally of the
+// pager.Session the request fetched through, exact regardless of what other
+// requests did to the shared pool meanwhile. For batched requests it is the
+// cost of the shared traversal, reported to every rider.
 type WireIO struct {
 	Reads   uint64  `json:"reads"`
 	Hits    uint64  `json:"hits"`
@@ -325,11 +326,12 @@ func batchKey(q uda.UDA) string {
 	return b.String()
 }
 
-// worker is one query executor: it owns a private buffer-pool view over the
-// relation's store and drains the admission queue until Shutdown.
+// worker is one query executor: it drains the admission queue until
+// Shutdown, running every task through a fresh per-request Session over the
+// server's shared pool (so hot pages are cached once, process-wide, while
+// I/O attribution stays per-request).
 func (s *Server) worker() {
 	defer s.workers.Done()
-	view := pager.NewPool(s.rel.Pool().Store(), s.cfg.PoolFrames)
 	for {
 		select {
 		case t := <-s.queue:
@@ -337,9 +339,9 @@ func (s *Server) worker() {
 			if t.gate != nil {
 				<-t.gate
 			} else if t.batch != nil {
-				s.executeBatch(view, t.batch)
+				s.executeBatch(t.batch)
 			} else {
-				s.executeOne(view, t.req)
+				s.executeOne(t.req)
 			}
 		case <-s.quit:
 			return
@@ -347,26 +349,28 @@ func (s *Server) worker() {
 	}
 }
 
-// executeOne runs a single request against the worker's view and delivers
-// its result.
-func (s *Server) executeOne(view *pager.Pool, req *request) {
+// executeOne runs a single request through its own Session over the shared
+// pool and delivers its result. The Session's local tally — not a delta on
+// the shared pool, which would interleave every concurrent request — is the
+// response's io document.
+func (s *Server) executeOne(req *request) {
 	s.met.queueWait.Observe(uint64(time.Since(req.enq)))
 	if err := req.ctx.Err(); err != nil {
 		req.deliver(failure(req.kind, err))
 		return
 	}
+	sess := s.pool.Session()
 	var rec *obs.Recorder
-	v := pager.View(view)
+	v := pager.View(sess)
 	if req.explain {
 		rec = obs.NewRecorder()
-		v = obs.InstrumentView(view, rec)
+		v = obs.InstrumentView(sess, rec)
 	}
 	rd := s.rel.Reader(v).WithContext(req.ctx)
-	before := view.Stats()
 	start := time.Now()
 	ms, ns, err := runKind(rd, rec, req)
 	elapsed := time.Since(start)
-	delta := view.Stats().Sub(before)
+	delta := sess.Stats()
 	s.met.readIOs.Add(delta.Reads)
 	s.met.poolHits.Add(delta.Hits)
 	if err != nil {

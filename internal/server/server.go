@@ -7,13 +7,23 @@
 // harness into a production request path:
 //
 //	request → admission queue → (optional PETQ micro-batcher) → worker
-//	        → per-worker pager.View → core.Reader.WithContext → answer
+//	        → pager.Session over the shared pool → core.Reader.WithContext → answer
 //
-// Every worker owns a private buffer-pool view over the shared page store
-// (the PR-2 concurrency boundary), so queries never contend on a shared
-// cache, per-request I/O is accounted exactly (a stats delta on a view only
-// one goroutine touches), and worker count is a flag. Production concerns
-// the CLI tools never needed live here:
+// All workers share ONE large striped buffer pool over the relation's page
+// store (DESIGN.md §18). Earlier revisions gave each worker a private
+// 100-frame view, which duplicated the hot PDR-tree roots and upper
+// inverted-index pages W times and capped the effective cache at
+// frames × workers; the shared pool keeps each hot page resident once, with
+// pin-safe concurrent access (a victim scan never evicts a pinned frame)
+// and a pluggable eviction policy — CLOCK, strict LRU, or GDSF, which
+// weights frames by decode cost so expensive index nodes outlive cheap heap
+// pages. Per-request I/O is still accounted exactly: each request fetches
+// through its own pager.Session, whose goroutine-local hit/miss tally is
+// unaffected by concurrent requests on the same pool. The figures path
+// (internal/exp, ucatbench) deliberately keeps per-query private pools so
+// the paper's I/O counts stay bit-identical; the sharedpool lint check keeps
+// private pools out of this package. Production concerns the CLI tools
+// never needed live here:
 //
 //   - admission control: a bounded queue; overflow is rejected immediately
 //     with 429 and a Retry-After hint instead of queueing without bound;
@@ -48,6 +58,7 @@ import (
 	"time"
 
 	"ucat/internal/core"
+	"ucat/internal/dcache"
 	"ucat/internal/obs"
 	"ucat/internal/pager"
 )
@@ -59,9 +70,8 @@ type Config struct {
 	// never mutates it; callers must not mutate it while the server runs.
 	Relation *core.Relation
 
-	// Workers is the number of query-executor goroutines, each owning a
-	// private buffer-pool view over the relation's page store.
-	// 0 means GOMAXPROCS.
+	// Workers is the number of query-executor goroutines, all sharing the
+	// server's one buffer pool. 0 means GOMAXPROCS.
 	Workers int
 
 	// QueueDepth bounds the admission queue. A request arriving when the
@@ -69,9 +79,24 @@ type Config struct {
 	// 0 means 64.
 	QueueDepth int
 
-	// PoolFrames sizes each worker's private buffer-pool view.
-	// 0 means pager.DefaultPoolFrames (the paper's 100 frames).
+	// PoolFrames sizes the shared buffer pool, TOTAL across all workers —
+	// not per worker, as before the shared-pool refactor (ucatd's -frames
+	// flag changed meaning with it; see OPERATIONS.md §8). 0 means
+	// Workers × pager.DefaultPoolFrames, the same total memory the old
+	// per-worker default used.
 	PoolFrames int
+
+	// PoolStripes is the shared pool's lock-stripe count. More stripes mean
+	// less mutex contention between workers fetching distinct pages, at the
+	// cost of slightly less global replacement. 0 means 2 × Workers, clamped
+	// to [1, 16].
+	PoolStripes int
+
+	// PoolPolicy selects the shared pool's eviction policy: "clock" (the
+	// paper's second chance), "lru" (strict LRU), or "gdsf" (greedy-dual
+	// size-frequency, weighting frames by decode cost — see DESIGN.md §18
+	// and BENCH_pool.json for the comparison). "" means clock.
+	PoolPolicy string
 
 	// DefaultTimeout bounds requests that carry no timeout_ms of their own.
 	// 0 means 2s.
@@ -106,7 +131,13 @@ func (cfg Config) withDefaults() Config {
 		cfg.QueueDepth = 64
 	}
 	if cfg.PoolFrames <= 0 {
-		cfg.PoolFrames = pager.DefaultPoolFrames
+		cfg.PoolFrames = cfg.Workers * pager.DefaultPoolFrames
+	}
+	if cfg.PoolStripes <= 0 {
+		cfg.PoolStripes = 2 * cfg.Workers
+		if cfg.PoolStripes > 16 {
+			cfg.PoolStripes = 16
+		}
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 2 * time.Second
@@ -132,6 +163,7 @@ func (cfg Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	rel      *core.Relation
+	pool     *pager.Pool // the shared hot-page pool all workers fetch through
 	mux      *http.ServeMux
 	queue    chan *task
 	quit     chan struct{} // closed after drain; releases the workers
@@ -153,14 +185,32 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: Config.Relation is required")
 	}
 	cfg = cfg.withDefaults()
-	// Dirty construction-pool pages must reach the store before worker
-	// views read it (same discipline as EXPLAIN's fresh view).
+	policy, err := pager.ParsePolicy(cfg.PoolPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	// Dirty construction-pool pages must reach the store before the shared
+	// pool reads it (same discipline as EXPLAIN's fresh view).
 	if err := cfg.Relation.Pool().FlushAll(); err != nil {
 		return nil, fmt.Errorf("server: flushing relation before serving: %w", err)
+	}
+	pool := pager.NewSharedPool(cfg.Relation.Pool().Store(), cfg.PoolFrames, cfg.PoolStripes, policy)
+	if policy == pager.GDSF {
+		pool.SetCostFunc(cfg.Relation.PageCostFunc())
+	}
+	// Keep the decoded-object cache coherent with the page pool: a pool that
+	// holds thousands of pages hot is wasted if their decoded forms still
+	// thrash the default 8 MB budget. Grow-only, so an operator-chosen
+	// larger budget is never shrunk.
+	if dc := cfg.Relation.DecodeCache(); dc != nil {
+		if want := dcache.SizeForFrames(cfg.PoolFrames); want > dc.MaxBytes() {
+			dc.Resize(want)
+		}
 	}
 	s := &Server{
 		cfg:   cfg,
 		rel:   cfg.Relation,
+		pool:  pool,
 		mux:   http.NewServeMux(),
 		queue: make(chan *task, cfg.QueueDepth),
 		quit:  make(chan struct{}),
@@ -169,6 +219,7 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 		done:  make(chan struct{}),
 	}
+	registerPoolMetrics(cfg.Registry, pool)
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMax)
 	}
@@ -196,6 +247,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Draining reports whether the server has begun shutting down (new queries
 // are being refused with 503).
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// PoolDescription is a one-line human-readable summary of the shared pool's
+// effective configuration, for startup logs.
+func (s *Server) PoolDescription() string {
+	return fmt.Sprintf("%s, %d frames, %d stripes",
+		s.pool.Policy(), s.pool.Frames(), s.pool.Shards())
+}
 
 // Shutdown drains the server: it stops admitting queries (503), waits for
 // every in-flight request to complete, then stops the worker pool. It
@@ -249,6 +307,7 @@ type statsPayload struct {
 	Config   configStats   `json:"config"`
 	Live     liveStats     `json:"live"`
 	Totals   totalStats    `json:"totals"`
+	Pool     poolStats     `json:"pool"`
 	Latency  latencyStats  `json:"latency"`
 }
 
@@ -258,15 +317,36 @@ type relationStats struct {
 	Tuples int    `json:"tuples"`
 }
 
-// configStats echoes the effective serving configuration.
+// configStats echoes the effective serving configuration. PoolFrames is the
+// shared pool's TOTAL capacity (see Config.PoolFrames).
 type configStats struct {
-	Workers          int   `json:"workers"`
-	QueueDepth       int   `json:"queue_depth"`
-	PoolFrames       int   `json:"pool_frames"`
-	DefaultTimeoutMS int64 `json:"default_timeout_ms"`
-	MaxTimeoutMS     int64 `json:"max_timeout_ms"`
-	BatchWindowUS    int64 `json:"batch_window_us"`
-	BatchMax         int   `json:"batch_max"`
+	Workers          int    `json:"workers"`
+	QueueDepth       int    `json:"queue_depth"`
+	PoolFrames       int    `json:"pool_frames"`
+	PoolStripes      int    `json:"pool_stripes"`
+	PoolPolicy       string `json:"pool_policy"`
+	DefaultTimeoutMS int64  `json:"default_timeout_ms"`
+	MaxTimeoutMS     int64  `json:"max_timeout_ms"`
+	BatchWindowUS    int64  `json:"batch_window_us"`
+	BatchMax         int    `json:"batch_max"`
+}
+
+// poolStats is the shared buffer pool's health picture: lifetime totals from
+// the pool's own counters (NOT per-request deltas — those are in
+// totals.read_ios/pool_hits) plus instantaneous occupancy. hit_rate here is
+// the pool-wide Hits/(Hits+Reads) since boot; per-request hit rates ride on
+// each /v1/query response's io document.
+type poolStats struct {
+	Policy    string  `json:"policy"`
+	Frames    int     `json:"frames"`
+	Stripes   int     `json:"stripes"`
+	Occupancy int     `json:"occupancy"`
+	Pinned    int64   `json:"pinned"`
+	Reads     uint64  `json:"reads"`
+	Writes    uint64  `json:"writes"`
+	Hits      uint64  `json:"hits"`
+	HitRate   float64 `json:"hit_rate"`
+	Evictions uint64  `json:"evictions"`
 }
 
 // liveStats is the instantaneous load picture.
@@ -315,6 +395,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Workers:          s.cfg.Workers,
 			QueueDepth:       s.cfg.QueueDepth,
 			PoolFrames:       s.cfg.PoolFrames,
+			PoolStripes:      s.cfg.PoolStripes,
+			PoolPolicy:       s.pool.Policy().String(),
 			DefaultTimeoutMS: s.cfg.DefaultTimeout.Milliseconds(),
 			MaxTimeoutMS:     s.cfg.MaxTimeout.Milliseconds(),
 			BatchWindowUS:    s.cfg.BatchWindow.Microseconds(),
@@ -338,12 +420,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReadIOs:      s.met.readIOs.Value(),
 			PoolHits:     s.met.poolHits.Value(),
 		},
+		Pool: s.poolSnapshot(),
 		Latency: latencyStats{
 			Query:     s.met.latency.Snapshot(),
 			QueueWait: s.met.queueWait.Snapshot(),
 			PerKind:   perKind,
 		},
 	})
+}
+
+// poolSnapshot assembles the /v1/stats pool section from the shared pool's
+// counters.
+func (s *Server) poolSnapshot() poolStats {
+	st := s.pool.Stats()
+	return poolStats{
+		Policy:    s.pool.Policy().String(),
+		Frames:    s.pool.Frames(),
+		Stripes:   s.pool.Shards(),
+		Occupancy: s.pool.CachedPages(),
+		Pinned:    s.pool.Pins(),
+		Reads:     st.Reads,
+		Writes:    st.Writes,
+		Hits:      st.Hits,
+		HitRate:   st.HitRate(),
+		Evictions: s.pool.Evictions(),
+	}
 }
 
 // drainGate counts admitted requests and lets Shutdown wait for all of them

@@ -147,6 +147,18 @@ func (s *Store) Len() int { return len(s.loc) }
 // Pool returns the buffer pool the store performs I/O through.
 func (s *Store) Pool() *pager.Pool { return s.pool }
 
+// DataPageSet returns the set of heap data-page ids, for callers that
+// classify pages by role — e.g. GDSF decode-cost weighting, where heap
+// pages (cheap row decodes) are distinguished from index nodes. The map is
+// a copy snapshotted at call time; appends after the call are not in it.
+func (s *Store) DataPageSet() map[pager.PageID]struct{} {
+	set := make(map[pager.PageID]struct{}, len(s.pages))
+	for _, pid := range s.pages {
+		set[pid] = struct{}{}
+	}
+	return set
+}
+
 // Pages returns the number of data pages in the heap.
 func (s *Store) Pages() int { return len(s.pages) }
 

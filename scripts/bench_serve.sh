@@ -13,6 +13,9 @@
 #   UCAT_SERVE_CLIENTS  closed-loop sweep               (default 1,4,16)
 #   UCAT_SERVE_RATES    open-loop sweep, queries/sec    (default 500,2000,8000)
 #   UCAT_SERVE_OUT      output path                     (default BENCH_serve.json)
+#   UCAT_SERVE_FRAMES   TOTAL shared-pool frames        (default 0 = workers x 100)
+#   UCAT_SERVE_STRIPES  shared-pool lock stripes        (default 0 = 2 x workers)
+#   UCAT_SERVE_POLICY   eviction policy clock|lru|gdsf  (default clock)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +24,9 @@ DUR=${UCAT_SERVE_DUR:-3s}
 CLIENTS=${UCAT_SERVE_CLIENTS:-1,4,16}
 RATES=${UCAT_SERVE_RATES:-500,2000,8000}
 OUT=${UCAT_SERVE_OUT:-BENCH_serve.json}
+FRAMES=${UCAT_SERVE_FRAMES:-0}
+STRIPES=${UCAT_SERVE_STRIPES:-0}
+POLICY=${UCAT_SERVE_POLICY:-clock}
 DOMAIN=50
 
 work=$(mktemp -d)
@@ -33,6 +39,7 @@ go build -o "$work/" ./cmd/ucatgen ./cmd/ucatd ./cmd/ucatload
     -save "$work/rel.ucat" >/dev/null
 
 "$work/ucatd" -load "$work/rel.ucat" -addr 127.0.0.1:0 -addrfile "$work/addr" \
+    -frames "$FRAMES" -stripes "$STRIPES" -policy "$POLICY" \
     -batchwindow 200us >"$work/ucatd.log" 2>&1 &
 PID=$!
 for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
