@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke bench-pool bench-pool-smoke obs-smoke serve-smoke bench-serve metrics figures ablations fuzz clean
+.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke bench-pool bench-pool-smoke obs-smoke serve-smoke flight-smoke bench-serve metrics figures ablations fuzz clean
 
 all: build lint test
 
@@ -93,12 +93,21 @@ bench-serve:
 	bash scripts/bench_serve.sh
 
 # Zero-overhead contract for tracing (DESIGN.md §14): with no recorder
-# attached, the full per-query span pattern must allocate nothing. The
-# AllocsPerRun test fails the build on any regression; the benchmark run
-# prints allocs/op for the record.
+# attached, the full per-query span pattern must allocate nothing, and with
+# the flight recorder ON the common (tree-dropped) path must stay within 2
+# allocs/request (DESIGN.md §19). The AllocsPerRun tests fail the build on
+# any regression; the benchmark runs print allocs/op for the record.
 obs-smoke:
 	$(GO) test -run TestDisabledPathZeroAllocs -count=1 -v ./internal/obs/
-	$(GO) test -run - -bench 'BenchmarkDisabled' -benchmem -benchtime=100000x ./internal/obs/
+	$(GO) test -run TestFlightCommonPathAllocs -count=1 -v ./internal/obs/
+	$(GO) test -run - -bench 'BenchmarkDisabled|BenchmarkFlight' -benchmem -benchtime=100000x ./internal/obs/
+
+# End-to-end smoke of the request flight recorder: boots ucatd with
+# -slowms 0 and a JSON request log, fires every query kind, and asserts the
+# /debug/requests + /v1/version + ucattop -check contract from the outside
+# (used by CI).
+flight-smoke:
+	bash scripts/flight_smoke.sh
 
 # Dump the metrics registry from a tiny benchmark run. ucatbench re-parses
 # the file with obs.ParseText before exiting, so a non-zero exit means the

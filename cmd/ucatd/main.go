@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"ucat/internal/core"
+	"ucat/internal/obs"
 	"ucat/internal/server"
 )
 
@@ -50,10 +52,37 @@ func run() error {
 		batchMax    = flag.Int("batchmax", 0, "max probes coalesced into one traversal (0 = 16)")
 		retryAfter  = flag.Duration("retryafter", 0, "Retry-After hint on 429 responses (0 = 1s)")
 		drain       = flag.Duration("drain", 15*time.Second, "grace period for in-flight queries on SIGTERM/SIGINT")
+		logFormat   = flag.String("logformat", "text", "structured log encoding: text | json")
+		logSample   = flag.Int("logsample", 16, "request log sampling: ordinary successes log 1-in-N (errors and slow requests always log; N<0 drops successes)")
+		slowMS      = flag.Int("slowms", -1, "slow-query threshold in ms for keeping span trees: -1 = self-tuning per-kind trailing p99, 0 = keep every tree, N>0 = fixed cutoff")
+		flightRecs  = flag.Int("flightrecords", 0, "flight-recorder main ring size, the last-N completed requests kept for /debug/requests (0 = 512)")
 	)
 	flag.Parse()
 	if *load == "" {
 		return errors.New("-load is required (create a snapshot with ucatgen -save)")
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("-logformat %q: want text or json", *logFormat)
+	}
+	logger := slog.New(handler)
+
+	// -slowms is operator-facing (ms, -1 = auto); Config.SlowThreshold is the
+	// recorder's rule (0 = auto, <0 = keep everything, >0 = fixed).
+	var slowThreshold time.Duration
+	switch {
+	case *slowMS < 0:
+		slowThreshold = 0
+	case *slowMS == 0:
+		slowThreshold = -1
+	default:
+		slowThreshold = time.Duration(*slowMS) * time.Millisecond
 	}
 
 	rel, err := core.LoadRelationFile(*load)
@@ -73,6 +102,10 @@ func run() error {
 		BatchWindow:    *batchWindow,
 		BatchMax:       *batchMax,
 		RetryAfter:     *retryAfter,
+		FlightRecords:  *flightRecs,
+		SlowThreshold:  slowThreshold,
+		Logger:         logger,
+		LogSample:      *logSample,
 	})
 	if err != nil {
 		return err
@@ -92,8 +125,13 @@ func run() error {
 	}
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
 
-	fmt.Printf("ucatd: serving %s relation (%d tuples) on %s (pool: %s)\n",
-		rel.Kind(), rel.Len(), ln.Addr(), srv.PoolDescription())
+	logger.Info("ucatd serving",
+		"rev", obs.ShortRevision(),
+		"go", obs.ReadBuild().GoVersion,
+		"relation", rel.Kind().String(),
+		"tuples", rel.Len(),
+		"addr", ln.Addr().String(),
+		"pool", srv.PoolDescription())
 
 	errc := make(chan error, 1)
 	go func() {
@@ -113,15 +151,15 @@ func run() error {
 	}
 	stop() // a second signal kills the process immediately
 
-	fmt.Printf("ucatd: draining (up to %s)\n", *drain)
+	logger.Info("ucatd draining", "grace", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "ucatd: drain incomplete: %v\n", err)
+		logger.Warn("ucatd drain incomplete", "error", err.Error())
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		_ = httpSrv.Close()
 	}
-	fmt.Println("ucatd: stopped")
+	logger.Info("ucatd stopped")
 	return nil
 }

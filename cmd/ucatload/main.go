@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"ucat/internal/core"
+	"ucat/internal/obs"
 	"ucat/internal/uda"
 )
 
@@ -58,7 +59,11 @@ type params struct {
 	check   int
 	out     string
 	timeout time.Duration
+	slowlog bool
 }
+
+// slowlogTop bounds the slow-query records embedded per sweep point.
+const slowlogTop = 5
 
 func run() error {
 	var p params
@@ -75,6 +80,8 @@ func run() error {
 	flag.IntVar(&p.check, "check", 50, "determinism-check query count (with -load)")
 	flag.StringVar(&p.out, "out", "BENCH_serve.json", "output document path (empty = stdout only)")
 	flag.DurationVar(&p.timeout, "timeout", 10*time.Second, "client-side HTTP timeout")
+	flag.BoolVar(&p.slowlog, "slowlog", false,
+		"embed the server's top slow-query flight records per sweep point (needs ucatd's /debug/requests)")
 	flag.Parse()
 
 	var err error
@@ -100,12 +107,16 @@ func run() error {
 	}
 
 	for _, n := range p.clients {
+		since := slowlogMark(client, &p)
 		lvl := runClosed(client, &p, n)
+		lvl.SlowQueries = fetchSlowSince(client, &p, since)
 		doc.Closed = append(doc.Closed, lvl)
 		fmt.Printf("closed %3d clients: %s\n", n, lvl)
 	}
 	for _, r := range p.rates {
+		since := slowlogMark(client, &p)
 		lvl := runOpen(client, &p, r)
+		lvl.SlowQueries = fetchSlowSince(client, &p, since)
 		doc.Open = append(doc.Open, lvl)
 		fmt.Printf("open %6d q/s:    %s\n", r, lvl)
 	}
@@ -174,6 +185,11 @@ type level struct {
 	P50MS         float64 `json:"p50_ms"`
 	P95MS         float64 `json:"p95_ms"`
 	P99MS         float64 `json:"p99_ms"`
+
+	// SlowQueries (-slowlog) is the server's view of this level's worst
+	// requests: the slowest flight records newly retained during the sweep
+	// point, span trees included — the document explains its own tail.
+	SlowQueries []obs.RequestRecord `json:"slow_queries,omitempty"`
 }
 
 // String renders a level as a one-line summary for the terminal.
@@ -373,6 +389,62 @@ func fetchPoolStats(client *http.Client, p *params) (*poolDoc, error) {
 		return nil, err
 	}
 	return &payload.Pool, nil
+}
+
+// slowlogMark records where the server's trace-ID sequence stands before a
+// sweep point, so fetchSlowSince can keep only records the level itself
+// produced. Returns 0 (keep everything) when -slowlog is off or the endpoint
+// is unavailable.
+func slowlogMark(client *http.Client, p *params) uint64 {
+	if !p.slowlog {
+		return 0
+	}
+	resp, err := client.Get("http://" + p.addr + "/debug/requests?limit=1")
+	if err != nil {
+		return 0
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var recs []obs.RequestRecord
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&recs) != nil || len(recs) == 0 {
+		return 0
+	}
+	return recs[0].ID
+}
+
+// fetchSlowSince pulls the slow-request rings from /debug/requests and keeps
+// the slowlogTop slowest records this sweep point added (trace IDs beyond
+// since). A server without the endpoint degrades to an absent field, never a
+// failed benchmark.
+func fetchSlowSince(client *http.Client, p *params, since uint64) []obs.RequestRecord {
+	if !p.slowlog {
+		return nil
+	}
+	resp, err := client.Get("http://" + p.addr + "/debug/requests?outcome=slow&limit=1000")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ucatload: -slowlog: %v\n", err)
+		return nil
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "ucatload: -slowlog: /debug/requests status %d\n", resp.StatusCode)
+		return nil
+	}
+	var recs []obs.RequestRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatload: -slowlog: decoding /debug/requests: %v\n", err)
+		return nil
+	}
+	fresh := recs[:0]
+	for _, r := range recs {
+		if r.ID > since {
+			fresh = append(fresh, r)
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].LatencyNS > fresh[j].LatencyNS })
+	if len(fresh) > slowlogTop {
+		fresh = fresh[:slowlogTop]
+	}
+	return fresh
 }
 
 // runCheck replays a deterministic PETQ workload through the server and

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// HotLogCheck keeps logging off the query execution path. The serving
+// design puts every request-log line on the handler goroutine (writeResult),
+// never in the worker loops: a slog call formats its attributes and takes the
+// handler's writer lock, which on an executor would serialize the worker pool
+// behind the log sink and bill the formatting to query latency.
+//
+// Entry points are the //ucatlint:hotpath roots the hotalloc check already
+// audits, plus every method named "worker" declared in a package whose import
+// path ends in internal/server — the executor loops themselves. Inside the
+// loop bodies of any function reachable from those roots (TopDown over the
+// call graph), the check flags:
+//
+//   - any call into log/slog or the legacy log package;
+//   - fmt.Print, fmt.Printf and fmt.Println — stdout logging by another name
+//     (fmt.Fprint* against a caller-chosen writer stays legal: the span-tree
+//     renderer writes trees through it);
+//   - any call to a module function that transitively reaches one of the
+//     above (BottomUp), so hiding the slog call one helper down does not
+//     evade the check.
+//
+// Unlike hotalloc, loop-terminating branches are NOT exempt: a worker loop
+// never exits per request, so "log then continue/return" still logs once per
+// iteration. The fix is the one the server already implements — return the
+// record to the handler (writeResult logs it) or count it in a metric.
+func HotLogCheck() *Check {
+	return &Check{
+		Name:       "hotlog",
+		Doc:        "forbid logging (log/slog, log, fmt.Print*) in loops reachable from //ucatlint:hotpath roots and server worker loops",
+		Severity:   SeverityError,
+		RunProgram: runHotLog,
+	}
+}
+
+func runHotLog(prog *Program) []Diagnostic {
+	g := prog.Graph
+
+	var roots []*FuncNode
+	for _, n := range g.Nodes() {
+		if hasHotpathDirective(n) || isServerWorker(n) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	hot := g.ReachableFrom(roots)
+
+	// logs marks every function that reaches a logging call, seeded by the
+	// functions containing one directly.
+	logs := g.ReachesAny(func(n *FuncNode) bool {
+		if n.Decl.Body == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok && loggingCall(n.Pkg, call) != "" {
+				found = true
+			}
+			return !found
+		})
+		return found
+	})
+
+	var diags []Diagnostic
+	for _, n := range g.Nodes() {
+		if !hot[n] || n.Decl.Body == nil {
+			continue
+		}
+		diags = append(diags, hotLogInFunc(prog, n, logs)...)
+	}
+	return diags
+}
+
+// isServerWorker reports whether the function is an executor loop of the
+// serving layer: a method or function named "worker" declared in a package
+// whose import path ends in internal/server.
+func isServerWorker(n *FuncNode) bool {
+	return n.Fn.Name() == "worker" && strings.HasSuffix(n.Pkg.Path, "internal/server")
+}
+
+// loggingCall classifies one call expression, returning a diagnostic-ready
+// name ("slog.Info", "(*Logger).Log", "fmt.Println") when the callee is a
+// logging function and "" otherwise.
+func loggingCall(pkg *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "log/slog":
+		return "slog." + fn.Name()
+	case "log":
+		return "log." + fn.Name()
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return "fmt." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// hotLogInFunc flags logging — direct or through a module callee that logs —
+// inside the loop bodies of one hot function.
+func hotLogInFunc(prog *Program, n *FuncNode, logs map[*FuncNode]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:   n.Pkg.Fset.Position(pos.Pos()),
+			Check: "hotlog",
+			Msg:   msg + " (logging belongs on the handler goroutine, not the execution path)",
+		})
+	}
+	var loopBodies []ast.Node
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.ForStmt:
+			loopBodies = append(loopBodies, s.Body)
+		case *ast.RangeStmt:
+			loopBodies = append(loopBodies, s.Body)
+		}
+		return true
+	})
+	inspected := make(map[ast.Node]bool)
+	for i := 0; i < len(loopBodies); i++ {
+		body := loopBodies[i]
+		if inspected[body] {
+			continue
+		}
+		inspected[body] = true
+		ast.Inspect(body, func(node ast.Node) bool {
+			switch e := node.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return false // its body has its own loopBodies entry
+			case *ast.CallExpr:
+				if name := loggingCall(n.Pkg, e); name != "" {
+					report(e, fmt.Sprintf("call to %s in a hot loop", name))
+					return true
+				}
+				if site := prog.Graph.SiteOf(e); site != nil {
+					for _, callee := range site.Callees {
+						if logs[callee] {
+							report(e, fmt.Sprintf("call to %s, which logs, in a hot loop", callee.Name()))
+							break
+						}
+					}
+				}
+				// A function literal passed as an argument (or invoked in
+				// place) runs per element: audit its body as part of the loop.
+				if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+					loopBodies = append(loopBodies, lit.Body)
+				}
+				for _, arg := range e.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						loopBodies = append(loopBodies, lit.Body)
+					}
+				}
+			case *ast.FuncLit:
+				// Queued above when invoked or passed along; scanning it in
+				// place as well would double-report its body.
+				return false
+			}
+			return true
+		})
+	}
+	return diags
+}

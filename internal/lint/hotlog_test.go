@@ -1,0 +1,136 @@
+package lint
+
+import "testing"
+
+func TestHotLogDirectInWorkerLoop(t *testing.T) {
+	src := `package server
+
+import "log/slog"
+
+type Server struct{ log *slog.Logger }
+
+func (s *Server) worker() {
+	for {
+		s.log.Info("picked up a task")
+		s.execute()
+	}
+}
+
+func (s *Server) execute() {}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/server", src)
+	expect(t, diags, []string{"call to slog.Info in a hot loop"})
+}
+
+func TestHotLogTransitiveThroughHelper(t *testing.T) {
+	src := `package server
+
+import "log/slog"
+
+type Server struct{ log *slog.Logger }
+
+func (s *Server) worker() {
+	for {
+		s.execute()
+	}
+}
+
+// execute logs one helper down: the worker loop's call site is what the
+// check must flag.
+func (s *Server) execute() {
+	s.note()
+}
+
+func (s *Server) note() {
+	s.log.Error("boom")
+}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/server", src)
+	expect(t, diags, []string{"call to (Server).execute, which logs, in a hot loop"})
+}
+
+func TestHotLogHotpathRootAndFprintfAllowed(t *testing.T) {
+	src := `package scan
+
+import "fmt"
+
+//ucatlint:hotpath
+func Search(items []int, w any) {
+	for _, it := range items {
+		fmt.Println("visiting", it)
+		fmt.Fprintf(w, "%d", it) // caller-chosen writer: allowed
+	}
+}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/scan", src)
+	expect(t, diags, []string{"call to fmt.Println in a hot loop"})
+}
+
+func TestHotLogOutsideLoopAndColdFunctionsClean(t *testing.T) {
+	src := `package server
+
+import (
+	"log"
+	"log/slog"
+)
+
+func (s *Server) worker() {
+	slog.Info("worker starting") // once per worker, outside the loop
+	for {
+		s.execute()
+	}
+}
+
+type Server struct{}
+
+func (s *Server) execute() {}
+
+// handleQuery is NOT reachable from the worker loop: its logging is the
+// design, not a violation.
+func (s *Server) handleQuery() {
+	for i := 0; i < 3; i++ {
+		log.Printf("retry %d", i)
+	}
+}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/server", src)
+	expect(t, diags, nil)
+}
+
+func TestHotLogWorkerNameNeedsServerPackage(t *testing.T) {
+	src := `package pool
+
+import "log/slog"
+
+// worker here is not the serving layer's executor: without a hotpath
+// directive the check must leave other packages' worker methods alone.
+func worker() {
+	for {
+		slog.Info("tick")
+	}
+}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/pool", src)
+	expect(t, diags, nil)
+}
+
+func TestHotLogCallbackLiteralInLoop(t *testing.T) {
+	src := `package server
+
+import "log/slog"
+
+type Server struct{}
+
+func (s *Server) worker() {
+	for {
+		s.run(func() {
+			slog.Error("inside the per-task callback")
+		})
+	}
+}
+
+func (s *Server) run(f func()) { f() }
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/server", src)
+	expect(t, diags, []string{"call to slog.Error in a hot loop"})
+}

@@ -119,6 +119,7 @@ func AllChecks() []*Check {
 		LockOrderCheck(),
 		CtxFlowCheck(),
 		HotAllocCheck(),
+		HotLogCheck(),
 		AtomicMixCheck(),
 	}
 }

@@ -148,8 +148,27 @@ func (x *Uint64) Add(d uint64) uint64 { return 0 }
 
 func Sprintf(format string, a ...any) string        { return "" }
 func Errorf(format string, a ...any) error          { return nil }
+func Print(a ...any) (n int, err error)             { return 0, nil }
+func Printf(format string, a ...any) (n int, err error) { return 0, nil }
 func Println(a ...any) (n int, err error)           { return 0, nil }
 func Fprintf(w any, format string, a ...any) (int, error) { return 0, nil }
+`,
+	"log/slog": `package slog
+
+type Logger struct{}
+
+func (l *Logger) Info(msg string, args ...any)  {}
+func (l *Logger) Warn(msg string, args ...any)  {}
+func (l *Logger) Error(msg string, args ...any) {}
+
+func Default() *Logger                 { return nil }
+func Info(msg string, args ...any)     {}
+func Error(msg string, args ...any)    {}
+`,
+	"log": `package log
+
+func Printf(format string, v ...any) {}
+func Println(v ...any)               {}
 `,
 	"math/rand": `package rand
 

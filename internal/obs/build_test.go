@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+)
+
+func TestReadBuild(t *testing.T) {
+	info := ReadBuild()
+	if info.GoVersion == "" {
+		t.Fatalf("build info missing go version")
+	}
+	if info.OS != runtime.GOOS || info.Arch != runtime.GOARCH {
+		t.Fatalf("build info os/arch = %s/%s, want %s/%s", info.OS, info.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+	if info.MaxProcs < 1 {
+		t.Fatalf("MaxProcs = %d, want >= 1", info.MaxProcs)
+	}
+	// The walk is cached; a second read must agree except for MaxProcs.
+	again := ReadBuild()
+	again.MaxProcs = info.MaxProcs
+	if again != info {
+		t.Fatalf("ReadBuild not stable: %+v vs %+v", info, again)
+	}
+}
+
+func TestShortRevision(t *testing.T) {
+	rev := ShortRevision()
+	if rev == "" {
+		t.Fatalf("ShortRevision returned empty (want a hash prefix or \"unknown\")")
+	}
+	if rev != "unknown" && len(rev) > 12 {
+		t.Fatalf("ShortRevision %q longer than 12 chars", rev)
+	}
+}
+
+func TestBuildHandler(t *testing.T) {
+	rr := httptest.NewRecorder()
+	BuildHandler(rr, nil)
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var info BuildInfo
+	if err := json.Unmarshal(rr.Body.Bytes(), &info); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if info.GoVersion == "" || info.MaxProcs < 1 {
+		t.Fatalf("handler served incomplete build info: %+v", info)
+	}
+}

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -50,6 +52,62 @@ func RegisterDebug(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// RegisterFlight mounts the flight recorder's HTTP surface on a mux:
+//
+//	/debug/requests        JSON list of retained request records, filterable
+//	                       by ?kind=, ?outcome= (incl. "slow"), ?minms=, ?limit=
+//	/debug/requests/{id}   one record by trace ID, span tree included when kept
+//	/debug/build           the binary's build identity (obs.ReadBuild)
+//
+// ucatd mounts this next to RegisterDebug on its own mux; tests mount it on
+// a bare mux to drive the endpoints directly.
+func RegisterFlight(mux *http.ServeMux, fr *FlightRecorder) {
+	mux.HandleFunc("/debug/build", BuildHandler)
+	if fr == nil {
+		return
+	}
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		ft := FlightFilter{Kind: q.Get("kind"), Outcome: q.Get("outcome")}
+		if v := q.Get("minms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, "bad minms: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			ft.MinLatency = time.Duration(ms * float64(time.Millisecond))
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			ft.Limit = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(fr.Snapshot(ft))
+	})
+	mux.HandleFunc("/debug/requests/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec, ok := fr.Get(id)
+		if !ok {
+			http.Error(w, "no such request record", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec)
+	})
 }
 
 // ServeDebug starts an HTTP server on addr exposing the RegisterDebug

@@ -107,6 +107,37 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return snap
 }
 
+// QuantileUpperBound returns the inclusive upper bound of the log₂ bucket
+// containing the q-quantile observation, or 0 when the histogram is empty.
+// Unlike Snapshot's geometric-midpoint estimates this is a conservative
+// cutoff — no recorded value inside the quantile's own bucket exceeds it —
+// which is what the flight recorder's tail-sampling threshold needs: "keep
+// the tree iff latency landed beyond the trailing p99 bucket". It allocates
+// nothing (the bucket scan runs on a stack array).
+func (h *Histogram) QuantileUpperBound(q float64) uint64 {
+	var counts [histSlots]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return slotUpper(i)
+		}
+	}
+	return slotUpper(histSlots - 1)
+}
+
 // slotUpper returns the inclusive upper bound of slot i.
 func slotUpper(i int) uint64 {
 	if i == 0 {

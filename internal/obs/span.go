@@ -19,6 +19,7 @@ type Recorder struct {
 	roots  []*Span
 	cur    *Span
 	orphan counters // events recorded while no span was open
+	free   []*Span  // recycled spans Reset collected, reused by StartSpan
 }
 
 // NewRecorder returns an empty recorder ready to collect spans.
@@ -94,7 +95,14 @@ func (r *Recorder) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	s := &Span{Name: name, rec: r, parent: r.cur, start: time.Now()}
+	var s *Span
+	if n := len(r.free); n > 0 {
+		s = r.free[n-1]
+		r.free = r.free[:n-1]
+		s.Name, s.rec, s.parent, s.start = name, r, r.cur, time.Now()
+	} else {
+		s = &Span{Name: name, rec: r, parent: r.cur, start: time.Now()}
+	}
 	if r.cur != nil {
 		r.cur.Children = append(r.cur.Children, s)
 	} else {
@@ -169,6 +177,39 @@ func (s *Span) Counter(name string) int64 {
 		}
 	}
 	return 0
+}
+
+// Reset empties the recorder for reuse by the next query, recycling every
+// recorded span (and its attribute/counter storage) into an internal
+// freelist so subsequent StartSpan calls allocate nothing in steady state.
+// This is what lets the serving layer keep span recording always on: the
+// flight recorder resets and pools recorders instead of rebuilding them per
+// request. Any *Span previously returned by this recorder is invalid after
+// Reset.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for _, s := range r.roots {
+		r.recycle(s)
+	}
+	r.roots = r.roots[:0]
+	r.cur = nil
+	r.orphan = r.orphan[:0]
+}
+
+// recycle clears one span subtree and pushes every node onto the freelist,
+// keeping each span's slice capacity so reuse does not re-grow it.
+func (r *Recorder) recycle(s *Span) {
+	for _, c := range s.Children {
+		r.recycle(c)
+	}
+	children := s.Children[:0]
+	attrs := s.attrs[:0]
+	cs := s.counters[:0]
+	*s = Span{}
+	s.Children, s.attrs, s.counters = children, attrs, cs
+	r.free = append(r.free, s)
 }
 
 // Add accumulates an event on the recorder's currently open span; events

@@ -3,9 +3,14 @@ package server
 import (
 	"context"
 	"net/http"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"ucat/internal/core"
+	"ucat/internal/obs"
 	"ucat/internal/uda"
 )
 
@@ -100,13 +105,19 @@ func (b *batcher) dispatch(bt *batch) {
 }
 
 // executeBatch runs one coalesced PETQ traversal through a fresh Session
-// over the shared pool and fans the answer out to every waiter.
+// over the shared pool and fans the answer out to every waiter. The
+// traversal records its spans on the LEADER's (first waiter's) flight
+// recorder; if any waiter turns out notable the tree is rendered once and
+// every waiter's flight record inherits it under its own trace ID — a rider
+// that was slow explains itself with the traversal that actually ran.
 func (s *Server) executeBatch(bt *batch) {
 	now := time.Now()
 	minTau := bt.waiters[0].tau
 	var deadline time.Time
 	for _, w := range bt.waiters {
-		s.met.queueWait.Observe(uint64(now.Sub(w.enq)))
+		wait := now.Sub(w.enq)
+		s.met.queueWait.Observe(uint64(wait))
+		w.flight.QueueNS = wait.Nanoseconds()
 		if w.tau < minTau {
 			minTau = w.tau
 		}
@@ -125,17 +136,57 @@ func (s *Server) executeBatch(bt *batch) {
 	}
 	defer cancel()
 
+	lead := bt.waiters[0].flight
+	rec := lead.Recorder()
 	sess := s.pool.Session()
-	rd := s.rel.Reader(sess).WithContext(ctx)
-	matches, err := rd.PETQ(bt.q, minTau)
+	rd := s.rel.Reader(obs.InstrumentView(sess, rec)).WithContext(ctx)
+	var matches []core.Match
+	var err error
+	pprof.Do(ctx, pprof.Labels(
+		"ucat_kind", "petq",
+		"ucat_req", strconv.FormatUint(lead.ID, 10),
+	), func(context.Context) {
+		matches, err = runBatchTraversal(rd, rec, bt, minTau)
+	})
 	elapsed := time.Since(now)
 	delta := sess.Stats()
 	s.met.readIOs.Add(delta.Reads)
 	s.met.poolHits.Add(delta.Hits)
 
+	// Fix each waiter's latency now so the keep-the-tree decision below and
+	// Complete's slow classification agree (Complete honors a pre-set
+	// latency). Render the tree once iff anyone will be notable.
+	thrNS := s.flight.SlowThreshold("petq").Nanoseconds()
+	needTree := err != nil
+	for _, w := range bt.waiters {
+		f := w.flight
+		f.LatencyNS = time.Since(w.enq).Nanoseconds()
+		if f.LatencyNS >= thrNS {
+			needTree = true
+		}
+	}
+	var tree string
+	if needTree {
+		var sb strings.Builder
+		if werr := rec.WriteTree(&sb); werr == nil {
+			tree = sb.String()
+		}
+	}
+	for i, w := range bt.waiters {
+		f := w.flight
+		f.Reads, f.Hits = delta.Reads, delta.Hits
+		f.BatchSize = len(bt.waiters)
+		if i == 0 {
+			f.Batch = "leader"
+		} else {
+			f.Batch = "rider"
+		}
+		f.Tree = tree
+	}
+
 	if err != nil {
 		for _, w := range bt.waiters {
-			w.deliver(failure(w.kind, err))
+			w.deliver(s.completeFailure(w, err))
 		}
 		return
 	}
@@ -152,8 +203,13 @@ func (s *Server) executeBatch(bt *batch) {
 		}
 		mine := matches[:cut]
 		wire, truncated := truncMatches(mine, w.limit)
+		f := w.flight
+		f.Results = len(mine)
+		f.Outcome = obs.OutcomeOK
+		frec := f.Complete()
 		w.deliver(result{status: http.StatusOK, body: QueryResponse{
 			Kind:      w.kind,
+			TraceID:   frec.ID,
 			Count:     len(mine),
 			Truncated: truncated,
 			Matches:   wire,
@@ -161,6 +217,18 @@ func (s *Server) executeBatch(bt *batch) {
 			ElapsedNS: elapsed.Nanoseconds(),
 			Batched:   true,
 			BatchSize: len(bt.waiters),
-		}})
+			Slow:      frec.Slow,
+		}, rec: frec})
 	}
+}
+
+// runBatchTraversal executes the coalesced traversal under its own span on
+// the leader's recorder (ended on return, so the rendered tree has a real
+// duration).
+func runBatchTraversal(rd *core.Reader, rec *obs.Recorder, bt *batch, minTau float64) ([]core.Match, error) {
+	sp := rec.StartSpan("serve.petq.batch")
+	defer sp.End()
+	sp.AttrF("waiters", float64(len(bt.waiters)))
+	sp.AttrF("tau_min", minTau)
+	return rd.PETQ(bt.q, minTau)
 }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -72,6 +74,7 @@ type WireIO struct {
 // answer size even when Limit truncated the returned slice.
 type QueryResponse struct {
 	Kind      string         `json:"kind"`
+	TraceID   uint64         `json:"trace_id,omitempty"`
 	Count     int            `json:"count"`
 	Truncated bool           `json:"truncated,omitempty"`
 	Matches   []WireMatch    `json:"matches,omitempty"`
@@ -80,6 +83,7 @@ type QueryResponse struct {
 	ElapsedNS int64          `json:"elapsed_ns"`
 	Batched   bool           `json:"batched,omitempty"`
 	BatchSize int            `json:"batch_size,omitempty"`
+	Slow      bool           `json:"slow,omitempty"`
 	Explain   string         `json:"explain,omitempty"`
 	Error     string         `json:"error,omitempty"`
 }
@@ -101,6 +105,13 @@ type request struct {
 	ctx  context.Context
 	done chan result // buffered; exactly one result is ever delivered
 	enq  time.Time
+
+	// flight is the request's flight-recorder handle. Ownership transfers
+	// with the request: once the handler hands the request to the batcher or
+	// the queue, only the executing side may touch flight (Complete recycles
+	// it); the handler keeps the plain id copy for its own logging.
+	flight *obs.Flight
+	id     uint64
 }
 
 // result is what a worker (or the admission path) delivers back to the
@@ -108,6 +119,7 @@ type request struct {
 type result struct {
 	status int
 	body   QueryResponse
+	rec    obs.RequestRecord // the completed flight record, for the request log
 }
 
 // deliver hands the result to the waiting handler without ever blocking.
@@ -172,10 +184,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req.done = make(chan result, 1)
 	req.enq = time.Now()
 
+	// Open the request's flight: a monotonic trace ID plus a pooled span
+	// recorder, always on. Malformed requests (above) are never recorded —
+	// the flight recorder tracks admitted work, not parse noise.
+	req.flight = s.flight.Begin(req.kind)
+	req.flight.Tau = req.tau
+	req.id = req.flight.ID
+
 	// The gate reference is held until this handler returns; Shutdown
 	// waits for all of them before stopping the workers.
 	if !s.gate.enter() {
 		s.met.drainRejects.Inc()
+		req.flight.Outcome = obs.OutcomeShed
+		req.flight.Err = "server is draining"
+		rec := req.flight.Complete()
+		s.reqlog.Log(rec)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -183,6 +206,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 
+	// Past this point the executing side owns req.flight; the handler only
+	// reads the plain req.id/req.kind copies (Complete recycles the handle,
+	// so a handler touching it after handoff would race the next request).
 	if s.batcher != nil && req.kind == "petq" && !req.explain {
 		s.batcher.submit(req)
 	} else if !s.enqueue(&task{req: req}) {
@@ -195,6 +221,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			s.met.timeouts.Inc()
+			// The worker still owns the flight and files the full record
+			// when it notices the dead context; this synthetic line keeps
+			// the request log real-time from the handler's vantage.
+			s.reqlog.Log(obs.RequestRecord{
+				ID: req.id, Kind: req.kind, Tau: req.tau,
+				Start:     req.enq,
+				LatencyNS: time.Since(req.enq).Nanoseconds(),
+				Outcome:   obs.OutcomeTimeout,
+				Err:       "deadline exceeded (queued or executing)",
+			})
 			writeError(w, http.StatusRequestTimeout,
 				fmt.Sprintf("deadline exceeded after %s (queued or executing)", timeout))
 		}
@@ -204,7 +240,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeResult renders a delivered result, attributing it to the right
-// metrics by status.
+// metrics by status and emitting the request-log line. Logging lives here —
+// on the handler goroutine — rather than in the workers, so the executor hot
+// loop never formats log output (the ucatlint hotlog check enforces that).
 func (s *Server) writeResult(w http.ResponseWriter, req *request, res result) {
 	switch res.status {
 	case http.StatusOK:
@@ -222,14 +260,24 @@ func (s *Server) writeResult(w http.ResponseWriter, req *request, res result) {
 	default:
 		s.met.errors.Inc()
 	}
+	if res.rec.ID != 0 {
+		s.reqlog.Log(res.rec)
+	}
 	writeJSON(w, res.status, res.body)
 }
 
-// reject delivers the admission-queue-overflow answer.
+// reject completes a request's flight as rejected and delivers the
+// admission-queue-overflow answer. Callers (the handler on direct enqueue
+// overflow, the batcher on dispatch overflow) own the flight at this point.
 func (s *Server) reject(req *request) {
+	const msg = "admission queue full; retry later"
+	req.flight.Outcome = obs.OutcomeRejected
+	req.flight.Err = msg
+	rec := req.flight.Complete()
 	req.deliver(result{
 		status: http.StatusTooManyRequests,
-		body:   QueryResponse{Kind: req.kind, Error: "admission queue full; retry later"},
+		body:   QueryResponse{Kind: req.kind, TraceID: rec.ID, Error: msg},
+		rec:    rec,
 	})
 }
 
@@ -352,32 +400,47 @@ func (s *Server) worker() {
 // executeOne runs a single request through its own Session over the shared
 // pool and delivers its result. The Session's local tally — not a delta on
 // the shared pool, which would interleave every concurrent request — is the
-// response's io document.
+// response's io document and the flight record's reads/hits. Span recording
+// is always on (the flight recorder's pooled Recorder makes it allocation-
+// free); the tree is dropped at Complete unless the request turns out
+// notable or asked for EXPLAIN.
 func (s *Server) executeOne(req *request) {
-	s.met.queueWait.Observe(uint64(time.Since(req.enq)))
+	wait := time.Since(req.enq)
+	s.met.queueWait.Observe(uint64(wait))
+	f := req.flight
+	f.QueueNS = wait.Nanoseconds()
 	if err := req.ctx.Err(); err != nil {
-		req.deliver(failure(req.kind, err))
+		req.deliver(s.completeFailure(req, err))
 		return
 	}
 	sess := s.pool.Session()
-	var rec *obs.Recorder
-	v := pager.View(sess)
-	if req.explain {
-		rec = obs.NewRecorder()
-		v = obs.InstrumentView(sess, rec)
-	}
-	rd := s.rel.Reader(v).WithContext(req.ctx)
+	rec := f.Recorder()
+	rd := s.rel.Reader(obs.InstrumentView(sess, rec)).WithContext(req.ctx)
 	start := time.Now()
-	ms, ns, err := runKind(rd, rec, req)
+	var (
+		ms  []core.Match
+		ns  []core.Neighbor
+		err error
+	)
+	// Goroutine labels make this request findable in /debug/pprof profiles:
+	// a CPU sample taken while it runs carries its kind and trace ID.
+	pprof.Do(req.ctx, pprof.Labels(
+		"ucat_kind", req.kind,
+		"ucat_req", strconv.FormatUint(f.ID, 10),
+	), func(context.Context) {
+		ms, ns, err = runKind(rd, rec, req)
+	})
 	elapsed := time.Since(start)
 	delta := sess.Stats()
 	s.met.readIOs.Add(delta.Reads)
 	s.met.poolHits.Add(delta.Hits)
+	f.Reads, f.Hits = delta.Reads, delta.Hits
 	if err != nil {
-		req.deliver(failure(req.kind, err))
+		req.deliver(s.completeFailure(req, err))
 		return
 	}
-	body := QueryResponse{Kind: req.kind, ElapsedNS: elapsed.Nanoseconds(), IO: wireIO(delta)}
+	body := QueryResponse{Kind: req.kind, TraceID: f.ID,
+		ElapsedNS: elapsed.Nanoseconds(), IO: wireIO(delta)}
 	if req.kind == "dstq" || req.kind == "neighbor" {
 		body.Count = len(ns)
 		body.Neighbors, body.Truncated = truncNeighbors(ns, req.limit)
@@ -385,13 +448,38 @@ func (s *Server) executeOne(req *request) {
 		body.Count = len(ms)
 		body.Matches, body.Truncated = truncMatches(ms, req.limit)
 	}
-	if rec != nil {
+	if req.explain {
+		// Render before Complete: the recorder recycles its spans there.
 		var sb strings.Builder
-		if err := rec.WriteTree(&sb); err == nil {
+		if werr := rec.WriteTree(&sb); werr == nil {
 			body.Explain = sb.String()
 		}
 	}
-	req.deliver(result{status: http.StatusOK, body: body})
+	f.Results = body.Count
+	f.Outcome = obs.OutcomeOK
+	frec := f.Complete()
+	body.Slow = frec.Slow
+	req.deliver(result{status: http.StatusOK, body: body, rec: frec})
+}
+
+// completeFailure classifies an execution error, completes the request's
+// flight with the matching outcome, and returns the deliverable result.
+func (s *Server) completeFailure(req *request, err error) result {
+	res := failure(req.kind, err)
+	f := req.flight
+	switch {
+	case errors.Is(err, context.Canceled):
+		f.Outcome = obs.OutcomeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		f.Outcome = obs.OutcomeTimeout
+	default:
+		f.Outcome = obs.OutcomeError
+	}
+	f.Err = res.body.Error
+	rec := f.Complete()
+	res.body.TraceID = rec.ID
+	res.rec = rec
+	return res
 }
 
 // runKind dispatches to the Reader method for the request's kind, under an

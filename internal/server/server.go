@@ -50,6 +50,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -120,6 +121,25 @@ type Config struct {
 	// Registry receives the server's metrics and backs the mounted debug
 	// endpoints. nil means obs.Default.
 	Registry *obs.Registry
+
+	// FlightRecords bounds the flight recorder's main last-N ring (the
+	// recorder itself is always on). 0 means the obs default (512).
+	FlightRecords int
+
+	// SlowThreshold is the flight recorder's tail-sampling rule: 0 means
+	// self-tuning (per-kind trailing p99); > 0 is a fixed cutoff; < 0 keeps
+	// every request's span tree (ucatd's -slowms 0, for smoke tests).
+	SlowThreshold time.Duration
+
+	// Logger receives the structured request log (one slog line per
+	// completed request, sampled per LogSample). nil disables request
+	// logging entirely.
+	Logger *slog.Logger
+
+	// LogSample is the request log's success sampling rate: ordinary
+	// successes log 1-in-LogSample, while errors and slow requests always
+	// log. 0 means 16; negative drops ordinary successes entirely.
+	LogSample int
 }
 
 // withDefaults returns cfg with every zero field replaced by its default.
@@ -154,6 +174,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.Default
 	}
+	if cfg.LogSample == 0 {
+		cfg.LogSample = 16
+	}
 	return cfg
 }
 
@@ -169,6 +192,8 @@ type Server struct {
 	quit     chan struct{} // closed after drain; releases the workers
 	batcher  *batcher      // nil when BatchWindow is 0
 	met      *metrics
+	flight   *obs.FlightRecorder // always-on request flight recorder
+	reqlog   *obs.RequestLogger  // nil when Config.Logger is nil
 	start    time.Time
 	draining atomic.Bool
 	gate     *drainGate // tracks admitted requests not yet answered
@@ -220,13 +245,22 @@ func New(cfg Config) (*Server, error) {
 		done:  make(chan struct{}),
 	}
 	registerPoolMetrics(cfg.Registry, pool)
+	s.flight = obs.NewFlightRecorder(obs.FlightConfig{
+		Records:       cfg.FlightRecords,
+		SlowThreshold: cfg.SlowThreshold,
+		Registry:      cfg.Registry,
+		MetricsPrefix: "ucat_serve_flight",
+	})
+	s.reqlog = obs.NewRequestLogger(cfg.Logger, cfg.LogSample)
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMax)
 	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/version", obs.BuildHandler)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	obs.RegisterDebug(s.mux, cfg.Registry)
+	obs.RegisterFlight(s.mux, s.flight)
 
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -247,6 +281,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Draining reports whether the server has begun shutting down (new queries
 // are being refused with 503).
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Flight returns the server's request flight recorder — the source behind
+// /debug/requests, exposed for tests and embedding callers.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // PoolDescription is a one-line human-readable summary of the shared pool's
 // effective configuration, for startup logs.

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# flight_smoke.sh — end-to-end smoke of the request flight recorder.
+#
+# Boots a real ucatd with -slowms 0 (keep every span tree) and a JSON
+# request log, fires one query of every kind plus a deliberate error, and
+# then asserts the observability contract from the outside:
+#
+#   1. /debug/requests returns every request, each with a non-empty span tree;
+#   2. /debug/requests/<id> and the ?kind/?outcome filters work;
+#   3. /v1/version and /debug/build report the build identity;
+#   4. ucattop -check validates /metrics and finds the ucat_serve_flight
+#      family; ucattop -once renders a frame against the live server;
+#   5. the JSON request log carries trace_id lines matching the records.
+#
+# Used by CI's flight-smoke job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d /tmp/ucat-flight-smoke.XXXXXX)
+trap 'kill "$UCATD_PID" 2>/dev/null || true; rm -rf "$dir"' EXIT
+
+go build -o "$dir/" ./cmd/ucatgen ./cmd/ucatd ./cmd/ucattop
+
+"$dir/ucatgen" -dataset uniform -n 2000 -index pdr -save "$dir/rel.ucat"
+
+"$dir/ucatd" -load "$dir/rel.ucat" -addr 127.0.0.1:0 -addrfile "$dir/addr" \
+    -slowms 0 -logformat json -logsample 1 >"$dir/ucatd.log" 2>&1 &
+UCATD_PID=$!
+for _ in $(seq 100); do [ -s "$dir/addr" ] && break; sleep 0.1; done
+[ -s "$dir/addr" ] || { echo "flight_smoke: ucatd never wrote $dir/addr" >&2; cat "$dir/ucatd.log" >&2; exit 1; }
+ADDR=$(cat "$dir/addr")
+
+# One query per kind (the server's closed kind set), plus one 400 that the
+# recorder must NOT see (it never enters a flight).
+curl -sf "http://$ADDR/v1/query" -d '{"kind":"petq","query":"0:0.6,1:0.4","tau":0.2}' >/dev/null
+curl -sf "http://$ADDR/v1/query" -d '{"kind":"topk","query":"0:0.6,1:0.4","k":3}' >/dev/null
+curl -sf "http://$ADDR/v1/query" -d '{"kind":"window","query":"0:0.6,1:0.4","c":1,"tau":0.1}' >/dev/null
+curl -sf "http://$ADDR/v1/query" -d '{"kind":"windowtopk","query":"0:0.6,1:0.4","c":1,"k":3}' >/dev/null
+curl -sf "http://$ADDR/v1/query" -d '{"kind":"dstq","query":"0:0.6,1:0.4","td":0.5,"div":"L1"}' >/dev/null
+curl -sf "http://$ADDR/v1/query" -d '{"kind":"neighbor","query":"0:0.6,1:0.4","k":2,"div":"L1"}' >/dev/null
+curl -s -o /dev/null "http://$ADDR/v1/query" -d '{"kind":"bogus"}' # 400: malformed, never recorded
+
+# Build identity endpoints.
+curl -sf "http://$ADDR/v1/version" | grep -q '"go_version"'
+curl -sf "http://$ADDR/debug/build" | grep -q '"go_version"'
+
+# Flight recorder contract: 6 records, every one with a span tree.
+curl -sf "http://$ADDR/debug/requests" >"$dir/requests.json"
+python3 - "$dir/requests.json" <<'EOF'
+import json, sys
+recs = json.load(open(sys.argv[1]))
+assert len(recs) == 6, f"want 6 flight records, got {len(recs)}"
+for r in recs:
+    assert r["outcome"] == "ok", f'trace {r["id"]}: outcome {r["outcome"]}'
+    assert r.get("tree"), f'trace {r["id"]} ({r["kind"]}): empty span tree under -slowms 0'
+    assert f'serve.{r["kind"]}' in r["tree"], f'trace {r["id"]}: tree missing serve.{r["kind"]} root'
+kinds = {r["kind"] for r in recs}
+assert kinds == {"petq","topk","window","windowtopk","dstq","neighbor"}, f"kinds: {kinds}"
+print(f"flight records OK: {len(recs)} records, all with span trees")
+EOF
+
+# Filters and by-id lookup.
+curl -sf "http://$ADDR/debug/requests?kind=petq" | python3 -c 'import json,sys; rs=json.load(sys.stdin); assert len(rs)==1 and rs[0]["kind"]=="petq", rs'
+curl -sf "http://$ADDR/debug/requests?outcome=slow" | python3 -c 'import json,sys; rs=json.load(sys.stdin); assert len(rs)==6, f"slow ring: {len(rs)}"'
+first_id=$(python3 -c 'import json,sys; print(min(r["id"] for r in json.load(open(sys.argv[1]))))' "$dir/requests.json")
+curl -sf "http://$ADDR/debug/requests/$first_id" | grep -q '"tree"'
+
+# Flight metrics exported and /metrics machine-readable (ucattop -check),
+# then a rendered dashboard frame against the live server.
+"$dir/ucattop" -addr "$ADDR" -check -require ucat_serve_flight,ucat_serve_latency_ns
+"$dir/ucattop" -addr "$ADDR" -once | grep -q '^flight: completed 6'
+
+# Request log: every success logged (logsample 1) with the recorder's IDs.
+kill -TERM "$UCATD_PID" && wait "$UCATD_PID" || true
+grep -c '"trace_id"' "$dir/ucatd.log" | grep -qx 6
+grep -q '"msg":"ucatd serving"' "$dir/ucatd.log"
+
+echo "flight-smoke OK"
