@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke bench-pool bench-pool-smoke obs-smoke serve-smoke flight-smoke bench-serve metrics figures ablations fuzz clean
+.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke bench-pool bench-pool-smoke obs-smoke serve-smoke flight-smoke wire-smoke bench-serve metrics figures ablations fuzz clean
 
 all: build lint test
 
@@ -85,10 +85,22 @@ bench-pool-smoke:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
+# End-to-end smoke of the binary wire protocol: boots ucatd with batching
+# on, sweeps every query kind over both protocols asserting identical
+# answers and zero protocol errors, checks the per-protocol /metrics
+# counters moved, then re-runs the pinned encode-path allocation test
+# (used by CI).
+wire-smoke:
+	bash scripts/wire_smoke.sh
+	$(GO) test -run TestWireEncodePathAllocs -count=1 -v ./internal/server/
+
 # Serving-layer benchmark: closed-loop and open-loop sweeps through a live
-# ucatd (micro-batcher on) plus the served-vs-direct determinism check.
-# Writes BENCH_serve.json; OPERATIONS.md explains how to read it. Tunables:
-# UCAT_SERVE_{N,DUR,CLIENTS,RATES,OUT}; CI runs a tiny-scale variant.
+# ucatd, per protocol (JSON vs binary ucatwire) and per batcher setting
+# (mixed petq/topk/window sweeps against batching-on AND batching-off
+# servers), plus the three-way direct/JSON/binary determinism check. Writes
+# BENCH_serve.json; OPERATIONS.md explains how to read it. Tunables:
+# UCAT_SERVE_{N,DUR,CLIENTS,RATES,TAU,HOTSET,OUT}; CI runs a tiny-scale
+# variant.
 bench-serve:
 	bash scripts/bench_serve.sh
 
@@ -126,6 +138,7 @@ ablations:
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/uda/
 	$(GO) test -fuzz FuzzDecodeBoundary -fuzztime $(FUZZTIME) ./internal/pdrtree/
+	$(GO) test -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wire/
 
 clean:
 	$(GO) clean ./...

@@ -1,7 +1,7 @@
 // Command ucatload drives load at a running ucatd and writes a
 // figures-grade benchmark document, BENCH_serve.json, recording throughput,
 // client-observed latency quantiles and rejection rate at each offered-load
-// level. It runs two sweeps:
+// level. Each -proto (json, binary, or both) runs its own pair of sweeps:
 //
 //   - closed loop (-clients): N clients issue queries back-to-back, the
 //     classic throughput/latency trade-off as concurrency grows;
@@ -9,11 +9,20 @@
 //     how the server keeps up, which is what exposes admission control —
 //     past saturation the rejection rate climbs instead of the queue.
 //
-// With -load it also replays a deterministic PETQ workload both through the
-// server and directly against the same snapshot in-process, and fails if a
-// single answer differs — the serving layer must never change a result.
+// The workload mixes the kinds named by -kinds; -hotset replays queries from
+// a small pre-drawn pool so a batching server actually coalesces them, and
+// -merge appends this run's sweeps to an existing document so a script can
+// benchmark several server configurations (batching on/off) into one file.
 //
-//	$ ucatload -addr localhost:8080 -clients 1,4,16 -rates 200,800,3200 \
+// With -load it also replays a deterministic workload over the batchable
+// kinds (PETQ, top-k, window) three ways — directly against the same
+// snapshot in-process, through the JSON protocol, and through the binary
+// protocol, the served pair issued concurrently so a batching server
+// coalesces them — and fails if a single answer differs anywhere: the
+// serving layer, either encoding of it, batched or not, must never change a
+// result.
+//
+//	$ ucatload -addr localhost:8080 -proto json,binary -clients 1,4,16 \
 //	      -dur 5s -load rel.ucat -out BENCH_serve.json
 package main
 
@@ -36,6 +45,7 @@ import (
 	"ucat/internal/core"
 	"ucat/internal/obs"
 	"ucat/internal/uda"
+	"ucat/internal/wire"
 )
 
 func main() {
@@ -47,38 +57,59 @@ func main() {
 
 // params collects the parsed command line.
 type params struct {
-	addr    string
-	clients []int
-	rates   []int
-	dur     time.Duration
-	domain  int
-	items   int
-	tau     float64
-	seed    int64
-	load    string
-	check   int
-	out     string
-	timeout time.Duration
-	slowlog bool
+	addr     string
+	protos   []string
+	kinds    []string
+	clients  []int
+	rates    []int
+	dur      time.Duration
+	domain   int
+	items    int
+	tau      float64
+	k        int
+	c        uint
+	hotset   int
+	seed     int64
+	load     string
+	check    int
+	out      string
+	merge    bool
+	batching bool
+	timeout  time.Duration
+	slowlog  bool
 }
 
 // slowlogTop bounds the slow-query records embedded per sweep point.
 const slowlogTop = 5
 
+// genKinds is the closed set -kinds accepts, matching the server's API.
+var genKinds = map[string]bool{
+	"petq": true, "topk": true, "window": true,
+	"windowtopk": true, "dstq": true, "neighbor": true,
+}
+
 func run() error {
 	var p params
-	var clients, rates string
+	var protos, kinds, clients, rates string
 	flag.StringVar(&p.addr, "addr", "localhost:8080", "ucatd address (host:port)")
+	flag.StringVar(&protos, "proto", "json", "protocols to sweep, comma separated: json | binary")
+	flag.StringVar(&kinds, "kinds", "petq", "workload query-kind mix, comma separated (petq,topk,window,windowtopk,dstq,neighbor)")
 	flag.StringVar(&clients, "clients", "1,4,16", "closed-loop client counts, comma separated (empty = skip)")
 	flag.StringVar(&rates, "rates", "", "open-loop offered rates in queries/sec, comma separated (empty = skip)")
 	flag.DurationVar(&p.dur, "dur", 5*time.Second, "measurement duration per load level")
 	flag.IntVar(&p.domain, "domain", 50, "item domain the generated queries draw from (match the dataset)")
 	flag.IntVar(&p.items, "items", 3, "non-zero items per generated query distribution")
-	flag.Float64Var(&p.tau, "tau", 0.1, "PETQ threshold for generated queries")
+	flag.Float64Var(&p.tau, "tau", 0.1, "threshold for generated petq/window queries (and dstq distance)")
+	flag.IntVar(&p.k, "k", 10, "k for generated topk/windowtopk/neighbor queries")
+	flag.UintVar(&p.c, "c", 2, "window radius for generated window/windowtopk queries")
+	flag.IntVar(&p.hotset, "hotset", 0,
+		"replay queries from a pool of this many pre-drawn cases instead of drawing fresh ones (duplicates let the server's batcher coalesce; 0 = all fresh)")
 	flag.Int64Var(&p.seed, "seed", 1, "workload PRNG seed")
 	flag.StringVar(&p.load, "load", "", "relation snapshot for the determinism check (empty = skip)")
-	flag.IntVar(&p.check, "check", 50, "determinism-check query count (with -load)")
+	flag.IntVar(&p.check, "check", 50, "determinism-check query count per kind (with -load)")
 	flag.StringVar(&p.out, "out", "BENCH_serve.json", "output document path (empty = stdout only)")
+	flag.BoolVar(&p.merge, "merge", false, "append this run's sweeps to an existing -out document instead of replacing it")
+	flag.BoolVar(&p.batching, "batching", false, "label recorded on this run's sweeps: the server was started with micro-batching enabled")
 	flag.DurationVar(&p.timeout, "timeout", 10*time.Second, "client-side HTTP timeout")
 	flag.BoolVar(&p.slowlog, "slowlog", false,
 		"embed the server's top slow-query flight records per sweep point (needs ucatd's /debug/requests)")
@@ -91,12 +122,40 @@ func run() error {
 	if p.rates, err = parseInts(rates); err != nil {
 		return fmt.Errorf("-rates: %w", err)
 	}
+	p.protos = splitList(protos)
+	for _, pr := range p.protos {
+		if pr != "json" && pr != "binary" {
+			return fmt.Errorf("-proto %q: want json or binary", pr)
+		}
+	}
+	if len(p.protos) == 0 {
+		return fmt.Errorf("-proto: at least one protocol required")
+	}
+	p.kinds = splitList(kinds)
+	for _, k := range p.kinds {
+		if !genKinds[k] {
+			return fmt.Errorf("-kinds %q: unknown query kind", k)
+		}
+	}
+	if len(p.kinds) == 0 {
+		return fmt.Errorf("-kinds: at least one kind required")
+	}
 
 	doc := benchDoc{
 		Addr:     p.addr,
 		Duration: p.dur.String(),
 		Seed:     p.seed,
 		When:     time.Now().UTC().Format(time.RFC3339),
+	}
+	if p.merge {
+		if old := readDoc(p.out); old != nil {
+			doc.Sweeps = old.Sweeps
+			// Sections this run doesn't regenerate survive the merge: a
+			// batching-off pass without -load must not erase the check the
+			// batching-on pass recorded.
+			doc.Determinism = old.Determinism
+			doc.Pool = old.Pool
+		}
 	}
 	client := &http.Client{
 		Timeout: p.timeout,
@@ -106,19 +165,30 @@ func run() error {
 		},
 	}
 
-	for _, n := range p.clients {
-		since := slowlogMark(client, &p)
-		lvl := runClosed(client, &p, n)
-		lvl.SlowQueries = fetchSlowSince(client, &p, since)
-		doc.Closed = append(doc.Closed, lvl)
-		fmt.Printf("closed %3d clients: %s\n", n, lvl)
+	for _, proto := range p.protos {
+		sw := sweep{Proto: proto, Batching: p.batching, Kinds: p.kinds, Hotset: p.hotset}
+		wl := newWorkload(&p)
+		for _, n := range p.clients {
+			since := slowlogMark(client, &p)
+			lvl := runClosed(client, &p, wl, proto, n)
+			lvl.SlowQueries = fetchSlowSince(client, &p, since)
+			sw.Closed = append(sw.Closed, lvl)
+			fmt.Printf("closed [%s%s] %3d clients: %s\n", proto, batchTag(p.batching), n, lvl)
+		}
+		for _, r := range p.rates {
+			since := slowlogMark(client, &p)
+			lvl := runOpen(client, &p, wl, proto, r)
+			lvl.SlowQueries = fetchSlowSince(client, &p, since)
+			sw.Open = append(sw.Open, lvl)
+			fmt.Printf("open [%s%s] %6d q/s:    %s\n", proto, batchTag(p.batching), r, lvl)
+		}
+		doc.Sweeps = append(doc.Sweeps, sw)
 	}
-	for _, r := range p.rates {
-		since := slowlogMark(client, &p)
-		lvl := runOpen(client, &p, r)
-		lvl.SlowQueries = fetchSlowSince(client, &p, since)
-		doc.Open = append(doc.Open, lvl)
-		fmt.Printf("open %6d q/s:    %s\n", r, lvl)
+	// Legacy mirror: the first sweep's levels stay addressable under the
+	// original flat keys so pre-sweep readers of the document keep working.
+	if len(doc.Sweeps) > 0 {
+		doc.Closed = doc.Sweeps[0].Closed
+		doc.Open = doc.Sweeps[0].Open
 	}
 
 	if pool, err := fetchPoolStats(client, &p); err != nil {
@@ -135,7 +205,10 @@ func run() error {
 			return err
 		}
 		doc.Determinism = chk
-		fmt.Printf("determinism: %d queries, %d mismatches\n", chk.Queries, chk.Mismatches)
+		for _, kind := range checkKinds {
+			kc := chk.PerKind[kind]
+			fmt.Printf("determinism [%s]: %d queries, %d mismatches\n", kind, kc.Queries, kc.Mismatches)
+		}
 		if chk.Mismatches != 0 {
 			writeDoc(&doc, p.out)
 			return fmt.Errorf("served answers diverged from direct execution")
@@ -145,16 +218,39 @@ func run() error {
 	return writeDoc(&doc, p.out)
 }
 
-// benchDoc is the BENCH_serve.json schema.
+// batchTag renders the sweep label suffix for terminal lines.
+func batchTag(batching bool) string {
+	if batching {
+		return "+batch"
+	}
+	return ""
+}
+
+// benchDoc is the BENCH_serve.json schema. Sweeps is the primary record —
+// one entry per (protocol, batching) combination measured, possibly
+// accumulated across runs with -merge. The flat Closed/Open fields mirror
+// the first sweep for readers that predate the sweep dimension.
 type benchDoc struct {
 	Addr        string    `json:"addr"`
 	Duration    string    `json:"duration_per_level"`
 	Seed        int64     `json:"seed"`
 	When        string    `json:"when"`
+	Sweeps      []sweep   `json:"sweeps,omitempty"`
 	Closed      []level   `json:"closed_loop,omitempty"`
 	Open        []level   `json:"open_loop,omitempty"`
 	Determinism *checkDoc `json:"determinism,omitempty"`
 	Pool        *poolDoc  `json:"server_pool,omitempty"`
+}
+
+// sweep is one protocol's pair of load sweeps under one server
+// configuration.
+type sweep struct {
+	Proto    string   `json:"proto"`
+	Batching bool     `json:"batching"`
+	Kinds    []string `json:"kinds,omitempty"`
+	Hotset   int      `json:"hotset,omitempty"`
+	Closed   []level  `json:"closed_loop,omitempty"`
+	Open     []level  `json:"open_loop,omitempty"`
 }
 
 // poolDoc mirrors the shared-pool section of ucatd's /v1/stats, captured
@@ -198,8 +294,17 @@ func (l level) String() string {
 		l.ThroughputQPS, l.P50MS, l.P95MS, l.P99MS, 100*l.RejectionRate)
 }
 
-// checkDoc records the served-vs-direct determinism comparison.
+// checkDoc records the three-way determinism comparison (direct vs JSON vs
+// binary) per batchable kind. Queries and Mismatches total across kinds so
+// existing readers of the flat fields keep their contract.
 type checkDoc struct {
+	Queries    int                  `json:"queries"`
+	Mismatches int                  `json:"mismatches"`
+	PerKind    map[string]kindCheck `json:"per_kind"`
+}
+
+// kindCheck is one kind's slice of the determinism comparison.
+type kindCheck struct {
 	Queries    int `json:"queries"`
 	Mismatches int `json:"mismatches"`
 }
@@ -249,9 +354,58 @@ func (c *counters) finish(elapsed time.Duration) level {
 	return lvl
 }
 
+// queryCase is one generated query: a kind plus the parameters that kind
+// needs, ready to encode under either protocol.
+type queryCase struct {
+	kind string
+	q    uda.UDA
+	tau  float64
+	k    int
+	c    uint32
+}
+
+// workload is the query source one sweep draws from. With -hotset the pool
+// is pre-drawn and every request replays one of its cases — the repeats are
+// what give a batching server identical distributions to coalesce; with
+// hotset 0 every draw is fresh.
+type workload struct {
+	p    *params
+	pool []queryCase
+}
+
+func newWorkload(p *params) *workload {
+	w := &workload{p: p}
+	if p.hotset > 0 {
+		rng := rand.New(rand.NewSource(p.seed))
+		for i := 0; i < p.hotset; i++ {
+			w.pool = append(w.pool, genCase(p, rng))
+		}
+	}
+	return w
+}
+
+// draw picks the next case for one client goroutine.
+func (w *workload) draw(rng *rand.Rand) queryCase {
+	if len(w.pool) > 0 {
+		return w.pool[rng.Intn(len(w.pool))]
+	}
+	return genCase(w.p, rng)
+}
+
+// genCase draws one random query of a random kind from the -kinds mix.
+func genCase(p *params, rng *rand.Rand) queryCase {
+	return queryCase{
+		kind: p.kinds[rng.Intn(len(p.kinds))],
+		q:    genQuery(p, rng),
+		tau:  p.tau,
+		k:    p.k,
+		c:    uint32(p.c),
+	}
+}
+
 // runClosed measures one closed-loop level: n clients in lockstep with the
 // server, each issuing its next query as soon as the previous one answers.
-func runClosed(client *http.Client, p *params, n int) level {
+func runClosed(client *http.Client, p *params, wl *workload, proto string, n int) level {
 	var c counters
 	deadline := time.Now().Add(p.dur)
 	var wg sync.WaitGroup
@@ -261,7 +415,7 @@ func runClosed(client *http.Client, p *params, n int) level {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(p.seed + int64(id)))
 			for time.Now().Before(deadline) {
-				issue(client, p, rng, &c)
+				post(client, p, proto, encodeCase(wl.draw(rng), proto, 0), &c)
 			}
 		}(i)
 	}
@@ -273,7 +427,7 @@ func runClosed(client *http.Client, p *params, n int) level {
 // runOpen measures one open-loop level: queries depart on a fixed schedule
 // whether or not earlier ones have answered, so a saturated server shows up
 // as rejections rather than coordinated slowdown.
-func runOpen(client *http.Client, p *params, qps int) level {
+func runOpen(client *http.Client, p *params, wl *workload, proto string, qps int) level {
 	var c counters
 	interval := time.Second / time.Duration(qps)
 	if interval <= 0 {
@@ -286,11 +440,11 @@ func runOpen(client *http.Client, p *params, qps int) level {
 	defer tick.Stop()
 	for time.Since(start) < p.dur {
 		<-tick.C
-		body := genBody(p, rng)
+		body := encodeCase(wl.draw(rng), proto, 0)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			post(client, p, body, &c)
+			post(client, p, proto, body, &c)
 		}()
 	}
 	wg.Wait()
@@ -324,7 +478,7 @@ func genQuery(p *params, rng *rand.Rand) uda.UDA {
 	return u
 }
 
-// queryString renders a distribution in the item:prob wire notation.
+// queryString renders a distribution in the item:prob JSON notation.
 func queryString(q uda.UDA) string {
 	var b strings.Builder
 	for i, pr := range q.Pairs() {
@@ -336,30 +490,106 @@ func queryString(q uda.UDA) string {
 	return b.String()
 }
 
-// genBody renders one random PETQ request body.
-func genBody(p *params, rng *rand.Rand) []byte {
-	req := map[string]any{"kind": "petq", "query": queryString(genQuery(p, rng)), "tau": p.tau}
+// encodeCase renders one query case as a request body for the protocol.
+// limit 0 leaves the server default in place.
+func encodeCase(qc queryCase, proto string, limit int) []byte {
+	if proto == "binary" {
+		return encodeBinary(qc, limit)
+	}
+	return encodeJSON(qc, limit)
+}
+
+// encodeJSON renders the case as a JSON request body, setting only the
+// fields its kind consumes (mirroring the API reference in OPERATIONS.md).
+func encodeJSON(qc queryCase, limit int) []byte {
+	req := map[string]any{"kind": qc.kind, "query": queryString(qc.q)}
+	switch qc.kind {
+	case "petq":
+		req["tau"] = qc.tau
+	case "topk":
+		req["k"] = qc.k
+	case "window":
+		req["c"] = qc.c
+		req["tau"] = qc.tau
+	case "windowtopk":
+		req["c"] = qc.c
+		req["k"] = qc.k
+	case "dstq":
+		req["td"] = qc.tau
+		req["div"] = "L1"
+	case "neighbor":
+		req["k"] = qc.k
+		req["div"] = "L1"
+	}
+	if limit > 0 {
+		req["limit"] = limit
+	}
 	b, _ := json.Marshal(req)
 	return b
 }
 
-// issue generates and posts one query, charging the outcome to c.
-func issue(client *http.Client, p *params, rng *rand.Rand, c *counters) {
-	post(client, p, genBody(p, rng), c)
+// encodeBinary renders the case as a ucatwire query frame.
+func encodeBinary(qc queryCase, limit int) []byte {
+	kind, ok := wire.KindOf(qc.kind)
+	if !ok {
+		panic("unknown kind " + qc.kind) // genKinds already validated it
+	}
+	wr := wire.Request{Kind: kind, Pairs: qc.q.Pairs(), Limit: limit}
+	switch qc.kind {
+	case "petq":
+		wr.Tau = qc.tau
+	case "topk":
+		wr.K = qc.k
+	case "window":
+		wr.C = qc.c
+		wr.Tau = qc.tau
+	case "windowtopk":
+		wr.C = qc.c
+		wr.K = qc.k
+	case "dstq":
+		wr.TD = qc.tau
+		wr.Div = uda.L1
+	case "neighbor":
+		wr.K = qc.k
+		wr.Div = uda.L1
+	}
+	return wire.AppendRequest(nil, &wr)
 }
 
-// post sends one request body and classifies the response.
-func post(client *http.Client, p *params, body []byte, c *counters) {
+// post sends one pre-encoded request body and classifies the response. The
+// JSON protocol carries its outcome in the HTTP status; the binary protocol
+// always answers 200 and carries the status in-band, so the frame is decoded
+// far enough to classify it.
+func post(client *http.Client, p *params, proto string, body []byte, c *counters) {
 	c.sent.Add(1)
 	start := time.Now()
-	resp, err := client.Post("http://"+p.addr+"/v1/query", "application/json", bytes.NewReader(body))
+	ct := "application/json"
+	if proto == "binary" {
+		ct = wire.ContentType
+	}
+	resp, err := client.Post("http://"+p.addr+"/v1/query", ct, bytes.NewReader(body))
 	if err != nil {
 		c.errors.Add(1)
 		return
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
+	status := resp.StatusCode
+	if proto == "binary" && status == http.StatusOK {
+		frame, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			_ = resp.Body.Close()
+			c.errors.Add(1)
+			return
+		}
+		if status, err = wireStatus(frame); err != nil {
+			_ = resp.Body.Close()
+			c.errors.Add(1)
+			return
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
 	_ = resp.Body.Close()
-	switch resp.StatusCode {
+	switch status {
 	case http.StatusOK:
 		c.completed.Add(1)
 		c.observe(float64(time.Since(start).Microseconds()) / 1000)
@@ -370,6 +600,26 @@ func post(client *http.Client, p *params, body []byte, c *counters) {
 	default:
 		c.errors.Add(1)
 	}
+}
+
+// wireStatus decodes a binary response frame far enough to classify its
+// outcome, mapping the in-band OK encoding (0) to HTTP 200.
+func wireStatus(frame []byte) (int, error) {
+	ftype, body, err := wire.DecodeFrame(frame)
+	if err != nil {
+		return 0, err
+	}
+	if ftype != wire.FrameResponse {
+		return 0, fmt.Errorf("frame type %#x, want response", ftype)
+	}
+	var rsp wire.Response
+	if err := wire.DecodeResponse(body, &rsp); err != nil {
+		return 0, err
+	}
+	if rsp.Status == 0 {
+		return http.StatusOK, nil
+	}
+	return rsp.Status, nil
 }
 
 // fetchPoolStats grabs the shared-pool section from ucatd's /v1/stats.
@@ -447,58 +697,175 @@ func fetchSlowSince(client *http.Client, p *params, since uint64) []obs.RequestR
 	return fresh
 }
 
-// runCheck replays a deterministic PETQ workload through the server and
-// directly against the same snapshot, comparing every answer bit for bit.
+// checkKinds is the determinism check's coverage: the batchable kinds, whose
+// answers must survive protocol encoding AND batch carving unchanged.
+var checkKinds = []string{"petq", "topk", "window"}
+
+// runCheck replays a deterministic workload per batchable kind three ways —
+// direct, JSON-served, binary-served — comparing every answer bit for bit.
+// The two served requests go out concurrently with identical distributions,
+// so on a batching server they coalesce into one traversal and the check
+// also proves batch carving exact.
 func runCheck(client *http.Client, p *params) (*checkDoc, error) {
 	rel, err := core.LoadRelationFile(p.load)
 	if err != nil {
 		return nil, fmt.Errorf("determinism check: %w", err)
 	}
-	rng := rand.New(rand.NewSource(p.seed + 7919))
-	chk := &checkDoc{Queries: p.check}
-	for i := 0; i < p.check; i++ {
-		q := genQuery(p, rng)
-		want, err := rel.PETQ(q, p.tau)
-		if err != nil {
-			return nil, fmt.Errorf("direct PETQ: %w", err)
-		}
+	chk := &checkDoc{PerKind: make(map[string]kindCheck, len(checkKinds))}
+	for ki, kind := range checkKinds {
+		rng := rand.New(rand.NewSource(p.seed + 7919*int64(ki+1)))
+		kc := kindCheck{Queries: p.check}
+		for i := 0; i < p.check; i++ {
+			qc := queryCase{kind: kind, q: genQuery(p, rng), tau: p.tau, k: p.k, c: uint32(p.c)}
+			want, err := direct(rel, qc)
+			if err != nil {
+				return nil, fmt.Errorf("direct %s: %w", kind, err)
+			}
+			limit := len(want) + 1
 
-		body, _ := json.Marshal(map[string]any{
-			"kind": "petq", "query": queryString(q), "tau": p.tau,
-			"limit": len(want) + 1,
-		})
-		resp, err := client.Post("http://"+p.addr+"/v1/query", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, fmt.Errorf("served PETQ: %w", err)
-		}
-		var qr struct {
-			Count   int `json:"count"`
-			Matches []struct {
-				TID  uint32  `json:"tid"`
-				Prob float64 `json:"prob"`
-			} `json:"matches"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&qr)
-		_ = resp.Body.Close()
-		if err != nil || resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("served PETQ: status %d, decode err %v", resp.StatusCode, err)
-		}
-
-		same := qr.Count == len(want) && len(qr.Matches) == len(want)
-		if same {
-			for j, m := range qr.Matches {
-				//ucatlint:ignore floatcmp the determinism check demands bit-identical served and direct answers
-				if m.TID != want[j].TID || m.Prob != want[j].Prob {
-					same = false
-					break
-				}
+			var jm, bm []wire.Match
+			var jerr, berr error
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				jm, jerr = servedJSON(client, p, qc, limit)
+			}()
+			go func() {
+				defer wg.Done()
+				bm, berr = servedBinary(client, p, qc, limit)
+			}()
+			wg.Wait()
+			if jerr != nil {
+				return nil, fmt.Errorf("served %s (json): %w", kind, jerr)
+			}
+			if berr != nil {
+				return nil, fmt.Errorf("served %s (binary): %w", kind, berr)
+			}
+			if !sameAnswers(jm, want) || !sameAnswers(bm, want) || !sameMatches(jm, bm) {
+				kc.Mismatches++
 			}
 		}
-		if !same {
-			chk.Mismatches++
-		}
+		chk.PerKind[kind] = kc
+		chk.Queries += kc.Queries
+		chk.Mismatches += kc.Mismatches
 	}
 	return chk, nil
+}
+
+// direct runs one check case against the in-process relation.
+func direct(rel *core.Relation, qc queryCase) ([]core.Match, error) {
+	switch qc.kind {
+	case "topk":
+		return rel.TopK(qc.q, qc.k)
+	case "window":
+		return rel.WindowPETQ(qc.q, qc.c, qc.tau)
+	default:
+		return rel.PETQ(qc.q, qc.tau)
+	}
+}
+
+// servedJSON posts one check case over the JSON protocol and decodes its
+// matches.
+func servedJSON(client *http.Client, p *params, qc queryCase, limit int) ([]wire.Match, error) {
+	resp, err := client.Post("http://"+p.addr+"/v1/query", "application/json",
+		bytes.NewReader(encodeJSON(qc, limit)))
+	if err != nil {
+		return nil, err
+	}
+	var qr struct {
+		Count   int          `json:"count"`
+		Matches []wire.Match `json:"matches"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d, decode err %v", resp.StatusCode, err)
+	}
+	if qr.Count != len(qr.Matches) {
+		return nil, fmt.Errorf("count %d but %d matches", qr.Count, len(qr.Matches))
+	}
+	return qr.Matches, nil
+}
+
+// servedBinary posts one check case over the binary protocol and decodes its
+// matches from the response frame.
+func servedBinary(client *http.Client, p *params, qc queryCase, limit int) ([]wire.Match, error) {
+	resp, err := client.Post("http://"+p.addr+"/v1/query", wire.ContentType,
+		bytes.NewReader(encodeBinary(qc, limit)))
+	if err != nil {
+		return nil, err
+	}
+	frame, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d, read err %v", resp.StatusCode, err)
+	}
+	ftype, body, err := wire.DecodeFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if ftype != wire.FrameResponse {
+		return nil, fmt.Errorf("frame type %#x, want response", ftype)
+	}
+	var rsp wire.Response
+	if err := wire.DecodeResponse(body, &rsp); err != nil {
+		return nil, err
+	}
+	if rsp.Status != 0 && rsp.Status != http.StatusOK {
+		return nil, fmt.Errorf("in-band status %d: %s", rsp.Status, rsp.Err)
+	}
+	if rsp.Count != len(rsp.Matches) {
+		return nil, fmt.Errorf("count %d but %d matches", rsp.Count, len(rsp.Matches))
+	}
+	return rsp.Matches, nil
+}
+
+// sameAnswers compares a served answer against direct execution bit for bit.
+func sameAnswers(got []wire.Match, want []core.Match) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for j, m := range got {
+		//ucatlint:ignore floatcmp the determinism check demands bit-identical served and direct answers
+		if m.TID != want[j].TID || m.Prob != want[j].Prob {
+			return false
+		}
+	}
+	return true
+}
+
+// sameMatches compares the two protocols' decoded answers bit for bit: after
+// canonicalization (decode) the encodings must agree exactly.
+func sameMatches(a, b []wire.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for j := range a {
+		//ucatlint:ignore floatcmp the cross-protocol check demands bit-identical answers
+		if a[j].TID != b[j].TID || a[j].Prob != b[j].Prob {
+			return false
+		}
+	}
+	return true
+}
+
+// readDoc loads an existing benchmark document for -merge; any problem —
+// missing file, stale schema — degrades to starting fresh.
+func readDoc(path string) *benchDoc {
+	if path == "" {
+		return nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "ucatload: -merge: %s unreadable, starting fresh: %v\n", path, err)
+		return nil
+	}
+	return &doc
 }
 
 // writeDoc renders the benchmark document to path (and always to stdout as
@@ -535,4 +902,15 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// splitList parses a comma-separated list of non-empty strings.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

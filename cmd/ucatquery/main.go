@@ -1,6 +1,8 @@
 // Command ucatquery loads one of the paper's datasets (or a previously
 // saved relation) into a chosen index and runs a probabilistic query against
-// it, reporting the answers and the disk I/Os the query cost.
+// it, reporting the answers and the disk I/Os the query cost. With -addr it
+// instead sends the query to a running ucatd, over either the JSON or the
+// binary ucatwire protocol (-proto).
 //
 // Usage:
 //
@@ -10,12 +12,18 @@
 //	ucatquery -dataset gen3 -index pdr -query "10:1.0" -tau 0.3 -window 2
 //	ucatquery -dataset crm1 -index pdr -save rel.ucat          # build once
 //	ucatquery -load rel.ucat -query "3:1.0" -tau 0.5           # query later
+//	ucatquery -addr localhost:8080 -query "3:1.0" -tau 0.5     # ask a ucatd
+//	ucatquery -addr localhost:8080 -proto binary -query "3:1.0" -k 5
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -23,6 +31,7 @@ import (
 	"ucat/internal/core"
 	"ucat/internal/dataset"
 	"ucat/internal/obs"
+	"ucat/internal/wire"
 )
 
 func main() {
@@ -45,6 +54,8 @@ func main() {
 		stats    = flag.Bool("stats", false, "print index statistics")
 		timeout  = flag.Duration("timeout", 0, "per-query deadline (0 = none); a query past it stops at the next page access")
 		debug    = flag.String("debugaddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. localhost:6060)")
+		addr     = flag.String("addr", "", "send the query to a running ucatd at this host:port instead of executing locally")
+		proto    = flag.String("proto", "json", "wire protocol for -addr: json | binary")
 	)
 	flag.Parse()
 
@@ -63,7 +74,7 @@ func main() {
 		index: *index, strategy: *strategy, queryStr: *queryStr,
 		tau: *tau, k: *k, window: uint32(*window), dstq: *dstq, div: *div,
 		limit: *limit, save: *save, load: *load, stats: *stats,
-		timeout: *timeout,
+		timeout: *timeout, addr: *addr, proto: *proto,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "ucatquery: %v\n", err)
 		os.Exit(1)
@@ -84,9 +95,13 @@ type params struct {
 	save, load      string
 	stats           bool
 	timeout         time.Duration
+	addr, proto     string
 }
 
 func run(p params) error {
+	if p.addr != "" {
+		return runRemote(p)
+	}
 	rel, err := obtainRelation(p)
 	if err != nil {
 		return err
@@ -241,6 +256,177 @@ func obtainRelation(p params) (*core.Relation, error) {
 		}
 	}
 	return rel, nil
+}
+
+// runRemote sends the query to a running ucatd over the chosen protocol and
+// prints the served answer in the same shape the local paths use, plus the
+// server-side cost the response carries (trace ID, batch membership, reads).
+func runRemote(p params) error {
+	q, err := cliutil.ParseUDA(p.queryStr)
+	if err != nil {
+		return err
+	}
+	kind := remoteKind(p)
+	if kind == "petq" && p.tau < 0 {
+		return fmt.Errorf("specify a query type (-tau, -k, -window, or -dstq) with -addr")
+	}
+
+	var body []byte
+	ct := "application/json"
+	switch p.proto {
+	case "json":
+		req := map[string]any{"kind": kind, "query": p.queryStr, "limit": p.limit}
+		switch kind {
+		case "petq":
+			req["tau"] = p.tau
+		case "topk":
+			req["k"] = p.k
+		case "window":
+			req["c"] = p.window
+			req["tau"] = p.tau
+		case "windowtopk":
+			req["c"] = p.window
+			req["k"] = p.k
+		case "dstq":
+			req["td"] = p.dstq
+			req["div"] = p.div
+		}
+		if p.timeout > 0 {
+			req["timeout_ms"] = p.timeout.Milliseconds()
+		}
+		if body, err = json.Marshal(req); err != nil {
+			return err
+		}
+	case "binary":
+		ct = wire.ContentType
+		wk, ok := wire.KindOf(kind)
+		if !ok {
+			return fmt.Errorf("kind %q has no wire encoding", kind)
+		}
+		wr := wire.Request{Kind: wk, Pairs: q.Pairs(), Limit: p.limit}
+		switch kind {
+		case "petq":
+			wr.Tau = p.tau
+		case "topk":
+			wr.K = p.k
+		case "window":
+			wr.C = p.window
+			wr.Tau = p.tau
+		case "windowtopk":
+			wr.C = p.window
+			wr.K = p.k
+		case "dstq":
+			dv, err := cliutil.ParseDivergence(p.div)
+			if err != nil {
+				return err
+			}
+			wr.TD = p.dstq
+			wr.Div = dv
+		}
+		if p.timeout > 0 {
+			wr.TimeoutMS = p.timeout.Milliseconds()
+		}
+		body = wire.AppendRequest(nil, &wr)
+	default:
+		return fmt.Errorf("-proto %q: want json or binary", p.proto)
+	}
+
+	client := &http.Client{Timeout: p.timeout + 30*time.Second}
+	resp, err := client.Post("http://"+p.addr+"/v1/query", ct, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+
+	var rsp wire.Response
+	if p.proto == "binary" {
+		frame, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("transport status %d (binary errors arrive in-band)", resp.StatusCode)
+		}
+		ftype, fbody, err := wire.DecodeFrame(frame)
+		if err != nil {
+			return err
+		}
+		if ftype != wire.FrameResponse {
+			return fmt.Errorf("frame type %#x, want response", ftype)
+		}
+		if err := wire.DecodeResponse(fbody, &rsp); err != nil {
+			return err
+		}
+		if rsp.Status != 0 && rsp.Status != http.StatusOK {
+			return fmt.Errorf("server status %d: %s", rsp.Status, rsp.Err)
+		}
+	} else {
+		var jr struct {
+			TraceID   uint64          `json:"trace_id"`
+			Count     int             `json:"count"`
+			Truncated bool            `json:"truncated"`
+			Matches   []wire.Match    `json:"matches"`
+			Neighbors []wire.Neighbor `json:"neighbors"`
+			ElapsedNS int64           `json:"elapsed_ns"`
+			Batched   bool            `json:"batched"`
+			BatchSize int             `json:"batch_size"`
+			Error     string          `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("server status %d: %s", resp.StatusCode, jr.Error)
+		}
+		rsp = wire.Response{
+			TraceID: jr.TraceID, Count: jr.Count, Truncated: jr.Truncated,
+			Matches: jr.Matches, Neighbors: jr.Neighbors,
+			ElapsedNS: jr.ElapsedNS, Batched: jr.Batched, BatchSize: jr.BatchSize,
+		}
+	}
+
+	fmt.Printf("%s(%v) via %s @ %s: %d answers", kind, q, p.proto, p.addr, rsp.Count)
+	if rsp.Truncated {
+		fmt.Printf(" (truncated at limit %d)", p.limit)
+	}
+	fmt.Println()
+	for i, m := range rsp.Matches {
+		if i == p.limit {
+			fmt.Printf("... %d more\n", len(rsp.Matches)-p.limit)
+			break
+		}
+		fmt.Printf("  tid=%-8d prob=%.6f\n", m.TID, m.Prob)
+	}
+	for i, n := range rsp.Neighbors {
+		if i == p.limit {
+			fmt.Printf("... %d more\n", len(rsp.Neighbors)-p.limit)
+			break
+		}
+		fmt.Printf("  tid=%-8d dist=%.6f\n", n.TID, n.Dist)
+	}
+	fmt.Printf("server: trace=%d elapsed=%s", rsp.TraceID, time.Duration(rsp.ElapsedNS))
+	if rsp.Batched {
+		fmt.Printf(" batched(size=%d)", rsp.BatchSize)
+	}
+	fmt.Println()
+	return nil
+}
+
+// remoteKind maps the flag combination onto the server's kind names, with
+// the same precedence the local execution switch uses.
+func remoteKind(p params) string {
+	switch {
+	case p.dstq >= 0:
+		return "dstq"
+	case p.k > 0 && p.window > 0:
+		return "windowtopk"
+	case p.k > 0:
+		return "topk"
+	case p.window > 0:
+		return "window"
+	default:
+		return "petq"
+	}
 }
 
 func printMatches(ms []core.Match, limit int) {

@@ -9,13 +9,16 @@ import (
 // exportDocPackages is the closed set of packages whose exported godoc
 // surface the exportdoc check audits. These are the packages other code (and
 // operators reading OPERATIONS.md) program against: the serving layer, the
-// observability toolkit, and the decoded-page cache. Packages are opted in
+// observability toolkit, the decoded-page cache, and the binary wire codec
+// (its frame layout is a cross-process contract — clients in other repos
+// decode what AppendResponse writes). Packages are opted in
 // deliberately — a repo-wide doc mandate would bury the signal in noise from
 // experiment scaffolding.
 var exportDocPackages = map[string]bool{
 	"ucat/internal/server": true,
 	"ucat/internal/obs":    true,
 	"ucat/internal/dcache": true,
+	"ucat/internal/wire":   true,
 }
 
 // ExportDocCheck enforces a complete godoc surface on the audited packages:

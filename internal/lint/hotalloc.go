@@ -17,7 +17,11 @@ const hotpathDirective = "//ucatlint:hotpath"
 // from eroding one convenient fmt.Sprintf at a time.
 //
 // Entry points are opt-in: a `//ucatlint:hotpath` directive on a function
-// declaration marks it as a query-path root. Everything reachable from a
+// declaration marks it as a query-path root, and the binary wire codec's
+// encode/decode functions (see isWireEncode) are roots by construction — the
+// wire path carries a pinned allocations-per-response budget, so its loops
+// live under the same audit without needing a directive on every encoder.
+// Everything reachable from a
 // root through the call graph (a TopDown dataflow) is a hot function, and
 // inside hot functions the check flags the known allocation sources when
 // they appear inside a loop body — a once-per-call allocation on a query
@@ -46,7 +50,7 @@ const hotpathDirective = "//ucatlint:hotpath"
 func HotAllocCheck() *Check {
 	return &Check{
 		Name:       "hotalloc",
-		Doc:        "flag allocation sources in loops of functions reachable from //ucatlint:hotpath entry points",
+		Doc:        "flag allocation sources in loops of functions reachable from //ucatlint:hotpath entry points and wire codec roots",
 		Severity:   SeverityWarn,
 		RunProgram: runHotAlloc,
 	}
@@ -57,7 +61,7 @@ func runHotAlloc(prog *Program) []Diagnostic {
 
 	var roots []*FuncNode
 	for _, n := range g.Nodes() {
-		if hasHotpathDirective(n) {
+		if hasHotpathDirective(n) || isWireEncode(n) {
 			roots = append(roots, n)
 		}
 	}

@@ -30,10 +30,20 @@ import (
 // never exits per request, so "log then continue/return" still logs once per
 // iteration. The fix is the one the server already implements — return the
 // record to the handler (writeResult logs it) or count it in a metric.
+//
+// A third root family covers the binary wire protocol: the codec functions in
+// internal/wire (Append*/Decode*) and the server's binary writers
+// (writeBinary, writeBinaryError, appendWireResponse). Their contract is
+// stricter than "no logging in loops" — the encode path is pinned at zero
+// allocations per response by TestWireEncodePathAllocs, and a single
+// fmt.Sprintf or json.Marshal anywhere in a reachable function breaks the
+// pin once per request. Functions reachable from a wire-encode root are
+// therefore scanned whole-body (not loop-scoped), and calls into
+// encoding/json join fmt.* and the loggers on the forbidden list.
 func HotLogCheck() *Check {
 	return &Check{
 		Name:       "hotlog",
-		Doc:        "forbid logging (log/slog, log, fmt.Print*) in loops reachable from //ucatlint:hotpath roots and server worker loops",
+		Doc:        "forbid logging (log/slog, log, fmt.Print*) in loops reachable from //ucatlint:hotpath roots and server worker loops, and any fmt/encoding/json use on the wire encode path",
 		Severity:   SeverityError,
 		RunProgram: runHotLog,
 	}
@@ -42,16 +52,25 @@ func HotLogCheck() *Check {
 func runHotLog(prog *Program) []Diagnostic {
 	g := prog.Graph
 
-	var roots []*FuncNode
+	var roots, wireRoots []*FuncNode
 	for _, n := range g.Nodes() {
 		if hasHotpathDirective(n) || isServerWorker(n) {
 			roots = append(roots, n)
 		}
+		if isWireEncode(n) {
+			wireRoots = append(wireRoots, n)
+		}
 	}
-	if len(roots) == 0 {
+	if len(roots) == 0 && len(wireRoots) == 0 {
 		return nil
 	}
-	hot := g.ReachableFrom(roots)
+	var hot, wireHot map[*FuncNode]bool
+	if len(roots) > 0 {
+		hot = g.ReachableFrom(roots)
+	}
+	if len(wireRoots) > 0 {
+		wireHot = g.ReachableFrom(wireRoots)
+	}
 
 	// logs marks every function that reaches a logging call, seeded by the
 	// functions containing one directly.
@@ -69,13 +88,120 @@ func runHotLog(prog *Program) []Diagnostic {
 		return found
 	})
 
+	// marshals marks every function that reaches encoding/json, seeded by the
+	// functions calling into it directly. Only the wire-encode scan consults
+	// it: JSON encoding is the DESIGN for the handler path, a violation only
+	// where the binary codec's alloc pin holds.
+	marshals := g.ReachesAny(func(n *FuncNode) bool {
+		if n.Decl.Body == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok && wireFormattingCall(n.Pkg, call) != "" {
+				found = true
+			}
+			return !found
+		})
+		return found
+	})
+
 	var diags []Diagnostic
 	for _, n := range g.Nodes() {
-		if !hot[n] || n.Decl.Body == nil {
+		if n.Decl.Body == nil {
 			continue
 		}
-		diags = append(diags, hotLogInFunc(prog, n, logs)...)
+		// The whole-body wire scan subsumes the loop scan (a loop body is part
+		// of the body), so a function in both sets is scanned once.
+		if wireHot[n] {
+			diags = append(diags, wireLogInFunc(prog, n, logs, marshals)...)
+			continue
+		}
+		if hot[n] {
+			diags = append(diags, hotLogInFunc(prog, n, logs)...)
+		}
 	}
+	return diags
+}
+
+// isWireEncode reports whether the function is a root of the binary wire
+// codec's zero-alloc contract: any Append*/Decode* function in a package
+// whose import path ends in internal/wire, or one of the server's binary
+// response writers.
+func isWireEncode(n *FuncNode) bool {
+	name := n.Fn.Name()
+	if strings.HasSuffix(n.Pkg.Path, "internal/wire") {
+		return strings.HasPrefix(name, "Append") || strings.HasPrefix(name, "Decode")
+	}
+	if strings.HasSuffix(n.Pkg.Path, "internal/server") {
+		switch name {
+		case "writeBinary", "writeBinaryError", "appendWireResponse":
+			return true
+		}
+	}
+	return false
+}
+
+// wireFormattingCall classifies one call expression against the wire encode
+// path's forbidden list, returning a diagnostic-ready name when the callee is
+// any fmt function or anything from encoding/json, and "" otherwise. Unlike
+// loggingCall this bans ALL of fmt — Sprintf and Errorf allocate exactly like
+// Println does, and the encode path has no error-path exemption because its
+// errors are static sentinels.
+func wireFormattingCall(pkg *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return "fmt." + fn.Name()
+	case "encoding/json":
+		return "json." + fn.Name()
+	}
+	return ""
+}
+
+// wireLogInFunc flags formatting and logging machinery anywhere in one
+// function on the wire encode path — whole-body, because the zero-alloc pin
+// is per call, not per loop iteration.
+func wireLogInFunc(prog *Program, n *FuncNode, logs, marshals map[*FuncNode]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:   n.Pkg.Fset.Position(pos.Pos()),
+			Check: "hotlog",
+			Msg:   msg + " (the wire encode path is allocation-free; use append-style encoders and static errors)",
+		})
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := wireFormattingCall(n.Pkg, call); name != "" {
+			report(call, "call to "+name+" on the wire encode path")
+			return true
+		}
+		if name := loggingCall(n.Pkg, call); name != "" {
+			report(call, "call to "+name+" on the wire encode path")
+			return true
+		}
+		if site := prog.Graph.SiteOf(call); site != nil {
+			for _, callee := range site.Callees {
+				switch {
+				case marshals[callee]:
+					report(call, "call to "+callee.Name()+", which reaches fmt or encoding/json, on the wire encode path")
+				case logs[callee]:
+					report(call, "call to "+callee.Name()+", which logs, on the wire encode path")
+				default:
+					continue
+				}
+				break
+			}
+		}
+		return true
+	})
 	return diags
 }
 

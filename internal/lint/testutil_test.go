@@ -85,6 +85,18 @@ func (byteOrder) PutUint64(b []byte, v uint64)      {}
 
 var LittleEndian byteOrder
 var BigEndian byteOrder
+
+func AppendUvarint(b []byte, v uint64) []byte { return b }
+func Uvarint(b []byte) (uint64, int)          { return 0, 0 }
+`,
+	"encoding/json": `package json
+
+func Marshal(v any) ([]byte, error)      { return nil, nil }
+func Unmarshal(data []byte, v any) error { return nil }
+
+type Encoder struct{}
+
+func (e *Encoder) Encode(v any) error { return nil }
 `,
 	"context": `package context
 

@@ -1,0 +1,130 @@
+package lint
+
+import "testing"
+
+// The wire-encode extension of hotlog: Append*/Decode* functions in a
+// package ending internal/wire (and the server's binary writers) are roots,
+// and everything they reach is scanned whole-body for fmt, encoding/json,
+// and logging — not just inside loops, because the encode path's zero-alloc
+// pin is per call.
+
+func TestWireHotFmtOutsideLoopFlagged(t *testing.T) {
+	src := `package wire
+
+import "fmt"
+
+// AppendResponse is a wire-encode root by name and package: the Sprintf
+// sits outside any loop, which the plain hotpath checks would excuse but
+// the whole-body wire scan must not.
+func AppendResponse(dst []byte, kind int) []byte {
+	dst = append(dst, byte(kind))
+	dst = append(dst, fmt.Sprintf("%d", kind)...)
+	return dst
+}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/wire", src)
+	expect(t, diags, []string{"call to fmt.Sprintf on the wire encode path"})
+}
+
+func TestWireHotJSONTransitiveThroughHelper(t *testing.T) {
+	src := `package server
+
+import "encoding/json"
+
+// writeBinary is a wire-encode root by name in internal/server; hiding the
+// marshal one helper down must not evade the check.
+func writeBinary(v any) []byte {
+	return encodeBody(v)
+}
+
+func encodeBody(v any) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/server", src)
+	expect(t, diags, []string{
+		"call to encodeBody, which reaches fmt or encoding/json, on the wire encode path",
+		"call to json.Marshal on the wire encode path",
+	})
+}
+
+func TestWireHotErrorfHasNoExemption(t *testing.T) {
+	src := `package wire
+
+import "fmt"
+
+// DecodeFrame: fmt.Errorf on the error return is the idiom the hotalloc
+// error-path exemption tolerates elsewhere, but the wire codec's errors are
+// static sentinels precisely so decode stays allocation-free — Errorf is a
+// violation here even on an exit path.
+func DecodeFrame(b []byte) (byte, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("short frame: %d bytes", len(b))
+	}
+	return b[2], b[8:], nil
+}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/wire", src)
+	expect(t, diags, []string{"call to fmt.Errorf on the wire encode path"})
+}
+
+func TestWireHotRootsNeedWirePackageOrServerWriter(t *testing.T) {
+	src := `package report
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// AppendSummary matches the wire root NAME pattern but not the package:
+// ordinary code keeps its fmt and json without directives or diagnostics.
+func AppendSummary(dst []byte, v any) []byte {
+	b, _ := json.Marshal(v)
+	dst = append(dst, b...)
+	return append(dst, fmt.Sprintf("%v", v)...)
+}
+`
+	diags := runOn(t, HotLogCheck(), "ucat/internal/report", src)
+	expect(t, diags, nil)
+}
+
+func TestWireHotAllocUnsizedMakeInDecodeLoop(t *testing.T) {
+	src := `package wire
+
+// DecodeRequest is a hotalloc root without any //ucatlint:hotpath
+// directive: the unsized make inside its pair loop grows by reallocation
+// per element, exactly what the codec's count() pre-sizing exists to avoid.
+func DecodeRequest(b []byte) [][]byte {
+	var out [][]byte
+	for len(b) > 0 {
+		m := make([]byte, 0)
+		m = append(m, b[0])
+		out = append(out, m)
+		b = b[1:]
+	}
+	return out
+}
+`
+	diags := runOn(t, HotAllocCheck(), "ucat/internal/wire", src)
+	expect(t, diags, []string{"make with zero length and no capacity"})
+}
+
+func TestWireHotCleanEncoderStaysClean(t *testing.T) {
+	src := `package wire
+
+import "encoding/binary"
+
+// AppendRequest written the way the real codec is — append-style varints,
+// sized buffers, no formatting — must produce no findings from either check.
+func AppendRequest(dst []byte, pairs []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pairs)))
+	for _, p := range pairs {
+		dst = binary.AppendUvarint(dst, p)
+	}
+	return dst
+}
+`
+	expect(t, runOn(t, HotLogCheck(), "ucat/internal/wire", src), nil)
+	expect(t, runOn(t, HotAllocCheck(), "ucat/internal/wire", src), nil)
+}

@@ -46,6 +46,9 @@ type RequestRecord struct {
 	ID uint64 `json:"id"`
 	// Kind is the query kind ("petq", "topk", ...).
 	Kind string `json:"kind"`
+	// Proto is the request's wire protocol ("json" or "binary"); "" on
+	// records predating content negotiation or not tied to the listener.
+	Proto string `json:"proto,omitempty"`
 	// Tau is the probability threshold for the kinds that carry one.
 	Tau float64 `json:"tau,omitempty"`
 	// Start is when the request was admitted.

@@ -64,6 +64,9 @@ func (rl *RequestLogger) Log(rec RequestRecord) {
 		slog.Uint64("hits", rec.Hits),
 		slog.Int("results", rec.Results),
 	)
+	if rec.Proto != "" {
+		attrs = append(attrs, slog.String("proto", rec.Proto))
+	}
 	//ucatlint:ignore floatcmp zero is the exact "no threshold" sentinel (never computed), not a measured value
 	if rec.Tau != 0 {
 		attrs = append(attrs, slog.Float64("tau", rec.Tau))

@@ -14,14 +14,21 @@ import (
 	"ucat/internal/uda"
 )
 
-// batcher coalesces compatible PETQ probes into one index traversal. Two
-// probes are compatible when they carry the same query distribution (after
-// uda.New's canonical item ordering); their thresholds may differ. The
-// batcher holds an open batch per distribution for at most the configured
-// window, then flushes it onto the admission queue as a single task. The
-// leader traversal runs at the minimum tau across its waiters, and every
-// waiter receives the prefix of the descending-probability answer that
-// clears its own threshold — bit-identical to what a direct PETQ returns.
+// batcher coalesces compatible probes of the batchable kinds — petq, topk,
+// and window — into one index traversal. Two probes are compatible when they
+// share a kind and a bit-identical query distribution (after uda.New's
+// canonical item ordering), plus the same window radius c for window probes
+// (the window probabilities depend on c, so differing radii cannot share a
+// traversal); their thresholds or k values may differ. The batcher holds an
+// open batch per compatibility key for at most the configured window, then
+// flushes it onto the admission queue as a single task.
+//
+// The shared traversal runs at the widest parameter across its waiters —
+// minimum tau for petq/window, maximum k for topk — and every waiter's
+// answer is carved from the canonically-ordered result: the prefix clearing
+// its own tau, or its own first k entries. SortMatches' total order (prob
+// descending, tid ascending) makes both carvings bit-identical to direct
+// execution; riders keep their own trace IDs and flight records.
 type batcher struct {
 	s      *Server
 	window time.Duration
@@ -31,11 +38,13 @@ type batcher struct {
 	open map[string]*batch
 }
 
-// batch is one coalesced traversal in the making: the shared query
-// distribution plus every request waiting on its answer.
+// batch is one coalesced traversal in the making: the shared kind, query
+// distribution and window radius, plus every request waiting on its answer.
 type batch struct {
 	key     string
+	kind    string
 	q       uda.UDA
+	c       uint32 // window radius; meaningful only for kind "window"
 	waiters []*request
 }
 
@@ -69,7 +78,7 @@ func (b *batcher) submit(req *request) {
 		}
 		return
 	}
-	bt = &batch{key: req.key, q: req.q, waiters: []*request{req}}
+	bt = &batch{key: req.key, kind: req.kind, q: req.q, c: req.c, waiters: []*request{req}}
 	b.open[req.key] = bt
 	b.mu.Unlock()
 
@@ -104,15 +113,16 @@ func (b *batcher) dispatch(bt *batch) {
 	}
 }
 
-// executeBatch runs one coalesced PETQ traversal through a fresh Session
-// over the shared pool and fans the answer out to every waiter. The
-// traversal records its spans on the LEADER's (first waiter's) flight
-// recorder; if any waiter turns out notable the tree is rendered once and
-// every waiter's flight record inherits it under its own trace ID — a rider
-// that was slow explains itself with the traversal that actually ran.
+// executeBatch runs one coalesced traversal through a fresh Session over the
+// shared pool and fans the answer out to every waiter. The traversal records
+// its spans on the LEADER's (first waiter's) flight recorder; if any waiter
+// turns out notable the tree is rendered once and every waiter's flight
+// record inherits it under its own trace ID — a rider that was slow explains
+// itself with the traversal that actually ran.
 func (s *Server) executeBatch(bt *batch) {
 	now := time.Now()
 	minTau := bt.waiters[0].tau
+	maxK := bt.waiters[0].k
 	var deadline time.Time
 	for _, w := range bt.waiters {
 		wait := now.Sub(w.enq)
@@ -120,6 +130,9 @@ func (s *Server) executeBatch(bt *batch) {
 		w.flight.QueueNS = wait.Nanoseconds()
 		if w.tau < minTau {
 			minTau = w.tau
+		}
+		if w.k > maxK {
+			maxK = w.k
 		}
 		if d, ok := w.ctx.Deadline(); ok && d.After(deadline) {
 			deadline = d
@@ -143,10 +156,10 @@ func (s *Server) executeBatch(bt *batch) {
 	var matches []core.Match
 	var err error
 	pprof.Do(ctx, pprof.Labels(
-		"ucat_kind", "petq",
+		"ucat_kind", bt.kind,
 		"ucat_req", strconv.FormatUint(lead.ID, 10),
 	), func(context.Context) {
-		matches, err = runBatchTraversal(rd, rec, bt, minTau)
+		matches, err = runBatchTraversal(rd, rec, bt, minTau, maxK)
 	})
 	elapsed := time.Since(now)
 	delta := sess.Stats()
@@ -156,7 +169,7 @@ func (s *Server) executeBatch(bt *batch) {
 	// Fix each waiter's latency now so the keep-the-tree decision below and
 	// Complete's slow classification agree (Complete honors a pre-set
 	// latency). Render the tree once iff anyone will be notable.
-	thrNS := s.flight.SlowThreshold("petq").Nanoseconds()
+	thrNS := s.flight.SlowThreshold(bt.kind).Nanoseconds()
 	needTree := err != nil
 	for _, w := range bt.waiters {
 		f := w.flight
@@ -191,17 +204,29 @@ func (s *Server) executeBatch(bt *batch) {
 		return
 	}
 
-	// Matches come back sorted descending by probability, so each waiter's
-	// answer is the prefix that clears its own tau.
+	// Matches come back in the canonical total order (probability descending,
+	// tie-break tid ascending), so each waiter's exact answer is a prefix:
+	// for the threshold kinds the prefix clearing its own tau, for topk its
+	// own first k entries (TopK(maxK) truncated to k IS TopK(k) under a
+	// strict total order).
 	for _, w := range bt.waiters {
-		cut := len(matches)
-		for i, m := range matches {
-			if !(m.Prob > w.tau) {
-				cut = i
-				break
+		var mine []core.Match
+		if bt.kind == "topk" {
+			n := w.k
+			if n > len(matches) {
+				n = len(matches)
 			}
+			mine = matches[:n]
+		} else {
+			cut := len(matches)
+			for i, m := range matches {
+				if !(m.Prob > w.tau) {
+					cut = i
+					break
+				}
+			}
+			mine = matches[:cut]
 		}
-		mine := matches[:cut]
 		wire, truncated := truncMatches(mine, w.limit)
 		f := w.flight
 		f.Results = len(mine)
@@ -224,11 +249,20 @@ func (s *Server) executeBatch(bt *batch) {
 
 // runBatchTraversal executes the coalesced traversal under its own span on
 // the leader's recorder (ended on return, so the rendered tree has a real
-// duration).
-func runBatchTraversal(rd *core.Reader, rec *obs.Recorder, bt *batch, minTau float64) ([]core.Match, error) {
-	sp := rec.StartSpan("serve.petq.batch")
+// duration), dispatching on the batch's kind.
+func runBatchTraversal(rd *core.Reader, rec *obs.Recorder, bt *batch, minTau float64, maxK int) ([]core.Match, error) {
+	sp := rec.StartSpan("serve." + bt.kind + ".batch")
 	defer sp.End()
 	sp.AttrF("waiters", float64(len(bt.waiters)))
-	sp.AttrF("tau_min", minTau)
-	return rd.PETQ(bt.q, minTau)
+	switch bt.kind {
+	case "topk":
+		sp.AttrF("k_max", float64(maxK))
+		return rd.TopK(bt.q, maxK)
+	case "window":
+		sp.AttrF("tau_min", minTau)
+		return rd.WindowPETQ(bt.q, bt.c, minTau)
+	default: // petq
+		sp.AttrF("tau_min", minTau)
+		return rd.PETQ(bt.q, minTau)
+	}
 }

@@ -184,7 +184,7 @@ func TestBatchRiderFlightRecords(t *testing.T) {
 		req.id = req.flight.ID
 		waiters[i] = req
 	}
-	s.executeBatch(&batch{key: waiters[0].key, q: q, waiters: waiters})
+	s.executeBatch(&batch{key: waiters[0].key, kind: "petq", q: q, waiters: waiters})
 
 	var leader obs.RequestRecord
 	recs := make([]obs.RequestRecord, len(waiters))

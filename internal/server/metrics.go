@@ -19,6 +19,11 @@ type metrics struct {
 	errors       *obs.Counter // ucat_serve_errors_total — execution failures (500)
 	drainRejects *obs.Counter // ucat_serve_draining_rejects_total — refused while draining (503)
 
+	// Per-protocol request accounting: every request is counted once under
+	// its negotiated protocol, so both protocols share the rest of the
+	// metrics contract identically.
+	protoRequests map[string]*obs.Counter // ucat_serve_proto_requests_total_{json,binary}
+
 	// Live load.
 	inflight *obs.Gauge // ucat_serve_inflight — admitted, not yet answered
 	queued   *obs.Gauge // ucat_serve_queued — sitting in the admission queue
@@ -59,6 +64,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		badRequests:  reg.Counter("ucat_serve_bad_requests_total"),
 		errors:       reg.Counter("ucat_serve_errors_total"),
 		drainRejects: reg.Counter("ucat_serve_draining_rejects_total"),
+		protoRequests: map[string]*obs.Counter{
+			protoJSON:   reg.Counter("ucat_serve_proto_requests_total_json"),
+			protoBinary: reg.Counter("ucat_serve_proto_requests_total_binary"),
+		},
 		inflight:     reg.Gauge("ucat_serve_inflight"),
 		queued:       reg.Gauge("ucat_serve_queued"),
 		batchLeaders: reg.Counter("ucat_serve_batch_leaders_total"),

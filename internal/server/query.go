@@ -17,6 +17,7 @@ import (
 	"ucat/internal/obs"
 	"ucat/internal/pager"
 	"ucat/internal/uda"
+	"ucat/internal/wire"
 )
 
 // QueryRequest is the wire format of POST /v1/query. Kind selects the query
@@ -46,17 +47,13 @@ type QueryRequest struct {
 	Explain   bool    `json:"explain"`
 }
 
-// WireMatch is one equality-query answer on the wire.
-type WireMatch struct {
-	TID  uint32  `json:"tid"`
-	Prob float64 `json:"prob"`
-}
+// WireMatch is one equality-query answer on the wire. It is the binary
+// protocol's match type verbatim (with JSON tags for the JSON protocol), so
+// an answer built once serves both encodings without conversion.
+type WireMatch = wire.Match
 
 // WireNeighbor is one similarity-query answer on the wire.
-type WireNeighbor struct {
-	TID  uint32  `json:"tid"`
-	Dist float64 `json:"dist"`
-}
+type WireNeighbor = wire.Neighbor
 
 // WireIO is the per-request I/O attribution: the local tally of the
 // pager.Session the request fetched through, exact regardless of what other
@@ -100,7 +97,8 @@ type request struct {
 	div     uda.Divergence
 	limit   int
 	explain bool
-	key     string // batch-compatibility key (petq only)
+	key     string // batch-compatibility key ("" for unbatchable kinds)
+	proto   string // negotiated wire protocol: protoJSON or protoBinary
 
 	ctx  context.Context
 	done chan result // buffered; exactly one result is ever delivered
@@ -148,32 +146,43 @@ const defaultAnswerLimit = 1000
 // maxBodyBytes bounds the request document.
 const maxBodyBytes = 1 << 20
 
-// handleQuery is POST /v1/query: decode, validate, admit, wait.
+// handleQuery is POST /v1/query: negotiate the protocol, decode, validate,
+// admit, wait. The protocol is chosen by the request's Content-Type — an
+// application/x-ucatwire body selects the binary protocol (whose errors,
+// Retry-After hints, and trace IDs travel in-band over a 200 transport);
+// everything else is the JSON protocol with plain HTTP statuses.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
+	proto := protoJSON
+	if isBinary(r) {
+		proto = protoBinary
+	}
+	s.met.protoRequests[proto].Inc()
 	if r.Method != http.MethodPost {
 		s.met.badRequests.Inc()
-		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		s.writeFail(w, proto, "", 0, http.StatusMethodNotAllowed, "use POST with a query body")
 		return
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	var qr QueryRequest
-	if err := dec.Decode(&qr); err != nil {
-		s.met.badRequests.Inc()
-		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
-		return
+	var (
+		req       *request
+		timeoutMS int64
+		err       error
+	)
+	if proto == protoBinary {
+		req, timeoutMS, err = s.decodeBinary(w, r)
+	} else {
+		req, timeoutMS, err = s.decodeJSON(w, r)
 	}
-	req, err := parseRequest(&qr)
 	if err != nil {
 		s.met.badRequests.Inc()
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeFail(w, proto, "", 0, http.StatusBadRequest, err.Error())
 		return
 	}
+	req.proto = proto
 
 	timeout := s.cfg.DefaultTimeout
-	if qr.TimeoutMS > 0 {
-		timeout = time.Duration(qr.TimeoutMS) * time.Millisecond
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
 	}
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
@@ -189,6 +198,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the flight recorder tracks admitted work, not parse noise.
 	req.flight = s.flight.Begin(req.kind)
 	req.flight.Tau = req.tau
+	req.flight.Proto = req.proto
 	req.id = req.flight.ID
 
 	// The gate reference is held until this handler returns; Shutdown
@@ -199,7 +209,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		req.flight.Err = "server is draining"
 		rec := req.flight.Complete()
 		s.reqlog.Log(rec)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.writeFail(w, proto, req.kind, rec.ID, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	defer s.gate.leave()
@@ -209,7 +219,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Past this point the executing side owns req.flight; the handler only
 	// reads the plain req.id/req.kind copies (Complete recycles the handle,
 	// so a handler touching it after handoff would race the next request).
-	if s.batcher != nil && req.kind == "petq" && !req.explain {
+	if s.batcher != nil && req.key != "" && !req.explain {
 		s.batcher.submit(req)
 	} else if !s.enqueue(&task{req: req}) {
 		s.reject(req)
@@ -229,9 +239,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				Start:     req.enq,
 				LatencyNS: time.Since(req.enq).Nanoseconds(),
 				Outcome:   obs.OutcomeTimeout,
+				Proto:     req.proto,
 				Err:       "deadline exceeded (queued or executing)",
 			})
-			writeError(w, http.StatusRequestTimeout,
+			s.writeFail(w, proto, req.kind, req.id, http.StatusRequestTimeout,
 				fmt.Sprintf("deadline exceeded after %s (queued or executing)", timeout))
 		}
 		// Client cancellation: nothing useful to write; the worker aborts
@@ -243,6 +254,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // metrics by status and emitting the request-log line. Logging lives here —
 // on the handler goroutine — rather than in the workers, so the executor hot
 // loop never formats log output (the ucatlint hotlog check enforces that).
+// The status is the request's logical status under either protocol; binary
+// responses carry it in-band over a 200 transport.
 func (s *Server) writeResult(w http.ResponseWriter, req *request, res result) {
 	switch res.status {
 	case http.StatusOK:
@@ -254,7 +267,9 @@ func (s *Server) writeResult(w http.ResponseWriter, req *request, res result) {
 		}
 	case http.StatusTooManyRequests:
 		s.met.rejected.Inc()
-		w.Header().Set("Retry-After", retryAfterHeader(s.cfg.RetryAfter))
+		if req.proto != protoBinary {
+			w.Header().Set("Retry-After", retryAfterHeader(s.cfg.RetryAfter))
+		}
 	case http.StatusRequestTimeout:
 		s.met.timeouts.Inc()
 	default:
@@ -263,7 +278,38 @@ func (s *Server) writeResult(w http.ResponseWriter, req *request, res result) {
 	if res.rec.ID != 0 {
 		s.reqlog.Log(res.rec)
 	}
+	if req.proto == protoBinary {
+		s.writeBinary(w, res.status, &res.body)
+		return
+	}
 	writeJSON(w, res.status, res.body)
+}
+
+// writeFail renders a handler-side failure (bad request, drain, timeout) in
+// the negotiated protocol: a plain HTTP error document for JSON, an in-band
+// error frame for binary.
+func (s *Server) writeFail(w http.ResponseWriter, proto, kind string, traceID uint64, status int, msg string) {
+	if proto == protoBinary {
+		s.writeBinaryError(w, kind, traceID, status, msg)
+		return
+	}
+	writeError(w, status, msg)
+}
+
+// decodeJSON reads and parses one JSON query document into an executable
+// request.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request) (*request, int64, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var qr QueryRequest
+	if err := dec.Decode(&qr); err != nil {
+		return nil, 0, fmt.Errorf("malformed request: %v", err)
+	}
+	req, err := parseRequest(&qr)
+	if err != nil {
+		return nil, 0, err
+	}
+	return req, qr.TimeoutMS, nil
 }
 
 // reject completes a request's flight as rejected and delivers the
@@ -292,7 +338,7 @@ func (s *Server) enqueue(t *task) bool {
 	}
 }
 
-// parseRequest validates the wire request into an executable one.
+// parseRequest validates the JSON wire request into an executable one.
 func parseRequest(qr *QueryRequest) (*request, error) {
 	q, err := cliutil.ParseUDA(qr.Query)
 	if err != nil {
@@ -300,78 +346,94 @@ func parseRequest(qr *QueryRequest) (*request, error) {
 	}
 	req := &request{kind: qr.Kind, q: q, tau: qr.Tau, k: qr.K, c: qr.C, td: qr.TD,
 		limit: qr.Limit, explain: qr.Explain}
-	if req.limit == 0 {
-		req.limit = defaultAnswerLimit
-	}
-	if req.limit < 0 {
-		return nil, fmt.Errorf("negative limit %d", req.limit)
-	}
-	needDiv := func() error {
+	if qr.Kind == "dstq" || qr.Kind == "neighbor" {
 		div := qr.Div
 		if div == "" {
 			div = "L1"
 		}
 		d, err := cliutil.ParseDivergence(div)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		req.div = d
-		return nil
 	}
-	switch qr.Kind {
-	case "petq":
-		if qr.Tau < 0 || qr.Tau > 1 {
-			return nil, fmt.Errorf("petq: tau %g outside [0,1]", qr.Tau)
-		}
-		req.key = batchKey(q)
-	case "topk":
-		if qr.K <= 0 {
-			return nil, fmt.Errorf("topk: k must be positive, got %d", qr.K)
-		}
-	case "window":
-		if qr.C == 0 {
-			return nil, fmt.Errorf("window: c must be positive (c=0 is plain petq)")
-		}
-		if qr.Tau < 0 || qr.Tau > 1 {
-			return nil, fmt.Errorf("window: tau %g outside [0,1]", qr.Tau)
-		}
-	case "windowtopk":
-		if qr.C == 0 {
-			return nil, fmt.Errorf("windowtopk: c must be positive")
-		}
-		if qr.K <= 0 {
-			return nil, fmt.Errorf("windowtopk: k must be positive, got %d", qr.K)
-		}
-	case "dstq":
-		if qr.TD < 0 {
-			return nil, fmt.Errorf("dstq: negative distance threshold %g", qr.TD)
-		}
-		if err := needDiv(); err != nil {
-			return nil, err
-		}
-	case "neighbor":
-		if qr.K <= 0 {
-			return nil, fmt.Errorf("neighbor: k must be positive, got %d", qr.K)
-		}
-		if err := needDiv(); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("unknown query kind %q (want %s)",
-			qr.Kind, strings.Join(queryKinds, "|"))
+	if err := validateRequest(req); err != nil {
+		return nil, err
 	}
 	return req, nil
 }
 
-// batchKey is the micro-batcher's compatibility key: two PETQ probes with
-// bit-identical distributions may share one traversal (uda.New keeps pairs
-// sorted by item, so the rendering is canonical).
-func batchKey(q uda.UDA) string {
-	var b strings.Builder
-	for _, p := range q.Pairs() {
-		fmt.Fprintf(&b, "%d:%x;", p.Item, math.Float64bits(p.Prob))
+// validateRequest applies the per-kind parameter rules shared by both
+// protocols, fills parameter defaults, and computes the batch-compatibility
+// key for the batchable kinds (petq, topk, window).
+func validateRequest(req *request) error {
+	if req.limit == 0 {
+		req.limit = defaultAnswerLimit
 	}
-	return b.String()
+	if req.limit < 0 {
+		return fmt.Errorf("negative limit %d", req.limit)
+	}
+	switch req.kind {
+	case "petq":
+		if req.tau < 0 || req.tau > 1 {
+			return fmt.Errorf("petq: tau %g outside [0,1]", req.tau)
+		}
+		req.key = batchKey('p', 0, req.q)
+	case "topk":
+		if req.k <= 0 {
+			return fmt.Errorf("topk: k must be positive, got %d", req.k)
+		}
+		req.key = batchKey('k', 0, req.q)
+	case "window":
+		if req.c == 0 {
+			return fmt.Errorf("window: c must be positive (c=0 is plain petq)")
+		}
+		if req.tau < 0 || req.tau > 1 {
+			return fmt.Errorf("window: tau %g outside [0,1]", req.tau)
+		}
+		req.key = batchKey('w', req.c, req.q)
+	case "windowtopk":
+		if req.c == 0 {
+			return fmt.Errorf("windowtopk: c must be positive")
+		}
+		if req.k <= 0 {
+			return fmt.Errorf("windowtopk: k must be positive, got %d", req.k)
+		}
+	case "dstq":
+		if req.td < 0 {
+			return fmt.Errorf("dstq: negative distance threshold %g", req.td)
+		}
+	case "neighbor":
+		if req.k <= 0 {
+			return fmt.Errorf("neighbor: k must be positive, got %d", req.k)
+		}
+	default:
+		return fmt.Errorf("unknown query kind %q (want %s)",
+			req.kind, strings.Join(queryKinds, "|"))
+	}
+	return nil
+}
+
+// batchKey is the micro-batcher's compatibility key: two probes of the same
+// kind with bit-identical distributions — and, for window, the same window
+// radius, since probabilities depend on it — may share one traversal
+// (uda.New keeps pairs sorted by item, so the rendering is canonical). The
+// kind tag keeps a petq and a topk over the same distribution apart.
+func batchKey(kind byte, c uint32, q uda.UDA) string {
+	pairs := q.Pairs()
+	b := make([]byte, 0, 16+20*len(pairs))
+	b = append(b, kind, '|')
+	if c > 0 {
+		b = strconv.AppendUint(b, uint64(c), 10)
+		b = append(b, '|')
+	}
+	for _, p := range pairs {
+		b = strconv.AppendUint(b, uint64(p.Item), 10)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, math.Float64bits(p.Prob), 16)
+		b = append(b, ';')
+	}
+	return string(b)
 }
 
 // worker is one query executor: it drains the admission queue until

@@ -30,10 +30,15 @@
 //   - deadlines: every request runs under a context deadline; cancellation
 //     is checked at each page access, so a runaway scan stops at the next
 //     fetch and the client gets 408;
-//   - micro-batching: compatible PETQ probes (same distribution, any
-//     threshold) arriving within a small window coalesce into one index
-//     traversal at the minimum threshold, each waiter receiving its own
-//     filtered answer;
+//   - dual protocols: the same listener speaks JSON (debuggable, curl-able)
+//     and ucatwire (internal/wire), a compact binary framing selected by
+//     Content-Type whose response path is allocation-free in steady state —
+//     pooled frame buffers, append-style encoders, no encoding/json and no
+//     fmt (the wire-rooted ucatlint hotlog/hotalloc checks enforce that);
+//   - micro-batching: compatible probes of the batchable kinds (petq, topk,
+//     window — same kind and distribution, any threshold or k) arriving
+//     within a small window coalesce into one index traversal at the widest
+//     parameter, each waiter receiving its own bit-identical carved answer;
 //   - graceful drain: Shutdown stops admitting, finishes every in-flight
 //     request, then stops the workers;
 //   - observability: per-endpoint latency, inflight, queue-wait and
@@ -106,10 +111,11 @@ type Config struct {
 	// MaxTimeout caps client-requested deadlines. 0 means 30s.
 	MaxTimeout time.Duration
 
-	// BatchWindow is the PETQ micro-batching window: compatible probes
-	// arriving within it coalesce into one index traversal. 0 disables the
-	// batcher (the default — batching trades a little latency for
-	// throughput and should be an explicit choice).
+	// BatchWindow is the micro-batching window for the batchable kinds
+	// (petq, topk, window): compatible probes arriving within it coalesce
+	// into one index traversal. 0 disables the batcher (the default —
+	// batching trades a little latency for throughput and should be an
+	// explicit choice).
 	BatchWindow time.Duration
 
 	// BatchMax caps how many probes one traversal may serve. 0 means 16.
@@ -184,22 +190,23 @@ func (cfg Config) withDefaults() Config {
 // implements http.Handler), and stop it with Shutdown. All exported methods
 // are safe for concurrent use.
 type Server struct {
-	cfg      Config
-	rel      *core.Relation
-	pool     *pager.Pool // the shared hot-page pool all workers fetch through
-	mux      *http.ServeMux
-	queue    chan *task
-	quit     chan struct{} // closed after drain; releases the workers
-	batcher  *batcher      // nil when BatchWindow is 0
-	met      *metrics
-	flight   *obs.FlightRecorder // always-on request flight recorder
-	reqlog   *obs.RequestLogger  // nil when Config.Logger is nil
-	start    time.Time
-	draining atomic.Bool
-	gate     *drainGate // tracks admitted requests not yet answered
-	workers  sync.WaitGroup
-	shutdown sync.Once
-	done     chan struct{} // closed when every worker has exited
+	cfg       Config
+	rel       *core.Relation
+	pool      *pager.Pool // the shared hot-page pool all workers fetch through
+	mux       *http.ServeMux
+	queue     chan *task
+	quit      chan struct{} // closed after drain; releases the workers
+	batcher   *batcher      // nil when BatchWindow is 0
+	met       *metrics
+	flight    *obs.FlightRecorder // always-on request flight recorder
+	reqlog    *obs.RequestLogger  // nil when Config.Logger is nil
+	start     time.Time
+	retrySecs int // cfg.RetryAfter in whole seconds, for in-band binary hints
+	draining  atomic.Bool
+	gate      *drainGate // tracks admitted requests not yet answered
+	workers   sync.WaitGroup
+	shutdown  sync.Once
+	done      chan struct{} // closed when every worker has exited
 }
 
 // New builds a Server over a read-only relation and starts its worker pool.
@@ -244,6 +251,7 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 		done:  make(chan struct{}),
 	}
+	s.retrySecs = int(retryAfterSeconds(cfg.RetryAfter))
 	registerPoolMetrics(cfg.Registry, pool)
 	s.flight = obs.NewFlightRecorder(obs.FlightConfig{
 		Records:       cfg.FlightRecords,
@@ -397,6 +405,8 @@ type liveStats struct {
 // totalStats is the monotonic request accounting since boot.
 type totalStats struct {
 	Requests     uint64 `json:"requests"`
+	JSONReqs     uint64 `json:"json_requests"`
+	BinaryReqs   uint64 `json:"binary_requests"`
 	Completed    uint64 `json:"completed"`
 	Rejected     uint64 `json:"rejected"`
 	Timeouts     uint64 `json:"timeouts"`
@@ -447,6 +457,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Totals: totalStats{
 			Requests:     s.met.requests.Value(),
+			JSONReqs:     s.met.protoRequests[protoJSON].Value(),
+			BinaryReqs:   s.met.protoRequests[protoBinary].Value(),
 			Completed:    s.met.completed.Value(),
 			Rejected:     s.met.rejected.Value(),
 			Timeouts:     s.met.timeouts.Value(),
@@ -550,12 +562,18 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-// retryAfterHeader formats the Retry-After hint in whole seconds, rounding
-// up so "1ns" never becomes "0".
-func retryAfterHeader(d time.Duration) string {
+// retryAfterSeconds converts the Retry-After hint to whole seconds, rounding
+// up so "1ns" never becomes 0.
+func retryAfterSeconds(d time.Duration) int64 {
 	secs := int64((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	return strconv.FormatInt(secs, 10)
+	return secs
+}
+
+// retryAfterHeader formats the Retry-After hint for the JSON protocol's
+// response header; the binary protocol carries the same value in-band.
+func retryAfterHeader(d time.Duration) string {
+	return strconv.FormatInt(retryAfterSeconds(d), 10)
 }

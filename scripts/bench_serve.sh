@@ -1,17 +1,36 @@
 #!/usr/bin/env bash
 # bench_serve.sh — the serving-layer benchmark behind `make bench-serve`.
 #
-# Builds a gen3 snapshot, starts ucatd (with the PETQ micro-batcher enabled
-# so the coalescing path is exercised under load), sweeps closed-loop client
-# counts and open-loop offered rates with ucatload, runs the served-vs-direct
-# determinism check, and writes BENCH_serve.json. OPERATIONS.md §8 explains
-# how to read the document.
+# Builds a gen3 snapshot and measures the server along three dimensions into
+# one BENCH_serve.json (OPERATIONS.md §8 explains how to read it):
+#
+#   1. Protocol (per sweep): the same workload over the JSON API and the
+#      binary ucatwire framing, closed-loop client counts and open-loop
+#      offered rates each. The headline PETQ sweep at a permissive tau is
+#      where the zero-alloc binary encode path shows its throughput edge
+#      (a permissive tau means wide answers, so response encoding is the
+#      dominant per-request cost the protocols differ on).
+#   2. Batching: the mixed petq/topk/window sweep runs against a server with
+#      the micro-batcher enabled AND against one with it disabled (two ucatd
+#      boots, merged with ucatload -merge), so the coalescing win for every
+#      batchable kind is on record.
+#   3. Determinism: the batchable kinds replayed direct vs JSON-served vs
+#      binary-served (the served pair concurrently, so probes coalesce on
+#      the batching server) — the run fails on a single differing answer.
+#
+# The default relation is deliberately small (the quickstart/smoke scale):
+# this benchmark isolates the SERVING layer — protocol encode/decode,
+# admission, batching — so queries must be cheap enough that per-request
+# overhead is visible. Index-scaling curves live in ucatbench, not here;
+# raise UCAT_SERVE_N to move the bottleneck back into traversal.
 #
 # Tunables (environment):
-#   UCAT_SERVE_N        tuples in the served relation   (default 20000)
+#   UCAT_SERVE_N        tuples in the served relation   (default 5000)
 #   UCAT_SERVE_DUR      measurement duration per level  (default 3s)
 #   UCAT_SERVE_CLIENTS  closed-loop sweep               (default 1,4,16)
 #   UCAT_SERVE_RATES    open-loop sweep, queries/sec    (default 500,2000,8000)
+#   UCAT_SERVE_TAU      PETQ threshold for the workload (default 0.02)
+#   UCAT_SERVE_HOTSET   replayed query pool size        (default 8)
 #   UCAT_SERVE_OUT      output path                     (default BENCH_serve.json)
 #   UCAT_SERVE_FRAMES   TOTAL shared-pool frames        (default 0 = workers x 100)
 #   UCAT_SERVE_STRIPES  shared-pool lock stripes        (default 0 = 2 x workers)
@@ -19,10 +38,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-N=${UCAT_SERVE_N:-20000}
+N=${UCAT_SERVE_N:-5000}
 DUR=${UCAT_SERVE_DUR:-3s}
 CLIENTS=${UCAT_SERVE_CLIENTS:-1,4,16}
 RATES=${UCAT_SERVE_RATES:-500,2000,8000}
+TAU=${UCAT_SERVE_TAU:-0.02}
+HOTSET=${UCAT_SERVE_HOTSET:-8}
 OUT=${UCAT_SERVE_OUT:-BENCH_serve.json}
 FRAMES=${UCAT_SERVE_FRAMES:-0}
 STRIPES=${UCAT_SERVE_STRIPES:-0}
@@ -38,18 +59,42 @@ go build -o "$work/" ./cmd/ucatgen ./cmd/ucatd ./cmd/ucatload
 "$work/ucatgen" -dataset gen3 -n "$N" -domain "$DOMAIN" -index inverted \
     -save "$work/rel.ucat" >/dev/null
 
-"$work/ucatd" -load "$work/rel.ucat" -addr 127.0.0.1:0 -addrfile "$work/addr" \
-    -frames "$FRAMES" -stripes "$STRIPES" -policy "$POLICY" \
-    -batchwindow 200us >"$work/ucatd.log" 2>&1 &
-PID=$!
-for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
-[ -s "$work/addr" ] || { echo "bench_serve: ucatd never became ready" >&2; cat "$work/ucatd.log" >&2; exit 1; }
-ADDR=$(cat "$work/addr")
+# boot_ucatd <extra flags...> — start a server and wait for its address.
+boot_ucatd() {
+  : >"$work/addr"
+  "$work/ucatd" -load "$work/rel.ucat" -addr 127.0.0.1:0 -addrfile "$work/addr" \
+      -frames "$FRAMES" -stripes "$STRIPES" -policy "$POLICY" \
+      "$@" >>"$work/ucatd.log" 2>&1 &
+  PID=$!
+  for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
+  [ -s "$work/addr" ] || { echo "bench_serve: ucatd never became ready" >&2; cat "$work/ucatd.log" >&2; exit 1; }
+  ADDR=$(cat "$work/addr")
+}
 
-"$work/ucatload" -addr "$ADDR" -clients "$CLIENTS" -rates "$RATES" -dur "$DUR" \
-    -domain "$DOMAIN" -load "$work/rel.ucat" -check 50 -out "$OUT"
+stop_ucatd() {
+  kill -TERM "$PID"
+  wait "$PID" || true
+  PID=""
+}
 
-kill -TERM "$PID"
-wait "$PID" || true
-PID=""
+# Pass 1 — batching ON. The PETQ headline sweep (both protocols, full
+# closed/open grid, determinism check), then the mixed batchable-kind sweep.
+boot_ucatd -batchwindow 200us
+"$work/ucatload" -addr "$ADDR" -proto json,binary -kinds petq \
+    -tau "$TAU" -hotset "$HOTSET" -clients "$CLIENTS" -rates "$RATES" \
+    -dur "$DUR" -domain "$DOMAIN" -batching \
+    -load "$work/rel.ucat" -check 50 -out "$OUT"
+"$work/ucatload" -addr "$ADDR" -proto json,binary -kinds petq,topk,window \
+    -tau "$TAU" -hotset "$HOTSET" -clients "$CLIENTS" \
+    -dur "$DUR" -domain "$DOMAIN" -batching -merge -out "$OUT"
+stop_ucatd
+
+# Pass 2 — batching OFF: the same mixed sweep, merged into the document, so
+# the batcher's contribution is the on/off delta at equal everything else.
+boot_ucatd
+"$work/ucatload" -addr "$ADDR" -proto json,binary -kinds petq,topk,window \
+    -tau "$TAU" -hotset "$HOTSET" -clients "$CLIENTS" \
+    -dur "$DUR" -domain "$DOMAIN" -merge -out "$OUT"
+stop_ucatd
+
 echo "bench-serve: wrote $OUT"

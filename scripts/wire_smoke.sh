@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# wire_smoke.sh — end-to-end smoke of the binary wire protocol behind
+# `make wire-smoke`.
+#
+# Boots ucatd with micro-batching enabled, then drives a mixed-kind sweep —
+# every query kind the API speaks — over BOTH protocols with a shared hotset,
+# so the batcher coalesces probes while the sweep runs. ucatload's
+# determinism check then replays the batchable kinds three ways (direct,
+# JSON, binary, the served pair concurrently) and exits non-zero on a single
+# differing answer; the assertions below additionally require that both
+# protocol sweeps actually completed traffic without transport errors and
+# that the server negotiated both content types.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=${UCAT_WIRE_N:-5000}
+DUR=${UCAT_WIRE_DUR:-1s}
+DOMAIN=50
+
+work=$(mktemp -d)
+PID=""
+trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null; rm -rf "$work"' EXIT
+
+go build -o "$work/" ./cmd/ucatgen ./cmd/ucatd ./cmd/ucatload
+
+"$work/ucatgen" -dataset gen3 -n "$N" -domain "$DOMAIN" -index inverted \
+    -save "$work/rel.ucat" >/dev/null
+
+"$work/ucatd" -load "$work/rel.ucat" -addr 127.0.0.1:0 -addrfile "$work/addr" \
+    -batchwindow 200us >"$work/ucatd.log" 2>&1 &
+PID=$!
+for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
+[ -s "$work/addr" ] || { echo "wire_smoke: ucatd never became ready" >&2; cat "$work/ucatd.log" >&2; exit 1; }
+ADDR=$(cat "$work/addr")
+
+"$work/ucatload" -addr "$ADDR" -proto json,binary \
+    -kinds petq,topk,window,windowtopk,dstq,neighbor -hotset 8 \
+    -clients 2,4 -dur "$DUR" -domain "$DOMAIN" \
+    -load "$work/rel.ucat" -check 25 -batching -out "$work/wire_smoke.json"
+
+python3 - "$work/wire_smoke.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sweeps = {s["proto"]: s for s in doc.get("sweeps", [])}
+assert set(sweeps) == {"json", "binary"}, f"want one sweep per protocol, got {sorted(sweeps)}"
+for proto, s in sweeps.items():
+    levels = s.get("closed_loop", []) + s.get("open_loop", [])
+    assert levels, f"{proto}: no load levels"
+    for l in levels:
+        assert l["completed"] > 0, f"{proto}: a load level completed nothing"
+        assert l["errors"] == 0, f"{proto}: {l['errors']} transport/protocol errors"
+chk = doc["determinism"]
+assert chk["mismatches"] == 0, "served answers diverged"
+per = chk["per_kind"]
+assert set(per) == {"petq", "topk", "window"}, f"determinism kinds: {sorted(per)}"
+assert all(per[k]["queries"] > 0 for k in per), "a determinism kind ran no queries"
+print("wire smoke OK: both protocols served identical answers under batching")
+EOF
+
+# The server must have negotiated both content types: the per-protocol
+# counters are part of the /metrics contract.
+curl -fsS "http://$ADDR/metrics" | tee "$work/metrics.prom" | grep -E \
+    '^ucat_serve_proto_requests_total_(json|binary) ' | awk '$2 == 0 { bad=1 }
+    END { exit bad }' || {
+  echo "wire_smoke: a protocol counter stayed at zero" >&2
+  grep '^ucat_serve_proto' "$work/metrics.prom" >&2 || true
+  exit 1
+}
+
+kill -TERM "$PID"
+wait "$PID" || true
+PID=""
+echo "wire-smoke: OK"
