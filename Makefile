@@ -3,7 +3,7 @@ GO ?= go
 # Fuzzing time per target; CI's smoke job overrides with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke bench-pool bench-pool-smoke obs-smoke serve-smoke flight-smoke wire-smoke bench-serve metrics figures ablations fuzz clean
+.PHONY: all build lint lint-full test test-short race race-full cover bench bench-smoke bench-parallel bench-cache bench-cache-smoke bench-pool bench-pool-smoke obs-smoke serve-smoke flight-smoke wire-smoke ingest-smoke bench-serve bench-ingest metrics figures ablations fuzz clean
 
 all: build lint test
 
@@ -94,6 +94,21 @@ wire-smoke:
 	bash scripts/wire_smoke.sh
 	$(GO) test -run TestWireEncodePathAllocs -count=1 -v ./internal/server/
 
+# End-to-end smoke of the live write path: read-only p99 baseline, then the
+# same query sweep against a -wal server with concurrent ingest writers and
+# the served-vs-direct determinism check running mid-ingest (bounded p99
+# regression), then an acked write, SIGKILL, and recovery of the exact state
+# (used by CI; DURABILITY.md is the spec this exercises from the outside).
+ingest-smoke:
+	bash scripts/ingest_smoke.sh
+
+# Write-path benchmark: sustained durable ingest throughput under concurrent
+# query traffic, swept across group-commit windows (one fresh -wal boot
+# each), with the mid-ingest determinism check. Writes BENCH_ingest.json;
+# tunables: UCAT_INGEST_{N,DUR,WRITERS,BATCH,CLIENTS,WINDOWS,OUT}.
+bench-ingest:
+	bash scripts/bench_ingest.sh
+
 # Serving-layer benchmark: closed-loop and open-loop sweeps through a live
 # ucatd, per protocol (JSON vs binary ucatwire) and per batcher setting
 # (mixed petq/topk/window sweeps against batching-on AND batching-off
@@ -139,6 +154,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/uda/
 	$(GO) test -fuzz FuzzDecodeBoundary -fuzztime $(FUZZTIME) ./internal/pdrtree/
 	$(GO) test -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzReplayWAL -fuzztime $(FUZZTIME) ./internal/wal/
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,15 @@
 //	$ ucatd -load rel.ucat -addr :8080
 //	$ curl -s localhost:8080/v1/query -d '{"kind":"petq","query":"3:0.6,9:0.4","tau":0.3}'
 //
+// With -wal the server also accepts durable writes on POST /v1/ingest: every
+// operation is logged with group commit before it is acknowledged, applied to
+// the indexes online, and replayed after a crash (DURABILITY.md). -load then
+// seeds the initial state only when the WAL directory has no checkpoint yet;
+// on every later boot the directory itself is authoritative.
+//
+//	$ ucatd -load rel.ucat -wal /var/lib/ucat/wal -addr :8080
+//	$ curl -s localhost:8080/v1/ingest -d '{"ops":[{"op":"insert","dist":"3:0.7,9:0.3"}]}'
+//
 // OPERATIONS.md is the operator's manual: every flag, every endpoint, and
 // how to read the numbers the server exposes.
 package main
@@ -31,6 +40,7 @@ import (
 	"ucat/internal/core"
 	"ucat/internal/obs"
 	"ucat/internal/server"
+	"ucat/internal/wal"
 )
 
 func main() {
@@ -60,10 +70,15 @@ func run() error {
 		logSample   = flag.Int("logsample", 16, "request log sampling: ordinary successes log 1-in-N (errors and slow requests always log; N<0 drops successes)")
 		slowMS      = flag.Int("slowms", -1, "slow-query threshold in ms for keeping span trees: -1 = self-tuning per-kind trailing p99, 0 = keep every tree, N>0 = fixed cutoff")
 		flightRecs  = flag.Int("flightrecords", 0, "flight-recorder main ring size, the last-N completed requests kept for /debug/requests (0 = 512)")
+		walDir      = flag.String("wal", "", "WAL + checkpoint directory; enables POST /v1/ingest (empty = read-only serving)")
+		fsyncMode   = flag.String("fsync", "group", "WAL durability discipline: group | always | never (never is for benchmarks only — acks before the disk)")
+		groupCommit = flag.Duration("groupcommit", 0, "group-commit coalescing window (0 = 2ms; negative = no wait, racing coalescing only)")
+		checkpoint  = flag.Int("checkpoint", 50000, "fold the write delta into a fresh base every N applied ops (0 disables automatic folds)")
+		index       = flag.String("index", "pdr", "index kind when -wal starts empty with no -load: scan | inverted | pdr")
 	)
 	flag.Parse()
-	if *load == "" {
-		return errors.New("-load is required (create a snapshot with ucatgen -save)")
+	if *load == "" && *walDir == "" {
+		return errors.New("-load is required (create a snapshot with ucatgen -save), unless -wal names a live directory")
 	}
 
 	var handler slog.Handler
@@ -89,13 +104,49 @@ func run() error {
 		slowThreshold = time.Duration(*slowMS) * time.Millisecond
 	}
 
-	rel, err := core.LoadRelationFile(*load)
-	if err != nil {
-		return err
+	var (
+		rel  *core.Relation
+		live *core.Live
+	)
+	if *walDir != "" {
+		mode, err := wal.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		var kind core.Kind
+		switch *index {
+		case "scan":
+			kind = core.ScanOnly
+		case "inverted":
+			kind = core.InvertedIndex
+		case "pdr":
+			kind = core.PDRTree
+		default:
+			return fmt.Errorf("unknown -index %q (want scan|inverted|pdr)", *index)
+		}
+		live, err = core.OpenLive(core.LiveOptions{
+			Dir:             *walDir,
+			WAL:             wal.Options{Fsync: mode, GroupWindow: *groupCommit},
+			CheckpointEvery: *checkpoint,
+			OriginPath:      *load,
+			RelOptions:      &core.Options{Kind: kind},
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = live.Close() }()
+		rel = live.Base()
+	} else {
+		var err error
+		rel, err = core.LoadRelationFile(*load)
+		if err != nil {
+			return err
+		}
 	}
 
 	srv, err := server.New(server.Config{
 		Relation:       rel,
+		Live:           live,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		PoolFrames:     *frames,
@@ -129,11 +180,16 @@ func run() error {
 	}
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
 
+	tuples, mode := rel.Len(), "read-only"
+	if live != nil {
+		tuples, mode = live.Len(), "live"
+	}
 	logger.Info("ucatd serving",
 		"rev", obs.ShortRevision(),
 		"go", obs.ReadBuild().GoVersion,
 		"relation", rel.Kind().String(),
-		"tuples", rel.Len(),
+		"tuples", tuples,
+		"mode", mode,
 		"addr", ln.Addr().String(),
 		"pool", srv.PoolDescription())
 

@@ -77,6 +77,10 @@ type params struct {
 	batching bool
 	timeout  time.Duration
 	slowlog  bool
+
+	ingestClients int
+	ingestBatch   int
+	ingestLabel   string
 }
 
 // slowlogTop bounds the slow-query records embedded per sweep point.
@@ -113,6 +117,11 @@ func run() error {
 	flag.DurationVar(&p.timeout, "timeout", 10*time.Second, "client-side HTTP timeout")
 	flag.BoolVar(&p.slowlog, "slowlog", false,
 		"embed the server's top slow-query flight records per sweep point (needs ucatd's /debug/requests)")
+	flag.IntVar(&p.ingestClients, "ingestclients", 0,
+		"concurrent ingest writers streaming inserts at /v1/ingest for the whole run, query sweeps and determinism check included (0 = none; needs ucatd -wal)")
+	flag.IntVar(&p.ingestBatch, "ingestbatch", 8, "operations per ingest request")
+	flag.StringVar(&p.ingestLabel, "ingestlabel", "",
+		"server-configuration label recorded on this run's ingest sweep (e.g. groupcommit=2ms)")
 	flag.Parse()
 
 	var err error
@@ -150,6 +159,7 @@ func run() error {
 	if p.merge {
 		if old := readDoc(p.out); old != nil {
 			doc.Sweeps = old.Sweeps
+			doc.Ingest = old.Ingest
 			// Sections this run doesn't regenerate survive the merge: a
 			// batching-off pass without -load must not erase the check the
 			// batching-on pass recorded.
@@ -163,6 +173,26 @@ func run() error {
 			MaxIdleConns:        256,
 			MaxIdleConnsPerHost: 256,
 		},
+	}
+
+	// Writers start before the first sweep and keep streaming until after the
+	// determinism check: every number below is measured under sustained
+	// concurrent ingest.
+	var ing *ingestRun
+	finishIngest := func() {
+		if ing == nil {
+			return
+		}
+		is := ing.finish(client, &p)
+		doc.Ingest = append(doc.Ingest, is)
+		fmt.Printf("ingest [%s] %d writers × %d-op batches: %s\n",
+			is.Label, is.Clients, is.Batch, is)
+		ing = nil
+	}
+	if p.ingestClients > 0 {
+		if ing, err = startIngest(client, &p); err != nil {
+			return err
+		}
 	}
 
 	for _, proto := range p.protos {
@@ -209,11 +239,13 @@ func run() error {
 			kc := chk.PerKind[kind]
 			fmt.Printf("determinism [%s]: %d queries, %d mismatches\n", kind, kc.Queries, kc.Mismatches)
 		}
+		finishIngest() // the check ran with the writers still streaming
 		if chk.Mismatches != 0 {
 			writeDoc(&doc, p.out)
 			return fmt.Errorf("served answers diverged from direct execution")
 		}
 	}
+	finishIngest()
 
 	return writeDoc(&doc, p.out)
 }
@@ -231,15 +263,16 @@ func batchTag(batching bool) string {
 // accumulated across runs with -merge. The flat Closed/Open fields mirror
 // the first sweep for readers that predate the sweep dimension.
 type benchDoc struct {
-	Addr        string    `json:"addr"`
-	Duration    string    `json:"duration_per_level"`
-	Seed        int64     `json:"seed"`
-	When        string    `json:"when"`
-	Sweeps      []sweep   `json:"sweeps,omitempty"`
-	Closed      []level   `json:"closed_loop,omitempty"`
-	Open        []level   `json:"open_loop,omitempty"`
-	Determinism *checkDoc `json:"determinism,omitempty"`
-	Pool        *poolDoc  `json:"server_pool,omitempty"`
+	Addr        string        `json:"addr"`
+	Duration    string        `json:"duration_per_level"`
+	Seed        int64         `json:"seed"`
+	When        string        `json:"when"`
+	Sweeps      []sweep       `json:"sweeps,omitempty"`
+	Ingest      []ingestSweep `json:"ingest,omitempty"`
+	Closed      []level       `json:"closed_loop,omitempty"`
+	Open        []level       `json:"open_loop,omitempty"`
+	Determinism *checkDoc     `json:"determinism,omitempty"`
+	Pool        *poolDoc      `json:"server_pool,omitempty"`
 }
 
 // sweep is one protocol's pair of load sweeps under one server

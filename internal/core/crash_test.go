@@ -1,0 +1,267 @@
+package core
+
+// Crash-recovery test per DURABILITY.md §1 and §7: a child process applies a
+// deterministic op stream with real fsyncs, acknowledging each durable batch
+// on stdout; the parent SIGKILLs it at a random moment, recovers the
+// directory, and checks
+//
+//   1. every acknowledged batch survived (durability: §1 G1),
+//   2. the recovered state is an exact prefix of the op stream (atomicity +
+//      order: §1 G2, §7 — never a partial batch, never a gap),
+//   3. all six query kinds answer bit-identically to a twin that applied the
+//      same prefix and never crashed (§1 G3).
+//
+// The child checkpoints periodically in one variant, so kills land before,
+// during, and after folds and checkpoint writes.
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ucat/internal/uda"
+	"ucat/internal/wal"
+)
+
+const (
+	crashEnv     = "UCAT_CRASH_CHILD"
+	crashBatches = 400
+	crashSeed    = 1234
+)
+
+// crashStream regenerates the child's deterministic op stream: batch i is
+// ops[i]. Only the seed is shared between parent and child. Insert ids are
+// predicted by mirroring Apply's cursor (ids are assigned densely from 0 on
+// an empty origin), so updates and deletes can reference them up front.
+func crashStream(seed int64, n int) [][]Op {
+	rng := rand.New(rand.NewSource(seed))
+	var live []uint32
+	next := uint32(0)
+	batches := make([][]Op, 0, n)
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(3)
+		batch := make([]Op, 0, k)
+		for j := 0; j < k; j++ {
+			switch r := rng.Intn(10); {
+			case r < 6 || len(live) == 0:
+				batch = append(batch, Op{Kind: wal.TypeInsert, U: randUDA(rng, 40)})
+				live = append(live, next)
+				next++
+			case r < 8:
+				batch = append(batch, Op{Kind: wal.TypeUpdate, TID: live[rng.Intn(len(live))], U: randUDA(rng, 40)})
+			default:
+				j := rng.Intn(len(live))
+				batch = append(batch, Op{Kind: wal.TypeDelete, TID: live[j]})
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// TestMain hijacks the process when re-exec'd as the crash child.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashEnv); dir != "" {
+		crashChild(dir)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// crashChild runs the deterministic stream with real group-commit fsyncs,
+// printing "ACK <batch-index> <lsn>" after each durable batch. It never
+// exits on its own fast enough to matter; the parent kills it.
+func crashChild(dir string) {
+	every := 0
+	if v := os.Getenv(crashEnv + "_EVERY"); v != "" {
+		every, _ = strconv.Atoi(v)
+	}
+	lv, err := OpenLive(LiveOptions{
+		Dir:             dir,
+		WAL:             wal.Options{Fsync: wal.FsyncGroup, GroupWindow: -1},
+		CheckpointEvery: every,
+		RelOptions:      &Options{Kind: InvertedIndex},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child open: %v\n", err)
+		os.Exit(1)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	for i, batch := range crashStream(crashSeed, crashBatches) {
+		if _, lsn, err := lv.Apply(batch); err != nil {
+			fmt.Fprintf(os.Stderr, "child apply %d: %v\n", i, err)
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(out, "ACK %d %d\n", i, lsn)
+			out.Flush()
+		}
+	}
+	fmt.Fprintln(out, "DONE")
+	out.Flush()
+	// Linger so the parent's kill always finds a process.
+	time.Sleep(10 * time.Second)
+}
+
+// TestCrashRecovery is the kill -9 harness (parent side).
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Run("nofold", func(t *testing.T) { crashOnce(t, 0, 25*time.Millisecond) })
+		return
+	}
+	for _, tc := range []struct {
+		name  string
+		every int
+	}{
+		{"nofold", 0},
+		{"folding", 60}, // several folds before the kill lands
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+			for i := 0; i < 3; i++ {
+				delay := time.Duration(1+rng.Intn(120)) * time.Millisecond
+				crashOnce(t, tc.every, delay)
+			}
+		})
+	}
+}
+
+func crashOnce(t *testing.T, every int, delay time.Duration) {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		crashEnv+"="+dir,
+		fmt.Sprintf("%s_EVERY=%d", crashEnv, every))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read ACKs until the kill lands; the child dies mid-write.
+	acked := -1
+	ackCh := make(chan int, crashBatches+1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "ACK ") {
+				f := strings.Fields(line)
+				n, _ := strconv.Atoi(f[1])
+				ackCh <- n
+			}
+		}
+		close(ackCh)
+	}()
+	time.Sleep(delay)
+	_ = cmd.Process.Kill() // SIGKILL: no cleanup, no final flush
+	_ = cmd.Wait()
+	for n := range ackCh {
+		acked = n
+	}
+
+	// Recover. Every acknowledged batch must be present; beyond that the
+	// recovered stream may include un-acked batches that reached the platter
+	// before the kill — but only as a contiguous prefix of the op stream.
+	lv, err := OpenLive(LiveOptions{
+		Dir:        dir,
+		WAL:        wal.Options{Fsync: wal.FsyncNever, GroupWindow: -1},
+		RelOptions: &Options{Kind: InvertedIndex},
+	})
+	if err != nil {
+		t.Fatalf("recovery after kill at %v (acked %d): %v", delay, acked, err)
+	}
+	defer lv.Close()
+
+	stream := crashStream(crashSeed, crashBatches)
+	appended := lv.wal.Stats().AppendedLSN // = last replayed LSN after recovery
+	var lsn uint64
+	recoveredBatches := -1
+	for i, b := range stream {
+		if lsn+uint64(len(b)) > appended {
+			break
+		}
+		lsn += uint64(len(b))
+		recoveredBatches = i
+	}
+	// Batches are atomic: the replayed stream must end exactly on a batch
+	// boundary, never inside one.
+	if lsn != appended {
+		t.Fatalf("recovered LSN %d is not a batch boundary (nearest %d; acked %d, kill %v)",
+			appended, lsn, acked, delay)
+	}
+	if recoveredBatches < acked {
+		t.Fatalf("durability violated: acked batch %d lost, recovered through %d", acked, recoveredBatches)
+	}
+
+	// Twin: apply the same prefix to a fresh engine that never crashed.
+	twinDir := t.TempDir()
+	twin, err := OpenLive(LiveOptions{
+		Dir:        twinDir,
+		WAL:        wal.Options{Fsync: wal.FsyncNever, GroupWindow: -1},
+		RelOptions: &Options{Kind: InvertedIndex},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	for i := 0; i <= recoveredBatches; i++ {
+		if _, _, err := twin.Apply(stream[i]); err != nil {
+			t.Fatalf("twin apply %d: %v", i, err)
+		}
+	}
+
+	if got, want := stateOf(t, lv), stateOf(t, twin); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state diverged from twin after %d batches (acked %d, kill %v)",
+			recoveredBatches+1, acked, delay)
+	}
+	rng := rand.New(rand.NewSource(99))
+	assertEnginesMatch(t, lv.View().Reader(), twin.View().Reader(), rng)
+}
+
+// assertEnginesMatch compares two engines across all six kinds.
+func assertEnginesMatch(t *testing.T, got, want QueryEngine, rng *rand.Rand) {
+	t.Helper()
+	for trial := 0; trial < 5; trial++ {
+		q := randUDA(rng, 40)
+		tau := rng.Float64() * 0.5
+		k := 1 + rng.Intn(10)
+		c := uint32(1 + rng.Intn(3))
+		td := 0.5 + rng.Float64()
+
+		gm, err1 := got.PETQ(q, tau)
+		wm, err2 := want.PETQ(q, tau)
+		check(t, "PETQ", gm, wm, err1, err2)
+
+		gm, err1 = got.TopK(q, k)
+		wm, err2 = want.TopK(q, k)
+		check(t, "TopK", gm, wm, err1, err2)
+
+		gm, err1 = got.WindowPETQ(q, c, tau)
+		wm, err2 = want.WindowPETQ(q, c, tau)
+		check(t, "WindowPETQ", gm, wm, err1, err2)
+
+		gm, err1 = got.WindowTopK(q, c, k)
+		wm, err2 = want.WindowTopK(q, c, k)
+		check(t, "WindowTopK", gm, wm, err1, err2)
+
+		gn, err1 := got.DSTQ(q, td, uda.L1)
+		wn, err2 := want.DSTQ(q, td, uda.L1)
+		check(t, "DSTQ", gn, wn, err1, err2)
+
+		gn, err1 = got.DSTopK(q, k, uda.L1)
+		wn, err2 = want.DSTopK(q, k, uda.L1)
+		check(t, "DSTopK", gn, wn, err1, err2)
+	}
+}

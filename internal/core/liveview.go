@@ -1,0 +1,333 @@
+// LiveView: a consistent read snapshot of a live relation — the immutable
+// base plus an overlay of the committed delta prefix (DURABILITY.md §5).
+//
+// The overlay is tiny (it is bounded by the checkpoint interval) and fully
+// in memory, so merged queries pay base-index I/O plus an O(delta) in-memory
+// pass: the base answers through the paper's index structures exactly as a
+// frozen relation would, then overlaid tuples are masked out and recomputed
+// with the same probability functions the scan baseline uses. Both result
+// orders are total (prob desc / dist asc, ties by tuple id), so the merge is
+// deterministic: a live view answers bit-identically to a relation rebuilt
+// from the same surviving tuples.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ucat/internal/query"
+	"ucat/internal/tuplestore"
+	"ucat/internal/uda"
+	"ucat/internal/wal"
+)
+
+// QueryEngine is the six-kind query surface shared by frozen readers
+// (*Reader) and live merged readers (*LiveReader); the serving layer
+// dispatches against it.
+type QueryEngine interface {
+	PETQ(q uda.UDA, tau float64) ([]Match, error)
+	TopK(q uda.UDA, k int) ([]Match, error)
+	WindowPETQ(q uda.UDA, c uint32, tau float64) ([]Match, error)
+	WindowTopK(q uda.UDA, c uint32, k int) ([]Match, error)
+	DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]Neighbor, error)
+	DSTopK(q uda.UDA, k int, div uda.Divergence) ([]Neighbor, error)
+}
+
+// overlayEnt is one overlaid tuple: its latest distribution and whether it
+// is live (false = deleted; it must be masked out of base answers).
+type overlayEnt struct {
+	u    uda.UDA
+	live bool
+}
+
+// LiveView is an immutable snapshot: base relation + overlay. Safe for
+// concurrent use; build one per query (it is cheap: the overlay map is the
+// only allocation and its size is the visible delta).
+type LiveView struct {
+	base    *Relation
+	overlay map[uint32]overlayEnt
+}
+
+// View snapshots the current visible state.
+func (lv *Live) View() *LiveView {
+	v, _ := lv.ViewOn(lv.state.Load().base)
+	return v
+}
+
+// ViewOn builds a view anchored at the given base relation, which must be
+// the current base or the immediately previous one (a reader may capture an
+// epoch an instant before a fold swaps it). ok is false if rel is neither —
+// the caller reloads its epoch and retries.
+func (lv *Live) ViewOn(rel *Relation) (*LiveView, bool) {
+	st := lv.state.Load()
+	if st.base != rel {
+		st = lv.prevGen.Load()
+		if st == nil || st.base != rel {
+			return nil, false
+		}
+	}
+	return makeView(st), true
+}
+
+// makeView assembles the overlay from the state's visible operations.
+//
+// Visibility is prefix-ordered across the fold boundary: if any operation of
+// cur is committed, every operation of the frozen prev is durable (the WAL
+// is sequential and cur's LSNs are larger), so the whole frozen prefix is
+// used even if its own committed counter lags the riders still publishing.
+func makeView(st *liveState) *LiveView {
+	var ops []Op
+	if st.prev != nil {
+		if st.cur.committed.Load() > 0 {
+			a := *st.prev.arr.Load()
+			ops = a[:st.prev.frozenLen]
+		} else {
+			ops = st.prev.visible()
+		}
+	}
+	cur := st.cur.visible()
+	overlay := make(map[uint32]overlayEnt, len(ops)+len(cur))
+	apply := func(batch []Op) {
+		for _, op := range batch {
+			overlay[op.TID] = overlayEnt{u: op.U, live: op.Kind != wal.TypeDelete}
+		}
+	}
+	apply(ops)
+	apply(cur)
+	return &LiveView{base: st.base, overlay: overlay}
+}
+
+// Base returns the view's anchor relation.
+func (v *LiveView) Base() *Relation { return v.base }
+
+// OverlayLen returns the number of overlaid tuple ids.
+func (v *LiveView) OverlayLen() int { return len(v.overlay) }
+
+// Len returns the number of live tuples in the view.
+func (v *LiveView) Len() int {
+	n := v.base.Len()
+	for tid, e := range v.overlay {
+		inBase := v.base.tuples.Has(tid)
+		if e.live && !inBase {
+			n++
+		}
+		if !e.live && inBase {
+			n--
+		}
+	}
+	return n
+}
+
+// Get fetches a tuple's distribution as of the view.
+func (v *LiveView) Get(tid uint32) (uda.UDA, error) {
+	if e, ok := v.overlay[tid]; ok {
+		if !e.live {
+			return uda.UDA{}, fmt.Errorf("%w: %d", tuplestore.ErrNotFound, tid)
+		}
+		return e.u, nil
+	}
+	return v.base.Get(tid)
+}
+
+// Scan visits every live tuple: the base heap in page order (overlaid ids
+// skipped), then the overlay's live tuples in ascending id order.
+func (v *LiveView) Scan(fn func(tid uint32, u uda.UDA) bool) error {
+	stopped := false
+	err := v.base.Scan(func(tid uint32, u uda.UDA) bool {
+		if _, ok := v.overlay[tid]; ok {
+			return true
+		}
+		if !fn(tid, u) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	tids := make([]uint32, 0, len(v.overlay))
+	for tid, e := range v.overlay {
+		if e.live {
+			tids = append(tids, tid)
+		}
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		if !fn(tid, v.overlay[tid].u) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Bind attaches the view to a base reader (built by the caller with its own
+// pool view, instrumentation, and context — exactly as for a frozen
+// relation; the reader must be over the view's base). With an empty overlay
+// the reader itself is returned: the read path is byte-for-byte the frozen
+// one, including its I/O accounting.
+func (v *LiveView) Bind(rd *Reader) QueryEngine {
+	if len(v.overlay) == 0 {
+		return rd
+	}
+	return &LiveReader{v: v, rd: rd}
+}
+
+// Reader returns a merged query engine reading base pages through the
+// relation's own pool (the no-server path; tests and tools).
+func (v *LiveView) Reader() QueryEngine { return v.Bind(v.base.Reader(nil)) }
+
+// LiveReader answers the six query kinds against a live view: base answers
+// come from the bound Reader (index traversals, per-query I/O accounting,
+// context cancellation — all unchanged), overlaid tuples are masked and
+// recomputed in memory with the same scalar functions the scan baseline
+// uses, and the merge re-sorts under the canonical total orders.
+type LiveReader struct {
+	v  *LiveView
+	rd *Reader
+}
+
+// windowProb returns the window-equality probability function matching the
+// bound engine's accumulation: the inverted index sums w_i·t_i over the
+// smeared query's support (invidx/window.go), which groups the additions
+// differently from uda.WithinProb's q-major product sums — equal in exact
+// arithmetic, up to an ulp apart in floats. The overlay must reproduce the
+// base path bit for bit, so it follows the same order per kind.
+func (lr *LiveReader) windowProb(q uda.UDA, c uint32) func(u uda.UDA) float64 {
+	if lr.rd.rel.opts.Kind == InvertedIndex {
+		w := uda.Smear(q, c)
+		return func(u uda.UDA) float64 {
+			var s float64
+			for _, p := range w {
+				//ucatlint:ignore floatcmp skipping exact zeros mirrors the posting-list walk, which never visits absent items; an epsilon would change the float accumulation order vs the base path
+				if up := u.Prob(p.Item); up != 0 {
+					s += p.Prob * up
+				}
+			}
+			return s
+		}
+	}
+	return func(u uda.UDA) float64 { return uda.WithinProb(q, u, c) }
+}
+
+// mergeMatches masks overlaid ids out of the base answer, appends overlay
+// candidates passing keep, and re-sorts canonically.
+func (lr *LiveReader) mergeMatches(base []Match, prob func(u uda.UDA) float64, keep func(p float64) bool) []Match {
+	out := base[:0]
+	for _, m := range base {
+		if _, ok := lr.v.overlay[m.TID]; !ok {
+			out = append(out, m)
+		}
+	}
+	for tid, e := range lr.v.overlay {
+		if !e.live {
+			continue
+		}
+		if p := prob(e.u); keep(p) {
+			out = append(out, Match{TID: tid, Prob: p})
+		}
+	}
+	query.SortMatches(out)
+	return out
+}
+
+// PETQ merges the base threshold answer with the overlay (Definition 4
+// semantics preserved: Pr > tau, descending probability).
+func (lr *LiveReader) PETQ(q uda.UDA, tau float64) ([]Match, error) {
+	base, err := lr.rd.PETQ(q, tau)
+	if err != nil {
+		return nil, err
+	}
+	return lr.mergeMatches(base,
+		func(u uda.UDA) float64 { return uda.EqualityProb(q, u) },
+		func(p float64) bool { return p > tau }), nil
+}
+
+// TopK asks the base for k+|overlay| answers — enough that masking the
+// overlaid ids can never starve the merged top k — then merges and truncates.
+func (lr *LiveReader) TopK(q uda.UDA, k int) ([]Match, error) {
+	base, err := lr.rd.TopK(q, k+len(lr.v.overlay))
+	if err != nil {
+		return nil, err
+	}
+	res := lr.mergeMatches(base,
+		func(u uda.UDA) float64 { return uda.EqualityProb(q, u) },
+		func(p float64) bool { return p > 0 })
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// WindowPETQ is PETQ under the window-relaxed probability.
+func (lr *LiveReader) WindowPETQ(q uda.UDA, c uint32, tau float64) ([]Match, error) {
+	base, err := lr.rd.WindowPETQ(q, c, tau)
+	if err != nil {
+		return nil, err
+	}
+	return lr.mergeMatches(base, lr.windowProb(q, c),
+		func(p float64) bool { return p > tau }), nil
+}
+
+// WindowTopK is TopK under the window-relaxed probability.
+func (lr *LiveReader) WindowTopK(q uda.UDA, c uint32, k int) ([]Match, error) {
+	base, err := lr.rd.WindowTopK(q, c, k+len(lr.v.overlay))
+	if err != nil {
+		return nil, err
+	}
+	res := lr.mergeMatches(base, lr.windowProb(q, c),
+		func(p float64) bool { return p > 0 })
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// DSTQ merges the base similarity answer with overlay distances.
+func (lr *LiveReader) DSTQ(q uda.UDA, td float64, div uda.Divergence) ([]Neighbor, error) {
+	base, err := lr.rd.DSTQ(q, td, div)
+	if err != nil {
+		return nil, err
+	}
+	out := base[:0]
+	for _, n := range base {
+		if _, ok := lr.v.overlay[n.TID]; !ok {
+			out = append(out, n)
+		}
+	}
+	for tid, e := range lr.v.overlay {
+		if !e.live {
+			continue
+		}
+		if d := div.Distance(q, e.u); d <= td {
+			out = append(out, Neighbor{TID: tid, Dist: d})
+		}
+	}
+	query.SortNeighbors(out)
+	return out, nil
+}
+
+// DSTopK asks the base for k+|overlay| neighbors, merges, and truncates.
+func (lr *LiveReader) DSTopK(q uda.UDA, k int, div uda.Divergence) ([]Neighbor, error) {
+	base, err := lr.rd.DSTopK(q, k+len(lr.v.overlay), div)
+	if err != nil {
+		return nil, err
+	}
+	out := base[:0]
+	for _, n := range base {
+		if _, ok := lr.v.overlay[n.TID]; !ok {
+			out = append(out, n)
+		}
+	}
+	for tid, e := range lr.v.overlay {
+		if !e.live {
+			continue
+		}
+		out = append(out, Neighbor{TID: tid, Dist: div.Distance(q, e.u)})
+	}
+	query.SortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

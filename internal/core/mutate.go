@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"ucat/internal/uda"
+)
+
+// Update replaces a live tuple's distribution in place, keeping its id. The
+// heap record is repointed (tuplestore.Replace) and the index entries for the
+// old distribution are swapped for the new ones. Like Insert/Delete, it is
+// not safe for concurrent use; the live write path serializes all mutations
+// behind its writer lock (DESIGN.md §21).
+func (r *Relation) Update(tid uint32, u uda.UDA) error {
+	if err := u.Validate(); err != nil {
+		return fmt.Errorf("core: update: %w", err)
+	}
+	switch r.opts.Kind {
+	case ScanOnly:
+		return r.tuples.Replace(tid, u)
+	case InvertedIndex:
+		return r.inv.Update(tid, u)
+	case PDRTree:
+		old, err := r.tuples.Get(tid)
+		if err != nil {
+			return err
+		}
+		if err := r.pdr.Delete(tid, old); err != nil {
+			return err
+		}
+		if err := r.tuples.Replace(tid, u); err != nil {
+			// Re-insert the old entry so the tree matches the untouched heap.
+			if rerr := r.pdr.Insert(tid, old); rerr != nil {
+				return errors.Join(err, rerr)
+			}
+			return err
+		}
+		return r.pdr.Insert(tid, u)
+	default:
+		return fmt.Errorf("core: unknown index kind %v", r.opts.Kind)
+	}
+}
+
+// Clone returns a deep, independent copy of the relation: its own store,
+// pool, components, and decode cache, with the original's behavioral options
+// carried over. The checkpointer folds buffered operations into a clone while
+// queries keep reading the original (DESIGN.md §21, DURABILITY.md §6).
+func (r *Relation) Clone() (*Relation, error) {
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		return nil, fmt.Errorf("core: clone: %w", err)
+	}
+	c, err := LoadRelation(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: clone: %w", err)
+	}
+	// The snapshot records structure (kind, frames, PDR config) but not the
+	// behavioral options; carry them over and rebuild the cache under them.
+	c.opts = r.opts
+	c.applyCacheOptions()
+	return c, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ucat/internal/uda"
+)
+
+// randUDA builds a small random distribution over items [0, domain).
+func randUDA(rng *rand.Rand, domain int) uda.UDA {
+	n := 1 + rng.Intn(4)
+	seen := map[uint32]bool{}
+	var pairs []uda.Pair
+	rest := 1.0
+	for i := 0; i < n; i++ {
+		item := uint32(rng.Intn(domain))
+		if seen[item] {
+			continue
+		}
+		seen[item] = true
+		p := rest
+		if i < n-1 {
+			p = rest * (0.2 + 0.6*rng.Float64())
+		}
+		rest -= p
+		pairs = append(pairs, uda.Pair{Item: item, Prob: p})
+	}
+	return uda.MustNew(pairs...)
+}
+
+// TestUpdateMatchesRebuild applies a random insert/update/delete stream to a
+// mutated relation and to a fresh relation built from the surviving state,
+// then checks all six query kinds agree bit-for-bit.
+func TestUpdateMatchesRebuild(t *testing.T) {
+	for _, kind := range []Kind{ScanOnly, InvertedIndex, PDRTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			rel, err := NewRelation(Options{Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[uint32]uda.UDA{} // surviving state
+			var liveIDs []uint32
+			for i := 0; i < 300; i++ {
+				switch op := rng.Intn(10); {
+				case op < 6 || len(liveIDs) == 0: // insert
+					u := randUDA(rng, 30)
+					tid, err := rel.Insert(u)
+					if err != nil {
+						t.Fatalf("op %d insert: %v", i, err)
+					}
+					want[tid] = u
+					liveIDs = append(liveIDs, tid)
+				case op < 8: // update
+					tid := liveIDs[rng.Intn(len(liveIDs))]
+					u := randUDA(rng, 30)
+					if err := rel.Update(tid, u); err != nil {
+						t.Fatalf("op %d update %d: %v", i, tid, err)
+					}
+					want[tid] = u
+				default: // delete
+					j := rng.Intn(len(liveIDs))
+					tid := liveIDs[j]
+					if err := rel.Delete(tid); err != nil {
+						t.Fatalf("op %d delete %d: %v", i, tid, err)
+					}
+					delete(want, tid)
+					liveIDs = append(liveIDs[:j], liveIDs[j+1:]...)
+				}
+			}
+			ref, err := NewRelation(Options{Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tid := range liveIDs {
+				if err := ref.insertWithID(tid, want[tid]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			assertSameAnswers(t, rel, ref, rng)
+		})
+	}
+}
+
+// assertSameAnswers runs all six query kinds against both relations with a
+// few random parameter draws and requires identical results.
+func assertSameAnswers(t *testing.T, got, want *Relation, rng *rand.Rand) {
+	t.Helper()
+	for trial := 0; trial < 5; trial++ {
+		q := randUDA(rng, 30)
+		tau := rng.Float64() * 0.5
+		k := 1 + rng.Intn(10)
+		c := uint32(1 + rng.Intn(3))
+		td := 0.5 + rng.Float64()
+
+		gm, err1 := got.PETQ(q, tau)
+		wm, err2 := want.PETQ(q, tau)
+		check(t, "PETQ", gm, wm, err1, err2)
+
+		gm, err1 = got.TopK(q, k)
+		wm, err2 = want.TopK(q, k)
+		check(t, "TopK", gm, wm, err1, err2)
+
+		gm, err1 = got.WindowPETQ(q, c, tau)
+		wm, err2 = want.WindowPETQ(q, c, tau)
+		check(t, "WindowPETQ", gm, wm, err1, err2)
+
+		gm, err1 = got.WindowTopK(q, c, k)
+		wm, err2 = want.WindowTopK(q, c, k)
+		check(t, "WindowTopK", gm, wm, err1, err2)
+
+		gn, err1 := got.DSTQ(q, td, uda.L1)
+		wn, err2 := want.DSTQ(q, td, uda.L1)
+		check(t, "DSTQ", gn, wn, err1, err2)
+
+		gn, err1 = got.DSTopK(q, k, uda.L1)
+		wn, err2 = want.DSTopK(q, k, uda.L1)
+		check(t, "DSTopK", gn, wn, err1, err2)
+	}
+}
+
+func check[T any](t *testing.T, kind string, got, want []T, err1, err2 error) {
+	t.Helper()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%s: errs %v / %v", kind, err1, err2)
+	}
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s diverged:\n got %v\nwant %v", kind, got, want)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	rel, err := NewRelation(Options{Kind: InvertedIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if _, err := rel.Insert(randUDA(rng, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := rel.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not show through the original, and vice versa.
+	if err := c.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rel.Insert(randUDA(rng, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 51 || c.Len() != 49 {
+		t.Fatalf("Len: rel=%d clone=%d, want 51/49", rel.Len(), c.Len())
+	}
+	if _, err := rel.Get(0); err != nil {
+		t.Fatalf("original lost tuple 0: %v", err)
+	}
+	if _, err := c.Get(0); err == nil {
+		t.Fatal("clone still has deleted tuple 0")
+	}
+}

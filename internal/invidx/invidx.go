@@ -161,6 +161,46 @@ func (ix *Index) Delete(tid uint32) error {
 	return ix.tuples.Delete(tid)
 }
 
+// Update replaces a live tuple's distribution: its old entries are removed
+// from the inverted lists, the heap record is repointed at the new version
+// (tuplestore.Replace), and the new pairs are dissected into the lists. The
+// tuple id is unchanged.
+func (ix *Index) Update(tid uint32, u uda.UDA) error {
+	if err := u.Validate(); err != nil {
+		return fmt.Errorf("invidx: update %d: %w", tid, err)
+	}
+	old, err := ix.tuples.Get(tid)
+	if err != nil {
+		return err
+	}
+	for _, p := range old.Pairs() {
+		list, ok := ix.dir[p.Item]
+		if !ok {
+			return fmt.Errorf("invidx: update %d: missing list for item %d", tid, p.Item)
+		}
+		removed, err := list.Delete(packKey(p.Prob, tid))
+		if err != nil {
+			return err
+		}
+		if !removed {
+			return fmt.Errorf("invidx: update %d: entry missing from list %d", tid, p.Item)
+		}
+	}
+	if err := ix.tuples.Replace(tid, u); err != nil {
+		return err
+	}
+	for _, p := range u.Pairs() {
+		list, err := ix.list(p.Item)
+		if err != nil {
+			return err
+		}
+		if _, err := list.Insert(packKey(p.Prob, tid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SetCache attaches a decoded-object cache to the tuple heap and every
 // inverted list, present and future. Nil disables cached decoding.
 func (ix *Index) SetCache(c *dcache.Cache) {

@@ -121,6 +121,7 @@ func AllChecks() []*Check {
 		HotAllocCheck(),
 		HotLogCheck(),
 		AtomicMixCheck(),
+		WalSyncCheck(),
 	}
 }
 

@@ -60,6 +60,20 @@ type Session struct{}
 func (p *Pool) Session() *Session               { return nil }
 func (s *Session) Fetch(pid PageID) (*Page, error) { return nil, nil }
 `,
+	"ucat/internal/wal": `package wal
+
+type Type byte
+
+type Record struct {
+	Type Type
+	TID  uint32
+}
+
+type Log struct{}
+
+func (l *Log) Append(recs []Record) (first, last uint64, err error) { return 0, 0, nil }
+func (l *Log) Sync(lsn uint64) error                                { return nil }
+`,
 	"ucat/internal/obs": `package obs
 
 type Recorder struct{}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// walPath is the write-ahead-log package; its Append/Sync pair is the
+// durability boundary every acknowledged write must cross.
+const walPath = "ucat/internal/wal"
+
+// WalSyncCheck enforces the durability contract of the write path
+// (DURABILITY.md §4): a WAL append is not durable until a Sync covers it, so
+// any function that appends records must itself reach a Sync call — through
+// its own body or a callee — before it can return and let an acknowledgement
+// escape. The bug it catches:
+//
+//	func (s *Server) handleIngest(...) {
+//	        lsn, _, _ := s.wal.Append(rec)   // buffered, NOT durable
+//	        writeJSON(w, ack{LSN: lsn})      // acked; a crash now loses it
+//	}
+//
+// The check is deliberately stricter than "some caller syncs eventually":
+// the append and the sync must be paired inside one function's dynamic
+// extent (core.Live.Apply is the template — append, sync, only then
+// publish), because a caller-side sync leaves every intermediate frame free
+// to return an LSN that a crash can still erase. Reaching Sync is
+// interprocedural (the call-graph ReachesAny bit, so delegating the sync to
+// a helper is fine); the append being local is what pins the responsibility.
+//
+// The wal package itself is exempt: the log's internals buffer appends by
+// design and Sync is the primitive under analysis.
+func WalSyncCheck() *Check {
+	return &Check{
+		Name:       "walsync",
+		Doc:        "a function appending WAL records must reach wal Sync before returning: un-synced appends must not become acknowledgements",
+		Severity:   SeverityError,
+		RunProgram: runWalSync,
+	}
+}
+
+func runWalSync(prog *Program) []Diagnostic {
+	g := prog.Graph
+
+	reachesSync := g.ReachesAny(func(n *FuncNode) bool {
+		return n.Decl.Body != nil && callsWalMethod(n, "Sync")
+	})
+
+	var diags []Diagnostic
+	for _, n := range g.Nodes() {
+		if n.Decl.Body == nil || n.Pkg.Path == walPath {
+			continue
+		}
+		if reachesSync[n] {
+			continue
+		}
+		for _, site := range n.Sites {
+			if isWalMethod(n.Pkg, site.Call, "Append") {
+				diags = append(diags, Diagnostic{
+					Pos:   n.Pkg.Fset.Position(site.Call.Pos()),
+					Check: "walsync",
+					Msg: fmt.Sprintf("%s appends a WAL record but never reaches Sync: the append is not durable until synced, so no acknowledgement may escape this function (DURABILITY.md §4)",
+						n.Name()),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// callsWalMethod reports whether the function body contains a direct call to
+// the named method on a wal-package type.
+func callsWalMethod(n *FuncNode, name string) bool {
+	found := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if ok && isWalMethod(n.Pkg, call, name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWalMethod reports whether call invokes a method with the given name
+// declared on a type (or interface) in the wal package.
+func isWalMethod(pkg *Package, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if _, ok := recv.Underlying().(*types.Interface); ok {
+		return fn.Pkg() != nil && fn.Pkg().Path() == walPath
+	}
+	path, _, ok := namedOrPointerTo(recv)
+	return ok && path == walPath
+}

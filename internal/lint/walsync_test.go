@@ -1,0 +1,114 @@
+package lint
+
+import "testing"
+
+func TestWalSyncUnsyncedAppendFlagged(t *testing.T) {
+	// The seeded true positive: an ingest handler appends, acks, and never
+	// syncs — the acknowledged record dies with the page cache on a crash.
+	diags := runOn(t, WalSyncCheck(), "snip/ack", `package ack
+
+import "ucat/internal/wal"
+
+type server struct{ log *wal.Log }
+
+func (s *server) handleIngest(recs []wal.Record) (uint64, error) {
+	_, last, err := s.log.Append(recs)
+	return last, err // acked un-synced
+}
+`)
+	expect(t, diags, []string{
+		"(server).handleIngest appends a WAL record but never reaches Sync",
+	})
+}
+
+func TestWalSyncPairedInFunctionIsClean(t *testing.T) {
+	// The core.Live.Apply template: append, sync, only then return the LSN.
+	diags := runOn(t, WalSyncCheck(), "snip/paired", `package paired
+
+import "ucat/internal/wal"
+
+type engine struct{ log *wal.Log }
+
+func (e *engine) apply(recs []wal.Record) (uint64, error) {
+	_, last, err := e.log.Append(recs)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.log.Sync(last); err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestWalSyncDelegatedSyncIsClean(t *testing.T) {
+	// Reaching Sync is interprocedural: delegating the barrier to a helper
+	// keeps the appending function clean — the call graph connects them.
+	diags := runOn(t, WalSyncCheck(), "snip/delegate", `package delegate
+
+import "ucat/internal/wal"
+
+type engine struct{ log *wal.Log }
+
+func (e *engine) commit(lsn uint64) error { return e.log.Sync(lsn) }
+
+func (e *engine) apply(recs []wal.Record) (uint64, error) {
+	_, last, err := e.log.Append(recs)
+	if err != nil {
+		return 0, err
+	}
+	return last, e.commit(last)
+}
+`)
+	expect(t, diags, nil)
+}
+
+func TestWalSyncCallerSideSyncStillFlagsTheAppender(t *testing.T) {
+	// Stricter than "someone syncs eventually" on purpose: the helper that
+	// appends returns an LSN a crash can still erase, and every frame between
+	// it and the caller's sync is free to leak that LSN as an ack. The
+	// responsibility pins to the function holding the Append call.
+	diags := runOn(t, WalSyncCheck(), "snip/caller", `package caller
+
+import "ucat/internal/wal"
+
+type engine struct{ log *wal.Log }
+
+func (e *engine) stage(recs []wal.Record) (uint64, error) {
+	_, last, err := e.log.Append(recs)
+	return last, err
+}
+
+func (e *engine) apply(recs []wal.Record) error {
+	last, err := e.stage(recs)
+	if err != nil {
+		return err
+	}
+	return e.log.Sync(last)
+}
+`)
+	expect(t, diags, []string{
+		"(engine).stage appends a WAL record but never reaches Sync",
+	})
+}
+
+func TestWalSyncUnrelatedAppendIgnored(t *testing.T) {
+	// Only wal-package receivers seed the check: a slice append or another
+	// type's Append method is not a durability boundary.
+	diags := runOn(t, WalSyncCheck(), "snip/other", `package other
+
+type buf struct{ b []byte }
+
+func (x *buf) Append(p []byte) (int, int, error) {
+	x.b = append(x.b, p...)
+	return 0, len(x.b), nil
+}
+
+func use(x *buf, p []byte) {
+	_, _, _ = x.Append(p)
+}
+`)
+	expect(t, diags, nil)
+}

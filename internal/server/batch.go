@@ -151,15 +151,21 @@ func (s *Server) executeBatch(bt *batch) {
 
 	lead := bt.waiters[0].flight
 	rec := lead.Recorder()
-	sess := s.pool.Session()
-	rd := s.rel.Reader(obs.InstrumentView(sess, rec)).WithContext(ctx)
+	ep, view, err := s.snapshot()
+	if err != nil {
+		for _, w := range bt.waiters {
+			w.deliver(s.completeFailure(w, err))
+		}
+		return
+	}
+	sess := ep.pool.Session()
+	eng := bindEngine(view, ep.rel.Reader(obs.InstrumentView(sess, rec)).WithContext(ctx))
 	var matches []core.Match
-	var err error
 	pprof.Do(ctx, pprof.Labels(
 		"ucat_kind", bt.kind,
 		"ucat_req", strconv.FormatUint(lead.ID, 10),
 	), func(context.Context) {
-		matches, err = runBatchTraversal(rd, rec, bt, minTau, maxK)
+		matches, err = runBatchTraversal(eng, rec, bt, minTau, maxK)
 	})
 	elapsed := time.Since(now)
 	delta := sess.Stats()
@@ -250,7 +256,7 @@ func (s *Server) executeBatch(bt *batch) {
 // runBatchTraversal executes the coalesced traversal under its own span on
 // the leader's recorder (ended on return, so the rendered tree has a real
 // duration), dispatching on the batch's kind.
-func runBatchTraversal(rd *core.Reader, rec *obs.Recorder, bt *batch, minTau float64, maxK int) ([]core.Match, error) {
+func runBatchTraversal(rd core.QueryEngine, rec *obs.Recorder, bt *batch, minTau float64, maxK int) ([]core.Match, error) {
 	sp := rec.StartSpan("serve." + bt.kind + ".batch")
 	defer sp.End()
 	sp.AttrF("waiters", float64(len(bt.waiters)))

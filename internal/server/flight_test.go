@@ -125,7 +125,7 @@ func TestFlightTraceAndDebugEndpoints(t *testing.T) {
 // pool saw is attributed to exactly one trace ID.
 func TestFlightIODeltasMatchPoolStats(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	before := s.pool.Stats()
+	before := s.epoch.Load().pool.Stats()
 
 	queries := []string{
 		`{"kind":"petq","query":"0:1.0","tau":0.2}`,
@@ -141,7 +141,7 @@ func TestFlightIODeltasMatchPoolStats(t *testing.T) {
 		}
 	}
 
-	delta := s.pool.Stats()
+	delta := s.epoch.Load().pool.Stats()
 	delta.Reads -= before.Reads
 	delta.Hits -= before.Hits
 	var reads, hits uint64

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"ucat/internal/core"
 	"ucat/internal/obs"
 	"ucat/internal/pager"
+	"ucat/internal/wal"
 )
 
 // metrics holds direct pointers into the registry for every counter the hot
@@ -48,6 +50,14 @@ type metrics struct {
 	// Other endpoints.
 	httpHealthz *obs.Counter // ucat_serve_http_healthz_total
 	httpStats   *obs.Counter // ucat_serve_http_stats_total
+
+	// Ingest accounting on POST /v1/ingest (live servers; registered always
+	// so the /metrics contract is stable, pinned at 0 on read-only servers).
+	ingestRequests *obs.Counter              // ucat_ingest_requests_total — every ingest request received
+	ingestErrors   *obs.Counter              // ucat_ingest_errors_total — malformed, invalid, or WAL-failed (400/403/405)
+	ingestRejected *obs.Counter              // ucat_ingest_rejected_total — refused while draining (503)
+	ingestLatency  *obs.Histogram            // ucat_ingest_latency_ns — decode done to durable ack
+	ingestOps      map[wal.Type]*obs.Counter // ucat_ingest_ops_total_{insert,update,delete} — durably applied ops
 }
 
 // queryKinds is the closed set of query kinds the API accepts, shared by the
@@ -83,7 +93,38 @@ func newMetrics(reg *obs.Registry) *metrics {
 	for _, kind := range queryKinds {
 		m.perKind[kind] = reg.Histogram("ucat_serve_latency_ns_" + kind)
 	}
+	m.ingestRequests = reg.Counter("ucat_ingest_requests_total")
+	m.ingestErrors = reg.Counter("ucat_ingest_errors_total")
+	m.ingestRejected = reg.Counter("ucat_ingest_rejected_total")
+	m.ingestLatency = reg.Histogram("ucat_ingest_latency_ns")
+	m.ingestOps = map[wal.Type]*obs.Counter{
+		wal.TypeInsert: reg.Counter("ucat_ingest_ops_total_insert"),
+		wal.TypeUpdate: reg.Counter("ucat_ingest_ops_total_update"),
+		wal.TypeDelete: reg.Counter("ucat_ingest_ops_total_delete"),
+	}
 	return m
+}
+
+// registerIngestGauges exposes the live engine's write-path state on /metrics
+// as read-on-scrape metrics (live servers only — absent on read-only servers,
+// unlike the push counters above, since there is no engine to read):
+//
+//	ucat_ingest_delta_ops             — visible ops not yet folded into the base
+//	ucat_ingest_epoch                 — folds completed since open
+//	ucat_ingest_wal_appended_lsn / _durable_lsn
+//	ucat_ingest_wal_records_total / _bytes_total / _fsyncs_total
+//	ucat_ingest_wal_sync_calls_total  — Sync waits (≫ fsyncs under group commit)
+//	ucat_ingest_wal_segments          — segments on disk (falls at truncation)
+func (m *metrics) registerIngestGauges(reg *obs.Registry, live *core.Live) {
+	reg.GaugeFunc("ucat_ingest_delta_ops", func() int64 { return int64(live.DeltaLen()) })
+	reg.GaugeFunc("ucat_ingest_epoch", func() int64 { return int64(live.Epoch()) })
+	reg.GaugeFunc("ucat_ingest_wal_appended_lsn", func() int64 { return int64(live.WAL().Stats().AppendedLSN) })
+	reg.GaugeFunc("ucat_ingest_wal_durable_lsn", func() int64 { return int64(live.WAL().Stats().DurableLSN) })
+	reg.CounterFunc("ucat_ingest_wal_records_total", func() uint64 { return live.WAL().Stats().Records })
+	reg.CounterFunc("ucat_ingest_wal_bytes_total", func() uint64 { return live.WAL().Stats().Bytes })
+	reg.CounterFunc("ucat_ingest_wal_fsyncs_total", func() uint64 { return live.WAL().Stats().Fsyncs })
+	reg.CounterFunc("ucat_ingest_wal_sync_calls_total", func() uint64 { return live.WAL().Stats().SyncCalls })
+	reg.GaugeFunc("ucat_ingest_wal_segments", func() int64 { return int64(live.WAL().Stats().Segments) })
 }
 
 // registerPoolMetrics exposes the shared buffer pool on /metrics as
@@ -100,21 +141,24 @@ func newMetrics(reg *obs.Registry) *metrics {
 // The eviction counter is per policy, name-suffixed like the per-kind
 // latency histograms; all three policies are always registered so
 // dashboards keep a stable contract, with the inactive ones pinned at 0.
-func registerPoolMetrics(reg *obs.Registry, pool *pager.Pool) {
-	reg.GaugeFunc("ucat_serve_sharedpool_frames", func() int64 { return int64(pool.Frames()) })
-	reg.GaugeFunc("ucat_serve_sharedpool_stripes", func() int64 { return int64(pool.Shards()) })
-	reg.GaugeFunc("ucat_serve_sharedpool_occupancy", func() int64 { return int64(pool.CachedPages()) })
-	reg.GaugeFunc("ucat_serve_sharedpool_pinned", pool.Pins)
-	reg.CounterFunc("ucat_serve_sharedpool_reads_total", func() uint64 { return pool.Stats().Reads })
-	reg.CounterFunc("ucat_serve_sharedpool_hits_total", func() uint64 { return pool.Stats().Hits })
-	reg.CounterFunc("ucat_serve_sharedpool_writes_total", func() uint64 { return pool.Stats().Writes })
+// The pool is resolved through a getter at every scrape, not captured once:
+// live servers rebuild the shared pool at each fold, and the metrics must
+// follow the current epoch's pool rather than pin the boot-time one alive.
+func registerPoolMetrics(reg *obs.Registry, pool func() *pager.Pool) {
+	reg.GaugeFunc("ucat_serve_sharedpool_frames", func() int64 { return int64(pool().Frames()) })
+	reg.GaugeFunc("ucat_serve_sharedpool_stripes", func() int64 { return int64(pool().Shards()) })
+	reg.GaugeFunc("ucat_serve_sharedpool_occupancy", func() int64 { return int64(pool().CachedPages()) })
+	reg.GaugeFunc("ucat_serve_sharedpool_pinned", func() int64 { return pool().Pins() })
+	reg.CounterFunc("ucat_serve_sharedpool_reads_total", func() uint64 { return pool().Stats().Reads })
+	reg.CounterFunc("ucat_serve_sharedpool_hits_total", func() uint64 { return pool().Stats().Hits })
+	reg.CounterFunc("ucat_serve_sharedpool_writes_total", func() uint64 { return pool().Stats().Writes })
 	reg.GaugeFunc("ucat_serve_sharedpool_hit_rate_permille", func() int64 {
-		return int64(pool.Stats().HitRate() * 1000)
+		return int64(pool().Stats().HitRate() * 1000)
 	})
 	for _, pol := range pager.Policies {
 		name := "ucat_serve_sharedpool_evictions_total_" + pol.String()
-		if pol == pool.Policy() {
-			reg.CounterFunc(name, pool.Evictions)
+		if pol == pool().Policy() {
+			reg.CounterFunc(name, func() uint64 { return pool().Evictions() })
 		} else {
 			reg.CounterFunc(name, func() uint64 { return 0 })
 		}

@@ -475,14 +475,18 @@ func (s *Server) executeOne(req *request) {
 		req.deliver(s.completeFailure(req, err))
 		return
 	}
-	sess := s.pool.Session()
+	ep, view, err := s.snapshot()
+	if err != nil {
+		req.deliver(s.completeFailure(req, err))
+		return
+	}
+	sess := ep.pool.Session()
 	rec := f.Recorder()
-	rd := s.rel.Reader(obs.InstrumentView(sess, rec)).WithContext(req.ctx)
+	eng := bindEngine(view, ep.rel.Reader(obs.InstrumentView(sess, rec)).WithContext(req.ctx))
 	start := time.Now()
 	var (
-		ms  []core.Match
-		ns  []core.Neighbor
-		err error
+		ms []core.Match
+		ns []core.Neighbor
 	)
 	// Goroutine labels make this request findable in /debug/pprof profiles:
 	// a CPU sample taken while it runs carries its kind and trace ID.
@@ -490,7 +494,7 @@ func (s *Server) executeOne(req *request) {
 		"ucat_kind", req.kind,
 		"ucat_req", strconv.FormatUint(f.ID, 10),
 	), func(context.Context) {
-		ms, ns, err = runKind(rd, rec, req)
+		ms, ns, err = runKind(eng, rec, req)
 	})
 	elapsed := time.Since(start)
 	delta := sess.Stats()
@@ -544,9 +548,41 @@ func (s *Server) completeFailure(req *request, err error) result {
 	return res
 }
 
-// runKind dispatches to the Reader method for the request's kind, under an
+// snapshot captures a consistent (epoch, live view) pair. On read-only
+// servers the view is nil and the single epoch always matches. On live
+// servers the epoch pointer and the live engine's state advance
+// independently, so a fold between the two loads can leave the loaded epoch
+// anchored at neither the current nor the previous generation; reloading
+// closes the gap (one-generation history makes a second miss require two
+// full folds inside this loop — retried, then surfaced as an error rather
+// than spinning).
+func (s *Server) snapshot() (*serveEpoch, *core.LiveView, error) {
+	ep := s.epoch.Load()
+	if s.live == nil {
+		return ep, nil, nil
+	}
+	for try := 0; try < 4; try++ {
+		if view, ok := s.live.ViewOn(ep.rel); ok {
+			return ep, view, nil
+		}
+		ep = s.epoch.Load()
+	}
+	return nil, nil, fmt.Errorf("serving epoch churned during snapshot; retry")
+}
+
+// bindEngine attaches a live view to the epoch reader, or returns the reader
+// itself on read-only servers (and, inside Bind, when the overlay is empty —
+// the read path is then byte-for-byte the frozen one).
+func bindEngine(view *core.LiveView, rd *core.Reader) core.QueryEngine {
+	if view == nil {
+		return rd
+	}
+	return view.Bind(rd)
+}
+
+// runKind dispatches to the engine method for the request's kind, under an
 // explain root span when tracing is on (rec non-nil; StartSpan is nil-safe).
-func runKind(rd *core.Reader, rec *obs.Recorder, req *request) ([]core.Match, []core.Neighbor, error) {
+func runKind(rd core.QueryEngine, rec *obs.Recorder, req *request) ([]core.Match, []core.Neighbor, error) {
 	sp := rec.StartSpan("serve." + req.kind)
 	defer sp.End()
 	switch req.kind {

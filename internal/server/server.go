@@ -72,9 +72,20 @@ import (
 // Config configures a Server. The zero value of every field except Relation
 // picks a sensible default, documented per field.
 type Config struct {
-	// Relation is the read-only relation to serve. Required. The server
-	// never mutates it; callers must not mutate it while the server runs.
+	// Relation is the read-only relation to serve. Required unless Live is
+	// set. The server never mutates it; callers must not mutate it while the
+	// server runs.
 	Relation *core.Relation
+
+	// Live, when set, enables the durable write path: POST /v1/ingest
+	// accepts inserts, updates, and deletes, acknowledged only after the WAL
+	// fsync (DURABILITY.md §4), and queries answer over the live view —
+	// base epoch plus the committed delta (§5). The server installs itself
+	// as the fold callback (Live.SetOnSwap): after each checkpoint it builds
+	// a fresh shared pool over the new base and swaps both in atomically,
+	// so in-flight queries finish on the epoch they started on. Relation
+	// defaults to Live.Base(). nil serves read-only, exactly as before.
+	Live *core.Live
 
 	// Workers is the number of query-executor goroutines, all sharing the
 	// server's one buffer pool. 0 means GOMAXPROCS.
@@ -189,10 +200,23 @@ func (cfg Config) withDefaults() Config {
 // Server is the HTTP query server. Create one with New, mount it (it
 // implements http.Handler), and stop it with Shutdown. All exported methods
 // are safe for concurrent use.
+// serveEpoch is one generation of the serving state: a base relation and the
+// shared hot-page pool built over its store. Read-only servers have exactly
+// one for their whole life; live servers swap in a new one at each fold
+// (queries in flight keep the epoch they loaded — the old pool stays valid
+// until the last reference drops).
+type serveEpoch struct {
+	rel  *core.Relation
+	pool *pager.Pool
+}
+
+// Server is the HTTP query engine: an http.Handler owning the worker pool,
+// admission queue, micro-batcher, metrics, and — on live servers — the
+// durable write path and the serving-epoch swap that follows each fold.
 type Server struct {
 	cfg       Config
-	rel       *core.Relation
-	pool      *pager.Pool // the shared hot-page pool all workers fetch through
+	live      *core.Live                 // nil on read-only servers
+	epoch     atomic.Pointer[serveEpoch] // current (rel, pool) generation
 	mux       *http.ServeMux
 	queue     chan *task
 	quit      chan struct{} // closed after drain; releases the workers
@@ -213,6 +237,9 @@ type Server struct {
 // The returned server is ready to serve; callers typically hand it to
 // http.Server as the handler.
 func New(cfg Config) (*Server, error) {
+	if cfg.Relation == nil && cfg.Live != nil {
+		cfg.Relation = cfg.Live.Base()
+	}
 	if cfg.Relation == nil {
 		return nil, fmt.Errorf("server: Config.Relation is required")
 	}
@@ -221,28 +248,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	// Dirty construction-pool pages must reach the store before the shared
-	// pool reads it (same discipline as EXPLAIN's fresh view).
-	if err := cfg.Relation.Pool().FlushAll(); err != nil {
-		return nil, fmt.Errorf("server: flushing relation before serving: %w", err)
-	}
-	pool := pager.NewSharedPool(cfg.Relation.Pool().Store(), cfg.PoolFrames, cfg.PoolStripes, policy)
-	if policy == pager.GDSF {
-		pool.SetCostFunc(cfg.Relation.PageCostFunc())
-	}
-	// Keep the decoded-object cache coherent with the page pool: a pool that
-	// holds thousands of pages hot is wasted if their decoded forms still
-	// thrash the default 8 MB budget. Grow-only, so an operator-chosen
-	// larger budget is never shrunk.
-	if dc := cfg.Relation.DecodeCache(); dc != nil {
-		if want := dcache.SizeForFrames(cfg.PoolFrames); want > dc.MaxBytes() {
-			dc.Resize(want)
-		}
-	}
 	s := &Server{
 		cfg:   cfg,
-		rel:   cfg.Relation,
-		pool:  pool,
+		live:  cfg.Live,
 		mux:   http.NewServeMux(),
 		queue: make(chan *task, cfg.QueueDepth),
 		quit:  make(chan struct{}),
@@ -251,8 +259,25 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 		done:  make(chan struct{}),
 	}
+	ep, err := s.buildEpoch(cfg.Relation, policy)
+	if err != nil {
+		return nil, err
+	}
+	s.epoch.Store(ep)
+	if s.live != nil {
+		s.met.registerIngestGauges(cfg.Registry, s.live)
+		// After each fold, serve the next epoch: new base, fresh shared pool
+		// over its store. Failures keep the old epoch serving — the live view
+		// still answers correctly through it via ViewOn's previous-generation
+		// fallback until the next fold retries.
+		s.live.SetOnSwap(func(next *core.Relation) {
+			if nep, err := s.buildEpoch(next, policy); err == nil {
+				s.epoch.Store(nep)
+			}
+		})
+	}
 	s.retrySecs = int(retryAfterSeconds(cfg.RetryAfter))
-	registerPoolMetrics(cfg.Registry, pool)
+	registerPoolMetrics(cfg.Registry, func() *pager.Pool { return s.epoch.Load().pool })
 	s.flight = obs.NewFlightRecorder(obs.FlightConfig{
 		Records:       cfg.FlightRecords,
 		SlowThreshold: cfg.SlowThreshold,
@@ -264,6 +289,7 @@ func New(cfg Config) (*Server, error) {
 		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMax)
 	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/version", obs.BuildHandler)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -279,6 +305,31 @@ func New(cfg Config) (*Server, error) {
 		close(s.done)
 	}()
 	return s, nil
+}
+
+// buildEpoch assembles one serving generation: flush the relation's own
+// construction pool, build the shared pool over its store (with GDSF decode
+// costs when selected), and grow the decoded-object cache to match.
+func (s *Server) buildEpoch(rel *core.Relation, policy pager.Policy) (*serveEpoch, error) {
+	// Dirty construction-pool pages must reach the store before the shared
+	// pool reads it (same discipline as EXPLAIN's fresh view).
+	if err := rel.Pool().FlushAll(); err != nil {
+		return nil, fmt.Errorf("server: flushing relation before serving: %w", err)
+	}
+	pool := pager.NewSharedPool(rel.Pool().Store(), s.cfg.PoolFrames, s.cfg.PoolStripes, policy)
+	if policy == pager.GDSF {
+		pool.SetCostFunc(rel.PageCostFunc())
+	}
+	// Keep the decoded-object cache coherent with the page pool: a pool that
+	// holds thousands of pages hot is wasted if their decoded forms still
+	// thrash the default 8 MB budget. Grow-only, so an operator-chosen
+	// larger budget is never shrunk.
+	if dc := rel.DecodeCache(); dc != nil {
+		if want := dcache.SizeForFrames(s.cfg.PoolFrames); want > dc.MaxBytes() {
+			dc.Resize(want)
+		}
+	}
+	return &serveEpoch{rel: rel, pool: pool}, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -297,8 +348,9 @@ func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 // PoolDescription is a one-line human-readable summary of the shared pool's
 // effective configuration, for startup logs.
 func (s *Server) PoolDescription() string {
+	pool := s.epoch.Load().pool
 	return fmt.Sprintf("%s, %d frames, %d stripes",
-		s.pool.Policy(), s.pool.Frames(), s.pool.Shards())
+		pool.Policy(), pool.Frames(), pool.Shards())
 }
 
 // Shutdown drains the server: it stops admitting queries (503), waits for
@@ -338,12 +390,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]any{
+	ep := s.epoch.Load()
+	doc := map[string]any{
 		"status":    state,
-		"kind":      s.rel.Kind().String(),
-		"tuples":    s.rel.Len(),
+		"kind":      ep.rel.Kind().String(),
+		"tuples":    s.tupleCount(ep),
 		"uptime_ms": time.Since(s.start).Milliseconds(),
-	})
+	}
+	if s.live != nil {
+		doc["mode"] = "live"
+		doc["epoch"] = s.live.Epoch()
+	}
+	writeJSON(w, status, doc)
 }
 
 // statsPayload is the /v1/stats response document.
@@ -355,6 +413,7 @@ type statsPayload struct {
 	Totals   totalStats    `json:"totals"`
 	Pool     poolStats     `json:"pool"`
 	Latency  latencyStats  `json:"latency"`
+	Ingest   *ingestStats  `json:"ingest,omitempty"` // live servers only
 }
 
 // relationStats describes the served relation.
@@ -419,6 +478,60 @@ type totalStats struct {
 	PoolHits     uint64 `json:"pool_hits"`
 }
 
+// ingestStats is the live write path's health picture (live servers only):
+// request totals from the server's counters plus the engine's instantaneous
+// state — delta size, fold epoch, and the WAL's LSN/fsync accounting.
+type ingestStats struct {
+	Requests uint64           `json:"requests"`
+	Errors   uint64           `json:"errors"`
+	Rejected uint64           `json:"rejected"`
+	DeltaOps int              `json:"delta_ops"`
+	Epoch    uint64           `json:"epoch"`
+	Tuples   int              `json:"tuples"`
+	WAL      walStats         `json:"wal"`
+	Latency  obs.HistSnapshot `json:"latency_ns"`
+}
+
+// walStats mirrors wal.Stats for the JSON document.
+type walStats struct {
+	AppendedLSN uint64 `json:"appended_lsn"`
+	DurableLSN  uint64 `json:"durable_lsn"`
+	Records     uint64 `json:"records"`
+	Bytes       uint64 `json:"bytes"`
+	Fsyncs      uint64 `json:"fsyncs"`
+	SyncCalls   uint64 `json:"sync_calls"`
+	Rotations   uint64 `json:"rotations"`
+	Segments    int64  `json:"segments"`
+}
+
+// ingestSnapshot assembles the /v1/stats ingest section, nil on read-only
+// servers (the JSON field is omitted entirely).
+func (s *Server) ingestSnapshot() *ingestStats {
+	if s.live == nil {
+		return nil
+	}
+	w := s.live.WAL().Stats()
+	return &ingestStats{
+		Requests: s.met.ingestRequests.Value(),
+		Errors:   s.met.ingestErrors.Value(),
+		Rejected: s.met.ingestRejected.Value(),
+		DeltaOps: s.live.DeltaLen(),
+		Epoch:    s.live.Epoch(),
+		Tuples:   s.live.Len(),
+		WAL: walStats{
+			AppendedLSN: w.AppendedLSN,
+			DurableLSN:  w.DurableLSN,
+			Records:     w.Records,
+			Bytes:       w.Bytes,
+			Fsyncs:      w.Fsyncs,
+			SyncCalls:   w.SyncCalls,
+			Rotations:   w.Rotations,
+			Segments:    w.Segments,
+		},
+		Latency: s.met.ingestLatency.Snapshot(),
+	}
+}
+
 // latencyStats carries the nearest-rank quantile estimates of the server's
 // log₂ latency histograms, in nanoseconds.
 type latencyStats struct {
@@ -436,20 +549,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			perKind[kind] = snap
 		}
 	}
+	ep := s.epoch.Load()
 	writeJSON(w, http.StatusOK, statsPayload{
 		UptimeMS: time.Since(s.start).Milliseconds(),
-		Relation: relationStats{Kind: s.rel.Kind().String(), Tuples: s.rel.Len()},
+		Relation: relationStats{Kind: ep.rel.Kind().String(), Tuples: s.tupleCount(ep)},
 		Config: configStats{
 			Workers:          s.cfg.Workers,
 			QueueDepth:       s.cfg.QueueDepth,
 			PoolFrames:       s.cfg.PoolFrames,
 			PoolStripes:      s.cfg.PoolStripes,
-			PoolPolicy:       s.pool.Policy().String(),
+			PoolPolicy:       ep.pool.Policy().String(),
 			DefaultTimeoutMS: s.cfg.DefaultTimeout.Milliseconds(),
 			MaxTimeoutMS:     s.cfg.MaxTimeout.Milliseconds(),
 			BatchWindowUS:    s.cfg.BatchWindow.Microseconds(),
 			BatchMax:         s.cfg.BatchMax,
 		},
+		Ingest: s.ingestSnapshot(),
 		Live: liveStats{
 			Inflight: s.met.inflight.Value(),
 			Queued:   s.met.queued.Value(),
@@ -470,7 +585,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReadIOs:      s.met.readIOs.Value(),
 			PoolHits:     s.met.poolHits.Value(),
 		},
-		Pool: s.poolSnapshot(),
+		Pool: poolSnapshot(ep.pool),
 		Latency: latencyStats{
 			Query:     s.met.latency.Snapshot(),
 			QueueWait: s.met.queueWait.Snapshot(),
@@ -479,22 +594,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// poolSnapshot assembles the /v1/stats pool section from the shared pool's
-// counters.
-func (s *Server) poolSnapshot() poolStats {
-	st := s.pool.Stats()
+// poolSnapshot assembles the /v1/stats pool section from the current epoch's
+// shared pool counters. On live servers these reset at each fold (the pool is
+// rebuilt over the new base); the lifetime view is in the metrics registry.
+func poolSnapshot(pool *pager.Pool) poolStats {
+	st := pool.Stats()
 	return poolStats{
-		Policy:    s.pool.Policy().String(),
-		Frames:    s.pool.Frames(),
-		Stripes:   s.pool.Shards(),
-		Occupancy: s.pool.CachedPages(),
-		Pinned:    s.pool.Pins(),
+		Policy:    pool.Policy().String(),
+		Frames:    pool.Frames(),
+		Stripes:   pool.Shards(),
+		Occupancy: pool.CachedPages(),
+		Pinned:    pool.Pins(),
 		Reads:     st.Reads,
 		Writes:    st.Writes,
 		Hits:      st.Hits,
 		HitRate:   st.HitRate(),
-		Evictions: s.pool.Evictions(),
+		Evictions: pool.Evictions(),
 	}
+}
+
+// tupleCount is the serving tuple count: the live view's on live servers
+// (base plus visible delta), the relation's otherwise.
+func (s *Server) tupleCount(ep *serveEpoch) int {
+	if s.live != nil {
+		return s.live.Len()
+	}
+	return ep.rel.Len()
 }
 
 // drainGate counts admitted requests and lets Shutdown wait for all of them

@@ -45,7 +45,7 @@ func buildRelation(t *testing.T, kind core.Kind, n int) *core.Relation {
 // front end, both torn down with the test.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	if cfg.Relation == nil {
+	if cfg.Relation == nil && cfg.Live == nil {
 		cfg.Relation = buildRelation(t, core.PDRTree, 400)
 	}
 	if cfg.Registry == nil {

@@ -13,7 +13,8 @@
 // to a stable (page, offset) pair — the moral equivalent of a DBMS record id.
 // That map is kept in memory, as record ids would be inside a real heap file;
 // probing it costs no I/O. Deleted records are tombstoned in memory and their
-// space is not reclaimed (append-only heap).
+// space is not reclaimed (append-only heap); Replace appends the new version
+// and repoints the map, orphaning the old record the same way.
 package tuplestore
 
 import (
@@ -246,6 +247,24 @@ func (s *Store) GetArena(v pager.View, tid uint32, arena []uda.Pair) (uda.UDA, [
 	return u, arena, err
 }
 
+// Replace repoints a live tuple id at a freshly appended record holding the
+// new distribution. The old record stays on its page as an orphan — the heap
+// is append-only, exactly as Delete never reclaims space — and is invisible:
+// probes follow the location map, and scans yield only the record the map
+// points at. The live write path uses this for in-place distribution updates
+// (DESIGN.md §21).
+func (s *Store) Replace(tid uint32, u uda.UDA) error {
+	if _, ok := s.loc[tid]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, tid)
+	}
+	recSize := 4 + uda.EncodedSize(u)
+	if pageHeader+recSize > pager.PageSize {
+		return fmt.Errorf("tuplestore: record for tuple %d is %d bytes, exceeds page capacity %d",
+			tid, recSize, pager.PageSize-pageHeader)
+	}
+	return s.appendRecord(tid, u)
+}
+
 // Has reports whether the tuple id is live, without I/O.
 func (s *Store) Has(tid uint32) bool {
 	_, ok := s.loc[tid]
@@ -277,7 +296,10 @@ func (s *Store) ScanVia(v pager.View, fn func(tid uint32, u uda.UDA) bool) error
 				return err
 			}
 			for i, tid := range dp.tids {
-				if _, gone := s.dead[tid]; gone {
+				// A record is current only if the location map points at it:
+				// this one check filters tombstoned tuples AND the orphaned
+				// old versions Replace leaves behind.
+				if l, ok := s.loc[tid]; !ok || l.pid != pid || l.off != dp.offs[i] {
 					continue
 				}
 				if !fn(tid, dp.udas[i]) {
@@ -299,6 +321,7 @@ func (s *Store) ScanVia(v pager.View, fn func(tid uint32, u uda.UDA) bool) error
 		}
 		off := pageHeader
 		for off < end {
+			recOff := off
 			tid := binary.LittleEndian.Uint32(pg.Data[off:])
 			u, n, err := uda.Decode(pg.Data[off+4:])
 			if err != nil {
@@ -306,7 +329,8 @@ func (s *Store) ScanVia(v pager.View, fn func(tid uint32, u uda.UDA) bool) error
 				return fmt.Errorf("tuplestore: page %d offset %d: %w", pid, off, err)
 			}
 			off += 4 + n
-			if _, gone := s.dead[tid]; gone {
+			// Location-map match filters tombstones and Replace orphans alike.
+			if l, ok := s.loc[tid]; !ok || l.pid != pid || l.off != uint16(recOff) {
 				continue
 			}
 			if !fn(tid, u) {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ucat/internal/dcache"
 	"ucat/internal/pager"
 	"ucat/internal/uda"
 )
@@ -195,5 +196,103 @@ func TestOversizeRecordRejected(t *testing.T) {
 	big := uda.MustNew(pairs...)
 	if err := s.Put(1, big); err == nil {
 		t.Errorf("oversize Put succeeded, want error")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := newTestStore(t, 20)
+			if cached {
+				s.SetCache(dcache.New(0))
+			}
+			for tid := uint32(1); tid <= 5; tid++ {
+				if err := s.Put(tid, uda.Certain(tid)); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+			}
+			u2 := uda.MustNew(uda.Pair{Item: 100, Prob: 0.5}, uda.Pair{Item: 200, Prob: 0.5})
+			if err := s.Replace(3, u2); err != nil {
+				t.Fatalf("Replace: %v", err)
+			}
+			got, err := s.Get(3)
+			if err != nil {
+				t.Fatalf("Get after Replace: %v", err)
+			}
+			if got.Len() != 2 || got.Prob(100) != 0.5 {
+				t.Errorf("Get after Replace = %v", got)
+			}
+			if s.Len() != 5 {
+				t.Errorf("Len = %d, want 5 (Replace must not change it)", s.Len())
+			}
+			// The orphaned old record must be invisible to Scan: tid 3 shows
+			// up exactly once, with the new distribution.
+			seen := map[uint32]int{}
+			err = s.Scan(func(tid uint32, u uda.UDA) bool {
+				seen[tid]++
+				if tid == 3 && u.Prob(100) != 0.5 {
+					t.Errorf("Scan yielded stale record for tid 3: %v", u)
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatalf("Scan: %v", err)
+			}
+			for tid := uint32(1); tid <= 5; tid++ {
+				if seen[tid] != 1 {
+					t.Errorf("Scan saw tid %d %d times, want 1", tid, seen[tid])
+				}
+			}
+		})
+	}
+}
+
+func TestReplaceMissing(t *testing.T) {
+	s := newTestStore(t, 20)
+	if err := s.Replace(9, uda.Certain(1)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Replace of unknown tid: %v, want ErrNotFound", err)
+	}
+	if err := s.Put(9, uda.Certain(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replace(9, uda.Certain(2)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Replace of tombstoned tid: %v, want ErrNotFound", err)
+	}
+}
+
+func TestReplaceThenCompact(t *testing.T) {
+	s := newTestStore(t, 40)
+	for tid := uint32(1); tid <= 200; tid++ {
+		if err := s.Put(tid, uda.Certain(tid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tid := uint32(1); tid <= 200; tid += 2 {
+		if err := s.Replace(tid, uda.Certain(tid+1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	for tid := uint32(1); tid <= 200; tid++ {
+		got, err := s.Get(tid)
+		if err != nil {
+			t.Fatalf("Get(%d) after compact: %v", tid, err)
+		}
+		want := tid
+		if tid%2 == 1 {
+			want = tid + 1000
+		}
+		if got.Prob(want) != 1 {
+			t.Errorf("tid %d: lost replacement after compact", tid)
+		}
 	}
 }

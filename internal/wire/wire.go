@@ -202,6 +202,41 @@ const (
 // by it to bound pre-allocation.
 const minPairBytes = 9
 
+// AppendPairs encodes a distribution as a count followed by one
+// (varint item, fixed64 probability bits) element per pair — the exact
+// encoding query frames use for distributions. It is exported for the WAL,
+// whose records persist distributions with the same bit-exact layout.
+func AppendPairs(dst []byte, pairs []uda.Pair) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pairs)))
+	for _, p := range pairs {
+		dst = binary.AppendUvarint(dst, uint64(p.Item))
+		dst = appendFixed64(dst, p.Prob)
+	}
+	return dst
+}
+
+// DecodePairs decodes a pair list written by AppendPairs from the front of
+// buf, returning the pairs and the number of bytes consumed. The declared
+// count is bounded by what the remaining bytes could actually encode, like
+// every ucatwire decoder, so a corrupt count cannot over-allocate.
+func DecodePairs(buf []byte) ([]uda.Pair, int, error) {
+	c := cursor{b: buf}
+	n := c.count(minPairBytes)
+	var pairs []uda.Pair
+	if c.err == nil && n > 0 {
+		pairs = make([]uda.Pair, 0, n)
+	}
+	for i := 0; i < n && c.err == nil; i++ {
+		item := c.uint32v()
+		prob := c.fixed64()
+		pairs = append(pairs, uda.Pair{Item: item, Prob: prob})
+	}
+	if c.err != nil {
+		return nil, 0, c.err
+	}
+	return pairs, c.off, nil
+}
+
 // appendHeader starts a frame, reserving the 4 length bytes; patchLen fills
 // them once the body is complete.
 func appendHeader(dst []byte, frameType byte) ([]byte, int) {

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# bench_ingest.sh — the write-path benchmark behind `make bench-ingest`.
+#
+# Sweeps the group-commit coalescing window (-groupcommit) across several
+# ucatd boots, each on a fresh WAL directory, and measures sustained durable
+# ingest throughput under concurrent query traffic into one BENCH_ingest.json
+# (ucatload -merge accumulates one ingest[] entry per window; OPERATIONS.md
+# explains how to read it). The first pass also runs the served-vs-direct
+# determinism check mid-ingest — the document is only written green if
+# queries stay bit-identical while the indexes absorb writes.
+#
+# The trade the sweep exposes (DURABILITY.md §4): a wider window boards more
+# concurrent appenders per fsync (ops_per_fsync up, throughput up on slow
+# disks) at the cost of per-request ack latency; window 0 degenerates to
+# fsync-per-racing-group.
+#
+# Tunables (environment):
+#   UCAT_INGEST_N        tuples in the base snapshot    (default 5000)
+#   UCAT_INGEST_DUR      measurement duration per pass  (default 3s)
+#   UCAT_INGEST_WRITERS  concurrent ingest writers      (default 4)
+#   UCAT_INGEST_BATCH    ops per ingest request         (default 8)
+#   UCAT_INGEST_CLIENTS  concurrent query clients       (default 4)
+#   UCAT_INGEST_WINDOWS  group-commit windows to sweep  (default "-1us 0s 2ms 8ms")
+#   UCAT_INGEST_OUT      output path                    (default BENCH_ingest.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=${UCAT_INGEST_N:-5000}
+DUR=${UCAT_INGEST_DUR:-3s}
+WRITERS=${UCAT_INGEST_WRITERS:-4}
+BATCH=${UCAT_INGEST_BATCH:-8}
+CLIENTS=${UCAT_INGEST_CLIENTS:-4}
+WINDOWS=${UCAT_INGEST_WINDOWS:--1us 0s 2ms 8ms}
+OUT=${UCAT_INGEST_OUT:-BENCH_ingest.json}
+DOMAIN=50
+
+work=$(mktemp -d)
+PID=""
+trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null; rm -rf "$work"' EXIT
+
+go build -o "$work/" ./cmd/ucatgen ./cmd/ucatd ./cmd/ucatload
+
+"$work/ucatgen" -dataset gen3 -n "$N" -domain "$DOMAIN" -index inverted \
+    -save "$work/rel.ucat" >/dev/null
+
+first=1
+for window in $WINDOWS; do
+  waldir="$work/wal-$window"
+  : >"$work/addr"
+  "$work/ucatd" -load "$work/rel.ucat" -addr 127.0.0.1:0 -addrfile "$work/addr" \
+      -wal "$waldir" -fsync group -groupcommit "$window" \
+      >>"$work/ucatd.log" 2>&1 &
+  PID=$!
+  for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
+  [ -s "$work/addr" ] || { echo "bench_ingest: ucatd never became ready" >&2; cat "$work/ucatd.log" >&2; exit 1; }
+  ADDR=$(cat "$work/addr")
+
+  args=(-addr "$ADDR" -kinds petq,topk -tau 0.02 -domain "$DOMAIN" \
+        -clients "$CLIENTS" -dur "$DUR" -hotset 8 \
+        -ingestclients "$WRITERS" -ingestbatch "$BATCH" \
+        -ingestlabel "groupcommit=$window" -out "$OUT")
+  if [ "$first" = 1 ]; then
+    # First pass carries the determinism check, executed while the writers
+    # stream: served answers must stay bit-identical to direct execution.
+    "$work/ucatload" "${args[@]}" -load "$work/rel.ucat" -check 30
+    first=0
+  else
+    "$work/ucatload" "${args[@]}" -merge
+  fi
+
+  kill -TERM "$PID"
+  wait "$PID" || true
+  PID=""
+done
+
+echo "bench-ingest: wrote $OUT"

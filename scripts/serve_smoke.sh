@@ -1,24 +1,31 @@
 #!/usr/bin/env bash
-# serve_smoke.sh — execute the README serving quickstart verbatim.
+# serve_smoke.sh — execute the README serving quickstarts verbatim.
 #
-# The commands are extracted from README.md (the block between the
-# `serve-quickstart:begin/end` markers), not duplicated here, so the
-# documented quickstart cannot rot: if the README drifts from reality this
-# script — and CI's serve-smoke job — fails.
+# The commands are extracted from README.md (the blocks between the
+# `serve-quickstart:begin/end` and `ingest-quickstart:begin/end` markers),
+# not duplicated here, so the documented quickstarts cannot rot: if the
+# README drifts from reality this script — and CI's serve-smoke job — fails.
+# The ingest block reuses the binaries and snapshot the serve block builds,
+# so they run in order.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 rm -rf /tmp/ucat-quickstart
 mkdir -p /tmp/ucat-quickstart
 
-block=$(awk '/<!-- serve-quickstart:begin -->/{f=1;next} /<!-- serve-quickstart:end -->/{f=0} f' README.md | sed '/^```/d')
-if [ -z "$block" ]; then
-    echo "serve_smoke: no serve-quickstart block found in README.md" >&2
-    exit 1
-fi
+extract() {
+    awk "/<!-- $1:begin -->/{f=1;next} /<!-- $1:end -->/{f=0} f" README.md | sed '/^```/d'
+}
 
-echo "--- executing README serving quickstart:"
-printf '%s\n' "$block"
-echo "---"
-bash -euo pipefail -c "$block"
+for name in serve-quickstart ingest-quickstart; do
+    block=$(extract "$name")
+    if [ -z "$block" ]; then
+        echo "serve_smoke: no $name block found in README.md" >&2
+        exit 1
+    fi
+    echo "--- executing README $name:"
+    printf '%s\n' "$block"
+    echo "---"
+    bash -euo pipefail -c "$block"
+done
 echo "serve-smoke OK"
